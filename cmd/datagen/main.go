@@ -1,0 +1,86 @@
+// Command datagen generates the synthetic WebAssembly-cluster runtime
+// dataset (the substitute for the paper's physical testbed, §4) and prints
+// summary statistics, including the Fig. 1 interference-slowdown histogram.
+//
+// Usage:
+//
+//	datagen [-seed 1] [-workloads 249] [-devices 24] [-sets 250] [-out dataset.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/wasmcluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	seed := flag.Int64("seed", 1, "generation seed")
+	workloads := flag.Int("workloads", 249, "number of workloads (max 249)")
+	devices := flag.Int("devices", 24, "number of devices (max 24)")
+	sets := flag.Int("sets", 250, "interference sets per degree per platform")
+	out := flag.String("out", "", "write dataset JSON to this file")
+	useVM := flag.Bool("vm", false, "profile workload features on the instrumented bytecode interpreter")
+	flag.Parse()
+
+	cluster := wasmcluster.New(wasmcluster.Config{
+		Seed: *seed, NumWorkloads: *workloads, MaxDevices: *devices, SetsPerDegree: *sets,
+		UseVM: *useVM,
+	})
+	ds := cluster.Generate()
+	if err := ds.Validate(); err != nil {
+		log.Fatalf("generated dataset invalid: %v", err)
+	}
+
+	by := ds.CountByDegree()
+	fmt.Printf("workloads:  %d\nplatforms:  %d\nobservations: %d\n",
+		ds.NumWorkloads(), ds.NumPlatforms(), len(ds.Obs))
+	fmt.Printf("  isolation: %d\n  2-way: %d\n  3-way: %d\n  4-way: %d\n",
+		by[0], by[1], by[2], by[3])
+
+	// Fig. 1: log-histogram of interference slowdowns by degree.
+	iso := map[[2]int]float64{}
+	cnt := map[[2]int]float64{}
+	for _, o := range ds.Obs {
+		if o.Degree() == 0 {
+			k := [2]int{o.Workload, o.Platform}
+			iso[k] += o.Seconds
+			cnt[k]++
+		}
+	}
+	for _, g := range []int{1, 2, 3} {
+		h := stats.NewHistogram(0, 5, 20) // log2 slowdown 1x..32x
+		for _, o := range ds.Obs {
+			if o.Degree() != g {
+				continue
+			}
+			k := [2]int{o.Workload, o.Platform}
+			if cnt[k] == 0 {
+				continue
+			}
+			h.Add(math.Log2(o.Seconds / (iso[k] / cnt[k])))
+		}
+		fmt.Printf("\n%d-way interference slowdown (log-density, Fig. 1):\n", g+1)
+		fmt.Print(h.Render(50, func(b int) string {
+			return fmt.Sprintf("%.1fx", math.Exp2(h.BinCenter(b)))
+		}))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := ds.WriteJSON(f); err != nil {
+			log.Fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}

@@ -1,0 +1,92 @@
+// Command embed trains a Pitot model and exports 2-D t-SNE coordinates of
+// the learned workload and platform embeddings (paper Fig. 7 / 12a–c) as
+// CSV, with labels for coloring.
+//
+// Usage:
+//
+//	embed [-seed 1] [-steps 1500] [-workloads 80] [-devices 10] [-out-prefix emb]
+//
+// Writes <prefix>-workloads.csv (name,suite,x,y) and
+// <prefix>-platforms.csv (name,runtime,arch,x,y).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/tsne"
+	"repro/internal/wasmcluster"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("embed: ")
+	seed := flag.Int64("seed", 1, "seed")
+	steps := flag.Int("steps", 1500, "training steps")
+	workloads := flag.Int("workloads", 80, "workloads")
+	devices := flag.Int("devices", 10, "devices")
+	prefix := flag.String("out-prefix", "emb", "output CSV prefix")
+	flag.Parse()
+
+	ds := wasmcluster.New(wasmcluster.Config{
+		Seed: *seed, NumWorkloads: *workloads, MaxDevices: *devices, SetsPerDegree: 30,
+	}).Generate()
+	cfg := core.DefaultConfig(*seed)
+	cfg.Steps = *steps
+	m, err := core.NewModel(cfg, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	split := dataset.NewSplit(rng, len(ds.Obs), 0.9)
+	split.EnsureCoverage(ds)
+	if _, err := m.Train(split); err != nil {
+		log.Fatal(err)
+	}
+
+	write := func(path string, header []string, rows [][]string) {
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			log.Fatal(err)
+		}
+		if err := w.WriteAll(rows); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, len(rows))
+	}
+
+	wy := tsne.Embed(m.WorkloadEmbeddings(0), tsne.Config{Seed: *seed})
+	var wrows [][]string
+	for i := 0; i < wy.Rows; i++ {
+		wrows = append(wrows, []string{
+			ds.WorkloadNames[i], ds.WorkloadSuites[i],
+			fmt.Sprintf("%.4f", wy.At(i, 0)), fmt.Sprintf("%.4f", wy.At(i, 1)),
+		})
+	}
+	write(*prefix+"-workloads.csv", []string{"name", "suite", "x", "y"}, wrows)
+	fmt.Printf("workload suite kNN purity: %.2f\n",
+		tsne.KNNPurity(wy, ds.WorkloadSuites, 5))
+
+	py := tsne.Embed(m.PlatformEmbeddings(), tsne.Config{Seed: *seed})
+	var prows [][]string
+	for i := 0; i < py.Rows; i++ {
+		prows = append(prows, []string{
+			ds.PlatformNames[i], ds.PlatformRuntimes[i], ds.PlatformArchs[i],
+			fmt.Sprintf("%.4f", py.At(i, 0)), fmt.Sprintf("%.4f", py.At(i, 1)),
+		})
+	}
+	write(*prefix+"-platforms.csv", []string{"name", "runtime", "arch", "x", "y"}, prows)
+	fmt.Printf("platform runtime kNN purity: %.2f\n",
+		tsne.KNNPurity(py, ds.PlatformRuntimes, 5))
+}

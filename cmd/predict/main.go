@@ -1,0 +1,120 @@
+// Command predict loads a trained model and predicts runtimes for
+// (workload, platform, interferers) tuples given on the command line.
+//
+// Usage:
+//
+//	predict -data dataset.json -model model.bin -workload 3 -platform 17 [-interferers 5,9]
+//	predict ... -eps 0.05        # conformal upper bound instead of estimate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/conformal"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("predict: ")
+	dataPath := flag.String("data", "", "dataset JSON (required)")
+	modelPath := flag.String("model", "", "trained model (required)")
+	workload := flag.Int("workload", -1, "workload index")
+	platform := flag.Int("platform", -1, "platform index")
+	interferers := flag.String("interferers", "", "comma-separated interfering workload indices")
+	eps := flag.Float64("eps", 0, "if >0, print the 1-eps conformal bound (quantile model required)")
+	flag.Parse()
+	if *dataPath == "" || *modelPath == "" {
+		log.Fatal("-data and -model are required")
+	}
+
+	df, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.ReadJSON(df)
+	df.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := core.Load(mf, ds)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *workload < 0 || *workload >= ds.NumWorkloads() ||
+		*platform < 0 || *platform >= ds.NumPlatforms() {
+		log.Fatalf("workload/platform out of range (%d workloads, %d platforms)",
+			ds.NumWorkloads(), ds.NumPlatforms())
+	}
+	var ks []int
+	if *interferers != "" {
+		for _, part := range strings.Split(*interferers, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 0 || v >= ds.NumWorkloads() {
+				log.Fatalf("bad interferer %q", part)
+			}
+			ks = append(ks, v)
+		}
+	}
+
+	fmt.Printf("workload: %s\nplatform: %s\n",
+		ds.WorkloadNames[*workload], ds.PlatformNames[*platform])
+	for _, k := range ks {
+		fmt.Printf("interferer: %s\n", ds.WorkloadNames[k])
+	}
+
+	if *eps <= 0 {
+		sec := m.PredictSeconds(*workload, *platform, ks, 0)
+		fmt.Printf("estimated runtime: %.4fs\n", sec)
+		return
+	}
+	if len(m.Cfg.Quantiles) == 0 {
+		log.Fatal("bounds require a model trained with -quantiles")
+	}
+	// Calibrate on the fly using the whole dataset as calibration material
+	// (the CLI has no recorded split; for rigorous evaluation use
+	// cmd/experiments).
+	hp := &conformal.HeadPredictions{Quantiles: m.Cfg.Quantiles}
+	nh := m.Cfg.NumHeads()
+	hp.Cal = make([][]float64, nh)
+	hp.Val = make([][]float64, nh)
+	for i, o := range ds.Obs {
+		tgt := o.LogSeconds()
+		pool := o.Degree()
+		if i%2 == 0 {
+			hp.CalTrue = append(hp.CalTrue, tgt)
+			hp.CalPool = append(hp.CalPool, pool)
+		} else {
+			hp.ValTrue = append(hp.ValTrue, tgt)
+			hp.ValPool = append(hp.ValPool, pool)
+		}
+		for h := 0; h < nh; h++ {
+			p := m.PredictLogSeconds(o.Workload, o.Platform, o.Interferers, h)
+			if i%2 == 0 {
+				hp.Cal[h] = append(hp.Cal[h], p)
+			} else {
+				hp.Val[h] = append(hp.Val[h], p)
+			}
+		}
+	}
+	b, err := conformal.Calibrate(hp, *eps, conformal.SelectOptimal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := m.PredictLogSeconds(*workload, *platform, ks, b.Head)
+	fmt.Printf("runtime bound (eps=%.3f): %.4fs (head ξ=%.2f)\n",
+		*eps, math.Exp(b.Bound(pred, len(ks))), m.Cfg.Quantiles[b.Head])
+}

@@ -1,0 +1,86 @@
+// Command schedsim runs the end-to-end orchestration experiment: train
+// Pitot on a synthetic cluster, place a stream of deadline jobs with
+// several policies (mean estimate, padded mean, conformal bound), then
+// replay each placement against the ground-truth runtime model and report
+// deadline-miss rates — the paper's motivating application (§1)
+// quantified.
+//
+// Usage:
+//
+//	schedsim [-seed 1] [-jobs 60] [-eps 0.1] [-steps 1200]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	pitot "repro"
+	"repro/internal/sched"
+	"repro/internal/wasmcluster"
+)
+
+// oracle adapts the ground-truth cluster to sched.Oracle.
+type oracle struct {
+	c   *wasmcluster.Cluster
+	rng *rand.Rand
+}
+
+func (o *oracle) TrueSeconds(w, p int, ks []int) float64 {
+	return o.c.MeasureSeconds(o.rng, w, p, ks)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schedsim: ")
+	seed := flag.Int64("seed", 1, "seed")
+	jobs := flag.Int("jobs", 60, "number of jobs to place")
+	eps := flag.Float64("eps", 0.1, "per-job deadline-miss budget for the bound policy")
+	steps := flag.Int("steps", 1200, "training steps")
+	flag.Parse()
+
+	cluster := wasmcluster.New(wasmcluster.Config{
+		Seed: *seed, NumWorkloads: 40, MaxDevices: 8, SetsPerDegree: 25,
+	})
+	ds := cluster.Generate()
+	cfg := pitot.DefaultModelConfig(*seed)
+	cfg.Steps = *steps
+	pred, err := pitot.Train(ds, pitot.Options{Seed: *seed, Model: &cfg, EnableBounds: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Jobs: random workloads with deadlines drawn a bit above their median
+	// cluster-wide runtime, so placement quality matters.
+	jrng := rand.New(rand.NewSource(*seed + 7))
+	var stream []sched.Job
+	for i := 0; i < *jobs; i++ {
+		w := jrng.Intn(ds.NumWorkloads())
+		p := jrng.Intn(ds.NumPlatforms())
+		deadline := pred.Estimate(w, p, nil) * (1.5 + jrng.Float64()*2)
+		stream = append(stream, sched.Job{Workload: w, Deadline: deadline})
+	}
+
+	policies := []sched.Policy{
+		sched.MeanPolicy{},
+		sched.PaddedMeanPolicy{Factor: 1.3},
+		sched.BoundPolicy{Eps: *eps},
+	}
+	fmt.Printf("placing %d jobs on %d platforms; bound policy targets ≤%.0f%% misses\n\n",
+		*jobs, ds.NumPlatforms(), 100**eps)
+	fmt.Printf("%-16s %8s %9s %10s %10s\n", "policy", "placed", "unplaced", "miss-rate", "headroom")
+	for _, pol := range policies {
+		s, err := sched.New(sched.Config{NumPlatforms: ds.NumPlatforms(), MaxColocation: 4}, pol, pred)
+		if err != nil {
+			log.Fatal(err)
+		}
+		as := s.PlaceAll(stream)
+		out := sched.Simulate(pol.Name(), as, &oracle{cluster, rand.New(rand.NewSource(*seed + 99))},
+			s.Residents, 25)
+		fmt.Printf("%-16s %8d %9d %9.1f%% %9.1f%%\n",
+			out.Policy, out.Placed, out.Unplaced, 100*out.MissRate, 100*out.AvgHeadroom)
+	}
+	fmt.Println("\nmiss-rate: fraction of placed jobs whose true runtime exceeded the deadline")
+	fmt.Println("headroom:  mean unused fraction of the deadline (high = overprovisioned)")
+}

@@ -1,0 +1,98 @@
+// Command train fits a Pitot model on a dataset JSON file (produced by
+// datagen) and reports held-out error, optionally saving the model.
+//
+// Usage:
+//
+//	train -data dataset.json [-steps 2500] [-quantiles] [-model model.bin] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train: ")
+	dataPath := flag.String("data", "", "dataset JSON (required)")
+	modelPath := flag.String("model", "", "write trained model here")
+	seed := flag.Int64("seed", 1, "training seed")
+	steps := flag.Int("steps", 2500, "optimization steps")
+	hidden := flag.Int("hidden", 64, "tower hidden width")
+	rank := flag.Int("rank", 32, "embedding dimension r")
+	quantiles := flag.Bool("quantiles", false, "train quantile heads for bounds")
+	trainFrac := flag.Float64("train-frac", 0.8, "fraction of observations used for training")
+	flag.Parse()
+	if *dataPath == "" {
+		log.Fatal("-data is required")
+	}
+
+	f, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := dataset.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d workloads, %d platforms, %d observations\n",
+		ds.NumWorkloads(), ds.NumPlatforms(), len(ds.Obs))
+
+	cfg := core.DefaultConfig(*seed)
+	cfg.Steps = *steps
+	cfg.Hidden = *hidden
+	cfg.EmbeddingDim = *rank
+	if *quantiles {
+		cfg.Quantiles = core.PaperQuantiles()
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	split := dataset.NewSplit(rng, len(ds.Obs), *trainFrac)
+	split.EnsureCoverage(ds)
+
+	m, err := core.NewModel(cfg, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d parameters, %d heads\n", m.NumParams(), cfg.NumHeads())
+	res, err := m.Train(split)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d steps, best validation loss %.5f\n", res.Steps, res.BestValLoss)
+
+	if len(cfg.Quantiles) == 0 {
+		iso, interf := eval.SplitByInterference(ds, split.Test)
+		predIso := make([]float64, len(iso))
+		for i, oi := range iso {
+			o := ds.Obs[oi]
+			predIso[i] = m.PredictLogSeconds(o.Workload, o.Platform, o.Interferers, 0)
+		}
+		predInt := make([]float64, len(interf))
+		for i, oi := range interf {
+			o := ds.Obs[oi]
+			predInt[i] = m.PredictLogSeconds(o.Workload, o.Platform, o.Interferers, 0)
+		}
+		fmt.Printf("test MAPE: %.1f%% without interference, %.1f%% with interference\n",
+			100*eval.MAPE(ds, iso, predIso), 100*eval.MAPE(ds, interf, predInt))
+	}
+
+	if *modelPath != "" {
+		out, err := os.Create(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := m.Save(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved model to %s\n", *modelPath)
+	}
+}

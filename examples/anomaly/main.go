@@ -1,0 +1,119 @@
+// Anomaly detection on learned embeddings: the paper's §5.4 observes that
+// Pitot's workload embeddings cluster by behaviour, so distance in
+// embedding space can flag workloads whose performance profile does not
+// match their declared suite (e.g. a mislabeled or compromised benchmark).
+//
+// This example trains Pitot, computes each workload's distance to its
+// suite centroid in embedding space, and flags outliers — including a
+// deliberately mislabeled workload, which should rank near the top.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	pitot "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	ds := pitot.GenerateDataset(pitot.DatasetConfig{
+		Seed: 55, NumWorkloads: 48, MaxDevices: 8, SetsPerDegree: 20,
+	})
+	cfg := pitot.DefaultModelConfig(55)
+	cfg.Steps = 1200
+	pred, err := pitot.Train(ds, pitot.Options{Seed: 55, Model: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deliberately mislabel one workload: claim a libsodium crypto kernel
+	// is a polybench numerical kernel.
+	suites := append([]string(nil), ds.WorkloadSuites...)
+	mislabeled := -1
+	for i, s := range suites {
+		if s == "libsodium" {
+			suites[i] = "polybench"
+			mislabeled = i
+			break
+		}
+	}
+
+	emb := pred.WorkloadEmbeddings()
+	dim := len(emb[0])
+
+	// Suite centroids in embedding space.
+	centroids := map[string][]float64{}
+	counts := map[string]int{}
+	for i, s := range suites {
+		c, ok := centroids[s]
+		if !ok {
+			c = make([]float64, dim)
+			centroids[s] = c
+		}
+		for j, v := range emb[i] {
+			c[j] += v
+		}
+		counts[s]++
+	}
+	for s, c := range centroids {
+		for j := range c {
+			c[j] /= float64(counts[s])
+		}
+	}
+
+	// Anomaly score: the margin between the distance to the declared
+	// suite's centroid and the distance to the nearest *other* suite's
+	// centroid. Positive margin = some other suite explains this workload
+	// better than its own label.
+	distTo := func(i int, suite string) float64 {
+		c := centroids[suite]
+		var d float64
+		for j, v := range emb[i] {
+			diff := v - c[j]
+			d += diff * diff
+		}
+		return math.Sqrt(d)
+	}
+	type score struct {
+		w       int
+		margin  float64
+		nearest string
+	}
+	var scores []score
+	for i := range emb {
+		own := distTo(i, suites[i])
+		bestOther, bestName := math.Inf(1), ""
+		for s := range centroids {
+			if s == suites[i] {
+				continue
+			}
+			if d := distTo(i, s); d < bestOther {
+				bestOther, bestName = d, s
+			}
+		}
+		scores = append(scores, score{i, own - bestOther, bestName})
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].margin > scores[j].margin })
+
+	fmt.Println("workloads better explained by another suite (margin > 0):")
+	rankOfMislabeled := -1
+	for rank, s := range scores {
+		marker := ""
+		if s.w == mislabeled {
+			marker = "   <-- deliberately mislabeled"
+			rankOfMislabeled = rank
+		}
+		if rank < 8 || s.w == mislabeled {
+			fmt.Printf("  %2d. %-16s declared %-10s nearest %-10s margin %+.3f%s\n",
+				rank+1, ds.WorkloadNames[s.w], suites[s.w], s.nearest, s.margin, marker)
+		}
+	}
+	if mislabeled >= 0 {
+		fmt.Printf("\nmislabeled workload ranked %d of %d by anomaly score\n",
+			rankOfMislabeled+1, len(scores))
+	}
+}

@@ -1,0 +1,114 @@
+// Capacity planning: choose the cheapest device class that meets a latency
+// SLO for a given workload mix — the "specifying future hardware platforms"
+// use case from the paper's introduction (§1).
+//
+// For each candidate platform the planner asks Pitot for conformal runtime
+// bounds of every workload in the mix, assuming the rest of the mix runs
+// concurrently, and reports the cheapest platform whose worst-case bound
+// meets the SLO.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"strings"
+
+	pitot "repro"
+)
+
+// deviceCost is a rough unit-cost table by device-class keyword.
+var deviceCost = []struct {
+	keyword string
+	cost    float64
+}{
+	{"Nucleo", 15}, {"RPi", 45}, {"Potato", 35}, {"Renegade", 40},
+	{"Orange", 35}, {"Banana", 45}, {"Odroid", 50}, {"Rock", 70},
+	{"i.MX", 60}, {"VF2", 65}, {"Compute Stick", 90}, {"Mini PC", 150},
+	{"NUC", 350}, {"EliteDesk", 450}, {"ITX", 300},
+}
+
+func costOf(platformName string) float64 {
+	for _, dc := range deviceCost {
+		if strings.Contains(platformName, dc.keyword) {
+			return dc.cost
+		}
+	}
+	return 200
+}
+
+func main() {
+	log.SetFlags(0)
+
+	ds := pitot.GenerateDataset(pitot.DatasetConfig{
+		Seed: 33, NumWorkloads: 36, MaxDevices: 10, SetsPerDegree: 25,
+	})
+	cfg := pitot.DefaultModelConfig(33)
+	cfg.Steps = 1000
+	pred, err := pitot.Train(ds, pitot.Options{Seed: 33, Model: &cfg, EnableBounds: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application: three workloads that will run together on one box.
+	mix := []int{2, 9, 16}
+	const slo = 4.0  // seconds per task
+	const eps = 0.05 // per-task violation budget
+
+	fmt.Printf("workload mix: ")
+	for _, w := range mix {
+		fmt.Printf("%s ", ds.WorkloadNames[w])
+	}
+	fmt.Printf("\nSLO: every task finishes within %.1fs with ≥%.0f%% probability\n\n", slo, 100*(1-eps))
+
+	type result struct {
+		platform int
+		worst    float64
+		cost     float64
+	}
+	var feasible, infeasible []result
+	for p := 0; p < ds.NumPlatforms(); p++ {
+		worst := 0.0
+		ok := true
+		for i, w := range mix {
+			others := make([]int, 0, len(mix)-1)
+			for j, o := range mix {
+				if j != i {
+					others = append(others, o)
+				}
+			}
+			b, err := pred.Bound(w, p, others, eps)
+			if err != nil || math.IsInf(b, 1) {
+				ok = false
+				break
+			}
+			if b > worst {
+				worst = b
+			}
+		}
+		r := result{p, worst, costOf(ds.PlatformNames[p])}
+		if ok && worst <= slo {
+			feasible = append(feasible, r)
+		} else {
+			infeasible = append(infeasible, r)
+		}
+	}
+	sort.Slice(feasible, func(i, j int) bool { return feasible[i].cost < feasible[j].cost })
+
+	if len(feasible) == 0 {
+		fmt.Println("no platform meets the SLO; consider splitting the mix")
+		return
+	}
+	fmt.Printf("%d/%d platforms meet the SLO; cheapest options:\n",
+		len(feasible), ds.NumPlatforms())
+	for i, r := range feasible {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  $%-4.0f %-32s worst-case bound %.2fs\n",
+			r.cost, ds.PlatformNames[r.platform], r.worst)
+	}
+	best := feasible[0]
+	fmt.Printf("\nrecommendation: %s ($%.0f)\n", ds.PlatformNames[best.platform], best.cost)
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a dataset, train Pitot, and query runtime estimates
+// and conformal bounds through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	pitot "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Generate a small synthetic cluster dataset (the substitute for
+	//    the paper's physical WebAssembly testbed).
+	ds := pitot.GenerateDataset(pitot.DatasetConfig{
+		Seed: 7, NumWorkloads: 40, MaxDevices: 6, SetsPerDegree: 20,
+	})
+	fmt.Printf("dataset: %d workloads x %d platforms, %d observations\n",
+		ds.NumWorkloads(), ds.NumPlatforms(), len(ds.Obs))
+
+	// 2. Train Pitot with conformal bounds enabled.
+	cfg := pitot.DefaultModelConfig(7)
+	cfg.Steps = 800 // quick demo; raise for accuracy
+	pred, err := pitot.Train(ds, pitot.Options{Seed: 7, Model: &cfg, EnableBounds: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Estimate the runtime of a workload on a platform, alone and with
+	//    two interfering workloads.
+	w, p := 0, 0
+	alone := pred.Estimate(w, p, nil)
+	crowded := pred.Estimate(w, p, []int{1, 2})
+	fmt.Printf("\n%s on %s:\n", ds.WorkloadNames[w], ds.PlatformNames[p])
+	fmt.Printf("  estimated runtime alone:            %.4fs\n", alone)
+	fmt.Printf("  estimated with 2 interferers:       %.4fs (%.2fx slowdown)\n",
+		crowded, crowded/alone)
+
+	// 4. Ask for a runtime budget sufficient with 95% probability.
+	bound, err := pred.Bound(w, p, []int{1, 2}, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  95%%-sufficient runtime budget:      %.4fs\n", bound)
+
+	// 5. Compare against a real measurement from the dataset.
+	for _, o := range ds.Obs {
+		if o.Workload == w && o.Platform == p && o.Degree() == 0 {
+			fmt.Printf("  measured (isolation, for reference): %.4fs\n", o.Seconds)
+			break
+		}
+	}
+}

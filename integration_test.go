@@ -1,0 +1,81 @@
+package pitot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/wasmcluster"
+)
+
+// The facade must plug directly into the scheduler.
+var _ sched.Predictor = (*Predictor)(nil)
+
+// clusterOracle exposes ground-truth runtimes for the simulation.
+type clusterOracle struct {
+	c   *wasmcluster.Cluster
+	rng *rand.Rand
+}
+
+func (o *clusterOracle) TrueSeconds(w, p int, ks []int) float64 {
+	return o.c.MeasureSeconds(o.rng, w, p, ks)
+}
+
+// TestEndToEndOrchestration is the full pipeline: synthetic cluster →
+// trained Pitot with bounds → deadline placement → ground-truth replay.
+// The bound policy's per-execution miss rate must respect its eps budget
+// (with slack for the small sample) and beat the mean policy.
+func TestEndToEndOrchestration(t *testing.T) {
+	cluster := wasmcluster.New(wasmcluster.Config{
+		Seed: 101, NumWorkloads: 30, MaxDevices: 6, SetsPerDegree: 15,
+	})
+	ds := cluster.Generate()
+	cfg := DefaultModelConfig(101)
+	cfg.Hidden = 32
+	cfg.EmbeddingDim = 16
+	cfg.Steps = 700
+	cfg.EvalEvery = 175
+	pred, err := Train(ds, Options{Seed: 101, Model: &cfg, EnableBounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jrng := rand.New(rand.NewSource(7))
+	var jobs []sched.Job
+	for i := 0; i < 24; i++ {
+		w := jrng.Intn(ds.NumWorkloads())
+		p := jrng.Intn(ds.NumPlatforms())
+		jobs = append(jobs, sched.Job{
+			Workload: w,
+			Deadline: pred.Estimate(w, p, nil) * (1.5 + 2*jrng.Float64()),
+		})
+	}
+	run := func(pol sched.Policy) sched.Outcome {
+		s, err := sched.New(sched.Config{NumPlatforms: ds.NumPlatforms(), MaxColocation: 4}, pol, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as := s.PlaceAll(jobs)
+		oracle := &clusterOracle{cluster, rand.New(rand.NewSource(9))}
+		return sched.Simulate(pol.Name(), as, oracle, s.Residents, 15)
+	}
+	const eps = 0.1
+	bound := run(sched.BoundPolicy{Eps: eps})
+	mean := run(sched.MeanPolicy{})
+	if bound.Placed == 0 {
+		t.Fatal("bound policy placed nothing")
+	}
+	if bound.MissRate > eps+0.1 {
+		t.Fatalf("bound policy miss rate %.3f far above eps %.2f", bound.MissRate, eps)
+	}
+	if mean.MissRate > 0 && bound.MissRate > mean.MissRate {
+		t.Fatalf("bound policy (%.3f) missed more than mean policy (%.3f)",
+			bound.MissRate, mean.MissRate)
+	}
+	if math.IsNaN(bound.AvgHeadroom) {
+		t.Fatal("NaN headroom")
+	}
+	t.Logf("bound: placed=%d miss=%.3f | mean: placed=%d miss=%.3f",
+		bound.Placed, bound.MissRate, mean.Placed, mean.MissRate)
+}

@@ -1,0 +1,581 @@
+// Package autodiff implements a small tape-based reverse-mode automatic
+// differentiation engine over dense matrices (internal/tensor).
+//
+// A computation is expressed by composing Values; calling Backward on a
+// scalar Value populates the Grad field of every Value that requires
+// gradients. The engine supports exactly the operations needed by the Pitot
+// model and its baselines: affine layers, activations, gathers over
+// embedding tables, column slicing/concatenation, reductions, and the
+// squared and pinball losses.
+//
+// The design intentionally mirrors "micrograd"-style tapes: each op records
+// a closure that propagates the output gradient to its inputs. Graphs are
+// built per step and garbage-collected afterwards; parameters (created with
+// Param) persist across steps and accumulate gradients until ZeroGrad.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Value is a node in the computation graph: a matrix, an optional gradient
+// of the final scalar objective with respect to it, and the backward
+// closure that propagates gradients to its parents.
+type Value struct {
+	Data *tensor.Matrix
+	Grad *tensor.Matrix
+
+	requiresGrad bool
+	parents      []*Value
+	backward     func()
+	op           string
+}
+
+// NewConst wraps a matrix as a constant (no gradient tracked).
+func NewConst(m *tensor.Matrix) *Value {
+	return &Value{Data: m, op: "const"}
+}
+
+// NewParam wraps a matrix as a trainable parameter: gradients are tracked
+// and persist until ZeroGrad is called.
+func NewParam(m *tensor.Matrix) *Value {
+	return &Value{Data: m, Grad: tensor.New(m.Rows, m.Cols), requiresGrad: true, op: "param"}
+}
+
+// IsParam reports whether v is a leaf parameter node.
+func (v *Value) IsParam() bool { return v.op == "param" }
+
+// Rows returns the number of rows of the underlying matrix.
+func (v *Value) Rows() int { return v.Data.Rows }
+
+// Cols returns the number of columns of the underlying matrix.
+func (v *Value) Cols() int { return v.Data.Cols }
+
+// ZeroGrad clears the accumulated gradient of a parameter.
+func (v *Value) ZeroGrad() {
+	if v.Grad != nil {
+		v.Grad.Zero()
+	}
+}
+
+// newResult allocates the output node for an op over parents.
+func newResult(data *tensor.Matrix, op string, parents ...*Value) *Value {
+	out := &Value{Data: data, op: op, parents: parents}
+	for _, p := range parents {
+		if p.requiresGrad {
+			out.requiresGrad = true
+			break
+		}
+	}
+	if out.requiresGrad {
+		out.Grad = tensor.New(data.Rows, data.Cols)
+	}
+	return out
+}
+
+// ensureGrad lazily allocates the gradient buffer of an interior node.
+func (v *Value) ensureGrad() *tensor.Matrix {
+	if v.Grad == nil {
+		v.Grad = tensor.New(v.Data.Rows, v.Data.Cols)
+	}
+	return v.Grad
+}
+
+// Backward runs reverse-mode differentiation from v, which must be a 1x1
+// scalar. It seeds dv/dv = 1 and propagates through the tape in reverse
+// topological order.
+func (v *Value) Backward() {
+	if v.Data.Rows != 1 || v.Data.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Backward on non-scalar %dx%d", v.Data.Rows, v.Data.Cols))
+	}
+	order := topoSort(v)
+	v.ensureGrad().Data[0] = 1
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil && n.requiresGrad {
+			n.backward()
+		}
+	}
+}
+
+// topoSort returns the nodes reachable from root in topological order
+// (parents before children), using an iterative DFS to avoid stack overflow
+// on deep graphs.
+func topoSort(root *Value) []*Value {
+	var order []*Value
+	visited := map[*Value]bool{}
+	type frame struct {
+		node *Value
+		next int
+	}
+	stack := []frame{{root, 0}}
+	visited[root] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.node.parents) {
+			p := f.node.parents[f.next]
+			f.next++
+			if !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{p, 0})
+			}
+			continue
+		}
+		order = append(order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic ops
+
+// Add returns a+b (same shape).
+func Add(a, b *Value) *Value {
+	out := newResult(tensor.Add(a.Data, b.Data), "add", a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), out.Grad)
+		}
+	}
+	return out
+}
+
+// Sub returns a-b (same shape).
+func Sub(a, b *Value) *Value {
+	out := newResult(tensor.Sub(a.Data, b.Data), "sub", a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if b.requiresGrad {
+			tensor.AXPY(b.ensureGrad(), -1, out.Grad)
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise product a∘b (same shape).
+func Mul(a, b *Value) *Value {
+	out := newResult(tensor.Mul(a.Data, b.Data), "mul", a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i, v := range out.Grad.Data {
+				g.Data[i] += v * b.Data.Data[i]
+			}
+		}
+		if b.requiresGrad {
+			g := b.ensureGrad()
+			for i, v := range out.Grad.Data {
+				g.Data[i] += v * a.Data.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns c*a for a scalar constant c.
+func Scale(a *Value, c float64) *Value {
+	out := newResult(tensor.Scale(a.Data, c), "scale", a)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AXPY(a.ensureGrad(), c, out.Grad)
+		}
+	}
+	return out
+}
+
+// AddScalar returns a+c elementwise for a scalar constant c.
+func AddScalar(a *Value, c float64) *Value {
+	out := newResult(tensor.Apply(a.Data, func(v float64) float64 { return v + c }), "addscalar", a)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+	}
+	return out
+}
+
+// MatMul returns a*b.
+func MatMul(a, b *Value) *Value {
+	out := newResult(tensor.MatMul(a.Data, b.Data), "matmul", a, b)
+	out.backward = func() {
+		// dL/dA = dL/dOut * Bᵀ ; dL/dB = Aᵀ * dL/dOut
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), tensor.MatMulABT(out.Grad, b.Data))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), tensor.MatMulATB(a.Data, out.Grad))
+		}
+	}
+	return out
+}
+
+// AddRowVector returns m + v broadcast over rows, where v is 1 x Cols.
+// Used for layer biases.
+func AddRowVector(m, v *Value) *Value {
+	out := newResult(tensor.AddRowVector(m.Data, v.Data), "addrow", m, v)
+	out.backward = func() {
+		if m.requiresGrad {
+			tensor.AddInPlace(m.ensureGrad(), out.Grad)
+		}
+		if v.requiresGrad {
+			tensor.AddInPlace(v.ensureGrad(), out.Grad.ColSums())
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Structural ops
+
+// Gather returns the matrix whose i-th row is table.Row(idx[i]). The
+// backward pass scatter-adds gradients into the table, so repeated indices
+// accumulate correctly.
+func Gather(table *Value, idx []int) *Value {
+	out := newResult(tensor.GatherRows(table.Data, idx), "gather", table)
+	out.backward = func() {
+		if table.requiresGrad {
+			tensor.ScatterAddRows(table.ensureGrad(), out.Grad, idx)
+		}
+	}
+	return out
+}
+
+// ConcatCols returns [a | b].
+func ConcatCols(a, b *Value) *Value {
+	out := newResult(tensor.ConcatCols(a.Data, b.Data), "concat", a, b)
+	out.backward = func() {
+		if a.requiresGrad {
+			tensor.AddInPlace(a.ensureGrad(), tensor.SliceCols(out.Grad, 0, a.Data.Cols))
+		}
+		if b.requiresGrad {
+			tensor.AddInPlace(b.ensureGrad(), tensor.SliceCols(out.Grad, a.Data.Cols, out.Data.Cols))
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo,hi) of a.
+func SliceCols(a *Value, lo, hi int) *Value {
+	out := newResult(tensor.SliceCols(a.Data, lo, hi), "slice", a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < out.Grad.Rows; i++ {
+			grow := g.Row(i)
+			for j, v := range out.Grad.Row(i) {
+				grow[lo+j] += v
+			}
+		}
+	}
+	return out
+}
+
+// RowSum returns the Rows x 1 matrix of per-row sums.
+func RowSum(a *Value) *Value {
+	out := newResult(a.Data.RowSums(), "rowsum", a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < a.Data.Rows; i++ {
+			gi := out.Grad.Data[i]
+			row := g.Row(i)
+			for j := range row {
+				row[j] += gi
+			}
+		}
+	}
+	return out
+}
+
+// Sum returns the 1x1 sum of all elements.
+func Sum(a *Value) *Value {
+	out := newResult(tensor.FromSlice(1, 1, []float64{a.Data.Sum()}), "sum", a)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			v := out.Grad.Data[0]
+			for i := range g.Data {
+				g.Data[i] += v
+			}
+		}
+	}
+	return out
+}
+
+// Mean returns the 1x1 mean of all elements.
+func Mean(a *Value) *Value {
+	n := float64(len(a.Data.Data))
+	out := newResult(tensor.FromSlice(1, 1, []float64{a.Data.Mean()}), "mean", a)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			v := out.Grad.Data[0] / n
+			for i := range g.Data {
+				g.Data[i] += v
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+
+// apply1 builds an elementwise op with derivative df expressed in terms of
+// the input value x.
+func apply1(a *Value, op string, f, df func(float64) float64) *Value {
+	out := newResult(tensor.Apply(a.Data, f), op, a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i, x := range a.Data.Data {
+			g.Data[i] += out.Grad.Data[i] * df(x)
+		}
+	}
+	return out
+}
+
+// GELU applies the Gaussian Error Linear Unit using the exact erf form
+// 0.5*x*(1+erf(x/sqrt2)), matching the paper's architecture.
+func GELU(a *Value) *Value {
+	const invSqrt2 = 0.7071067811865476
+	const invSqrt2Pi = 0.3989422804014327
+	return apply1(a, "gelu",
+		func(x float64) float64 { return 0.5 * x * (1 + math.Erf(x*invSqrt2)) },
+		func(x float64) float64 {
+			cdf := 0.5 * (1 + math.Erf(x*invSqrt2))
+			return cdf + x*invSqrt2Pi*math.Exp(-0.5*x*x)
+		})
+}
+
+// ReLU applies max(x, 0).
+func ReLU(a *Value) *Value {
+	return apply1(a, "relu",
+		func(x float64) float64 { return math.Max(x, 0) },
+		func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		})
+}
+
+// LeakyReLU applies x for x>0 and slope*x otherwise. The paper uses
+// slope=0.1 for the interference activation α.
+func LeakyReLU(a *Value, slope float64) *Value {
+	return apply1(a, "leakyrelu",
+		func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return slope * x
+		},
+		func(x float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return slope
+		})
+}
+
+// Tanh applies the hyperbolic tangent.
+func Tanh(a *Value) *Value {
+	return apply1(a, "tanh", math.Tanh,
+		func(x float64) float64 { th := math.Tanh(x); return 1 - th*th })
+}
+
+// Sigmoid applies the logistic function.
+func Sigmoid(a *Value) *Value {
+	sig := func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	return apply1(a, "sigmoid", sig,
+		func(x float64) float64 { s := sig(x); return s * (1 - s) })
+}
+
+// Exp applies e^x elementwise.
+func Exp(a *Value) *Value {
+	return apply1(a, "exp", math.Exp, math.Exp)
+}
+
+// Square applies x² elementwise.
+func Square(a *Value) *Value {
+	return apply1(a, "square",
+		func(x float64) float64 { return x * x },
+		func(x float64) float64 { return 2 * x })
+}
+
+// Abs applies |x| elementwise (subgradient 0 at x=0).
+func Abs(a *Value) *Value {
+	return apply1(a, "abs", math.Abs,
+		func(x float64) float64 {
+			switch {
+			case x > 0:
+				return 1
+			case x < 0:
+				return -1
+			}
+			return 0
+		})
+}
+
+// Softmax applies a row-wise softmax; used by the attention baseline.
+func Softmax(a *Value) *Value {
+	data := tensor.New(a.Data.Rows, a.Data.Cols)
+	for i := 0; i < a.Data.Rows; i++ {
+		row := a.Data.Row(i)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		orow := data.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			sum += e
+		}
+		for j := range orow {
+			orow[j] /= sum
+		}
+	}
+	out := newResult(data, "softmax", a)
+	out.backward = func() {
+		if !a.requiresGrad {
+			return
+		}
+		g := a.ensureGrad()
+		for i := 0; i < a.Data.Rows; i++ {
+			s := out.Data.Row(i)
+			og := out.Grad.Row(i)
+			// dL/dx_j = s_j * (og_j - Σ_k og_k s_k)
+			var dot float64
+			for k, v := range og {
+				dot += v * s[k]
+			}
+			grow := g.Row(i)
+			for j := range grow {
+				grow[j] += s[j] * (og[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Losses
+
+// MSE returns the 1x1 mean of (pred-target)² over all elements. target is
+// treated as a constant.
+func MSE(pred *Value, target *tensor.Matrix) *Value {
+	if pred.Data.Rows != target.Rows || pred.Data.Cols != target.Cols {
+		panic(fmt.Sprintf("autodiff: MSE shapes %dx%d vs %dx%d",
+			pred.Data.Rows, pred.Data.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(target.Data))
+	var loss float64
+	for i, p := range pred.Data.Data {
+		d := p - target.Data[i]
+		loss += d * d
+	}
+	loss /= n
+	out := newResult(tensor.FromSlice(1, 1, []float64{loss}), "mse", pred)
+	out.backward = func() {
+		if !pred.requiresGrad {
+			return
+		}
+		g := pred.ensureGrad()
+		c := 2 * out.Grad.Data[0] / n
+		for i, p := range pred.Data.Data {
+			g.Data[i] += c * (p - target.Data[i])
+		}
+	}
+	return out
+}
+
+// WeightedMSE is MSE with a per-element weight matrix (constant).
+func WeightedMSE(pred *Value, target, weight *tensor.Matrix) *Value {
+	n := float64(len(target.Data))
+	var loss float64
+	for i, p := range pred.Data.Data {
+		d := p - target.Data[i]
+		loss += weight.Data[i] * d * d
+	}
+	loss /= n
+	out := newResult(tensor.FromSlice(1, 1, []float64{loss}), "wmse", pred)
+	out.backward = func() {
+		if !pred.requiresGrad {
+			return
+		}
+		g := pred.ensureGrad()
+		c := 2 * out.Grad.Data[0] / n
+		for i, p := range pred.Data.Data {
+			g.Data[i] += c * weight.Data[i] * (p - target.Data[i])
+		}
+	}
+	return out
+}
+
+// Pinball returns the 1x1 mean pinball (quantile) loss at quantile xi:
+//
+//	xi*(target-pred)      if target > pred
+//	(1-xi)*(pred-target)  otherwise
+//
+// Minimizing it estimates the xi-quantile of target | pred's inputs
+// (Koenker & Bassett 1978), as used by CQR (paper Eq. 13).
+func Pinball(pred *Value, target *tensor.Matrix, xi float64) *Value {
+	if pred.Data.Rows != target.Rows || pred.Data.Cols != target.Cols {
+		panic(fmt.Sprintf("autodiff: Pinball shapes %dx%d vs %dx%d",
+			pred.Data.Rows, pred.Data.Cols, target.Rows, target.Cols))
+	}
+	n := float64(len(target.Data))
+	var loss float64
+	for i, p := range pred.Data.Data {
+		d := target.Data[i] - p
+		if d > 0 {
+			loss += xi * d
+		} else {
+			loss += (xi - 1) * d
+		}
+	}
+	loss /= n
+	out := newResult(tensor.FromSlice(1, 1, []float64{loss}), "pinball", pred)
+	out.backward = func() {
+		if !pred.requiresGrad {
+			return
+		}
+		g := pred.ensureGrad()
+		c := out.Grad.Data[0] / n
+		for i, p := range pred.Data.Data {
+			if target.Data[i] > p {
+				g.Data[i] += -xi * c
+			} else {
+				g.Data[i] += (1 - xi) * c
+			}
+		}
+	}
+	return out
+}
+
+// Scalar extracts the single element of a 1x1 Value.
+func (v *Value) Scalar() float64 {
+	if v.Data.Rows != 1 || v.Data.Cols != 1 {
+		panic(fmt.Sprintf("autodiff: Scalar on %dx%d", v.Data.Rows, v.Data.Cols))
+	}
+	return v.Data.Data[0]
+}

@@ -1,0 +1,155 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Attention is the paper's strongest baseline (App. B.4): the NeuralNet
+// base network additionally emits a query vector; a key/value network
+// embeds each interfering workload; attention weights over the interferer
+// set produce a combined context vector, and an output head predicts a
+// single log interference multiplier.
+type Attention struct {
+	Cfg       TrainConfig
+	Hidden    int
+	KDim      int // key/query/value dimension (paper tuned: 8)
+	OutHidden int // output head hidden width (paper tuned: 32)
+
+	base *nn.MLP // [xw|xp] -> 1 + KDim (base log runtime, query)
+	kv   *nn.MLP // [xw_k|xp] -> 2*KDim (key, value)
+	out  *nn.MLP // KDim -> OutHidden -> 1
+
+	xw, xp *tensor.Matrix
+	data   *dataset.Dataset
+}
+
+// NewAttention creates the baseline with the paper's tuned dimensions.
+func NewAttention(cfg TrainConfig, hidden int) *Attention {
+	return &Attention{Cfg: cfg, Hidden: hidden, KDim: 8, OutHidden: 32}
+}
+
+// Train fits all three networks on split.Train.
+func (m *Attention) Train(d *dataset.Dataset, split dataset.Split) error {
+	m.data = d
+	m.xw = standardize(d.WorkloadFeatures)
+	m.xp = standardize(d.PlatformFeatures)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	dw, dp := m.xw.Cols, m.xp.Cols
+	m.base = nn.NewMLP(rng, nn.ActGELU, dw+dp, m.Hidden, m.Hidden, 1+m.KDim)
+	m.kv = nn.NewMLP(rng, nn.ActGELU, dw+dp, m.Hidden, m.Hidden, 2*m.KDim)
+	m.out = nn.NewMLP(rng, nn.ActGELU, m.KDim, m.OutHidden, 1)
+	var params []*autodiff.Value
+	params = append(params, m.base.Params()...)
+	params = append(params, m.kv.Params()...)
+	params = append(params, m.out.Params()...)
+
+	batchRng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+	batcher := dataset.NewBatcher(batchRng, d, split.Train)
+	step := func() *autodiff.Value {
+		var total *autodiff.Value
+		var wsum float64
+		for _, deg := range batcher.Degrees {
+			idx := batcher.Sample(deg, m.Cfg.BatchPerDegree)
+			if idx == nil {
+				continue
+			}
+			weight := 1.0
+			if deg > 0 {
+				weight = m.Cfg.Beta / 3
+			}
+			l := autodiff.Scale(m.lossOn(idx), weight)
+			wsum += weight
+			if total == nil {
+				total = l
+			} else {
+				total = autodiff.Add(total, l)
+			}
+		}
+		if total == nil {
+			return nil
+		}
+		return autodiff.Scale(total, 1/wsum)
+	}
+	valLoss := func() float64 {
+		return degreeWeightedLoss(m.data, split.Val, m.Cfg.Beta, m.lossOn)
+	}
+	return runTraining(m.Cfg, params, step, valLoss)
+}
+
+// predictGraph builds predictions for same-degree observations.
+func (m *Attention) predictGraph(idx []int) *autodiff.Value {
+	d := m.data
+	xwC := autodiff.NewConst(m.xw)
+	xpC := autodiff.NewConst(m.xp)
+	wi := make([]int, len(idx))
+	pj := make([]int, len(idx))
+	deg := d.Obs[idx[0]].Degree()
+	for i, oi := range idx {
+		wi[i] = d.Obs[oi].Workload
+		pj[i] = d.Obs[oi].Platform
+	}
+	fw := autodiff.Gather(xwC, wi)
+	fp := autodiff.Gather(xpC, pj)
+	baseOut := m.base.Forward(autodiff.ConcatCols(fw, fp))
+	pred := autodiff.SliceCols(baseOut, 0, 1)
+	if deg == 0 {
+		return pred
+	}
+	query := autodiff.SliceCols(baseOut, 1, 1+m.KDim)
+	// Per-interferer keys/values and attention logits.
+	logits := make([]*autodiff.Value, deg)
+	values := make([]*autodiff.Value, deg)
+	for mi := 0; mi < deg; mi++ {
+		ks := make([]int, len(idx))
+		for i, oi := range idx {
+			ks[i] = d.Obs[oi].Interferers[mi]
+		}
+		fk := autodiff.Gather(xwC, ks)
+		kvOut := m.kv.Forward(autodiff.ConcatCols(fk, fp))
+		key := autodiff.SliceCols(kvOut, 0, m.KDim)
+		values[mi] = autodiff.SliceCols(kvOut, m.KDim, 2*m.KDim)
+		logits[mi] = autodiff.RowSum(autodiff.Mul(query, key))
+	}
+	// Softmax across the interferer axis.
+	allLogits := logits[0]
+	for mi := 1; mi < deg; mi++ {
+		allLogits = autodiff.ConcatCols(allLogits, logits[mi])
+	}
+	attn := autodiff.Softmax(allLogits) // B x deg
+	var context *autodiff.Value
+	for mi := 0; mi < deg; mi++ {
+		wcol := autodiff.SliceCols(attn, mi, mi+1) // B x 1
+		// Broadcast the weight across the value dimension.
+		wide := wcol
+		for k := 1; k < m.KDim; k++ {
+			wide = autodiff.ConcatCols(wide, wcol)
+		}
+		weighted := autodiff.Mul(wide, values[mi])
+		if context == nil {
+			context = weighted
+		} else {
+			context = autodiff.Add(context, weighted)
+		}
+	}
+	return autodiff.Add(pred, m.out.Forward(context))
+}
+
+func (m *Attention) lossOn(idx []int) *autodiff.Value {
+	return autodiff.MSE(m.predictGraph(idx), logTargets(m.data, idx))
+}
+
+// PredictLogObs returns log-runtime predictions for dataset observations.
+func (m *Attention) PredictLogObs(idx []int, head int) []float64 {
+	return batchPredict(m.data, idx, m.predictGraph)
+}
+
+// NumHeads returns 1.
+func (m *Attention) NumHeads() int { return 1 }
+
+// Quantiles returns nil.
+func (m *Attention) Quantiles() []float64 { return nil }

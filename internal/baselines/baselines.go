@@ -1,0 +1,120 @@
+// Package baselines implements the three comparison methods of paper §5.3:
+//
+//   - MatrixFactorization: per-entity embeddings with no side information,
+//     trained on isolation data only (Quasar/Paragon-style); it discards
+//     interference observations and is interference-blind at prediction.
+//   - NeuralNet: a feature-based MLP predicting log runtime, plus a second
+//     MLP predicting a per-interferer log multiplier (Pham et al. /
+//     Saeed et al. style).
+//   - Attention: the NeuralNet base augmented with a single-headed
+//     attention mechanism over the interferer set producing one combined
+//     interference multiplier.
+//
+// All baselines are trained like Pitot (log domain, AdaMax, per-degree
+// batches, best-validation checkpointing) to keep the comparison fair
+// (App. B.4 "Common settings").
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// TrainConfig holds the shared training schedule.
+type TrainConfig struct {
+	Seed           int64
+	Steps          int
+	BatchPerDegree int
+	LR             float64
+	EvalEvery      int
+	Beta           float64 // interference objective weight (as in Pitot)
+}
+
+// DefaultTrainConfig mirrors core.DefaultConfig's schedule.
+func DefaultTrainConfig(seed int64) TrainConfig {
+	return TrainConfig{Seed: seed, Steps: 2500, BatchPerDegree: 256, LR: 0.003, EvalEvery: 250, Beta: 0.5}
+}
+
+// runTraining is the shared optimization loop: stepLoss builds one
+// stochastic loss graph; valLoss scores the current parameters. The best
+// checkpoint by validation loss is restored at the end.
+func runTraining(cfg TrainConfig, params []*autodiff.Value,
+	stepLoss func() *autodiff.Value, valLoss func() float64) error {
+	optimizer := opt.NewAdaMax(params, cfg.LR, 0, 0)
+	bestVal := math.Inf(1)
+	var best []*tensor.Matrix
+	for step := 1; step <= cfg.Steps; step++ {
+		l := stepLoss()
+		if l == nil {
+			return fmt.Errorf("baselines: no training batches")
+		}
+		l.Backward()
+		optimizer.Step()
+		optimizer.ZeroGrads()
+		if step%cfg.EvalEvery == 0 || step == cfg.Steps {
+			if vl := valLoss(); vl < bestVal {
+				bestVal = vl
+				best = nn.Snapshot(params)
+			}
+		}
+	}
+	if best != nil {
+		nn.Restore(params, best)
+	}
+	return nil
+}
+
+// standardize z-scores feature columns (constant columns become zero).
+func standardize(m *tensor.Matrix) *tensor.Matrix {
+	out := m.Clone()
+	for j := 0; j < m.Cols; j++ {
+		var sum, sq float64
+		for i := 0; i < m.Rows; i++ {
+			v := m.At(i, j)
+			sum += v
+			sq += v * v
+		}
+		n := float64(m.Rows)
+		mean := sum / n
+		va := sq/n - mean*mean
+		if va < 1e-12 {
+			for i := 0; i < m.Rows; i++ {
+				out.Set(i, j, 0)
+			}
+			continue
+		}
+		inv := 1 / math.Sqrt(va)
+		for i := 0; i < m.Rows; i++ {
+			out.Set(i, j, (m.At(i, j)-mean)*inv)
+		}
+	}
+	return out
+}
+
+// logTargets extracts log runtimes for a batch.
+func logTargets(d *dataset.Dataset, idx []int) *tensor.Matrix {
+	t := tensor.New(len(idx), 1)
+	for i, oi := range idx {
+		t.Data[i] = d.Obs[oi].LogSeconds()
+	}
+	return t
+}
+
+// chunkIndices splits idx into chunks of at most n.
+func chunkIndices(idx []int, n int) [][]int {
+	var out [][]int
+	for lo := 0; lo < len(idx); lo += n {
+		hi := lo + n
+		if hi > len(idx) {
+			hi = len(idx)
+		}
+		out = append(out, idx[lo:hi])
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/wasmcluster"
+)
+
+func testData(t testing.TB) (*dataset.Dataset, dataset.Split) {
+	t.Helper()
+	ds := wasmcluster.New(wasmcluster.Config{
+		Seed: 99, NumWorkloads: 24, MaxDevices: 4, SetsPerDegree: 10,
+	}).Generate()
+	rng := rand.New(rand.NewSource(1))
+	split := dataset.NewSplit(rng, len(ds.Obs), 0.7)
+	split.EnsureCoverage(ds)
+	return ds, split
+}
+
+func smallCfg(seed int64) TrainConfig {
+	cfg := DefaultTrainConfig(seed)
+	cfg.Steps = 300
+	cfg.BatchPerDegree = 128
+	cfg.EvalEvery = 100
+	return cfg
+}
+
+// mape computes mean absolute percent error over observation indices.
+func mape(d *dataset.Dataset, idx []int, pred []float64) float64 {
+	var s float64
+	for i, oi := range idx {
+		c := d.Obs[oi].Seconds
+		s += math.Abs(math.Exp(pred[i])-c) / c
+	}
+	return s / float64(len(idx))
+}
+
+func TestMatrixFactorizationLearns(t *testing.T) {
+	ds, split := testData(t)
+	cfg := smallCfg(2)
+	cfg.Steps = 800
+	m := NewMatrixFactorization(cfg, 16)
+	if err := m.Train(ds, split); err != nil {
+		t.Fatal(err)
+	}
+	var iso []int
+	for _, i := range split.Test {
+		if ds.Obs[i].Degree() == 0 {
+			iso = append(iso, i)
+		}
+	}
+	pred := m.PredictLogObs(iso, 0)
+	e := mape(ds, iso, pred)
+	// MF without features is data-hungry and the paper reports >75% error
+	// in most regimes (Fig. 9b); just require it to be in a sane range
+	// rather than diverging.
+	if e > 4.0 {
+		t.Fatalf("MF isolation MAPE %.2f implausibly high", e)
+	}
+	if math.IsNaN(e) {
+		t.Fatal("NaN predictions")
+	}
+}
+
+func TestMFIsInterferenceBlind(t *testing.T) {
+	ds, split := testData(t)
+	m := NewMatrixFactorization(smallCfg(3), 8)
+	if err := m.Train(ds, split); err != nil {
+		t.Fatal(err)
+	}
+	// Find two observations with the same (w,p) but different interference.
+	type key struct{ w, p int }
+	byPair := map[key][]int{}
+	for i, o := range ds.Obs {
+		byPair[key{o.Workload, o.Platform}] = append(byPair[key{o.Workload, o.Platform}], i)
+	}
+	for _, idx := range byPair {
+		if len(idx) < 2 {
+			continue
+		}
+		pred := m.PredictLogObs(idx[:2], 0)
+		if pred[0] != pred[1] {
+			t.Fatal("MF prediction depends on interference")
+		}
+		return
+	}
+	t.Skip("no repeated pair found")
+}
+
+func TestNeuralNetLearnsAndUsesInterference(t *testing.T) {
+	ds, split := testData(t)
+	m := NewNeuralNet(smallCfg(4), 32)
+	if err := m.Train(ds, split); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictLogObs(split.Test, 0)
+	if e := mape(ds, split.Test, pred); e > 1.5 || math.IsNaN(e) {
+		t.Fatalf("NN MAPE %.3f", e)
+	}
+	// Interference must change the prediction: compare one interference
+	// observation against its isolation counterpart prediction.
+	var isoIdx, intIdx int = -1, -1
+	for i, o := range ds.Obs {
+		if o.Degree() == 0 && isoIdx < 0 {
+			isoIdx = i
+		}
+		if o.Degree() == 2 && intIdx < 0 {
+			intIdx = i
+		}
+	}
+	if isoIdx < 0 || intIdx < 0 {
+		t.Skip("missing degrees")
+	}
+	o := ds.Obs[intIdx]
+	pInt := m.PredictLogObs([]int{intIdx}, 0)[0]
+	// Same pair without interference via a synthetic isolation obs: reuse
+	// the base net by finding an isolation obs with the same pair if any.
+	found := false
+	for i, q := range ds.Obs {
+		if q.Degree() == 0 && q.Workload == o.Workload && q.Platform == o.Platform {
+			pIso := m.PredictLogObs([]int{i}, 0)[0]
+			if pIso == pInt {
+				t.Fatal("NN interference multiplier has no effect")
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no matching isolation observation")
+	}
+}
+
+func TestAttentionLearns(t *testing.T) {
+	ds, split := testData(t)
+	m := NewAttention(smallCfg(5), 32)
+	if err := m.Train(ds, split); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictLogObs(split.Test, 0)
+	if e := mape(ds, split.Test, pred); e > 1.5 || math.IsNaN(e) {
+		t.Fatalf("attention MAPE %.3f", e)
+	}
+}
+
+func TestBaselineInterfaceContract(t *testing.T) {
+	ds, split := testData(t)
+	models := []interface {
+		Train(*dataset.Dataset, dataset.Split) error
+		PredictLogObs([]int, int) []float64
+		NumHeads() int
+		Quantiles() []float64
+	}{
+		NewMatrixFactorization(smallCfg(6), 8),
+		NewNeuralNet(smallCfg(6), 16),
+		NewAttention(smallCfg(6), 16),
+	}
+	for _, m := range models {
+		cfgd := m
+		if err := cfgd.Train(ds, split); err != nil {
+			t.Fatal(err)
+		}
+		if cfgd.NumHeads() != 1 || cfgd.Quantiles() != nil {
+			t.Fatal("baseline head contract violated")
+		}
+		out := cfgd.PredictLogObs(split.Test[:5], 0)
+		if len(out) != 5 {
+			t.Fatal("wrong prediction count")
+		}
+	}
+}
+
+func TestPredictionOrderPreserved(t *testing.T) {
+	// batchPredict groups by degree internally; output order must match
+	// the input index order.
+	ds, split := testData(t)
+	m := NewNeuralNet(smallCfg(7), 16)
+	cfg := m.Cfg
+	cfg.Steps = 50
+	m.Cfg = cfg
+	if err := m.Train(ds, split); err != nil {
+		t.Fatal(err)
+	}
+	idx := split.Test[:20]
+	all := m.PredictLogObs(idx, 0)
+	for i, oi := range idx {
+		single := m.PredictLogObs([]int{oi}, 0)[0]
+		if math.Abs(single-all[i]) > 1e-10 {
+			t.Fatalf("order not preserved at %d: %v vs %v", i, single, all[i])
+		}
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	m := wasmcluster.New(wasmcluster.Config{Seed: 1}).Generate().WorkloadFeatures
+	s := standardize(m)
+	for j := 0; j < s.Cols; j++ {
+		var sum, sq float64
+		for i := 0; i < s.Rows; i++ {
+			sum += s.At(i, j)
+			sq += s.At(i, j) * s.At(i, j)
+		}
+		n := float64(s.Rows)
+		mean := sum / n
+		if math.Abs(mean) > 1e-9 {
+			t.Fatalf("col %d mean %v", j, mean)
+		}
+		va := sq/n - mean*mean
+		if va > 1e-9 && math.Abs(va-1) > 1e-6 {
+			t.Fatalf("col %d variance %v", j, va)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// MatrixFactorization predicts log C_ij = w_iᵀ p_j from learned per-entity
+// embeddings, with no side information, residual baseline, or interference
+// modeling (paper §5.3 "Matrix Factorization"). Observations with
+// interference are discarded during training, and interferers are ignored
+// at prediction time.
+type MatrixFactorization struct {
+	Cfg TrainConfig
+	Dim int
+
+	w, p *nn.Embedding
+	data *dataset.Dataset
+}
+
+// NewMatrixFactorization creates the baseline with factorization rank dim
+// (the paper uses r=32, matching Pitot).
+func NewMatrixFactorization(cfg TrainConfig, dim int) *MatrixFactorization {
+	return &MatrixFactorization{Cfg: cfg, Dim: dim}
+}
+
+// Train fits the embeddings on the isolation observations of split.Train.
+func (m *MatrixFactorization) Train(d *dataset.Dataset, split dataset.Split) error {
+	m.data = d
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	m.w = nn.NewEmbedding(rng, d.NumWorkloads(), m.Dim, 0.3)
+	m.p = nn.NewEmbedding(rng, d.NumPlatforms(), m.Dim, 0.3)
+	params := append(m.w.Params(), m.p.Params()...)
+
+	iso := func(idx []int) []int {
+		var out []int
+		for _, i := range idx {
+			if d.Obs[i].Degree() == 0 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	train, val := iso(split.Train), iso(split.Val)
+	if len(train) == 0 {
+		return errNoIsolation
+	}
+	batchRng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+
+	lossOn := func(idx []int) *autodiff.Value {
+		wi := make([]int, len(idx))
+		pj := make([]int, len(idx))
+		for i, oi := range idx {
+			wi[i] = d.Obs[oi].Workload
+			pj[i] = d.Obs[oi].Platform
+		}
+		pred := autodiff.RowSum(autodiff.Mul(m.w.Lookup(wi), m.p.Lookup(pj)))
+		return autodiff.MSE(pred, logTargets(d, idx))
+	}
+	step := func() *autodiff.Value {
+		idx := make([]int, m.Cfg.BatchPerDegree)
+		for i := range idx {
+			idx[i] = train[batchRng.Intn(len(train))]
+		}
+		return lossOn(idx)
+	}
+	valLoss := func() float64 {
+		if len(val) == 0 {
+			return math.Inf(1)
+		}
+		var sum float64
+		var n int
+		for _, c := range chunkIndices(val, 4096) {
+			sum += lossOn(c).Scalar() * float64(len(c))
+			n += len(c)
+		}
+		return sum / float64(n)
+	}
+	return runTraining(m.Cfg, params, step, valLoss)
+}
+
+// PredictLogObs returns log-runtime predictions for dataset observations;
+// interferers are ignored (the model is interference-blind). head must be 0.
+func (m *MatrixFactorization) PredictLogObs(idx []int, head int) []float64 {
+	out := make([]float64, len(idx))
+	for i, oi := range idx {
+		o := m.data.Obs[oi]
+		out[i] = dotRows(m.w.Table.Data, o.Workload, m.p.Table.Data, o.Platform)
+	}
+	return out
+}
+
+// NumHeads returns 1: a single mean head.
+func (m *MatrixFactorization) NumHeads() int { return 1 }
+
+// Quantiles returns nil: this is not a quantile model.
+func (m *MatrixFactorization) Quantiles() []float64 { return nil }
+
+func dotRows(a *tensor.Matrix, i int, b *tensor.Matrix, j int) float64 {
+	ra, rb := a.Row(i), b.Row(j)
+	var s float64
+	for k, v := range ra {
+		s += v * rb[k]
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+var errNoIsolation = errors.New("baselines: no isolation observations in training split")
+
+// NeuralNet is the paper's "Neural Network" baseline (App. B.4): a base MLP
+// over concatenated workload+platform features predicting an
+// interference-blind log runtime, and an interference MLP over (current
+// workload, interfering workload, platform) features predicting a log
+// multiplier applied per interferer.
+type NeuralNet struct {
+	Cfg    TrainConfig
+	Hidden int
+
+	base, interf *nn.MLP
+	xw, xp       *tensor.Matrix
+	data         *dataset.Dataset
+}
+
+// NewNeuralNet creates the baseline; the paper uses hidden layers of 256
+// units (twice Pitot's width).
+func NewNeuralNet(cfg TrainConfig, hidden int) *NeuralNet {
+	return &NeuralNet{Cfg: cfg, Hidden: hidden}
+}
+
+// Train fits both networks on split.Train with per-degree batches.
+func (m *NeuralNet) Train(d *dataset.Dataset, split dataset.Split) error {
+	m.data = d
+	m.xw = standardize(d.WorkloadFeatures)
+	m.xp = standardize(d.PlatformFeatures)
+	rng := rand.New(rand.NewSource(m.Cfg.Seed))
+	dw, dp := m.xw.Cols, m.xp.Cols
+	m.base = nn.NewMLP(rng, nn.ActGELU, dw+dp, m.Hidden, m.Hidden, 1)
+	m.interf = nn.NewMLP(rng, nn.ActGELU, 2*dw+dp, m.Hidden, m.Hidden, 1)
+	params := append(m.base.Params(), m.interf.Params()...)
+
+	batchRng := rand.New(rand.NewSource(m.Cfg.Seed + 1))
+	batcher := dataset.NewBatcher(batchRng, d, split.Train)
+
+	step := func() *autodiff.Value {
+		var total *autodiff.Value
+		var wsum float64
+		for _, deg := range batcher.Degrees {
+			idx := batcher.Sample(deg, m.Cfg.BatchPerDegree)
+			if idx == nil {
+				continue
+			}
+			weight := 1.0
+			if deg > 0 {
+				weight = m.Cfg.Beta / 3
+			}
+			l := autodiff.Scale(m.lossOn(idx), weight)
+			wsum += weight
+			if total == nil {
+				total = l
+			} else {
+				total = autodiff.Add(total, l)
+			}
+		}
+		if total == nil {
+			return nil
+		}
+		return autodiff.Scale(total, 1/wsum)
+	}
+	valLoss := func() float64 { return m.chunkedLoss(split.Val) }
+	return runTraining(m.Cfg, params, step, valLoss)
+}
+
+// predictGraph builds predictions for same-degree observations.
+func (m *NeuralNet) predictGraph(idx []int) *autodiff.Value {
+	d := m.data
+	xwC := autodiff.NewConst(m.xw)
+	xpC := autodiff.NewConst(m.xp)
+	wi := make([]int, len(idx))
+	pj := make([]int, len(idx))
+	deg := d.Obs[idx[0]].Degree()
+	for i, oi := range idx {
+		wi[i] = d.Obs[oi].Workload
+		pj[i] = d.Obs[oi].Platform
+	}
+	fw := autodiff.Gather(xwC, wi)
+	fp := autodiff.Gather(xpC, pj)
+	pred := m.base.Forward(autodiff.ConcatCols(fw, fp))
+	for mi := 0; mi < deg; mi++ {
+		ks := make([]int, len(idx))
+		for i, oi := range idx {
+			ks[i] = d.Obs[oi].Interferers[mi]
+		}
+		fk := autodiff.Gather(xwC, ks)
+		mult := m.interf.Forward(autodiff.ConcatCols(autodiff.ConcatCols(fw, fk), fp))
+		pred = autodiff.Add(pred, mult)
+	}
+	return pred
+}
+
+func (m *NeuralNet) lossOn(idx []int) *autodiff.Value {
+	return autodiff.MSE(m.predictGraph(idx), logTargets(m.data, idx))
+}
+
+// chunkedLoss evaluates the degree-weighted loss over arbitrary indices.
+func (m *NeuralNet) chunkedLoss(idx []int) float64 {
+	return degreeWeightedLoss(m.data, idx, m.Cfg.Beta, m.lossOn)
+}
+
+// PredictLogObs returns log-runtime predictions for dataset observations.
+func (m *NeuralNet) PredictLogObs(idx []int, head int) []float64 {
+	return batchPredict(m.data, idx, m.predictGraph)
+}
+
+// NumHeads returns 1.
+func (m *NeuralNet) NumHeads() int { return 1 }
+
+// Quantiles returns nil.
+func (m *NeuralNet) Quantiles() []float64 { return nil }
+
+// degreeWeightedLoss mirrors the training weighting across degree pools.
+func degreeWeightedLoss(d *dataset.Dataset, idx []int, beta float64,
+	lossOn func([]int) *autodiff.Value) float64 {
+	if len(idx) == 0 {
+		return math.Inf(1)
+	}
+	pools, degrees := dataset.ByDegree(d, idx)
+	var total, wsum float64
+	for _, deg := range degrees {
+		weight := 1.0
+		if deg > 0 {
+			weight = beta / 3
+		}
+		var sum float64
+		var n int
+		for _, c := range chunkIndices(pools[deg], 2048) {
+			sum += lossOn(c).Scalar() * float64(len(c))
+			n += len(c)
+		}
+		total += weight * sum / float64(n)
+		wsum += weight
+	}
+	return total / wsum
+}
+
+// batchPredict evaluates a same-degree prediction graph over mixed-degree
+// indices by grouping, preserving input order in the output.
+func batchPredict(d *dataset.Dataset, idx []int, graph func([]int) *autodiff.Value) []float64 {
+	out := make([]float64, len(idx))
+	pos := map[int]int{}
+	for i, oi := range idx {
+		pos[oi] = i
+	}
+	pools, degrees := dataset.ByDegree(d, idx)
+	for _, deg := range degrees {
+		for _, c := range chunkIndices(pools[deg], 2048) {
+			pred := graph(c)
+			for i, oi := range c {
+				out[pos[oi]] = pred.Data.At(i, 0)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package conformal implements split conformal regression and
+// conformalized quantile regression (CQR) for one-sided runtime bounds
+// (paper §3.5).
+//
+// Given a model's per-head log-runtime predictions, the calibrator computes
+// the conformal offset γ per calibration pool (observations grouped by
+// interference degree, §3.5 "Calibration Pools") such that
+//
+//	P(log C* ≤ ŷ + γ) ≥ 1 − ε
+//
+// under exchangeability. For quantile-head models, the head used at test
+// time is chosen per target ε by minimizing the overprovisioning margin on
+// the validation set (§3.5 "Optimal Quantile Choice"); the naive CQR rule
+// (head trained at ξ = 1−ε) and non-quantile calibration (a single
+// squared-loss head) are provided for the Fig. 5 ablation.
+package conformal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// HeadPredictions carries a model's predictions on the calibration and
+// validation sets: Cal[h][i] is head h's predicted log runtime for the i-th
+// calibration observation, with true log runtime CalTrue[i] in pool
+// CalPool[i] (pools are interference degrees).
+type HeadPredictions struct {
+	Quantiles []float64 // target quantile per head; nil/empty for mean models
+
+	Cal     [][]float64
+	CalTrue []float64
+	CalPool []int
+
+	Val     [][]float64
+	ValTrue []float64
+	ValPool []int
+}
+
+// NumHeads returns the number of prediction heads.
+func (hp *HeadPredictions) NumHeads() int { return len(hp.Cal) }
+
+// validate checks shape consistency.
+func (hp *HeadPredictions) validate() error {
+	if hp.NumHeads() == 0 {
+		return fmt.Errorf("conformal: no heads")
+	}
+	for h := range hp.Cal {
+		if len(hp.Cal[h]) != len(hp.CalTrue) || len(hp.Val[h]) != len(hp.ValTrue) {
+			return fmt.Errorf("conformal: head %d ragged predictions", h)
+		}
+	}
+	if len(hp.CalPool) != len(hp.CalTrue) || len(hp.ValPool) != len(hp.ValTrue) {
+		return fmt.Errorf("conformal: pool labels mismatch")
+	}
+	return nil
+}
+
+// Bounder maps a head's prediction to a calibrated upper bound on log
+// runtime.
+type Bounder struct {
+	Head    int
+	Eps     float64
+	Offsets map[int]float64 // per-pool conformal offset γ
+	// ValMargin is the overprovisioning margin achieved on the validation
+	// set, used for head selection and reported by Fig. 8.
+	ValMargin float64
+}
+
+// Bound returns the calibrated upper bound for a prediction in the given
+// pool. Pools never seen during calibration receive the most conservative
+// observed offset.
+func (b *Bounder) Bound(predLog float64, pool int) float64 {
+	off, ok := b.Offsets[pool]
+	if !ok {
+		off = math.Inf(-1)
+		for _, v := range b.Offsets {
+			if v > off {
+				off = v
+			}
+		}
+		if math.IsInf(off, -1) {
+			off = math.Inf(1)
+		}
+	}
+	return predLog + off
+}
+
+// calibrateHead computes per-pool offsets for one head and its validation
+// margin.
+func calibrateHead(hp *HeadPredictions, h int, eps float64) *Bounder {
+	scores := map[int][]float64{}
+	for i, truth := range hp.CalTrue {
+		scores[hp.CalPool[i]] = append(scores[hp.CalPool[i]], truth-hp.Cal[h][i])
+	}
+	b := &Bounder{Head: h, Eps: eps, Offsets: map[int]float64{}}
+	for pool, s := range scores {
+		b.Offsets[pool] = stats.ConformalQuantile(s, eps)
+	}
+	bounds := make([]float64, len(hp.ValTrue))
+	for i := range hp.ValTrue {
+		bounds[i] = b.Bound(hp.Val[h][i], hp.ValPool[i])
+	}
+	b.ValMargin = Margin(bounds, hp.ValTrue)
+	return b
+}
+
+// Selection picks the quantile head used for a target ε.
+type Selection int
+
+// Head-selection strategies (paper Fig. 5).
+const (
+	// SelectOptimal scans all heads and keeps the one with the smallest
+	// validation overprovisioning margin (Pitot's method).
+	SelectOptimal Selection = iota
+	// SelectNaive uses the head trained at ξ closest to 1−ε (the common
+	// CQR practice the paper argues against).
+	SelectNaive
+	// SelectOnly requires a single head (non-quantile models).
+	SelectOnly
+)
+
+// Calibrate builds a Bounder for the target miscoverage rate eps.
+func Calibrate(hp *HeadPredictions, eps float64, sel Selection) (*Bounder, error) {
+	if err := hp.validate(); err != nil {
+		return nil, err
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("conformal: eps %v out of (0,1)", eps)
+	}
+	switch sel {
+	case SelectOnly:
+		if hp.NumHeads() != 1 {
+			return nil, fmt.Errorf("conformal: SelectOnly with %d heads", hp.NumHeads())
+		}
+		return calibrateHead(hp, 0, eps), nil
+	case SelectNaive:
+		if len(hp.Quantiles) != hp.NumHeads() {
+			return nil, fmt.Errorf("conformal: naive selection needs quantile labels")
+		}
+		best, bestDist := 0, math.Inf(1)
+		for h, q := range hp.Quantiles {
+			if d := math.Abs(q - (1 - eps)); d < bestDist {
+				best, bestDist = h, d
+			}
+		}
+		return calibrateHead(hp, best, eps), nil
+	case SelectOptimal:
+		var best *Bounder
+		for h := 0; h < hp.NumHeads(); h++ {
+			b := calibrateHead(hp, h, eps)
+			if best == nil || b.ValMargin < best.ValMargin {
+				best = b
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("conformal: unknown selection %d", sel)
+}
+
+// CalibrateAllHeads returns one Bounder per head (used by the Fig. 8
+// quantile-choice study).
+func CalibrateAllHeads(hp *HeadPredictions, eps float64) ([]*Bounder, error) {
+	if err := hp.validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*Bounder, hp.NumHeads())
+	for h := range out {
+		out[h] = calibrateHead(hp, h, eps)
+	}
+	return out, nil
+}
+
+// Margin returns the overprovisioning margin (paper Eq. 11) of log-domain
+// bounds against log-domain truths:
+//
+//	m = E[ max(C̃ − C*, 0) / C* ] = E[ max(exp(b − t) − 1, 0) ]
+//
+// Undercovered samples contribute 0 (they are controlled by ε instead).
+func Margin(boundLog, trueLog []float64) float64 {
+	if len(boundLog) != len(trueLog) {
+		panic("conformal: Margin length mismatch")
+	}
+	if len(boundLog) == 0 {
+		return 0
+	}
+	var s float64
+	for i, b := range boundLog {
+		if over := math.Exp(b-trueLog[i]) - 1; over > 0 {
+			s += over
+		}
+	}
+	return s / float64(len(boundLog))
+}
+
+// Coverage returns the fraction of samples whose bound was sufficient.
+func Coverage(boundLog, trueLog []float64) float64 {
+	if len(boundLog) == 0 {
+		return 0
+	}
+	n := 0
+	for i, b := range boundLog {
+		if trueLog[i] <= b {
+			n++
+		}
+	}
+	return float64(n) / float64(len(boundLog))
+}

@@ -1,0 +1,250 @@
+package conformal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthHP builds HeadPredictions where head h predicts truth + bias[h] +
+// noise, with pools 0 and 2.
+func synthHP(rng *rand.Rand, n int, biases []float64, noise float64) *HeadPredictions {
+	hp := &HeadPredictions{}
+	nh := len(biases)
+	hp.Cal = make([][]float64, nh)
+	hp.Val = make([][]float64, nh)
+	for i := 0; i < n; i++ {
+		truth := rng.NormFloat64()
+		pool := (i % 2) * 2
+		hp.CalTrue = append(hp.CalTrue, truth)
+		hp.CalPool = append(hp.CalPool, pool)
+		for h, b := range biases {
+			hp.Cal[h] = append(hp.Cal[h], truth+b+noise*rng.NormFloat64())
+		}
+		truthV := rng.NormFloat64()
+		hp.ValTrue = append(hp.ValTrue, truthV)
+		hp.ValPool = append(hp.ValPool, pool)
+		for h, b := range biases {
+			hp.Val[h] = append(hp.Val[h], truthV+b+noise*rng.NormFloat64())
+		}
+	}
+	return hp
+}
+
+func TestCalibrateCoverageOnFreshData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hp := synthHP(rng, 600, []float64{0}, 0.3)
+	b, err := Calibrate(hp, 0.1, SelectOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh data from the same distribution must be covered ≥ ~90%.
+	covered, total := 0, 4000
+	for i := 0; i < total; i++ {
+		truth := rng.NormFloat64()
+		pred := truth + 0.3*rng.NormFloat64()
+		if truth <= b.Bound(pred, (i%2)*2) {
+			covered++
+		}
+	}
+	rate := float64(covered) / float64(total)
+	if rate < 0.88 {
+		t.Fatalf("coverage %.3f < 0.88", rate)
+	}
+	if rate > 0.97 {
+		t.Fatalf("coverage %.3f suspiciously conservative", rate)
+	}
+}
+
+func TestCalibrateSelectsUnbiasedHead(t *testing.T) {
+	// Heads: one hugely over-predicting (loose), one slightly over, one
+	// under-predicting (needs big γ). The mid head should win on margin.
+	rng := rand.New(rand.NewSource(2))
+	hp := synthHP(rng, 800, []float64{2.0, 0.3, -2.0}, 0.1)
+	hp.Quantiles = []float64{0.99, 0.9, 0.5}
+	b, err := Calibrate(hp, 0.1, SelectOptimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Head != 1 {
+		t.Fatalf("selected head %d, want 1", b.Head)
+	}
+}
+
+func TestNaiveSelectionPicksClosestQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hp := synthHP(rng, 100, []float64{0, 0, 0}, 0.1)
+	hp.Quantiles = []float64{0.5, 0.9, 0.99}
+	b, err := Calibrate(hp, 0.1, SelectNaive) // 1-eps = 0.9
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Head != 1 {
+		t.Fatalf("naive selected head %d, want 1 (ξ=0.9)", b.Head)
+	}
+	b, _ = Calibrate(hp, 0.01, SelectNaive) // 1-eps = 0.99
+	if b.Head != 2 {
+		t.Fatalf("naive selected head %d, want 2 (ξ=0.99)", b.Head)
+	}
+}
+
+func TestPerPoolOffsetsDiffer(t *testing.T) {
+	// Pool 2 has much noisier predictions: its offset must be larger.
+	rng := rand.New(rand.NewSource(4))
+	hp := &HeadPredictions{Cal: make([][]float64, 1), Val: make([][]float64, 1)}
+	for i := 0; i < 1000; i++ {
+		truth := rng.NormFloat64()
+		pool := (i % 2) * 2
+		sigma := 0.05
+		if pool == 2 {
+			sigma = 1.0
+		}
+		hp.CalTrue = append(hp.CalTrue, truth)
+		hp.CalPool = append(hp.CalPool, pool)
+		hp.Cal[0] = append(hp.Cal[0], truth+sigma*rng.NormFloat64())
+		hp.ValTrue = append(hp.ValTrue, truth)
+		hp.ValPool = append(hp.ValPool, pool)
+		hp.Val[0] = append(hp.Val[0], truth+sigma*rng.NormFloat64())
+	}
+	b, err := Calibrate(hp, 0.1, SelectOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Offsets[2] <= b.Offsets[0] {
+		t.Fatalf("noisy pool offset %.3f not above clean pool %.3f", b.Offsets[2], b.Offsets[0])
+	}
+}
+
+func TestBoundUnknownPoolConservative(t *testing.T) {
+	b := &Bounder{Offsets: map[int]float64{0: 0.1, 2: 0.5}}
+	if got := b.Bound(1.0, 7); got != 1.5 {
+		t.Fatalf("unknown pool bound %v, want max offset 1.5", got)
+	}
+	empty := &Bounder{Offsets: map[int]float64{}}
+	if !math.IsInf(empty.Bound(1.0, 0), 1) {
+		t.Fatal("empty bounder should return +Inf")
+	}
+}
+
+func TestSmallCalibrationSetInfinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	hp := synthHP(rng, 6, []float64{0}, 0.1) // 3 per pool; eps=0.01 infeasible
+	b, err := Calibrate(hp, 0.01, SelectOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(b.Bound(0, 0), 1) {
+		t.Fatal("insufficient calibration data must give +Inf bound")
+	}
+}
+
+func TestMarginAndCoverage(t *testing.T) {
+	trueLog := []float64{0, 0, 0, 0}
+	boundLog := []float64{math.Log(1.5), math.Log(2.0), -1, 0}
+	// overprovision: 0.5, 1.0, 0 (undercovered), 0 -> mean 0.375
+	if m := Margin(boundLog, trueLog); math.Abs(m-0.375) > 1e-12 {
+		t.Fatalf("Margin = %v want 0.375", m)
+	}
+	if c := Coverage(boundLog, trueLog); c != 0.75 {
+		t.Fatalf("Coverage = %v want 0.75", c)
+	}
+	if Margin(nil, nil) != 0 || Coverage(nil, nil) != 0 {
+		t.Fatal("empty margin/coverage not 0")
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	hp := synthHP(rng, 10, []float64{0, 1}, 0.1)
+	if _, err := Calibrate(hp, 0.1, SelectOnly); err == nil {
+		t.Fatal("SelectOnly with 2 heads must error")
+	}
+	if _, err := Calibrate(hp, 0.1, SelectNaive); err == nil {
+		t.Fatal("naive without quantiles must error")
+	}
+	if _, err := Calibrate(hp, 0, SelectOptimal); err == nil {
+		t.Fatal("eps=0 must error")
+	}
+	if _, err := Calibrate(&HeadPredictions{}, 0.1, SelectOptimal); err == nil {
+		t.Fatal("empty predictions must error")
+	}
+}
+
+func TestCalibrateAllHeads(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	hp := synthHP(rng, 200, []float64{0.5, -0.5}, 0.1)
+	bs, err := CalibrateAllHeads(hp, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[0].Head != 0 || bs[1].Head != 1 {
+		t.Fatal("per-head bounders wrong")
+	}
+	// The over-predicting head needs a smaller (more negative) offset.
+	if bs[0].Offsets[0] >= bs[1].Offsets[0] {
+		t.Fatalf("offsets not ordered: %v vs %v", bs[0].Offsets[0], bs[1].Offsets[0])
+	}
+}
+
+// Per-pool calibration must maintain coverage within each pool, which a
+// single global calibration set cannot when pools have different noise —
+// the paper's motivation for calibration pools (§3.5): it preserves
+// conditional exchangeability under shift of the pool variable.
+func TestPoolingMaintainsConditionalCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const eps = 0.1
+	gen := func(pool int) (truth, pred float64) {
+		truth = rng.NormFloat64()
+		sigma := 0.05
+		if pool == 2 {
+			sigma = 0.8
+		}
+		return truth, truth + sigma*rng.NormFloat64()
+	}
+	build := func(pooled bool) *Bounder {
+		hp := &HeadPredictions{Cal: make([][]float64, 1), Val: make([][]float64, 1)}
+		for i := 0; i < 3000; i++ {
+			pool := (i % 2) * 2
+			truth, pred := gen(pool)
+			label := pool
+			if !pooled {
+				label = 0
+			}
+			hp.CalTrue = append(hp.CalTrue, truth)
+			hp.CalPool = append(hp.CalPool, label)
+			hp.Cal[0] = append(hp.Cal[0], pred)
+			hp.ValTrue = append(hp.ValTrue, truth)
+			hp.ValPool = append(hp.ValPool, label)
+			hp.Val[0] = append(hp.Val[0], pred)
+		}
+		b, err := Calibrate(hp, eps, SelectOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	coverageIn := func(b *Bounder, pool, label int) float64 {
+		covered := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			truth, pred := gen(pool)
+			if truth <= b.Bound(pred, label) {
+				covered++
+			}
+		}
+		return float64(covered) / n
+	}
+	pooled := build(true)
+	global := build(false)
+	// Pooled: both pools individually covered at ≥ 1-eps (minus slack).
+	if c := coverageIn(pooled, 0, 0); c < 1-eps-0.03 {
+		t.Fatalf("pooled clean-pool coverage %.3f", c)
+	}
+	if c := coverageIn(pooled, 2, 2); c < 1-eps-0.03 {
+		t.Fatalf("pooled noisy-pool coverage %.3f", c)
+	}
+	// Global calibration undercovers the noisy pool.
+	if c := coverageIn(global, 2, 0); c >= 1-eps-0.01 {
+		t.Fatalf("global calibration unexpectedly covers noisy pool: %.3f", c)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// LinearBaseline is the interference-blind linear-scaling model of paper
+// Eq. 2 / App. B.1: log C̄_ij = w̄_i + p̄_j, with workload log "difficulty"
+// w̄ and platform log "speed" p̄ learned by alternating minimization, which
+// converges because the log loss is convex in each block.
+type LinearBaseline struct {
+	W []float64 // per-workload log difficulty
+	P []float64 // per-platform log speed offset
+}
+
+// FitLinearBaseline learns the baseline from the isolation observations
+// among obsIdx (App. B.1: the baseline uses only interference-free data).
+// Entities that appear only under interference are fitted afterwards from
+// those observations; entirely unseen entities fall back to 0 (the global
+// offset is carried by the seen parameters).
+func FitLinearBaseline(d *dataset.Dataset, obsIdx []int, iters int) *LinearBaseline {
+	nw, np := d.NumWorkloads(), d.NumPlatforms()
+	b := &LinearBaseline{W: make([]float64, nw), P: make([]float64, np)}
+
+	var iso []int
+	for _, i := range obsIdx {
+		if d.Obs[i].Degree() == 0 {
+			iso = append(iso, i)
+		}
+	}
+	if iters <= 0 {
+		iters = 50
+	}
+	// Alternating minimization (Eq. 14): each update sets the block to the
+	// mean residual of its observations.
+	sumW := make([]float64, nw)
+	cntW := make([]float64, nw)
+	sumP := make([]float64, np)
+	cntP := make([]float64, np)
+	for it := 0; it < iters; it++ {
+		for i := range sumW {
+			sumW[i], cntW[i] = 0, 0
+		}
+		for _, oi := range iso {
+			o := d.Obs[oi]
+			sumW[o.Workload] += o.LogSeconds() - b.P[o.Platform]
+			cntW[o.Workload]++
+		}
+		for i := range sumW {
+			if cntW[i] > 0 {
+				b.W[i] = sumW[i] / cntW[i]
+			}
+		}
+		for j := range sumP {
+			sumP[j], cntP[j] = 0, 0
+		}
+		for _, oi := range iso {
+			o := d.Obs[oi]
+			sumP[o.Platform] += o.LogSeconds() - b.W[o.Workload]
+			cntP[o.Platform]++
+		}
+		for j := range sumP {
+			if cntP[j] > 0 {
+				b.P[j] = sumP[j] / cntP[j]
+			}
+		}
+	}
+	// Fallback fit for entities with no isolation observations: average
+	// residual over whatever observations mention them (slowdowns bias the
+	// estimate upward slightly; the factorization residual absorbs it).
+	for i := range sumW {
+		sumW[i], cntW[i] = 0, 0
+	}
+	for j := range sumP {
+		sumP[j], cntP[j] = 0, 0
+	}
+	for _, oi := range obsIdx {
+		o := d.Obs[oi]
+		if cntW[o.Workload] == 0 && o.Degree() > 0 {
+			sumW[o.Workload] += o.LogSeconds() - b.P[o.Platform]
+		}
+		if cntP[o.Platform] == 0 && o.Degree() > 0 {
+			sumP[o.Platform] += o.LogSeconds() - b.W[o.Workload]
+		}
+	}
+	seenIsoW := make([]bool, nw)
+	seenIsoP := make([]bool, np)
+	for _, oi := range iso {
+		seenIsoW[d.Obs[oi].Workload] = true
+		seenIsoP[d.Obs[oi].Platform] = true
+	}
+	nObsW := make([]float64, nw)
+	nObsP := make([]float64, np)
+	for _, oi := range obsIdx {
+		o := d.Obs[oi]
+		if !seenIsoW[o.Workload] {
+			nObsW[o.Workload]++
+		}
+		if !seenIsoP[o.Platform] {
+			nObsP[o.Platform]++
+		}
+	}
+	for _, oi := range obsIdx {
+		o := d.Obs[oi]
+		if !seenIsoW[o.Workload] && nObsW[o.Workload] > 0 {
+			b.W[o.Workload] += (o.LogSeconds() - b.P[o.Platform]) / nObsW[o.Workload]
+		}
+		if !seenIsoP[o.Platform] && nObsP[o.Platform] > 0 {
+			b.P[o.Platform] += (o.LogSeconds() - b.W[o.Workload]) / nObsP[o.Platform]
+		}
+	}
+	return b
+}
+
+// LogBaseline returns log C̄_ij = w̄_i + p̄_j.
+func (b *LinearBaseline) LogBaseline(w, p int) float64 { return b.W[w] + b.P[p] }
+
+// Loss returns the mean squared log error of the baseline alone on the
+// given observations; used by tests to verify alternating minimization
+// actually minimizes.
+func (b *LinearBaseline) Loss(d *dataset.Dataset, obsIdx []int) float64 {
+	if len(obsIdx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, oi := range obsIdx {
+		o := d.Obs[oi]
+		r := o.LogSeconds() - b.LogBaseline(o.Workload, o.Platform)
+		s += r * r
+	}
+	return s / float64(len(obsIdx))
+}
+
+// Residual returns the regression target for an observation under the
+// given objective.
+func residualTarget(obj Objective, b *LinearBaseline, o dataset.Observation) float64 {
+	switch obj {
+	case ObjLogResidual:
+		return o.LogSeconds() - b.LogBaseline(o.Workload, o.Platform)
+	case ObjLog:
+		return o.LogSeconds()
+	case ObjProportional:
+		return o.Seconds
+	}
+	panic("core: unknown objective")
+}
+
+// scaleInvariant is referenced by tests: the residual objective is
+// preserved when a job is duplicated γ times (paper Eq. 3).
+func scaleInvariantResidual(logC, logBase, gamma float64) (orig, scaled float64) {
+	orig = logC - logBase
+	scaled = (logC + math.Log(gamma)) - (logBase + math.Log(gamma))
+	return orig, scaled
+}

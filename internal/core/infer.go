@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SyncEmbeddings recomputes and caches the tower outputs for inference.
+// Train calls this automatically; call it manually after mutating
+// parameters (e.g. after Load).
+func (m *Model) SyncEmbeddings() {
+	w, p := m.embeddings()
+	m.wEmb = w.Data.Clone()
+	m.pEmb = p.Data.Clone()
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// PredictResidual returns head h's raw model output (the residual under
+// the configured objective) for workload w on platform p with interferers
+// ks. Uses the cached embeddings.
+func (m *Model) PredictResidual(w, p int, ks []int, h int) float64 {
+	if m.wEmb == nil {
+		panic("core: SyncEmbeddings not called")
+	}
+	r, s := m.Cfg.EmbeddingDim, m.Cfg.InterferenceTypes
+	wrow := m.wEmb.Row(w)[h*r : (h+1)*r]
+	prow := m.pEmb.Row(p)
+	pred := dot(wrow, prow[:r])
+	if len(ks) > 0 && m.Cfg.Interference == InterferenceAware && s > 0 {
+		for t := 0; t < s; t++ {
+			vs := prow[r*(1+t) : r*(2+t)]
+			vg := prow[r*(1+s+t) : r*(2+s+t)]
+			var mag float64
+			for _, k := range ks {
+				mag += dot(m.wEmb.Row(k)[h*r:(h+1)*r], vg)
+			}
+			if m.Cfg.UseActivation && mag < 0 {
+				mag *= m.Cfg.ActivationSlope
+			}
+			pred += dot(wrow, vs) * mag
+		}
+	}
+	return pred
+}
+
+// PredictLogSeconds returns head h's predicted log runtime, combining the
+// residual with the linear-scaling baseline according to the objective.
+func (m *Model) PredictLogSeconds(w, p int, ks []int, h int) float64 {
+	res := m.PredictResidual(w, p, ks, h)
+	switch m.Cfg.Objective {
+	case ObjLogResidual:
+		return m.Baseline.LogBaseline(w, p) + res
+	case ObjLog:
+		return res
+	case ObjProportional:
+		// The model output is a linear-space runtime; clamp to positive.
+		if res < 1e-9 {
+			res = 1e-9
+		}
+		return math.Log(res)
+	}
+	panic("core: unknown objective")
+}
+
+// PredictSeconds returns head h's predicted runtime in seconds.
+func (m *Model) PredictSeconds(w, p int, ks []int, h int) float64 {
+	return math.Exp(m.PredictLogSeconds(w, p, ks, h))
+}
+
+// HeadForQuantile returns the head index trained at target quantile xi.
+func (m *Model) HeadForQuantile(xi float64) (int, error) {
+	for h, q := range m.Cfg.Quantiles {
+		if q == xi {
+			return h, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no head trained for quantile %v", xi)
+}
+
+// WorkloadEmbeddings returns a copy of head h's Nw x r workload embedding
+// block, for interpretation (paper Fig. 7).
+func (m *Model) WorkloadEmbeddings(h int) *tensor.Matrix {
+	if m.wEmb == nil {
+		panic("core: SyncEmbeddings not called")
+	}
+	r := m.Cfg.EmbeddingDim
+	return tensor.SliceCols(m.wEmb, h*r, (h+1)*r)
+}
+
+// PlatformEmbeddings returns a copy of the Np x r platform embedding block
+// (paper Fig. 12b/c).
+func (m *Model) PlatformEmbeddings() *tensor.Matrix {
+	if m.pEmb == nil {
+		panic("core: SyncEmbeddings not called")
+	}
+	return tensor.SliceCols(m.pEmb, 0, m.Cfg.EmbeddingDim)
+}
+
+// InterferenceNorm returns the spectral norm ‖F_j‖₂ of platform j's
+// interference matrix F_j = Σ_t v_s⁽ᵗ⁾ v_g⁽ᵗ⁾ᵀ (paper Eq. 15, Fig. 12d),
+// computed by power iteration on FᵀF.
+func (m *Model) InterferenceNorm(j int) float64 {
+	r, s := m.Cfg.EmbeddingDim, m.Cfg.InterferenceTypes
+	if s == 0 {
+		return 0
+	}
+	prow := m.pEmb.Row(j)
+	f := tensor.New(r, r)
+	for t := 0; t < s; t++ {
+		vs := prow[r*(1+t) : r*(2+t)]
+		vg := prow[r*(1+s+t) : r*(2+s+t)]
+		for a := 0; a < r; a++ {
+			row := f.Row(a)
+			for b := 0; b < r; b++ {
+				row[b] += vs[a] * vg[b]
+			}
+		}
+	}
+	// Power iteration on FᵀF for the dominant singular value.
+	v := make([]float64, r)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(r))
+	}
+	var sigma float64
+	for it := 0; it < 100; it++ {
+		// u = F v ; w = Fᵀ u
+		u := make([]float64, r)
+		for a := 0; a < r; a++ {
+			u[a] = dot(f.Row(a), v)
+		}
+		w := make([]float64, r)
+		for a := 0; a < r; a++ {
+			fa := f.Row(a)
+			for b := 0; b < r; b++ {
+				w[b] += fa[b] * u[a]
+			}
+		}
+		norm := math.Sqrt(dot(w, w))
+		if norm == 0 {
+			return 0
+		}
+		for i := range w {
+			v[i] = w[i] / norm
+		}
+		next := math.Sqrt(norm)
+		if math.Abs(next-sigma) < 1e-12*math.Max(1, sigma) {
+			sigma = next
+			break
+		}
+		sigma = next
+	}
+	return sigma
+}

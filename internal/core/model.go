@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Model is the trained (or trainable) Pitot predictor.
+//
+// Architecture (paper Fig. 2): two embedding towers fw, fp map side
+// information concatenated with learned features φ to embeddings. The
+// workload tower emits one rank-r embedding per head (one head per target
+// quantile); the platform tower emits the platform embedding p plus the
+// interference susceptibility/magnitude directions v_s, v_g for each of the
+// s interference types.
+type Model struct {
+	Cfg      Config
+	Baseline *LinearBaseline
+
+	data *dataset.Dataset
+
+	fw, fp     *nn.MLP
+	phiW, phiP *nn.Embedding // extra learned features (q per entity)
+
+	params []*autodiff.Value
+
+	// Standardized (z-scored) copies of the side-information matrices;
+	// raw opcode log-counts span tens of log units and would saturate the
+	// towers otherwise.
+	xw, xp *tensor.Matrix
+
+	// Inference-time embedding caches, refreshed by SyncEmbeddings.
+	wEmb *tensor.Matrix // Nw x r*H
+	pEmb *tensor.Matrix // Np x r*(1+2s)
+}
+
+// standardize z-scores each column; constant columns become zero.
+func standardize(m *tensor.Matrix) *tensor.Matrix {
+	out := m.Clone()
+	for j := 0; j < m.Cols; j++ {
+		var sum, sumSq float64
+		for i := 0; i < m.Rows; i++ {
+			v := m.At(i, j)
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(m.Rows)
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 1e-12 {
+			for i := 0; i < m.Rows; i++ {
+				out.Set(i, j, 0)
+			}
+			continue
+		}
+		inv := 1 / math.Sqrt(variance)
+		for i := 0; i < m.Rows; i++ {
+			out.Set(i, j, (m.At(i, j)-mean)*inv)
+		}
+	}
+	return out
+}
+
+// NewModel builds an untrained model for the dataset.
+func NewModel(cfg Config, d *dataset.Dataset) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.UseWorkloadFeatures && !cfg.UsePlatformFeatures && cfg.LearnedFeatures == 0 {
+		return nil, fmt.Errorf("core: model needs features or learned features")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, data: d}
+	if cfg.UseWorkloadFeatures {
+		m.xw = standardize(d.WorkloadFeatures)
+	}
+	if cfg.UsePlatformFeatures {
+		m.xp = standardize(d.PlatformFeatures)
+	}
+
+	dw, dp := 0, 0
+	if cfg.UseWorkloadFeatures {
+		dw = d.WorkloadFeatures.Cols
+	}
+	if cfg.UsePlatformFeatures {
+		dp = d.PlatformFeatures.Cols
+	}
+	r, s, h := cfg.EmbeddingDim, cfg.InterferenceTypes, cfg.NumHeads()
+	m.fw = nn.NewMLP(rng, nn.ActGELU, dw+cfg.LearnedFeatures, cfg.Hidden, cfg.Hidden, r*h)
+	m.fp = nn.NewMLP(rng, nn.ActGELU, dp+cfg.LearnedFeatures, cfg.Hidden, cfg.Hidden, r*(1+2*s))
+	m.params = append(m.params, m.fw.Params()...)
+	m.params = append(m.params, m.fp.Params()...)
+	if cfg.LearnedFeatures > 0 {
+		m.phiW = nn.NewEmbedding(rng, d.NumWorkloads(), cfg.LearnedFeatures, 0.1)
+		m.phiP = nn.NewEmbedding(rng, d.NumPlatforms(), cfg.LearnedFeatures, 0.1)
+		m.params = append(m.params, m.phiW.Params()...)
+		m.params = append(m.params, m.phiP.Params()...)
+	}
+	return m, nil
+}
+
+// NumParams returns the number of scalar trainable parameters.
+func (m *Model) NumParams() int { return nn.NumParams(m.params) }
+
+// Params exposes the trainable parameters (for the optimizer and tests).
+func (m *Model) Params() []*autodiff.Value { return m.params }
+
+// Dataset returns the dataset the model was built for.
+func (m *Model) Dataset() *dataset.Dataset { return m.data }
+
+// towerInput assembles [features | φ] for one tower. Either part may be
+// absent depending on the configuration.
+func towerInput(feats *tensor.Matrix, use bool, phi *nn.Embedding, n int) *autodiff.Value {
+	var x *autodiff.Value
+	if use {
+		x = autodiff.NewConst(feats)
+	}
+	if phi != nil {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		phiV := phi.Lookup(all)
+		if x == nil {
+			return phiV
+		}
+		return autodiff.ConcatCols(x, phiV)
+	}
+	return x
+}
+
+// embeddings runs both towers over every workload and platform. Computing
+// all embeddings each step and gathering the needed rows matches the
+// paper's implementation strategy (App. B.3) — the tables are small
+// relative to the batch.
+func (m *Model) embeddings() (w, p *autodiff.Value) {
+	xw := towerInput(m.xw, m.Cfg.UseWorkloadFeatures, m.phiW, m.data.NumWorkloads())
+	xp := towerInput(m.xp, m.Cfg.UsePlatformFeatures, m.phiP, m.data.NumPlatforms())
+	return m.fw.Forward(xw), m.fp.Forward(xp)
+}
+
+// batch describes one fixed-degree minibatch: parallel index slices into
+// the entity tables.
+type batch struct {
+	degree int
+	wi, pj []int   // workload / platform per sample
+	ks     [][]int // ks[m][b]: m-th interferer of sample b (len = degree)
+	target []float64
+}
+
+// makeBatch converts observation indices (all of the same degree) into a
+// batch with regression targets under the model's objective. When
+// stripInterference is true (InterferenceIgnore), interferer indices are
+// dropped so the model treats the samples as isolation runs.
+func (m *Model) makeBatch(obsIdx []int, stripInterference bool) batch {
+	var bt batch
+	if len(obsIdx) == 0 {
+		return bt
+	}
+	deg := m.data.Obs[obsIdx[0]].Degree()
+	if stripInterference {
+		deg = 0
+	}
+	bt.degree = deg
+	bt.ks = make([][]int, deg)
+	for mi := range bt.ks {
+		bt.ks[mi] = make([]int, 0, len(obsIdx))
+	}
+	for _, oi := range obsIdx {
+		o := m.data.Obs[oi]
+		if !stripInterference && o.Degree() != bt.degree {
+			panic("core: mixed degrees in batch")
+		}
+		bt.wi = append(bt.wi, o.Workload)
+		bt.pj = append(bt.pj, o.Platform)
+		for mi := 0; mi < deg; mi++ {
+			bt.ks[mi] = append(bt.ks[mi], o.Interferers[mi])
+		}
+		bt.target = append(bt.target, residualTarget(m.Cfg.Objective, m.Baseline, o))
+	}
+	return bt
+}
+
+// headSlice extracts head h's rank-r embedding block from the workload
+// tower output.
+func (m *Model) headSlice(w *autodiff.Value, h int) func(idx []int) *autodiff.Value {
+	r := m.Cfg.EmbeddingDim
+	return func(idx []int) *autodiff.Value {
+		return autodiff.SliceCols(autodiff.Gather(w, idx), h*r, (h+1)*r)
+	}
+}
+
+// predictBatch builds the prediction graph for one batch and head h
+// (paper Eq. 9):
+//
+//	ŷ = wᵢᵀpⱼ + Σ_t (wᵢᵀ v_s⁽ᵗ⁾) · α( Σ_k w_kᵀ v_g⁽ᵗ⁾ )
+//
+// returning a B x 1 Value of residual predictions.
+func (m *Model) predictBatch(w, p *autodiff.Value, bt batch, h int) *autodiff.Value {
+	r, s := m.Cfg.EmbeddingDim, m.Cfg.InterferenceTypes
+	getW := m.headSlice(w, h)
+	wi := getW(bt.wi)
+	pAll := autodiff.Gather(p, bt.pj)
+	pj := autodiff.SliceCols(pAll, 0, r)
+	pred := autodiff.RowSum(autodiff.Mul(wi, pj))
+
+	if bt.degree > 0 && m.Cfg.Interference == InterferenceAware && s > 0 {
+		// Gather interferer embeddings once per slot.
+		wks := make([]*autodiff.Value, bt.degree)
+		for mi := 0; mi < bt.degree; mi++ {
+			wks[mi] = getW(bt.ks[mi])
+		}
+		for t := 0; t < s; t++ {
+			vs := autodiff.SliceCols(pAll, r*(1+t), r*(2+t))
+			vg := autodiff.SliceCols(pAll, r*(1+s+t), r*(2+s+t))
+			var mag *autodiff.Value
+			for mi := 0; mi < bt.degree; mi++ {
+				term := autodiff.RowSum(autodiff.Mul(wks[mi], vg))
+				if mag == nil {
+					mag = term
+				} else {
+					mag = autodiff.Add(mag, term)
+				}
+			}
+			if m.Cfg.UseActivation {
+				mag = autodiff.LeakyReLU(mag, m.Cfg.ActivationSlope)
+			}
+			sus := autodiff.RowSum(autodiff.Mul(wi, vs))
+			pred = autodiff.Add(pred, autodiff.Mul(sus, mag))
+		}
+	}
+	return pred
+}
+
+// batchLoss computes the training loss of one batch across all heads.
+func (m *Model) batchLoss(w, p *autodiff.Value, bt batch) *autodiff.Value {
+	target := tensor.FromSlice(len(bt.target), 1, bt.target)
+	if len(m.Cfg.Quantiles) == 0 {
+		pred := m.predictBatch(w, p, bt, 0)
+		if m.Cfg.Objective == ObjProportional {
+			// Relative squared error: weight each sample by 1/C*².
+			wgt := tensor.New(target.Rows, 1)
+			for i, c := range bt.target {
+				wgt.Data[i] = 1 / (c * c)
+			}
+			return autodiff.WeightedMSE(pred, target, wgt)
+		}
+		return autodiff.MSE(pred, target)
+	}
+	// Quantile heads: equal weight per head (App. B.3).
+	var total *autodiff.Value
+	for h, xi := range m.Cfg.Quantiles {
+		pred := m.predictBatch(w, p, bt, h)
+		l := autodiff.Pinball(pred, target, xi)
+		if total == nil {
+			total = l
+		} else {
+			total = autodiff.Add(total, l)
+		}
+	}
+	return autodiff.Scale(total, 1/float64(len(m.Cfg.Quantiles)))
+}

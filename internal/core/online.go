@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/opt"
+)
+
+// OnlineConfig controls incremental model updates — the "efficient online
+// learning" extension the paper lists as future work (§6). New
+// observations are mixed with replayed old observations to avoid
+// catastrophic forgetting, and only the factorization parameters are
+// updated (the linear-scaling baseline stays fixed, so residual targets
+// remain comparable across updates).
+type OnlineConfig struct {
+	// Steps of AdaMax on the mixed stream (default 200).
+	Steps int
+	// Batch size per step (default 256).
+	Batch int
+	// ReplayFraction is the share of each batch drawn from old
+	// observations (default 0.5).
+	ReplayFraction float64
+	// LR for the update (default: half the training LR).
+	LR float64
+	// Seed for batch sampling.
+	Seed int64
+}
+
+func (c OnlineConfig) defaults(base Config) OnlineConfig {
+	if c.Steps == 0 {
+		c.Steps = 200
+	}
+	if c.Batch == 0 {
+		c.Batch = 256
+	}
+	if c.ReplayFraction == 0 {
+		c.ReplayFraction = 0.5
+	}
+	if c.LR == 0 {
+		c.LR = base.LR / 2
+	}
+	return c
+}
+
+// OnlineUpdate fine-tunes the model on newly observed data. newIdx are
+// indices of observations appended to the model's dataset since training;
+// replayIdx are (a sample of) the original training indices. The model
+// must already be trained; the baseline is not refitted.
+//
+// Mixed-degree batches are handled by grouping each batch per degree, as
+// in training. Embedding caches are refreshed on return.
+func (m *Model) OnlineUpdate(newIdx, replayIdx []int, cfg OnlineConfig) error {
+	if m.Baseline == nil {
+		return fmt.Errorf("core: OnlineUpdate before Train")
+	}
+	if len(newIdx) == 0 {
+		return fmt.Errorf("core: no new observations")
+	}
+	for _, i := range newIdx {
+		if i < 0 || i >= len(m.data.Obs) {
+			return fmt.Errorf("core: new observation index %d out of range", i)
+		}
+	}
+	cfg = cfg.defaults(m.Cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	optimizer := opt.NewAdaMax(m.params, cfg.LR, 0, 0)
+
+	nNew := int(float64(cfg.Batch) * (1 - cfg.ReplayFraction))
+	if nNew < 1 {
+		nNew = 1
+	}
+	nOld := cfg.Batch - nNew
+	if len(replayIdx) == 0 {
+		nOld = 0
+	}
+	for step := 0; step < cfg.Steps; step++ {
+		idx := make([]int, 0, cfg.Batch)
+		for i := 0; i < nNew; i++ {
+			idx = append(idx, newIdx[rng.Intn(len(newIdx))])
+		}
+		for i := 0; i < nOld; i++ {
+			idx = append(idx, replayIdx[rng.Intn(len(replayIdx))])
+		}
+		pools, degrees := dataset.ByDegree(m.data, idx)
+		w, p := m.embeddings()
+		var total *autodiff.Value
+		for _, deg := range degrees {
+			bt := m.makeBatch(pools[deg], m.Cfg.Interference == InterferenceIgnore)
+			l := autodiff.Scale(m.batchLoss(w, p, bt), float64(len(pools[deg]))/float64(len(idx)))
+			if total == nil {
+				total = l
+			} else {
+				total = autodiff.Add(total, l)
+			}
+		}
+		total.Backward()
+		optimizer.Step()
+		optimizer.ZeroGrads()
+	}
+	m.SyncEmbeddings()
+	return nil
+}

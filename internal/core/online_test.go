@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/wasmcluster"
+)
+
+// TestOnlineUpdateAdaptsToNewPlatformData simulates deployment drift: one
+// platform becomes 1.6x slower after the model was trained (thermal
+// throttling, background daemons, a firmware change). Fresh measurements
+// arrive; OnlineUpdate must adapt the model to the drifted platform
+// without forgetting the rest of the cluster.
+func TestOnlineUpdateAdaptsToNewPlatformData(t *testing.T) {
+	ds := wasmcluster.New(wasmcluster.Config{
+		Seed: 77, NumWorkloads: 30, MaxDevices: 5, SetsPerDegree: 12,
+	}).Generate()
+
+	// Platform 0 drifts: all its measurements (which the initial training
+	// never sees) are 1.6x slower.
+	target := 0
+	var heldOut, rest []int
+	rng := rand.New(rand.NewSource(1))
+	for i, o := range ds.Obs {
+		if o.Platform == target {
+			ds.Obs[i].Seconds = o.Seconds * 1.6
+			heldOut = append(heldOut, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	// Initial split over `rest` only.
+	perm := rng.Perm(len(rest))
+	split := dataset.Split{}
+	for i, pi := range perm {
+		switch {
+		case i < len(perm)*7/10:
+			split.Train = append(split.Train, rest[pi])
+		case i < len(perm)*8/10:
+			split.Val = append(split.Val, rest[pi])
+		default:
+			split.Test = append(split.Test, rest[pi])
+		}
+	}
+
+	cfg := smallConfig(99)
+	cfg.Steps = 600
+	m, err := NewModel(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(split); err != nil {
+		t.Fatal(err)
+	}
+
+	// Error on the held-out platform before and after the online update.
+	half := len(heldOut) / 2
+	newObs, probe := heldOut[:half], heldOut[half:]
+	mse := func() float64 {
+		var s float64
+		for _, i := range probe {
+			o := ds.Obs[i]
+			d := m.PredictLogSeconds(o.Workload, o.Platform, o.Interferers, 0) - o.LogSeconds()
+			s += d * d
+		}
+		return s / float64(len(probe))
+	}
+	restMSE := func() float64 {
+		var s float64
+		n := 0
+		for _, i := range split.Test {
+			o := ds.Obs[i]
+			d := m.PredictLogSeconds(o.Workload, o.Platform, o.Interferers, 0) - o.LogSeconds()
+			s += d * d
+			n++
+		}
+		return s / float64(n)
+	}
+	before := mse()
+	restBefore := restMSE()
+	if err := m.OnlineUpdate(newObs, split.Train, OnlineConfig{Steps: 300, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	after := mse()
+	restAfter := restMSE()
+
+	if after >= before {
+		t.Fatalf("online update did not improve target platform: %.4f -> %.4f", before, after)
+	}
+	// Replay must prevent catastrophic forgetting: error elsewhere may move
+	// a little but not explode.
+	if restAfter > restBefore*2+0.02 {
+		t.Fatalf("catastrophic forgetting: rest MSE %.4f -> %.4f", restBefore, restAfter)
+	}
+	t.Logf("target platform MSE %.4f -> %.4f; rest %.4f -> %.4f",
+		before, after, restBefore, restAfter)
+}
+
+func TestOnlineUpdateErrors(t *testing.T) {
+	ds := wasmcluster.New(wasmcluster.Config{
+		Seed: 3, NumWorkloads: 20, MaxDevices: 3, SetsPerDegree: 8,
+	}).Generate()
+	cfg := smallConfig(4)
+	cfg.Steps = 30
+	m, _ := NewModel(cfg, ds)
+	if err := m.OnlineUpdate([]int{0}, nil, OnlineConfig{}); err == nil {
+		t.Fatal("update before Train must error")
+	}
+	rng := rand.New(rand.NewSource(5))
+	split := dataset.NewSplit(rng, len(ds.Obs), 0.7)
+	if _, err := m.Train(split); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.OnlineUpdate(nil, nil, OnlineConfig{}); err == nil {
+		t.Fatal("empty update must error")
+	}
+	if err := m.OnlineUpdate([]int{math.MaxInt32}, nil, OnlineConfig{}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+	// A valid tiny update without replay must run.
+	if err := m.OnlineUpdate(split.Test[:3], nil, OnlineConfig{Steps: 5, Batch: 16}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// modelFile is the on-disk representation of a trained model.
+type modelFile struct {
+	Cfg       Config
+	BaselineW []float64
+	BaselineP []float64
+	Params    []savedMatrix
+}
+
+type savedMatrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// Save writes the model's configuration, baseline, and parameters.
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{Cfg: m.Cfg}
+	if m.Baseline != nil {
+		mf.BaselineW = m.Baseline.W
+		mf.BaselineP = m.Baseline.P
+	}
+	for _, p := range m.params {
+		mf.Params = append(mf.Params, savedMatrix{p.Data.Rows, p.Data.Cols, p.Data.Data})
+	}
+	return gob.NewEncoder(w).Encode(&mf)
+}
+
+// Load reads a model saved by Save, rebinding it to the given dataset
+// (which must have the same entity counts and feature dimensions).
+func Load(r io.Reader, d *dataset.Dataset) (*Model, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	m, err := NewModel(mf.Cfg, d)
+	if err != nil {
+		return nil, err
+	}
+	if len(mf.Params) != len(m.params) {
+		return nil, fmt.Errorf("core: model has %d parameter tensors, file has %d",
+			len(m.params), len(mf.Params))
+	}
+	for i, sp := range mf.Params {
+		if m.params[i].Data.Rows != sp.Rows || m.params[i].Data.Cols != sp.Cols {
+			return nil, fmt.Errorf("core: parameter %d shape %dx%d, file has %dx%d",
+				i, m.params[i].Data.Rows, m.params[i].Data.Cols, sp.Rows, sp.Cols)
+		}
+		m.params[i].Data.CopyFrom(tensor.FromSlice(sp.Rows, sp.Cols, sp.Data))
+	}
+	if mf.BaselineW != nil {
+		m.Baseline = &LinearBaseline{W: mf.BaselineW, P: mf.BaselineP}
+	}
+	m.SyncEmbeddings()
+	return m, nil
+}

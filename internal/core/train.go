@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/autodiff"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// TrainResult summarizes one training run.
+type TrainResult struct {
+	Steps       int
+	BestValLoss float64
+	ValHistory  []float64
+}
+
+// Train fits the model on split.Train with AdaMax, selecting the checkpoint
+// with the lowest validation loss (App. B.3). It fits the linear-scaling
+// baseline first, then optimizes the factorization residual.
+func (m *Model) Train(split dataset.Split) (*TrainResult, error) {
+	cfg := m.Cfg
+	if cfg.Objective == ObjLogResidual {
+		m.Baseline = FitLinearBaseline(m.data, split.Train, 0)
+	} else {
+		m.Baseline = &LinearBaseline{
+			W: make([]float64, m.data.NumWorkloads()),
+			P: make([]float64, m.data.NumPlatforms()),
+		}
+	}
+
+	trainIdx := m.filterIndices(split.Train)
+	valIdx := m.filterIndices(split.Val)
+	if len(trainIdx) == 0 {
+		return nil, fmt.Errorf("core: empty training set after filtering")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+	batcher := dataset.NewBatcher(rng, m.data, trainIdx)
+
+	optimizer := opt.NewAdaMax(m.params, cfg.LR, 0, 0)
+	res := &TrainResult{BestValLoss: math.Inf(1)}
+	var best []*tensor.Matrix
+
+	for step := 1; step <= cfg.Steps; step++ {
+		w, p := m.embeddings()
+		var total *autodiff.Value
+		var wsum float64
+		for _, deg := range batcher.Degrees {
+			idx := batcher.Sample(deg, cfg.BatchPerDegree)
+			if idx == nil {
+				continue
+			}
+			bt := m.makeBatch(idx, cfg.Interference == InterferenceIgnore)
+			weight := 1.0
+			if deg > 0 {
+				weight = cfg.Beta / 3
+			}
+			l := autodiff.Scale(m.batchLoss(w, p, bt), weight)
+			wsum += weight
+			if total == nil {
+				total = l
+			} else {
+				total = autodiff.Add(total, l)
+			}
+		}
+		if total == nil {
+			return nil, fmt.Errorf("core: no batches drawn")
+		}
+		total = autodiff.Scale(total, 1/wsum)
+		total.Backward()
+		optimizer.Step()
+		optimizer.ZeroGrads()
+
+		if step%cfg.EvalEvery == 0 || step == cfg.Steps {
+			vl := m.evalLoss(valIdx)
+			res.ValHistory = append(res.ValHistory, vl)
+			if vl < res.BestValLoss {
+				res.BestValLoss = vl
+				best = nn.Snapshot(m.params)
+			}
+		}
+	}
+	if best != nil {
+		nn.Restore(m.params, best)
+	}
+	res.Steps = cfg.Steps
+	m.SyncEmbeddings()
+	return res, nil
+}
+
+// filterIndices applies the interference-mode filter: InterferenceDiscard
+// keeps only isolation observations; other modes keep everything.
+func (m *Model) filterIndices(idx []int) []int {
+	if m.Cfg.Interference != InterferenceDiscard {
+		return idx
+	}
+	var out []int
+	for _, i := range idx {
+		if m.data.Obs[i].Degree() == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// evalLoss computes the training objective on held-out indices, in fixed-
+// degree chunks, with the same degree weighting as training.
+func (m *Model) evalLoss(idx []int) float64 {
+	if len(idx) == 0 {
+		return math.Inf(1)
+	}
+	pools, degrees := dataset.ByDegree(m.data, idx)
+	w, p := m.embeddings()
+	var total, wsum float64
+	const chunk = 2048
+	for _, deg := range degrees {
+		pool := pools[deg]
+		weight := 1.0
+		if deg > 0 {
+			weight = m.Cfg.Beta / 3
+		}
+		var sum float64
+		var n int
+		for lo := 0; lo < len(pool); lo += chunk {
+			hi := lo + chunk
+			if hi > len(pool) {
+				hi = len(pool)
+			}
+			bt := m.makeBatch(pool[lo:hi], m.Cfg.Interference == InterferenceIgnore)
+			l := m.batchLoss(w, p, bt)
+			sum += l.Scalar() * float64(hi-lo)
+			n += hi - lo
+		}
+		total += weight * sum / float64(n)
+		wsum += weight
+	}
+	return total / wsum
+}

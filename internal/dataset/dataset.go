@@ -1,0 +1,254 @@
+// Package dataset defines the observation containers, train/validation/
+// calibration/test splitting, and batching used by all models.
+//
+// An Observation is one measured (workload, platform, interference) tuple —
+// the unit of the paper's matrix-completion formulation (§3.1). The paper's
+// real dataset holds 410,970 observations from 249 workloads and 231
+// platforms; the synthetic substitute in internal/wasmcluster produces the
+// same structure at configurable scale.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Observation records the measured runtime of Workload running on Platform
+// while the Interferers set runs simultaneously (empty for isolation runs).
+type Observation struct {
+	Workload    int     `json:"w"`
+	Platform    int     `json:"p"`
+	Interferers []int   `json:"k,omitempty"`
+	Seconds     float64 `json:"t"`
+}
+
+// Degree returns the number of simultaneously-running interfering workloads.
+func (o Observation) Degree() int { return len(o.Interferers) }
+
+// LogSeconds returns log(runtime).
+func (o Observation) LogSeconds() float64 { return math.Log(o.Seconds) }
+
+// Dataset bundles observations with entity metadata and side-information
+// feature matrices.
+type Dataset struct {
+	WorkloadNames  []string `json:"workload_names"`
+	WorkloadSuites []string `json:"workload_suites"`
+
+	PlatformNames    []string `json:"platform_names"`
+	PlatformRuntimes []string `json:"platform_runtimes"` // runtime config per platform
+	PlatformArchs    []string `json:"platform_archs"`    // CPU class per platform
+
+	// WorkloadFeatures is Nw x dw (opcode log-counts, paper App. C.2).
+	WorkloadFeatures *tensor.Matrix `json:"-"`
+	// PlatformFeatures is Np x dp (runtime/microarch one-hots, cache info).
+	PlatformFeatures *tensor.Matrix `json:"-"`
+
+	Obs []Observation `json:"obs"`
+}
+
+// NumWorkloads returns the number of unique workloads.
+func (d *Dataset) NumWorkloads() int { return len(d.WorkloadNames) }
+
+// NumPlatforms returns the number of unique platforms.
+func (d *Dataset) NumPlatforms() int { return len(d.PlatformNames) }
+
+// CountByDegree returns observation counts keyed by interference degree.
+func (d *Dataset) CountByDegree() map[int]int {
+	out := map[int]int{}
+	for _, o := range d.Obs {
+		out[o.Degree()]++
+	}
+	return out
+}
+
+// Validate checks internal consistency: index bounds, positive runtimes,
+// and feature matrix shapes.
+func (d *Dataset) Validate() error {
+	nw, np := d.NumWorkloads(), d.NumPlatforms()
+	if len(d.WorkloadSuites) != nw {
+		return fmt.Errorf("dataset: %d suites for %d workloads", len(d.WorkloadSuites), nw)
+	}
+	if len(d.PlatformRuntimes) != np || len(d.PlatformArchs) != np {
+		return fmt.Errorf("dataset: platform metadata length mismatch")
+	}
+	if d.WorkloadFeatures != nil && d.WorkloadFeatures.Rows != nw {
+		return fmt.Errorf("dataset: workload features %d rows for %d workloads", d.WorkloadFeatures.Rows, nw)
+	}
+	if d.PlatformFeatures != nil && d.PlatformFeatures.Rows != np {
+		return fmt.Errorf("dataset: platform features %d rows for %d platforms", d.PlatformFeatures.Rows, np)
+	}
+	for i, o := range d.Obs {
+		if o.Workload < 0 || o.Workload >= nw {
+			return fmt.Errorf("dataset: obs %d workload %d out of range", i, o.Workload)
+		}
+		if o.Platform < 0 || o.Platform >= np {
+			return fmt.Errorf("dataset: obs %d platform %d out of range", i, o.Platform)
+		}
+		if !(o.Seconds > 0) || math.IsInf(o.Seconds, 0) {
+			return fmt.Errorf("dataset: obs %d non-positive runtime %v", i, o.Seconds)
+		}
+		for _, k := range o.Interferers {
+			if k < 0 || k >= nw {
+				return fmt.Errorf("dataset: obs %d interferer %d out of range", i, k)
+			}
+		}
+	}
+	return nil
+}
+
+// Split partitions observation indices for one replicate, mirroring the
+// paper's protocol (§5.1): a train fraction f of all observations, of which
+// 80% is used for fitting and 20% for validation + calibration; the
+// remainder is the test set.
+type Split struct {
+	Train []int // model fitting
+	Val   []int // checkpoint selection + quantile-head selection
+	Cal   []int // conformal calibration
+	Test  []int // held-out evaluation
+}
+
+// NewSplit draws a random split with the given train fraction. The 20%
+// holdout within train is divided evenly between validation and
+// calibration.
+func NewSplit(rng *rand.Rand, n int, trainFrac float64) Split {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("dataset: train fraction %v out of (0,1)", trainFrac))
+	}
+	perm := rng.Perm(n)
+	nTrainTotal := int(math.Round(trainFrac * float64(n)))
+	if nTrainTotal < 4 {
+		nTrainTotal = 4
+	}
+	nFit := nTrainTotal * 8 / 10
+	nVal := (nTrainTotal - nFit) / 2
+	var s Split
+	s.Train = append(s.Train, perm[:nFit]...)
+	s.Val = append(s.Val, perm[nFit:nFit+nVal]...)
+	s.Cal = append(s.Cal, perm[nFit+nVal:nTrainTotal]...)
+	s.Test = append(s.Test, perm[nTrainTotal:]...)
+	return s
+}
+
+// EnsureCoverage moves observations from Test into Train so that every
+// workload and platform appearing in the dataset is observed at least once
+// during training — the paper's assumption that "each workload is observed
+// at least once" (§3.1). Only isolation observations are promoted.
+func (s *Split) EnsureCoverage(d *Dataset) {
+	seenW := make([]bool, d.NumWorkloads())
+	seenP := make([]bool, d.NumPlatforms())
+	for _, i := range s.Train {
+		seenW[d.Obs[i].Workload] = true
+		seenP[d.Obs[i].Platform] = true
+	}
+	var keep []int
+	for _, i := range s.Test {
+		o := d.Obs[i]
+		if o.Degree() == 0 && (!seenW[o.Workload] || !seenP[o.Platform]) {
+			s.Train = append(s.Train, i)
+			seenW[o.Workload] = true
+			seenP[o.Platform] = true
+			continue
+		}
+		keep = append(keep, i)
+	}
+	s.Test = keep
+}
+
+// ByDegree groups observation indices by interference degree, preserving
+// order. Degrees are returned in ascending order via the second result.
+func ByDegree(d *Dataset, idx []int) (map[int][]int, []int) {
+	pools := map[int][]int{}
+	for _, i := range idx {
+		g := d.Obs[i].Degree()
+		pools[g] = append(pools[g], i)
+	}
+	degrees := make([]int, 0, len(pools))
+	for g := range pools {
+		degrees = append(degrees, g)
+	}
+	sort.Ints(degrees)
+	return pools, degrees
+}
+
+// Batcher draws fixed-size batches per interference degree, the paper's
+// GPU-friendly sampling strategy (App. B.3) that also keeps all autodiff
+// shapes static per degree.
+type Batcher struct {
+	rng     *rand.Rand
+	pools   map[int][]int
+	Degrees []int
+}
+
+// NewBatcher builds a batcher over the given observation indices.
+func NewBatcher(rng *rand.Rand, d *Dataset, idx []int) *Batcher {
+	pools, degrees := ByDegree(d, idx)
+	return &Batcher{rng: rng, pools: pools, Degrees: degrees}
+}
+
+// PoolSize returns the number of observations of the given degree.
+func (b *Batcher) PoolSize(degree int) int { return len(b.pools[degree]) }
+
+// Sample draws size observation indices (with replacement) of the given
+// degree. Returns nil when the pool is empty.
+func (b *Batcher) Sample(degree, size int) []int {
+	pool := b.pools[degree]
+	if len(pool) == 0 {
+		return nil
+	}
+	out := make([]int, size)
+	for i := range out {
+		out[i] = pool[b.rng.Intn(len(pool))]
+	}
+	return out
+}
+
+// jsonDataset is the serialized form including feature matrices.
+type jsonDataset struct {
+	Dataset
+	WFRows int       `json:"wf_rows,omitempty"`
+	WFCols int       `json:"wf_cols,omitempty"`
+	WFData []float64 `json:"wf_data,omitempty"`
+	PFRows int       `json:"pf_rows,omitempty"`
+	PFCols int       `json:"pf_cols,omitempty"`
+	PFData []float64 `json:"pf_data,omitempty"`
+}
+
+// WriteJSON serializes the dataset (including features) to w.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	jd := jsonDataset{Dataset: *d}
+	if d.WorkloadFeatures != nil {
+		jd.WFRows, jd.WFCols = d.WorkloadFeatures.Rows, d.WorkloadFeatures.Cols
+		jd.WFData = d.WorkloadFeatures.Data
+	}
+	if d.PlatformFeatures != nil {
+		jd.PFRows, jd.PFCols = d.PlatformFeatures.Rows, d.PlatformFeatures.Cols
+		jd.PFData = d.PlatformFeatures.Data
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jd)
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	if err := json.NewDecoder(r).Decode(&jd); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	d := jd.Dataset
+	if jd.WFRows > 0 {
+		d.WorkloadFeatures = tensor.FromSlice(jd.WFRows, jd.WFCols, jd.WFData)
+	}
+	if jd.PFRows > 0 {
+		d.PlatformFeatures = tensor.FromSlice(jd.PFRows, jd.PFCols, jd.PFData)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}

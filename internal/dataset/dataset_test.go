@@ -1,0 +1,216 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// tiny builds a small consistent dataset by hand.
+func tiny() *Dataset {
+	return &Dataset{
+		WorkloadNames:    []string{"w0", "w1", "w2"},
+		WorkloadSuites:   []string{"a", "a", "b"},
+		PlatformNames:    []string{"p0", "p1"},
+		PlatformRuntimes: []string{"r0", "r1"},
+		PlatformArchs:    []string{"x86", "arm"},
+		WorkloadFeatures: tensor.New(3, 4),
+		PlatformFeatures: tensor.New(2, 5),
+		Obs: []Observation{
+			{Workload: 0, Platform: 0, Seconds: 1.5},
+			{Workload: 1, Platform: 1, Seconds: 0.25},
+			{Workload: 2, Platform: 0, Interferers: []int{0}, Seconds: 3.0},
+			{Workload: 0, Platform: 1, Interferers: []int{1, 2}, Seconds: 2.0},
+		},
+	}
+}
+
+func TestObservationAccessors(t *testing.T) {
+	o := Observation{Workload: 1, Platform: 2, Interferers: []int{3, 4}, Seconds: math.E}
+	if o.Degree() != 2 {
+		t.Fatalf("Degree = %d", o.Degree())
+	}
+	if math.Abs(o.LogSeconds()-1) > 1e-12 {
+		t.Fatalf("LogSeconds = %v", o.LogSeconds())
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	cases := []func(*Dataset){
+		func(d *Dataset) { d.Obs[0].Workload = 99 },
+		func(d *Dataset) { d.Obs[0].Platform = -1 },
+		func(d *Dataset) { d.Obs[0].Seconds = 0 },
+		func(d *Dataset) { d.Obs[0].Seconds = math.Inf(1) },
+		func(d *Dataset) { d.Obs[2].Interferers[0] = 77 },
+		func(d *Dataset) { d.WorkloadSuites = d.WorkloadSuites[:1] },
+		func(d *Dataset) { d.PlatformArchs = nil },
+		func(d *Dataset) { d.WorkloadFeatures = tensor.New(7, 4) },
+		func(d *Dataset) { d.PlatformFeatures = tensor.New(9, 5) },
+	}
+	for i, corrupt := range cases {
+		d := tiny()
+		corrupt(d)
+		if err := d.Validate(); err == nil {
+			t.Fatalf("case %d: corruption not detected", i)
+		}
+	}
+}
+
+func TestCountByDegree(t *testing.T) {
+	by := tiny().CountByDegree()
+	if by[0] != 2 || by[1] != 1 || by[2] != 1 {
+		t.Fatalf("CountByDegree = %v", by)
+	}
+}
+
+func TestNewSplitPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n16 uint16, frac8 uint8) bool {
+		n := int(n16%1000) + 20
+		frac := 0.1 + 0.8*float64(frac8)/255
+		s := NewSplit(rng, n, frac)
+		seen := make([]int, n)
+		for _, part := range [][]int{s.Train, s.Val, s.Cal, s.Test} {
+			for _, i := range part {
+				if i < 0 || i >= n {
+					return false
+				}
+				seen[i]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false // every index exactly once
+			}
+		}
+		// 80/10/10 structure of the train fraction.
+		nTrain := len(s.Train) + len(s.Val) + len(s.Cal)
+		wantTrain := int(math.Round(frac * float64(n)))
+		if wantTrain < 4 {
+			wantTrain = 4
+		}
+		return nTrain == wantTrain && len(s.Train) >= len(s.Val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewSplitPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSplit(rand.New(rand.NewSource(1)), 10, 0)
+}
+
+func TestEnsureCoverage(t *testing.T) {
+	d := tiny()
+	// Split where workload 1 / platform 1 appear only in Test.
+	s := Split{Train: []int{0}, Test: []int{1, 2, 3}}
+	s.EnsureCoverage(d)
+	seenW := map[int]bool{}
+	seenP := map[int]bool{}
+	for _, i := range s.Train {
+		seenW[d.Obs[i].Workload] = true
+		seenP[d.Obs[i].Platform] = true
+	}
+	// Isolation obs 1 (w1,p1) must have been promoted.
+	if !seenW[1] || !seenP[1] {
+		t.Fatalf("coverage not ensured: train=%v", s.Train)
+	}
+	// Interference-only obs stay in test.
+	for _, i := range s.Test {
+		if i == 1 {
+			t.Fatal("promoted observation still in test")
+		}
+	}
+	if len(s.Train)+len(s.Test) != 4 {
+		t.Fatal("observations lost")
+	}
+}
+
+func TestByDegree(t *testing.T) {
+	d := tiny()
+	pools, degrees := ByDegree(d, []int{0, 1, 2, 3})
+	if len(degrees) != 3 || degrees[0] != 0 || degrees[1] != 1 || degrees[2] != 2 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+	if len(pools[0]) != 2 || len(pools[1]) != 1 || len(pools[2]) != 1 {
+		t.Fatalf("pools = %v", pools)
+	}
+}
+
+func TestBatcher(t *testing.T) {
+	d := tiny()
+	b := NewBatcher(rand.New(rand.NewSource(2)), d, []int{0, 1, 2, 3})
+	if b.PoolSize(0) != 2 || b.PoolSize(1) != 1 {
+		t.Fatal("pool sizes wrong")
+	}
+	batch := b.Sample(0, 10)
+	if len(batch) != 10 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for _, i := range batch {
+		if d.Obs[i].Degree() != 0 {
+			t.Fatal("wrong degree in batch")
+		}
+	}
+	if b.Sample(7, 5) != nil {
+		t.Fatal("sample from empty pool should be nil")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := tiny()
+	d.WorkloadFeatures.Set(1, 2, 3.25)
+	d.PlatformFeatures.Set(0, 4, -1.5)
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumWorkloads() != 3 || got.NumPlatforms() != 2 || len(got.Obs) != 4 {
+		t.Fatal("round trip lost entities")
+	}
+	if got.WorkloadFeatures.At(1, 2) != 3.25 || got.PlatformFeatures.At(0, 4) != -1.5 {
+		t.Fatal("features lost")
+	}
+	if got.Obs[3].Degree() != 2 || got.Obs[3].Seconds != 2.0 {
+		t.Fatal("observations corrupted")
+	}
+	if got.WorkloadSuites[2] != "b" || got.PlatformArchs[1] != "arm" {
+		t.Fatal("metadata corrupted")
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	// Valid JSON but inconsistent dataset.
+	d := tiny()
+	d.Obs[0].Workload = 0 // fine
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := bytes.Replace(buf.Bytes(), []byte(`"w":0`), []byte(`"w":55`), 1)
+	if _, err := ReadJSON(bytes.NewReader(s)); err == nil {
+		t.Fatal("accepted out-of-range workload")
+	}
+}

@@ -1,0 +1,189 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/conformal"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/wasmcluster"
+)
+
+func testData(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	return wasmcluster.New(wasmcluster.Config{
+		Seed: 7, NumWorkloads: 30, MaxDevices: 5, SetsPerDegree: 15,
+	}).Generate()
+}
+
+func quickPitot() core.Config {
+	cfg := core.DefaultConfig(0)
+	cfg.Hidden = 32
+	cfg.EmbeddingDim = 16
+	cfg.Steps = 600
+	cfg.BatchPerDegree = 128
+	cfg.EvalEvery = 150
+	return cfg
+}
+
+func quickBase() baselines.TrainConfig {
+	cfg := baselines.DefaultTrainConfig(0)
+	cfg.Steps = 600
+	cfg.BatchPerDegree = 128
+	cfg.EvalEvery = 150
+	return cfg
+}
+
+func TestMAPEKnownValues(t *testing.T) {
+	ds := testData(t)
+	idx := []int{0, 1}
+	pred := []float64{
+		ds.Obs[0].LogSeconds() + math.Log(1.1), // 10% over
+		ds.Obs[1].LogSeconds() + math.Log(0.8), // 20% under
+	}
+	got := MAPE(ds, idx, pred)
+	if math.Abs(got-0.15) > 1e-9 {
+		t.Fatalf("MAPE = %v want 0.15", got)
+	}
+	if !math.IsNaN(MAPE(ds, nil, nil)) {
+		t.Fatal("empty MAPE should be NaN")
+	}
+}
+
+func TestSplitByInterference(t *testing.T) {
+	ds := testData(t)
+	all := make([]int, len(ds.Obs))
+	for i := range all {
+		all[i] = i
+	}
+	iso, interf := SplitByInterference(ds, all)
+	if len(iso)+len(interf) != len(all) {
+		t.Fatal("partition lost observations")
+	}
+	for _, i := range iso {
+		if ds.Obs[i].Degree() != 0 {
+			t.Fatal("interference in iso subset")
+		}
+	}
+	for _, i := range interf {
+		if ds.Obs[i].Degree() == 0 {
+			t.Fatal("isolation in interference subset")
+		}
+	}
+}
+
+func TestSweepErrorPitotBeatsMF(t *testing.T) {
+	ds := testData(t)
+	methods := []Method{
+		PitotMethod("pitot", quickPitot()),
+		MFMethod("mf", quickBase(), 16),
+	}
+	points, err := SweepError(ds, methods, []float64{0.6}, 2, 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := map[string]ErrorPoint{}
+	for _, p := range points {
+		res[p.Method] = p
+	}
+	pitot, mf := res["pitot"], res["mf"]
+	if pitot.MAPEIso.N != 2 || mf.MAPEIso.N != 2 {
+		t.Fatalf("replicate counts wrong: %+v %+v", pitot, mf)
+	}
+	if pitot.MAPEIso.Mean >= mf.MAPEIso.Mean {
+		t.Fatalf("pitot iso MAPE %.3f not better than MF %.3f",
+			pitot.MAPEIso.Mean, mf.MAPEIso.Mean)
+	}
+	if pitot.MAPEIso.Mean > 0.40 {
+		t.Fatalf("pitot iso MAPE %.3f implausibly high", pitot.MAPEIso.Mean)
+	}
+	t.Logf("pitot iso %.3f interf %.3f | mf iso %.3f interf %.3f",
+		pitot.MAPEIso.Mean, pitot.MAPEInterf.Mean, mf.MAPEIso.Mean, mf.MAPEInterf.Mean)
+}
+
+func TestTightnessPitotQuantiles(t *testing.T) {
+	ds := testData(t)
+	qcfg := quickPitot()
+	qcfg.Quantiles = []float64{0.5, 0.8, 0.9, 0.95}
+	specs := []BoundSpec{
+		{Method: PitotMethod("pitot", qcfg), Selection: conformal.SelectOptimal},
+		{Method: PitotMethod("naive-cqr", qcfg), Selection: conformal.SelectNaive},
+	}
+	points, err := SweepTightness(ds, specs, 0.6, []float64{0.1, 0.05}, 1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if math.IsNaN(p.MarginIso.Mean) {
+			t.Fatalf("NaN margin for %s eps %v", p.Method, p.Eps)
+		}
+		// Coverage must respect the conformal guarantee (with finite-sample
+		// slack on small test sets).
+		if p.CoverageIso.Mean < 1-p.Eps-0.06 {
+			t.Fatalf("%s eps=%.2f iso coverage %.3f below guarantee",
+				p.Method, p.Eps, p.CoverageIso.Mean)
+		}
+		t.Logf("%s eps=%.2f marginIso=%.3f marginInt=%.3f covIso=%.3f",
+			p.Method, p.Eps, p.MarginIso.Mean, p.MarginInterf.Mean, p.CoverageIso.Mean)
+	}
+}
+
+func TestQuantileChoiceCurve(t *testing.T) {
+	ds := testData(t)
+	cfg := quickPitot()
+	cfg.Quantiles = []float64{0.5, 0.9}
+	cfg.Steps = 300
+	rng := rand.New(rand.NewSource(5))
+	split := dataset.NewSplit(rng, len(ds.Obs), 0.6)
+	split.EnsureCoverage(ds)
+	tr, err := PitotMethod("p", cfg).Fit(ds, split, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, ms, err := QuantileChoiceCurve(ds, tr, split, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || len(ms) != 2 || qs[0] != 0.5 || qs[1] != 0.9 {
+		t.Fatalf("curve: %v %v", qs, ms)
+	}
+}
+
+func TestBuildHeadPredictionsShapes(t *testing.T) {
+	ds := testData(t)
+	cfg := quickPitot()
+	cfg.Steps = 100
+	rng := rand.New(rand.NewSource(6))
+	split := dataset.NewSplit(rng, len(ds.Obs), 0.6)
+	tr, err := PitotMethod("p", cfg).Fit(ds, split, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := BuildHeadPredictions(ds, tr, split)
+	if hp.NumHeads() != 1 {
+		t.Fatalf("heads = %d", hp.NumHeads())
+	}
+	if len(hp.Cal[0]) != len(split.Cal) || len(hp.Val[0]) != len(split.Val) {
+		t.Fatal("prediction lengths wrong")
+	}
+	if len(hp.CalPool) != len(hp.CalTrue) {
+		t.Fatal("pool labels wrong")
+	}
+}
+
+func TestRunJobsExecutesAll(t *testing.T) {
+	done := make([]bool, 37)
+	runJobs(len(done), func(i int) { done[i] = true })
+	for i, d := range done {
+		if !d {
+			t.Fatalf("job %d not executed", i)
+		}
+	}
+	runJobs(0, func(i int) { t.Fatal("job executed for n=0") })
+}

@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/conformal"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// BuildHeadPredictions assembles the conformal calibration inputs from a
+// trained model: per-head predictions on the calibration and validation
+// sets, with interference degree as the pool label (§3.5).
+func BuildHeadPredictions(d *dataset.Dataset, tr Trained, split dataset.Split) *conformal.HeadPredictions {
+	hp := &conformal.HeadPredictions{Quantiles: tr.Quantiles()}
+	nh := tr.NumHeads()
+	hp.Cal = make([][]float64, nh)
+	hp.Val = make([][]float64, nh)
+	for h := 0; h < nh; h++ {
+		hp.Cal[h] = tr.PredictLogObs(split.Cal, h)
+		hp.Val[h] = tr.PredictLogObs(split.Val, h)
+	}
+	for _, i := range split.Cal {
+		hp.CalTrue = append(hp.CalTrue, d.Obs[i].LogSeconds())
+		hp.CalPool = append(hp.CalPool, d.Obs[i].Degree())
+	}
+	for _, i := range split.Val {
+		hp.ValTrue = append(hp.ValTrue, d.Obs[i].LogSeconds())
+		hp.ValPool = append(hp.ValPool, d.Obs[i].Degree())
+	}
+	return hp
+}
+
+// TightnessPoint is one cell of a tightness sweep: method x miscoverage
+// rate, summarized over replicates, split by interference.
+type TightnessPoint struct {
+	Method         string
+	Eps            float64
+	MarginIso      stats.Summary
+	MarginInterf   stats.Summary
+	CoverageIso    stats.Summary
+	CoverageInterf stats.Summary
+}
+
+// BoundSpec pairs a method with the head-selection strategy used to
+// calibrate it (Pitot: SelectOptimal; naive CQR: SelectNaive; squared-loss
+// models: SelectOnly).
+type BoundSpec struct {
+	Method    Method
+	Selection conformal.Selection
+}
+
+// boundsOnTest calibrates tr for eps and returns bounds/truths on the test
+// subsets.
+func boundsOnTest(d *dataset.Dataset, tr Trained, split dataset.Split,
+	eps float64, sel conformal.Selection) (marginIso, marginInt, covIso, covInt float64, err error) {
+	hp := BuildHeadPredictions(d, tr, split)
+	b, err := conformal.Calibrate(hp, eps, sel)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	iso, interf := SplitByInterference(d, split.Test)
+	score := func(idx []int) (margin, cov float64) {
+		pred := tr.PredictLogObs(idx, b.Head)
+		bounds := make([]float64, len(idx))
+		truths := make([]float64, len(idx))
+		for i, oi := range idx {
+			bounds[i] = b.Bound(pred[i], d.Obs[oi].Degree())
+			truths[i] = d.Obs[oi].LogSeconds()
+		}
+		return conformal.Margin(bounds, truths), conformal.Coverage(bounds, truths)
+	}
+	mi, ci := score(iso)
+	mt, ct := score(interf)
+	return mi, mt, ci, ct, nil
+}
+
+// SweepTightness evaluates bound tightness for each spec and miscoverage
+// rate at a fixed train fraction (paper Fig. 5 / 6b protocol: 50% split,
+// ε from 0.10 down to 0.01), with replicates in parallel.
+func SweepTightness(d *dataset.Dataset, specs []BoundSpec, frac float64,
+	epsGrid []float64, reps int, seed int64) ([]TightnessPoint, error) {
+	type cell struct{ mIso, mInt, cIso, cInt []float64 }
+	cells := make([][]cell, len(specs))
+	for s := range cells {
+		cells[s] = make([]cell, len(epsGrid))
+	}
+	type tjob struct {
+		spec, rep int
+		seed      int64
+	}
+	var jobs []tjob
+	for s := range specs {
+		for r := 0; r < reps; r++ {
+			jobs = append(jobs, tjob{s, r, seed + int64(100*s+r)})
+		}
+	}
+	var mu sync.Mutex
+	var firstErr error
+	runJobs(len(jobs), func(ji int) {
+		j := jobs[ji]
+		rng := rand.New(rand.NewSource(j.seed))
+		split := dataset.NewSplit(rng, len(d.Obs), frac)
+		split.EnsureCoverage(d)
+		tr, err := specs[j.spec].Method.Fit(d, split, j.seed)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("eval: tightness %s rep %d: %w", specs[j.spec].Method.Name, j.rep, err)
+			}
+			mu.Unlock()
+			return
+		}
+		for e, eps := range epsGrid {
+			mi, mt, ci, ct, err := boundsOnTest(d, tr, split, eps, specs[j.spec].Selection)
+			mu.Lock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			c := &cells[j.spec][e]
+			c.mIso = append(c.mIso, mi)
+			c.mInt = append(c.mInt, mt)
+			c.cIso = append(c.cIso, ci)
+			c.cInt = append(c.cInt, ct)
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	var out []TightnessPoint
+	for s := range specs {
+		for e, eps := range epsGrid {
+			c := cells[s][e]
+			out = append(out, TightnessPoint{
+				Method:         specs[s].Method.Name,
+				Eps:            eps,
+				MarginIso:      stats.Summarize(c.mIso),
+				MarginInterf:   stats.Summarize(c.mInt),
+				CoverageIso:    stats.Summarize(c.cIso),
+				CoverageInterf: stats.Summarize(c.cInt),
+			})
+		}
+	}
+	return out, nil
+}
+
+// QuantileChoiceCurve reproduces Fig. 8: for one trained quantile model,
+// the validation overprovisioning margin after calibrating each head at
+// the target miscoverage rate.
+func QuantileChoiceCurve(d *dataset.Dataset, tr Trained, split dataset.Split, eps float64) (quantiles, margins []float64, err error) {
+	hp := BuildHeadPredictions(d, tr, split)
+	bs, err := conformal.CalibrateAllHeads(hp, eps)
+	if err != nil {
+		return nil, nil, err
+	}
+	for h, b := range bs {
+		q := 0.0
+		if qs := tr.Quantiles(); len(qs) > h {
+			q = qs[h]
+		}
+		quantiles = append(quantiles, q)
+		margins = append(margins, b.ValMargin)
+	}
+	return quantiles, margins, nil
+}

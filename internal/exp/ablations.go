@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// errorSweepTables runs a SweepError over method variants and renders the
+// paired (without / with interference) tables used by Fig. 4, 6a, 9, 10.
+func errorSweepTables(id, title string, d *dataset.Dataset, methods []eval.Method,
+	s settings, seed int64) ([]*Table, error) {
+	points, err := eval.SweepError(d, methods, s.fracs, s.reps, seed)
+	if err != nil {
+		return nil, err
+	}
+	byKey := map[string]eval.ErrorPoint{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%s@%.2f", p.Method, p.Frac)] = p
+	}
+	mk := func(kind string, pick func(eval.ErrorPoint) string) *Table {
+		t := &Table{
+			ID:     id,
+			Title:  fmt.Sprintf("%s — MAPE %s interference", title, kind),
+			Header: []string{"train frac"},
+		}
+		for _, m := range methods {
+			t.Header = append(t.Header, m.Name)
+		}
+		for _, f := range s.fracs {
+			row := []string{pct(f)}
+			for _, m := range methods {
+				row = append(row, pick(byKey[fmt.Sprintf("%s@%.2f", m.Name, f)]))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	iso := mk("without", func(p eval.ErrorPoint) string {
+		return pctPair(p.MAPEIso.Mean, 2*p.MAPEIso.StdErr)
+	})
+	interf := mk("with", func(p eval.ErrorPoint) string {
+		return pctPair(p.MAPEInterf.Mean, 2*p.MAPEInterf.StdErr)
+	})
+	return []*Table{iso, interf}, nil
+}
+
+// runFig4a: loss-formulation ablation (log-residual vs log vs naive
+// proportional).
+func runFig4a(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	logRes := s.pitot
+	logOnly := s.pitot
+	logOnly.Objective = core.ObjLog
+	prop := s.pitot
+	prop.Objective = core.ObjProportional
+	methods := []eval.Method{
+		eval.PitotMethod("log-residual", logRes),
+		eval.PitotMethod("log", logOnly),
+		eval.PitotMethod("proportional", prop),
+	}
+	return errorSweepTables("fig4a", "Loss formulations", d, methods, s, seed)
+}
+
+// runFig4b: side-information ablation (all / platform-only / workload-only
+// / none). The uncropped Fig. 9a is the same data.
+func runFig4b(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	all := s.pitot
+	pOnly := s.pitot
+	pOnly.UseWorkloadFeatures = false
+	wOnly := s.pitot
+	wOnly.UsePlatformFeatures = false
+	none := s.pitot
+	none.UseWorkloadFeatures = false
+	none.UsePlatformFeatures = false
+	methods := []eval.Method{
+		eval.PitotMethod("all-features", all),
+		eval.PitotMethod("platform-only", pOnly),
+		eval.PitotMethod("workload-only", wOnly),
+		eval.PitotMethod("no-features", none),
+	}
+	return errorSweepTables("fig4b", "Side information", d, methods, s, seed)
+}
+
+// runFig4c: interference handling (aware / discard / ignore).
+func runFig4c(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	aware := s.pitot
+	discard := s.pitot
+	discard.Interference = core.InterferenceDiscard
+	ignore := s.pitot
+	ignore.Interference = core.InterferenceIgnore
+	methods := []eval.Method{
+		eval.PitotMethod("aware", aware),
+		eval.PitotMethod("discard", discard),
+		eval.PitotMethod("ignore", ignore),
+	}
+	return errorSweepTables("fig4c", "Interference handling", d, methods, s, seed)
+}
+
+// runFig4d: activation function vs simple multiplicative interference.
+func runFig4d(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	withAct := s.pitot
+	noAct := s.pitot
+	noAct.UseActivation = false
+	methods := []eval.Method{
+		eval.PitotMethod("with-activation", withAct),
+		eval.PitotMethod("multiplicative", noAct),
+	}
+	return errorSweepTables("fig4d", "Interference activation", d, methods, s, seed)
+}
+
+// runFig10: hyperparameter ablations for q (learned features), r
+// (embedding dim), s (interference types), and β (interference weight).
+func runFig10(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	// Trim grids at quick scale.
+	qGrid := []int{0, 1, 4}
+	rGrid := []int{8, 32, 64}
+	sGrid := []int{1, 2, 8}
+	bGrid := []float64{0.1, 0.5, 2.0}
+	if scale == FullScale {
+		qGrid = []int{0, 1, 2, 4, 8}
+		rGrid = []int{4, 8, 16, 32, 64}
+		sGrid = []int{1, 2, 4, 8, 16}
+		bGrid = []float64{0.1, 0.2, 0.5, 1.0, 2.0}
+	}
+	var out []*Table
+	sweep := func(name string, methods []eval.Method) error {
+		sub := s
+		// Hyperparameter plots use a single mid fraction at smaller scales.
+		if scale != FullScale {
+			sub.fracs = []float64{s.fracs[len(s.fracs)/2]}
+		}
+		ts, err := errorSweepTables("fig10", "Hyperparameters: "+name, d, methods, sub, seed)
+		if err != nil {
+			return err
+		}
+		out = append(out, ts...)
+		return nil
+	}
+	var ms []eval.Method
+	for _, q := range qGrid {
+		c := s.pitot
+		c.LearnedFeatures = q
+		ms = append(ms, eval.PitotMethod(fmt.Sprintf("q=%d", q), c))
+	}
+	if err := sweep("learned features q", ms); err != nil {
+		return nil, err
+	}
+	ms = nil
+	for _, r := range rGrid {
+		c := s.pitot
+		c.EmbeddingDim = r
+		ms = append(ms, eval.PitotMethod(fmt.Sprintf("r=%d", r), c))
+	}
+	if err := sweep("embedding dim r", ms); err != nil {
+		return nil, err
+	}
+	ms = nil
+	for _, st := range sGrid {
+		c := s.pitot
+		c.InterferenceTypes = st
+		ms = append(ms, eval.PitotMethod(fmt.Sprintf("s=%d", st), c))
+	}
+	if err := sweep("interference types s", ms); err != nil {
+		return nil, err
+	}
+	ms = nil
+	for _, b := range bGrid {
+		c := s.pitot
+		c.Beta = b
+		ms = append(ms, eval.PitotMethod(fmt.Sprintf("beta=%.1f", b), c))
+	}
+	if err := sweep("interference weight beta", ms); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

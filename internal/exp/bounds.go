@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/conformal"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+)
+
+// tightnessTables renders SweepTightness output as the paired
+// (without / with interference) margin tables of Fig. 5 / 6b / 11.
+func tightnessTables(id, title string, d *dataset.Dataset, specs []eval.BoundSpec,
+	frac float64, s settings, seed int64) ([]*Table, error) {
+	points, err := eval.SweepTightness(d, specs, frac, s.epsGrid, s.reps, seed)
+	if err != nil {
+		return nil, err
+	}
+	byKey := map[string]eval.TightnessPoint{}
+	for _, p := range points {
+		byKey[fmt.Sprintf("%s@%.3f", p.Method, p.Eps)] = p
+	}
+	mk := func(kind string, pick func(eval.TightnessPoint) string) *Table {
+		t := &Table{
+			ID:     id,
+			Title:  fmt.Sprintf("%s — bound tightness %s interference (train %s)", title, kind, pct(frac)),
+			Header: []string{"miscoverage eps"},
+		}
+		for _, sp := range specs {
+			t.Header = append(t.Header, sp.Method.Name)
+		}
+		for _, eps := range s.epsGrid {
+			row := []string{fmt.Sprintf("%.2f", eps)}
+			for _, sp := range specs {
+				row = append(row, pick(byKey[fmt.Sprintf("%s@%.3f", sp.Method.Name, eps)]))
+			}
+			t.AddRow(row...)
+		}
+		return t
+	}
+	iso := mk("without", func(p eval.TightnessPoint) string {
+		return pctPair(p.MarginIso.Mean, 2*p.MarginIso.StdErr)
+	})
+	interf := mk("with", func(p eval.TightnessPoint) string {
+		return pctPair(p.MarginInterf.Mean, 2*p.MarginInterf.StdErr)
+	})
+	return []*Table{iso, interf}, nil
+}
+
+// midFrac returns the 50%-ish train fraction used by Fig. 5/6b/8.
+func (s settings) midFrac() float64 { return s.fracs[len(s.fracs)/2] }
+
+// runFig5: Pitot's CQR vs naive CQR vs calibrating a non-quantile model.
+func runFig5(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	quant := s.pitot
+	quant.Quantiles = quantileGrid(scale)
+	mean := s.pitot
+	specs := []eval.BoundSpec{
+		{Method: eval.PitotMethod("pitot", quant), Selection: conformal.SelectOptimal},
+		{Method: eval.PitotMethod("naive-cqr", quant), Selection: conformal.SelectNaive},
+		{Method: eval.PitotMethod("non-quantile", mean), Selection: conformal.SelectOnly},
+	}
+	return tightnessTables("fig5", "UQ ablation", d, specs, s.midFrac(), s, seed)
+}
+
+// quantileGrid trims the paper's 8-head spread at quick scale.
+func quantileGrid(scale Scale) []float64 {
+	if scale == Quick {
+		return []float64{0.5, 0.8, 0.9, 0.95}
+	}
+	return []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.98, 0.99}
+}
+
+// baselineBoundSpecs builds the baseline bound methods (split conformal on
+// their squared-loss outputs, App. B.4 / §5.3).
+func baselineBoundSpecs(s settings) []eval.BoundSpec {
+	return []eval.BoundSpec{
+		{Method: eval.NNMethod("neural-net", s.base, s.nnHid), Selection: conformal.SelectOnly},
+		{Method: eval.AttentionMethod("attention", s.base, s.nnHid), Selection: conformal.SelectOnly},
+		{Method: eval.MFMethod("matrix-fact", s.base, s.pitot.EmbeddingDim), Selection: conformal.SelectOnly},
+	}
+}
+
+// runFig6b: bound tightness of Pitot vs all baselines at the mid split.
+func runFig6b(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	quant := s.pitot
+	quant.Quantiles = quantileGrid(scale)
+	specs := append([]eval.BoundSpec{
+		{Method: eval.PitotMethod("pitot", quant), Selection: conformal.SelectOptimal},
+	}, baselineBoundSpecs(s)...)
+	return tightnessTables("fig6b", "Baselines", d, specs, s.midFrac(), s, seed)
+}
+
+// runFig11: the full tightness grid across train splits (App. D.3). At
+// non-full scales only Pitot and the attention baseline are swept to keep
+// the cost sane.
+func runFig11(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	quant := s.pitot
+	quant.Quantiles = quantileGrid(scale)
+	specs := []eval.BoundSpec{
+		{Method: eval.PitotMethod("pitot", quant), Selection: conformal.SelectOptimal},
+		{Method: eval.AttentionMethod("attention", s.base, s.nnHid), Selection: conformal.SelectOnly},
+	}
+	if scale == FullScale {
+		specs = append([]eval.BoundSpec{specs[0]}, baselineBoundSpecs(s)...)
+	}
+	var out []*Table
+	for _, frac := range s.fracs {
+		ts, err := tightnessTables("fig11", "Tightness grid", d, specs, frac, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}
+
+// runFig8: bound tightness as a function of the quantile-regression target
+// quantile ξ, at fixed miscoverage (paper: ε=0.05, 50% split; optimum
+// around ξ=0.8–0.9 rather than 0.95).
+func runFig8(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	cfg := s.pitot
+	cfg.Quantiles = quantileGrid(scale)
+	const eps = 0.05
+	t := &Table{
+		ID:     "fig8",
+		Title:  fmt.Sprintf("Validation margin per target quantile (eps=%.2f, train %s)", eps, pct(s.midFrac())),
+		Header: []string{"replicate"},
+	}
+	for _, q := range cfg.Quantiles {
+		t.Header = append(t.Header, fmt.Sprintf("xi=%.2f", q))
+	}
+	bestCount := map[float64]int{}
+	for rep := 0; rep < s.reps; rep++ {
+		repSeed := seed + int64(rep)
+		rng := rand.New(rand.NewSource(repSeed))
+		split := dataset.NewSplit(rng, len(d.Obs), s.midFrac())
+		split.EnsureCoverage(d)
+		tr, err := eval.PitotMethod("pitot", cfg).Fit(d, split, repSeed)
+		if err != nil {
+			return nil, err
+		}
+		qs, margins, err := eval.QuantileChoiceCurve(d, tr, split, eps)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", rep)}
+		bestQ, bestM := 0.0, margins[0]
+		for i, m := range margins {
+			row = append(row, pct(m))
+			if m <= bestM {
+				bestM, bestQ = m, qs[i]
+			}
+		}
+		bestCount[bestQ]++
+		t.AddRow(row...)
+	}
+	t.Notes = fmt.Sprintf("best ξ per replicate: %v (naive CQR would always pick ξ=%.2f)", bestCount, 1-eps)
+	return []*Table{t}, nil
+}

@@ -1,0 +1,59 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+// baselineMethods builds the §5.3 comparison set.
+func baselineMethods(s settings) []eval.Method {
+	return []eval.Method{
+		eval.NNMethod("neural-net", s.base, s.nnHid),
+		eval.AttentionMethod("attention", s.base, s.nnHid),
+		eval.MFMethod("matrix-fact", s.base, s.pitot.EmbeddingDim),
+	}
+}
+
+// runFig6a: prediction error of Pitot vs the three baselines across train
+// fractions. Fig. 9b is the uncropped version of the same data.
+func runFig6a(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	methods := append([]eval.Method{eval.PitotMethod("pitot", s.pitot)}, baselineMethods(s)...)
+	return errorSweepTables("fig6a", "Pitot vs baselines", d, methods, s, seed)
+}
+
+// runHeadline: the §5.3 headline numbers — Pitot's MAPE at the largest
+// train fraction, and the relative improvement over the best baseline.
+func runHeadline(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	s.fracs = []float64{s.fracs[len(s.fracs)-1]}
+	methods := append([]eval.Method{eval.PitotMethod("pitot", s.pitot)}, baselineMethods(s)...)
+	points, err := eval.SweepError(d, methods, s.fracs, s.reps, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "headline",
+		Title:  fmt.Sprintf("Headline error at train %s", pct(s.fracs[0])),
+		Header: []string{"method", "MAPE (no interference)", "MAPE (interference)"},
+	}
+	var pitotIso, bestBaseIso float64
+	for _, p := range points {
+		t.AddRow(p.Method,
+			pctPair(p.MAPEIso.Mean, 2*p.MAPEIso.StdErr),
+			pctPair(p.MAPEInterf.Mean, 2*p.MAPEInterf.StdErr))
+		if p.Method == "pitot" {
+			pitotIso = p.MAPEIso.Mean
+		} else if bestBaseIso == 0 || p.MAPEIso.Mean < bestBaseIso {
+			bestBaseIso = p.MAPEIso.Mean
+		}
+	}
+	if bestBaseIso > 0 {
+		t.Notes = fmt.Sprintf("pitot improves on best baseline by %.0f%% (paper: 5.2%% error, up to 48%% less error than next best)",
+			100*(1-pitotIso/bestBaseIso))
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/wasmcluster"
+)
+
+// runFig1 reproduces Figure 1: the log-density histogram of interference
+// slowdowns, split by the number of simultaneously running workloads.
+// Slowdown is the measured runtime under interference divided by the mean
+// isolated runtime of the same (workload, platform) pair.
+func runFig1(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	iso := meanIsolationSeconds(d)
+
+	// Bins in log2 space from 1x to 32x.
+	const bins = 12
+	hists := map[int]*stats.Histogram{}
+	maxSlow := map[int]float64{}
+	for _, o := range d.Obs {
+		if o.Degree() == 0 {
+			continue
+		}
+		base, ok := iso[[2]int{o.Workload, o.Platform}]
+		if !ok {
+			continue
+		}
+		slow := o.Seconds / base
+		g := o.Degree() + 1 // paper counts total running workloads
+		h, ok := hists[g]
+		if !ok {
+			h = stats.NewHistogram(0, 5, bins) // log2(1x)..log2(32x)
+			hists[g] = h
+		}
+		h.Add(math.Log2(slow))
+		if slow > maxSlow[g] {
+			maxSlow[g] = slow
+		}
+	}
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Interference slowdown histogram (counts per log2 bin)",
+		Header: []string{"slowdown bin", "2-way", "3-way", "4-way"},
+	}
+	for b := 0; b < bins; b++ {
+		row := []string{fmt.Sprintf("%.2fx-%.2fx",
+			math.Exp2(5*float64(b)/bins), math.Exp2(5*float64(b+1)/bins))}
+		for _, g := range []int{2, 3, 4} {
+			c := 0
+			if h := hists[g]; h != nil {
+				c = h.Counts[b]
+			}
+			row = append(row, fmt.Sprintf("%d", c))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = fmt.Sprintf("max slowdown: 2-way %.1fx, 3-way %.1fx, 4-way %.1fx (paper: up to ~20x)",
+		maxSlow[2], maxSlow[3], maxSlow[4])
+	return []*Table{t}, nil
+}
+
+// runTable2 reproduces Table 2: the device catalog.
+func runTable2(scale Scale, seed int64) ([]*Table, error) {
+	t := &Table{
+		ID:     "table2",
+		Title:  "Cluster devices (paper Table 2 + 2 completing members)",
+		Header: []string{"model", "cpu", "microarch", "class", "GHz"},
+	}
+	for _, d := range wasmcluster.Devices() {
+		t.AddRow(d.Model, d.CPU, d.Arch, d.Class, fmt.Sprintf("%.2f", d.GHz))
+	}
+	t.Notes = fmt.Sprintf("%d devices", len(wasmcluster.Devices()))
+	return []*Table{t}, nil
+}
+
+// runTable3 reproduces Table 3: runtime configurations.
+func runTable3(scale Scale, seed int64) ([]*Table, error) {
+	t := &Table{
+		ID:     "table3",
+		Title:  "WebAssembly runtime configurations (paper Table 3)",
+		Header: []string{"config", "type"},
+	}
+	for _, r := range wasmcluster.Runtimes() {
+		t.AddRow(r.Name, r.Kind)
+	}
+	t.Notes = fmt.Sprintf("%d configurations", len(wasmcluster.Runtimes()))
+	return []*Table{t}, nil
+}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/tsne"
+)
+
+// trainPitotOnce trains a single Pitot model at the mid split for the
+// interpretation experiments.
+func trainPitotOnce(s settings, d *dataset.Dataset, seed int64) (*core.Model, dataset.Split, error) {
+	rng := rand.New(rand.NewSource(seed))
+	split := dataset.NewSplit(rng, len(d.Obs), s.fracs[len(s.fracs)-1])
+	split.EnsureCoverage(d)
+	cfg := s.pitot
+	cfg.Seed = seed
+	m, err := core.NewModel(cfg, d)
+	if err != nil {
+		return nil, split, err
+	}
+	if _, err := m.Train(split); err != nil {
+		return nil, split, err
+	}
+	return m, split, nil
+}
+
+// runFig7: t-SNE of workload embeddings, quantified as kNN suite purity
+// (paper Fig. 7 / 12a: clear clusters for homogeneous suites).
+func runFig7(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	m, _, err := trainPitotOnce(s, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	emb := m.WorkloadEmbeddings(0)
+	y := tsne.Embed(emb, tsne.Config{Seed: seed, Perplexity: perplexityFor(emb.Rows)})
+	labels := d.WorkloadSuites
+	overall := tsne.KNNPurity(y, labels, 5)
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Workload embedding t-SNE: kNN(5) suite purity",
+		Header: []string{"suite", "count", "purity"},
+	}
+	counts := map[string]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	for _, suite := range sortedKeys(counts, func(a, b string) bool { return a < b }) {
+		var idx []int
+		for i, l := range labels {
+			if l == suite {
+				idx = append(idx, i)
+			}
+		}
+		t.AddRow(suite, fmt.Sprintf("%d", counts[suite]),
+			fmt.Sprintf("%.2f", tsne.KNNPuritySubset(y, labels, idx, 5)))
+	}
+	chance := chanceLevel(labels)
+	t.Notes = fmt.Sprintf("overall purity %.2f vs chance %.2f — clusters form when purity >> chance", overall, chance)
+	return []*Table{t}, nil
+}
+
+// runFig12bc: t-SNE of platform embeddings, purity by runtime config and
+// by CPU class.
+func runFig12bc(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	m, _, err := trainPitotOnce(s, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	emb := m.PlatformEmbeddings()
+	y := tsne.Embed(emb, tsne.Config{Seed: seed, Perplexity: perplexityFor(emb.Rows)})
+	t := &Table{
+		ID:     "fig12bc",
+		Title:  "Platform embedding t-SNE: kNN(5) purity",
+		Header: []string{"grouping", "purity", "chance"},
+	}
+	t.AddRow("runtime config", fmt.Sprintf("%.2f", tsne.KNNPurity(y, d.PlatformRuntimes, 5)),
+		fmt.Sprintf("%.2f", chanceLevel(d.PlatformRuntimes)))
+	t.AddRow("cpu class", fmt.Sprintf("%.2f", tsne.KNNPurity(y, d.PlatformArchs, 5)),
+		fmt.Sprintf("%.2f", chanceLevel(d.PlatformArchs)))
+	t.Notes = "paper: clear clusters by runtime; microarch clusters within runtime clusters"
+	return []*Table{t}, nil
+}
+
+// runFig12d: correlation between the learned interference norm ‖F_j‖₂ and
+// the measured mean interference slowdown per platform.
+func runFig12d(scale Scale, seed int64) ([]*Table, error) {
+	s := settingsFor(scale, seed)
+	d := s.dataset()
+	m, _, err := trainPitotOnce(s, d, seed)
+	if err != nil {
+		return nil, err
+	}
+	iso := meanIsolationSeconds(d)
+	slowSum := make([]float64, d.NumPlatforms())
+	slowCnt := make([]float64, d.NumPlatforms())
+	for _, o := range d.Obs {
+		if o.Degree() == 0 {
+			continue
+		}
+		base, ok := iso[[2]int{o.Workload, o.Platform}]
+		if !ok {
+			continue
+		}
+		slowSum[o.Platform] += math.Log(o.Seconds / base)
+		slowCnt[o.Platform]++
+	}
+	var norms, measured []float64
+	for j := 0; j < d.NumPlatforms(); j++ {
+		if slowCnt[j] == 0 {
+			continue
+		}
+		norms = append(norms, m.InterferenceNorm(j))
+		measured = append(measured, slowSum[j]/slowCnt[j])
+	}
+	t := &Table{
+		ID:     "fig12d",
+		Title:  "Learned ‖F_j‖₂ vs measured mean interference (log slowdown)",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("platforms", fmt.Sprintf("%d", len(norms)))
+	t.AddRow("pearson r", fmt.Sprintf("%.3f", stats.Pearson(norms, measured)))
+	t.AddRow("spearman rho", fmt.Sprintf("%.3f", stats.Spearman(norms, measured)))
+	t.Notes = "paper observes a positive correlation (Fig. 12d)"
+	return []*Table{t}, nil
+}
+
+// perplexityFor keeps t-SNE perplexity valid for small embeddings.
+func perplexityFor(n int) float64 {
+	p := float64(n) / 4
+	if p > 20 {
+		p = 20
+	}
+	if p < 2 {
+		p = 2
+	}
+	return p
+}
+
+// chanceLevel is the purity a random embedding would achieve: the expected
+// fraction of same-label neighbors under label frequencies.
+func chanceLevel(labels []string) float64 {
+	counts := map[string]float64{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	n := float64(len(labels))
+	var c float64
+	for _, v := range counts {
+		c += (v / n) * ((v - 1) / (n - 1))
+	}
+	return c
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+func TestLinearShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 4, 3, ActNone)
+	x := autodiff.NewConst(tensor.New(5, 4))
+	y := l.Forward(x)
+	if y.Rows() != 5 || y.Cols() != 3 {
+		t.Fatalf("forward shape %dx%d", y.Rows(), y.Cols())
+	}
+}
+
+func TestLinearBiasZeroInit(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear(rng, 4, 3, ActNone)
+	if l.B.Data.MaxAbs() != 0 {
+		t.Fatal("bias not zero-initialized")
+	}
+}
+
+func TestLinearInitScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear(rng, 1024, 64, ActNone)
+	var ss float64
+	for _, v := range l.W.Data.Data {
+		ss += v * v
+	}
+	std := math.Sqrt(ss / float64(len(l.W.Data.Data)))
+	want := 1 / math.Sqrt(1024)
+	if std < want*0.9 || std > want*1.1 {
+		t.Fatalf("init std %v, want ~%v", std, want)
+	}
+}
+
+func TestMLPSizesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMLP(rng, ActGELU, 10, 128, 128, 32)
+	if len(m.Layers) != 3 {
+		t.Fatalf("layers %d", len(m.Layers))
+	}
+	// hidden layers activated, output layer linear
+	if m.Layers[0].Act != ActGELU || m.Layers[2].Act != ActNone {
+		t.Fatal("activation placement wrong")
+	}
+	want := (10*128 + 128) + (128*128 + 128) + (128*32 + 32)
+	if got := NumParams(m.Params()); got != want {
+		t.Fatalf("NumParams = %d want %d", got, want)
+	}
+}
+
+func TestMLPForwardDeterministic(t *testing.T) {
+	m1 := NewMLP(rand.New(rand.NewSource(5)), ActGELU, 3, 8, 2)
+	m2 := NewMLP(rand.New(rand.NewSource(5)), ActGELU, 3, 8, 2)
+	x := autodiff.NewConst(tensor.FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6}))
+	y1 := m1.Forward(x)
+	y2 := m2.Forward(x)
+	if !tensor.Equal(y1.Data, y2.Data, 0) {
+		t.Fatal("same seed produced different networks")
+	}
+}
+
+func TestMLPPanicsOnTooFewSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLP(rand.New(rand.NewSource(6)), ActGELU, 4)
+}
+
+func TestMLPCanFitXOR(t *testing.T) {
+	// A tiny end-to-end training sanity check: gradient flow through the
+	// full stack must be able to fit a non-linear function.
+	rng := rand.New(rand.NewSource(7))
+	m := NewMLP(rng, ActTanh, 2, 16, 1)
+	x := tensor.FromRows([][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}})
+	y := tensor.FromSlice(4, 1, []float64{0, 1, 1, 0})
+	params := m.Params()
+	lr := 0.2
+	var loss float64
+	for step := 0; step < 2000; step++ {
+		out := m.Forward(autodiff.NewConst(x))
+		l := autodiff.MSE(out, y)
+		loss = l.Scalar()
+		l.Backward()
+		for _, p := range params {
+			tensor.AXPY(p.Data, -lr, p.Grad)
+			p.ZeroGrad()
+		}
+	}
+	if loss > 0.01 {
+		t.Fatalf("failed to fit XOR: loss %v", loss)
+	}
+}
+
+func TestEmbeddingLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := NewEmbedding(rng, 5, 3, 0.1)
+	out := e.Lookup([]int{2, 2, 0})
+	if out.Rows() != 3 || out.Cols() != 3 {
+		t.Fatalf("lookup shape %dx%d", out.Rows(), out.Cols())
+	}
+	for j := 0; j < 3; j++ {
+		if out.Data.At(0, j) != e.Table.Data.At(2, j) {
+			t.Fatal("lookup content wrong")
+		}
+		if out.Data.At(0, j) != out.Data.At(1, j) {
+			t.Fatal("repeated index mismatch")
+		}
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, ActGELU, 2, 4, 1)
+	ps := m.Params()
+	snap := Snapshot(ps)
+	orig := ps[0].Data.At(0, 0)
+	ps[0].Data.Set(0, 0, 999)
+	Restore(ps, snap)
+	if ps[0].Data.At(0, 0) != orig {
+		t.Fatal("Restore did not recover value")
+	}
+	// Snapshot must be independent of live params.
+	ps[0].Data.Set(0, 0, 123)
+	if snap[0].At(0, 0) == 123 {
+		t.Fatal("Snapshot aliases parameter storage")
+	}
+}
+
+func TestActivationString(t *testing.T) {
+	cases := map[Activation]string{
+		ActNone: "none", ActGELU: "gelu", ActReLU: "relu",
+		ActTanh: "tanh", ActSigmoid: "sigmoid", Activation(99): "unknown",
+	}
+	for a, want := range cases {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q want %q", a, a.String(), want)
+		}
+	}
+}

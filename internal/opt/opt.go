@@ -1,0 +1,181 @@
+// Package opt implements first-order stochastic optimizers over autodiff
+// parameters: SGD (with momentum), Adam, and AdaMax — the l∞ Adam variant
+// the paper trains Pitot with (App. B.3: lr=0.001, β1=0.9, β2=0.999).
+package opt
+
+import (
+	"math"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients, then leaves the
+	// gradients untouched (call ZeroGrads before the next accumulation).
+	Step()
+	// ZeroGrads clears all parameter gradients.
+	ZeroGrads()
+}
+
+// baseOpt holds the shared parameter list.
+type baseOpt struct {
+	params []*autodiff.Value
+}
+
+func (b *baseOpt) ZeroGrads() {
+	for _, p := range b.params {
+		p.ZeroGrad()
+	}
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	baseOpt
+	LR       float64
+	Momentum float64
+	vel      []*tensor.Matrix
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(params []*autodiff.Value, lr, momentum float64) *SGD {
+	s := &SGD{baseOpt: baseOpt{params}, LR: lr, Momentum: momentum}
+	if momentum != 0 {
+		s.vel = make([]*tensor.Matrix, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Data.Rows, p.Data.Cols)
+		}
+	}
+	return s
+}
+
+// Step applies p -= lr * (momentum-smoothed) gradient.
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		if s.Momentum == 0 {
+			tensor.AXPY(p.Data, -s.LR, p.Grad)
+			continue
+		}
+		v := s.vel[i]
+		for j, g := range p.Grad.Data {
+			v.Data[j] = s.Momentum*v.Data[j] + g
+			p.Data.Data[j] -= s.LR * v.Data[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba 2015).
+type Adam struct {
+	baseOpt
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  []*tensor.Matrix
+}
+
+// NewAdam creates Adam with the given hyperparameters; pass eps<=0 for the
+// default 1e-8.
+func NewAdam(params []*autodiff.Value, lr, beta1, beta2, eps float64) *Adam {
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	a := &Adam{baseOpt: baseOpt{params}, LR: lr, Beta1: beta1, Beta2: beta2, Eps: eps}
+	a.m = make([]*tensor.Matrix, len(params))
+	a.v = make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Data.Rows, p.Data.Cols)
+		a.v[i] = tensor.New(p.Data.Rows, p.Data.Cols)
+	}
+	return a
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*g*g
+			mh := m.Data[j] / bc1
+			vh := v.Data[j] / bc2
+			p.Data.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// AdaMax is the l∞ variant of Adam. The second moment is replaced by an
+// exponentially-decayed infinity norm u = max(β2·u, |g|), removing the need
+// for the second bias correction. This is the optimizer used for Pitot and
+// all baselines in the paper.
+type AdaMax struct {
+	baseOpt
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, u                  []*tensor.Matrix
+}
+
+// NewAdaMax creates AdaMax; pass lr<=0 for the paper default 0.001,
+// beta1/beta2<=0 for 0.9/0.999.
+func NewAdaMax(params []*autodiff.Value, lr, beta1, beta2 float64) *AdaMax {
+	if lr <= 0 {
+		lr = 0.001
+	}
+	if beta1 <= 0 {
+		beta1 = 0.9
+	}
+	if beta2 <= 0 {
+		beta2 = 0.999
+	}
+	a := &AdaMax{baseOpt: baseOpt{params}, LR: lr, Beta1: beta1, Beta2: beta2, Eps: 1e-8}
+	a.m = make([]*tensor.Matrix, len(params))
+	a.u = make([]*tensor.Matrix, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Data.Rows, p.Data.Cols)
+		a.u[i] = tensor.New(p.Data.Rows, p.Data.Cols)
+	}
+	return a
+}
+
+// Step applies one AdaMax update.
+func (a *AdaMax) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	for i, p := range a.params {
+		m, u := a.m[i], a.u[i]
+		for j, g := range p.Grad.Data {
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*g
+			au := math.Abs(g)
+			if b := a.Beta2 * u.Data[j]; b > au {
+				u.Data[j] = b
+			} else {
+				u.Data[j] = au
+			}
+			if u.Data[j] > 0 {
+				p.Data.Data[j] -= (a.LR / bc1) * m.Data[j] / (u.Data[j] + a.Eps)
+			}
+		}
+	}
+}
+
+// ClipGradients scales all gradients so the global l2 norm is at most
+// maxNorm; returns the pre-clip norm. A no-op when the norm is already
+// within bounds or maxNorm <= 0.
+func ClipGradients(params []*autodiff.Value, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			tensor.ScaleInPlace(p.Grad, scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,157 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/tensor"
+)
+
+// quadratic builds params for f(x) = Σ (x_i - c_i)², whose minimum is x=c.
+func quadratic(c []float64) (*autodiff.Value, func() *autodiff.Value) {
+	x := autodiff.NewParam(tensor.New(1, len(c)))
+	target := tensor.Vector(append([]float64(nil), c...))
+	loss := func() *autodiff.Value {
+		return autodiff.MSE(x, target)
+	}
+	return x, loss
+}
+
+func runOpt(t *testing.T, name string, makeOpt func(ps []*autodiff.Value) Optimizer, steps int, tol float64) {
+	t.Helper()
+	c := []float64{3, -2, 0.5}
+	x, loss := quadratic(c)
+	o := makeOpt([]*autodiff.Value{x})
+	for i := 0; i < steps; i++ {
+		l := loss()
+		l.Backward()
+		o.Step()
+		o.ZeroGrads()
+	}
+	for i, want := range c {
+		if math.Abs(x.Data.Data[i]-want) > tol {
+			t.Fatalf("%s: x[%d]=%v want %v", name, i, x.Data.Data[i], want)
+		}
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	runOpt(t, "sgd", func(ps []*autodiff.Value) Optimizer {
+		return NewSGD(ps, 0.5, 0)
+	}, 200, 1e-6)
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	runOpt(t, "sgd+momentum", func(ps []*autodiff.Value) Optimizer {
+		return NewSGD(ps, 0.1, 0.9)
+	}, 400, 1e-6)
+}
+
+func TestAdamConverges(t *testing.T) {
+	runOpt(t, "adam", func(ps []*autodiff.Value) Optimizer {
+		return NewAdam(ps, 0.1, 0.9, 0.999, 0)
+	}, 600, 1e-3)
+}
+
+func TestAdaMaxConverges(t *testing.T) {
+	runOpt(t, "adamax", func(ps []*autodiff.Value) Optimizer {
+		return NewAdaMax(ps, 0.1, 0.9, 0.999)
+	}, 600, 1e-3)
+}
+
+func TestAdaMaxDefaults(t *testing.T) {
+	p := autodiff.NewParam(tensor.New(1, 1))
+	a := NewAdaMax([]*autodiff.Value{p}, 0, 0, 0)
+	if a.LR != 0.001 || a.Beta1 != 0.9 || a.Beta2 != 0.999 {
+		t.Fatalf("defaults = %v %v %v", a.LR, a.Beta1, a.Beta2)
+	}
+}
+
+// AdaMax step size is bounded by lr/(1-β1^t), regardless of gradient scale —
+// the defining property of the l∞ variant.
+func TestAdaMaxBoundedStep(t *testing.T) {
+	p := autodiff.NewParam(tensor.FromSlice(1, 1, []float64{0}))
+	a := NewAdaMax([]*autodiff.Value{p}, 0.01, 0.9, 0.999)
+	p.Grad.Data[0] = 1e9 // enormous gradient
+	before := p.Data.Data[0]
+	a.Step()
+	step := math.Abs(p.Data.Data[0] - before)
+	bound := 0.01/(1-0.9) + 1e-9
+	if step > bound {
+		t.Fatalf("step %v exceeds AdaMax bound %v", step, bound)
+	}
+}
+
+func TestAdamVsSGDOnIllConditioned(t *testing.T) {
+	// f(x,y) = 100x² + y²: adaptive methods normalize per-coordinate scale.
+	build := func() (*autodiff.Value, func() *autodiff.Value) {
+		x := autodiff.NewParam(tensor.FromSlice(1, 2, []float64{1, 1}))
+		loss := func() *autodiff.Value {
+			xs := autodiff.Mul(x, x)
+			w := tensor.FromSlice(1, 2, []float64{100, 1})
+			return autodiff.Sum(autodiff.Mul(autodiff.NewConst(w), xs))
+		}
+		return x, loss
+	}
+	x, loss := build()
+	o := NewAdam([]*autodiff.Value{x}, 0.05, 0.9, 0.999, 0)
+	for i := 0; i < 500; i++ {
+		loss().Backward()
+		o.Step()
+		o.ZeroGrads()
+	}
+	if math.Abs(x.Data.Data[0]) > 1e-2 || math.Abs(x.Data.Data[1]) > 0.2 {
+		t.Fatalf("adam did not converge: %v", x.Data.Data)
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	p := autodiff.NewParam(tensor.FromSlice(1, 1, []float64{1}))
+	o := NewSGD([]*autodiff.Value{p}, 0.1, 0)
+	p.Grad.Data[0] = 5
+	o.ZeroGrads()
+	if p.Grad.Data[0] != 0 {
+		t.Fatal("ZeroGrads failed")
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := autodiff.NewParam(tensor.FromSlice(1, 2, []float64{0, 0}))
+	p.Grad.Data[0] = 3
+	p.Grad.Data[1] = 4 // norm 5
+	norm := ClipGradients([]*autodiff.Value{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v", norm)
+	}
+	var after float64
+	for _, g := range p.Grad.Data {
+		after += g * g
+	}
+	if math.Abs(math.Sqrt(after)-1) > 1e-12 {
+		t.Fatalf("post-clip norm %v", math.Sqrt(after))
+	}
+	// No-op when within bounds.
+	norm2 := ClipGradients([]*autodiff.Value{p}, 10)
+	if math.Abs(norm2-1) > 1e-12 || math.Abs(p.Grad.Data[0]-3.0/5) > 1e-12 {
+		t.Fatal("clip modified in-bounds gradients")
+	}
+}
+
+func TestStochasticNoiseConvergence(t *testing.T) {
+	// AdaMax on a noisy quadratic still converges near the optimum —
+	// mirrors the real training regime.
+	rng := rand.New(rand.NewSource(1))
+	x := autodiff.NewParam(tensor.FromSlice(1, 1, []float64{5}))
+	o := NewAdaMax([]*autodiff.Value{x}, 0.05, 0.9, 0.999)
+	for i := 0; i < 3000; i++ {
+		noisyTarget := tensor.FromSlice(1, 1, []float64{2 + 0.1*rng.NormFloat64()})
+		autodiff.MSE(x, noisyTarget).Backward()
+		o.Step()
+		o.ZeroGrads()
+	}
+	if math.Abs(x.Data.Data[0]-2) > 0.2 {
+		t.Fatalf("noisy convergence: %v want ~2", x.Data.Data[0])
+	}
+}

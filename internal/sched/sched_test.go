@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fakePred is a deterministic predictor for unit tests: runtime = base[p]
+// * (1 + 0.5*len(interferers)), bound = estimate * 1.5.
+type fakePred struct{ base []float64 }
+
+func (f fakePred) EstimateSeconds(w, p int, ks []int) float64 {
+	return f.base[p] * (1 + 0.5*float64(len(ks)))
+}
+
+func (f fakePred) BoundSeconds(w, p int, ks []int, eps float64) float64 {
+	return f.EstimateSeconds(w, p, ks) * 1.5
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, MeanPolicy{}, fakePred{}); err == nil {
+		t.Fatal("accepted zero platforms")
+	}
+	s, err := New(Config{NumPlatforms: 2}, MeanPolicy{}, fakePred{base: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.MaxColocation != 4 {
+		t.Fatal("default max colocation wrong")
+	}
+}
+
+func TestPlaceFeasibility(t *testing.T) {
+	pred := fakePred{base: []float64{1.0, 5.0}}
+	s, _ := New(Config{NumPlatforms: 2}, MeanPolicy{}, pred)
+	// Deadline 2: only platform 0 feasible.
+	a := s.Place(Job{Workload: 0, Deadline: 2})
+	if !a.Placed() || a.Platform != 0 {
+		t.Fatalf("placed on %d", a.Platform)
+	}
+	// Deadline 0.5: nothing feasible.
+	a = s.Place(Job{Workload: 1, Deadline: 0.5})
+	if a.Placed() {
+		t.Fatal("placed infeasible job")
+	}
+}
+
+func TestPlacePrefersLeastLoaded(t *testing.T) {
+	pred := fakePred{base: []float64{1.0, 1.0}}
+	s, _ := New(Config{NumPlatforms: 2}, MeanPolicy{}, pred)
+	a1 := s.Place(Job{Workload: 0, Deadline: 10})
+	a2 := s.Place(Job{Workload: 1, Deadline: 10})
+	if a1.Platform == a2.Platform {
+		t.Fatal("did not spread load")
+	}
+}
+
+func TestPlaceRespectsColocationCap(t *testing.T) {
+	pred := fakePred{base: []float64{1.0}}
+	s, _ := New(Config{NumPlatforms: 1, MaxColocation: 2}, MeanPolicy{}, pred)
+	if !s.Place(Job{Workload: 0, Deadline: 100}).Placed() {
+		t.Fatal("first job unplaced")
+	}
+	if !s.Place(Job{Workload: 1, Deadline: 100}).Placed() {
+		t.Fatal("second job unplaced")
+	}
+	if s.Place(Job{Workload: 2, Deadline: 100}).Placed() {
+		t.Fatal("exceeded colocation cap")
+	}
+	if len(s.Residents(0)) != 2 {
+		t.Fatal("resident bookkeeping wrong")
+	}
+}
+
+func TestPlaceAccountsForInterference(t *testing.T) {
+	// Platform runtime doubles with 2 residents; the third job's deadline
+	// only fits an empty platform.
+	pred := fakePred{base: []float64{1.0, 1.2}}
+	s, _ := New(Config{NumPlatforms: 2}, MeanPolicy{}, pred)
+	s.Place(Job{Workload: 0, Deadline: 10})
+	s.Place(Job{Workload: 1, Deadline: 10})
+	// both platforms have 1 resident; estimate = base*1.5
+	a := s.Place(Job{Workload: 2, Deadline: 1.6})
+	if !a.Placed() || a.Platform != 0 {
+		t.Fatalf("expected platform 0, got %+v", a)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	pred := fakePred{base: []float64{2.0}}
+	if MeanPolicy.Score(MeanPolicy{}, pred, Job{}, 0, nil) != 2.0 {
+		t.Fatal("mean score")
+	}
+	if (BoundPolicy{Eps: 0.1}).Score(pred, Job{}, 0, nil) != 3.0 {
+		t.Fatal("bound score")
+	}
+	if (PaddedMeanPolicy{Factor: 2}).Score(pred, Job{}, 0, nil) != 4.0 {
+		t.Fatal("padded score")
+	}
+	for _, p := range []Policy{MeanPolicy{}, BoundPolicy{0.1}, PaddedMeanPolicy{1.5}} {
+		if p.Name() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+}
+
+// noisyOracle returns base * lognormal noise; heavy enough that a mean
+// estimate misses deadlines a conformal bound meets.
+type noisyOracle struct {
+	base  []float64
+	sigma float64
+	rng   *rand.Rand
+}
+
+func (o *noisyOracle) TrueSeconds(w, p int, ks []int) float64 {
+	return o.base[p] * (1 + 0.5*float64(len(ks))) * math.Exp(o.sigma*o.rng.NormFloat64())
+}
+
+// calibratedPred mimics a predictor whose bound includes the noise
+// quantile (as conformal calibration would produce).
+type calibratedPred struct {
+	base  []float64
+	sigma float64
+}
+
+func (c calibratedPred) EstimateSeconds(w, p int, ks []int) float64 {
+	return c.base[p] * (1 + 0.5*float64(len(ks)))
+}
+
+func (c calibratedPred) BoundSeconds(w, p int, ks []int, eps float64) float64 {
+	// 1-eps quantile of the lognormal noise: exp(sigma * z_{1-eps}).
+	z := 1.2816 // z_{0.90}
+	if eps <= 0.05 {
+		z = 1.6449
+	}
+	return c.EstimateSeconds(w, p, ks) * math.Exp(c.sigma*z)
+}
+
+func TestSimulateBoundPolicyMeetsDeadlines(t *testing.T) {
+	const n = 6
+	base := []float64{1, 1.1, 0.9, 1.2, 1.0, 0.95}
+	pred := calibratedPred{base: base, sigma: 0.4}
+	var jobs []Job
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, Job{Workload: i, Deadline: 2.2})
+	}
+	run := func(pol Policy) Outcome {
+		s, _ := New(Config{NumPlatforms: n, MaxColocation: 4}, pol, pred)
+		as := s.PlaceAll(jobs)
+		oracle := &noisyOracle{base: base, sigma: 0.4, rng: rand.New(rand.NewSource(1))}
+		return Simulate(pol.Name(), as, oracle, s.Residents, 20)
+	}
+	mean := run(MeanPolicy{})
+	bound := run(BoundPolicy{Eps: 0.1})
+
+	if mean.Placed == 0 || bound.Placed == 0 {
+		t.Fatalf("no placements: %+v %+v", mean, bound)
+	}
+	// The mean policy accepts placements whose tail exceeds the deadline;
+	// the bound policy's misses must be much rarer.
+	if bound.MissRate >= mean.MissRate {
+		t.Fatalf("bound policy miss rate %.3f not below mean policy %.3f",
+			bound.MissRate, mean.MissRate)
+	}
+	t.Logf("mean: placed %d missRate %.3f | bound: placed %d missRate %.3f",
+		mean.Placed, mean.MissRate, bound.Placed, bound.MissRate)
+}
+
+func TestSimulateCountsUnplaced(t *testing.T) {
+	as := []Assignment{{Job: Job{Deadline: 1}, Platform: -1}}
+	out := Simulate("x", as, nil, nil, 1)
+	if out.Unplaced != 1 || out.Placed != 0 || out.MissRate != 0 || out.TotalExecutions != 0 {
+		t.Fatalf("outcome %+v", out)
+	}
+}
+
+// With a perfectly calibrated bound, the per-execution miss rate must stay
+// near eps while the mean policy's rate is far above it.
+func TestBoundPolicyMissRateNearEps(t *testing.T) {
+	base := []float64{1, 1, 1, 1}
+	const sigma = 0.4
+	const eps = 0.1
+	pred := calibratedPred{base: base, sigma: sigma}
+	var jobs []Job
+	for i := 0; i < 20; i++ {
+		// Deadline exactly at the calibrated bound for an empty platform:
+		// placements are feasible and the guarantee is tested at its edge.
+		jobs = append(jobs, Job{Workload: i, Deadline: pred.BoundSeconds(i, 0, nil, eps) * 1.001})
+	}
+	s, _ := New(Config{NumPlatforms: 4, MaxColocation: 1}, BoundPolicy{Eps: eps}, pred)
+	as := s.PlaceAll(jobs)
+	oracle := &noisyOracle{base: base, sigma: sigma, rng: rand.New(rand.NewSource(3))}
+	out := Simulate("bound", as, oracle, s.Residents, 200)
+	if out.Placed != 4 { // MaxColocation 1 on 4 platforms
+		t.Fatalf("placed %d", out.Placed)
+	}
+	if out.MissRate > eps+0.05 {
+		t.Fatalf("miss rate %.3f well above eps %.2f", out.MissRate, eps)
+	}
+}

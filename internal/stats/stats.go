@@ -1,0 +1,278 @@
+// Package stats provides the statistical utilities shared across the
+// repository: quantiles (including the finite-sample conformal quantile),
+// summary statistics with standard errors, histograms for the interference
+// analysis (paper Fig. 1), and deterministic sampling helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, the
+// benchmarking-correct average (paper §3.2).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean. The paper's figures show
+// ±2 standard errors.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Summary bundles mean and ±2-stderr bounds across replicates, matching the
+// error bars in the paper's figures.
+type Summary struct {
+	Mean   float64
+	StdErr float64
+	N      int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{Mean: Mean(xs), StdErr: StdErr(xs), N: len(xs)}
+}
+
+// Lo returns mean - 2*stderr.
+func (s Summary) Lo() float64 { return s.Mean - 2*s.StdErr }
+
+// Hi returns mean + 2*stderr.
+func (s Summary) Hi() float64 { return s.Mean + 2*s.StdErr }
+
+// String formats the summary as "mean ± 2se".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", s.Mean, 2*s.StdErr)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+// Panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// ConformalQuantile returns the split-conformal calibration offset for
+// one-sided coverage: the ⌈(n+1)(1-ε)⌉-th smallest score, which guarantees
+// P(new score ≤ offset) ≥ 1-ε under exchangeability (Shafer & Vovk 2008).
+// Returns +Inf when the calibration set is too small for the requested ε
+// (i.e. ⌈(n+1)(1-ε)⌉ > n), the standard conservative fallback.
+func ConformalQuantile(scores []float64, eps float64) float64 {
+	n := len(scores)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	k := int(math.Ceil(float64(n+1) * (1 - eps)))
+	if k > n {
+		return math.Inf(1)
+	}
+	if k < 1 {
+		k = 1
+	}
+	s := append([]float64(nil), scores...)
+	sort.Float64s(s)
+	return s[k-1]
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi); values outside the
+// range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+}
+
+// NewHistogram creates a histogram with the given bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram [%v,%v) x%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(x float64) {
+	b := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.Total++
+}
+
+// BinCenter returns the midpoint of bin b.
+func (h *Histogram) BinCenter(b int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(b)+0.5)
+}
+
+// Density returns the normalized density of bin b.
+func (h *Histogram) Density(b int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[b]) / (float64(h.Total) * w)
+}
+
+// Render draws an ASCII bar chart of the histogram with the given label
+// function for bins, used by cmd/datagen for the Fig. 1 reproduction.
+func (h *Histogram) Render(width int, label func(b int) string) string {
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return "(empty histogram)\n"
+	}
+	out := ""
+	for b, c := range h.Counts {
+		// Log scale, matching the paper's log-density histogram.
+		frac := math.Log1p(float64(c)) / math.Log1p(float64(maxC))
+		n := int(frac * float64(width))
+		bar := ""
+		for i := 0; i < n; i++ {
+			bar += "#"
+		}
+		out += fmt.Sprintf("%12s |%s %d\n", label(b), bar, c)
+	}
+	return out
+}
+
+// Shuffle permutes idx deterministically with rng.
+func Shuffle(rng *rand.Rand, idx []int) {
+	rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Perm returns a deterministic permutation of [0,n).
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }
+
+// SampleWithoutReplacement draws k distinct values from [0,n).
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("stats: sample %d from %d", k, n))
+	}
+	p := rng.Perm(n)
+	return p[:k]
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+// Returns 0 when either side has zero variance or inputs are shorter than 2.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("stats: Pearson length mismatch")
+	}
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of paired samples.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks, handling ties.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdErr(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if math.Abs(Variance(xs)-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if math.Abs(StdErr(xs)-StdDev(xs)/math.Sqrt(8)) > 1e-12 {
+		t.Fatal("StdErr inconsistent")
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 || StdErr(nil) != 0 {
+		t.Fatal("empty/degenerate cases wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if math.Abs(GeoMean([]float64{1, 100})-10) > 1e-9 {
+		t.Fatalf("GeoMean = %v", GeoMean([]float64{1, 100}))
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.Mean != 2 || s.N != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if math.Abs((s.Hi()-s.Lo())-4*s.StdErr) > 1e-12 {
+		t.Fatal("Lo/Hi not ±2 stderr")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n8 uint8) bool {
+		n := int(n8%50) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestConformalQuantileIndex(t *testing.T) {
+	// n=9, eps=0.1: k = ceil(10*0.9) = 9 -> the max.
+	scores := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if got := ConformalQuantile(scores, 0.1); got != 9 {
+		t.Fatalf("got %v want 9", got)
+	}
+	// n=19, eps=0.1: k = ceil(20*0.9) = 18.
+	scores19 := make([]float64, 19)
+	for i := range scores19 {
+		scores19[i] = float64(i + 1)
+	}
+	if got := ConformalQuantile(scores19, 0.1); got != 18 {
+		t.Fatalf("got %v want 18", got)
+	}
+}
+
+func TestConformalQuantileInfWhenTooSmall(t *testing.T) {
+	// n=5, eps=0.01: ceil(6*0.99)=6 > 5 -> +Inf.
+	if !math.IsInf(ConformalQuantile([]float64{1, 2, 3, 4, 5}, 0.01), 1) {
+		t.Fatal("expected +Inf for insufficient calibration data")
+	}
+	if !math.IsInf(ConformalQuantile(nil, 0.1), 1) {
+		t.Fatal("expected +Inf for empty calibration set")
+	}
+}
+
+// Property: conformal coverage guarantee holds empirically — for iid
+// samples, P(new ≤ offset) ≥ 1-ε on average.
+func TestConformalCoverageGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const trials = 400
+	const n = 99
+	eps := 0.1
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		cal := make([]float64, n)
+		for i := range cal {
+			cal[i] = rng.NormFloat64()
+		}
+		off := ConformalQuantile(cal, eps)
+		if rng.NormFloat64() <= off {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 1-eps-0.04 {
+		t.Fatalf("empirical coverage %v < %v", rate, 1-eps)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 3, 3, 7, 9.9, -5, 50} {
+		h.Add(v)
+	}
+	if h.Total != 8 {
+		t.Fatalf("Total = %d", h.Total)
+	}
+	// clamping: -5 in bin 0, 50 in bin 4
+	if h.Counts[0] != 3 { // 0.5, 1, -5
+		t.Fatalf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[3] != 1 { // 7
+		t.Fatalf("bin3 = %d", h.Counts[3])
+	}
+	if h.Counts[4] != 2 { // 9.9, 50 (clamped)
+		t.Fatalf("bin4 = %d", h.Counts[4])
+	}
+	if h.BinCenter(0) != 1 {
+		t.Fatalf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	var total float64
+	w := 2.0
+	for b := range h.Counts {
+		total += h.Density(b) * w
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("densities integrate to %v", total)
+	}
+	if h.Render(20, func(b int) string { return "x" }) == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(1, 0, 3)
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := SampleWithoutReplacement(rng, 10, 5)
+	if len(s) != 5 {
+		t.Fatalf("len %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad sample %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if math.Abs(Pearson(xs, ys)-1) > 1e-12 {
+		t.Fatalf("Pearson = %v", Pearson(xs, ys))
+	}
+	neg := []float64{8, 6, 4, 2}
+	if math.Abs(Pearson(xs, neg)+1) > 1e-12 {
+		t.Fatal("negative correlation wrong")
+	}
+	if Pearson([]float64{1, 1}, []float64{1, 2}) != 0 {
+		t.Fatal("zero-variance should be 0")
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125} // monotone but nonlinear
+	if math.Abs(Spearman(xs, ys)-1) > 1e-12 {
+		t.Fatalf("Spearman = %v", Spearman(xs, ys))
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{0, 1.5, 1.5, 3}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v want %v", r, want)
+		}
+	}
+}
+
+// Property: quantile of sorted data at k/(n-1) returns the k-th element.
+func TestQuantileExactAtGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 11)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for k := 0; k < 11; k++ {
+		q := float64(k) / 10
+		if math.Abs(Quantile(xs, q)-sorted[k]) > 1e-12 {
+			t.Fatalf("grid quantile %v wrong", q)
+		}
+	}
+}

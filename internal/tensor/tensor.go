@@ -1,0 +1,490 @@
+// Package tensor implements dense float64 matrices and the linear-algebra
+// kernels used throughout the repository. It is deliberately small: 2-D
+// row-major matrices with the operations needed by the autodiff engine,
+// the Pitot model, and the evaluation harness.
+//
+// All operations are deterministic. Operations that can profit from
+// parallelism (matrix multiplication) shard across goroutines when the
+// problem is large enough to amortize the synchronization cost.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty (0x0) matrix. Matrices are mutable; operations
+// ending in "Into" write into an existing destination, while the plain forms
+// allocate their result.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero-initialized rows x cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (length rows*cols, row-major) in a Matrix. The slice
+// is used directly, not copied.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice got %d values for %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: ragged row %d: %d != %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// Vector returns a 1 x n row vector wrapping data.
+func Vector(data []float64) *Matrix { return FromSlice(1, len(data), data) }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src into m. Panics on shape mismatch.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.assertSameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element of m to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix(%dx%d)[", m.Rows, m.Cols)
+	limit := m.Rows
+	if limit > 6 {
+		limit = 6
+	}
+	for i := 0; i < limit; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		cl := m.Cols
+		if cl > 8 {
+			cl = 8
+		}
+		for j := 0; j < cl; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+		if cl < m.Cols {
+			s += " ..."
+		}
+	}
+	if limit < m.Rows {
+		s += "; ..."
+	}
+	return s + "]"
+}
+
+func (m *Matrix) assertSameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// minParallelWork is the flop count below which MatMul stays single-threaded.
+const minParallelWork = 1 << 18
+
+// MatMul returns a*b.
+func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b, false)
+	return out
+}
+
+// MatMulInto computes dst = a*b, or dst += a*b when accumulate is true.
+// dst must be a.Rows x b.Cols and must not alias a or b.
+func MatMulInto(dst, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	if !accumulate {
+		dst.Zero()
+	}
+	work := a.Rows * a.Cols * b.Cols
+	workers := 1
+	if work >= minParallelWork {
+		workers = runtime.GOMAXPROCS(0)
+		if workers > a.Rows {
+			workers = a.Rows
+		}
+	}
+	if workers <= 1 {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRange(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRange computes rows [lo,hi) of dst += a*b using the cache-friendly
+// i-k-j ordering.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulATB returns aᵀ*b without materializing the transpose.
+func MatMulATB(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATB dims %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a*bᵀ without materializing the transpose.
+func MatMulABT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABT dims %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// Add returns a+b elementwise.
+func Add(a, b *Matrix) *Matrix {
+	a.assertSameShape(b, "Add")
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace computes a += b elementwise.
+func AddInPlace(a, b *Matrix) {
+	a.assertSameShape(b, "AddInPlace")
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Sub returns a-b elementwise.
+func Sub(a, b *Matrix) *Matrix {
+	a.assertSameShape(b, "Sub")
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a∘b.
+func Mul(a, b *Matrix) *Matrix {
+	a.assertSameShape(b, "Mul")
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// Scale returns c*a.
+func Scale(a *Matrix, c float64) *Matrix {
+	out := New(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = c * v
+	}
+	return out
+}
+
+// ScaleInPlace computes a *= c.
+func ScaleInPlace(a *Matrix, c float64) {
+	for i := range a.Data {
+		a.Data[i] *= c
+	}
+}
+
+// AXPY computes dst += c*src elementwise.
+func AXPY(dst *Matrix, c float64, src *Matrix) {
+	dst.assertSameShape(src, "AXPY")
+	for i, v := range src.Data {
+		dst.Data[i] += c * v
+	}
+}
+
+// AddRowVector returns m with the 1 x Cols row vector v added to every row.
+func AddRowVector(m, v *Matrix) *Matrix {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVector %dx%d + %dx%d", m.Rows, m.Cols, v.Rows, v.Cols))
+	}
+	out := New(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		orow := out.Row(i)
+		for j, x := range row {
+			orow[j] = x + v.Data[j]
+		}
+	}
+	return out
+}
+
+// Apply returns f applied elementwise to m.
+func Apply(m *Matrix, f func(float64) float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty matrices).
+func (m *Matrix) Mean() float64 {
+	if len(m.Data) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.Data))
+}
+
+// RowSums returns a Rows x 1 matrix of per-row sums.
+func (m *Matrix) RowSums() *Matrix {
+	out := New(m.Rows, 1)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// ColSums returns a 1 x Cols matrix of per-column sums.
+func (m *Matrix) ColSums() *Matrix {
+	out := New(1, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute value in m (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// FrobeniusNorm returns sqrt(Σ m_ij²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equal-shape matrices viewed as vectors.
+func Dot(a, b *Matrix) float64 {
+	a.assertSameShape(b, "Dot")
+	var s float64
+	for i, v := range a.Data {
+		s += v * b.Data[i]
+	}
+	return s
+}
+
+// GatherRows returns the matrix whose i-th row is m.Row(idx[i]).
+func GatherRows(m *Matrix, idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// ScatterAddRows adds each row of src into dst.Row(idx[i]). Used for the
+// backward pass of GatherRows.
+func ScatterAddRows(dst, src *Matrix, idx []int) {
+	if src.Rows != len(idx) || src.Cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: ScatterAddRows src %dx%d idx %d dst %dx%d",
+			src.Rows, src.Cols, len(idx), dst.Rows, dst.Cols))
+	}
+	for i, r := range idx {
+		drow := dst.Row(r)
+		for j, v := range src.Row(i) {
+			drow[j] += v
+		}
+	}
+}
+
+// ConcatCols returns [a | b], the column-wise concatenation.
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: ConcatCols rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := out.Row(i)
+		copy(row[:a.Cols], a.Row(i))
+		copy(row[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SliceCols returns columns [lo,hi) of m as a copy.
+func SliceCols(m *Matrix, lo, hi int) *Matrix {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d cols", lo, hi, m.Cols))
+	}
+	out := New(m.Rows, hi-lo)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and elements within tol.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if math.Abs(v-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any element is NaN or ±Inf.
+func (m *Matrix) HasNaN() bool {
+	for _, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

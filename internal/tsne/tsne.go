@@ -1,0 +1,315 @@
+// Package tsne implements t-distributed Stochastic Neighbor Embedding
+// (van der Maaten & Hinton 2008) for projecting Pitot's learned embeddings
+// to two dimensions (paper Fig. 7 and Fig. 12a–c). The exact (non
+// Barnes-Hut) formulation is used; the embedding tables are small (a few
+// hundred rows), so the O(n²) cost is negligible.
+package tsne
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Config controls the embedding run.
+type Config struct {
+	Seed       int64
+	Perplexity float64 // effective neighbor count; default 15
+	Iters      int     // gradient steps; default 500
+	LearnRate  float64 // default 100
+	OutDims    int     // default 2
+}
+
+// Defaults fills unset fields.
+func (c Config) Defaults() Config {
+	if c.Perplexity == 0 {
+		c.Perplexity = 15
+	}
+	if c.Iters == 0 {
+		c.Iters = 500
+	}
+	if c.LearnRate == 0 {
+		c.LearnRate = 100
+	}
+	if c.OutDims == 0 {
+		c.OutDims = 2
+	}
+	return c
+}
+
+// Embed projects the rows of x to Config.OutDims dimensions.
+func Embed(x *tensor.Matrix, cfg Config) *tensor.Matrix {
+	cfg = cfg.Defaults()
+	n := x.Rows
+	if n == 0 {
+		return tensor.New(0, cfg.OutDims)
+	}
+	p := jointProbabilities(x, cfg.Perplexity)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	y := tensor.New(n, cfg.OutDims)
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64() * 1e-2
+	}
+	vel := tensor.New(n, cfg.OutDims)
+	gains := tensor.New(n, cfg.OutDims)
+	gains.Fill(1)
+
+	const exaggeration = 4.0
+	exaggerationIters := cfg.Iters / 4
+	for i := range p.Data {
+		p.Data[i] *= exaggeration
+	}
+	for iter := 0; iter < cfg.Iters; iter++ {
+		if iter == exaggerationIters {
+			for i := range p.Data {
+				p.Data[i] /= exaggeration
+			}
+		}
+		momentum := 0.5
+		if iter >= cfg.Iters/2 {
+			momentum = 0.8
+		}
+		grad := gradient(p, y)
+		for i := range y.Data {
+			// Adaptive per-parameter gains (standard t-SNE trick).
+			if (grad.Data[i] > 0) != (vel.Data[i] > 0) {
+				gains.Data[i] += 0.2
+			} else {
+				gains.Data[i] *= 0.8
+				if gains.Data[i] < 0.01 {
+					gains.Data[i] = 0.01
+				}
+			}
+			vel.Data[i] = momentum*vel.Data[i] - cfg.LearnRate*gains.Data[i]*grad.Data[i]
+			y.Data[i] += vel.Data[i]
+		}
+		centerRows(y)
+	}
+	return y
+}
+
+// centerRows subtracts the column means so the embedding stays centered.
+func centerRows(y *tensor.Matrix) {
+	means := y.ColSums()
+	n := float64(y.Rows)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j := range row {
+			row[j] -= means.Data[j] / n
+		}
+	}
+}
+
+// pairwiseSqDist returns the matrix of squared euclidean distances.
+func pairwiseSqDist(x *tensor.Matrix) *tensor.Matrix {
+	n := x.Rows
+	d := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		ri := x.Row(i)
+		for j := i + 1; j < n; j++ {
+			rj := x.Row(j)
+			var s float64
+			for k, v := range ri {
+				diff := v - rj[k]
+				s += diff * diff
+			}
+			d.Set(i, j, s)
+			d.Set(j, i, s)
+		}
+	}
+	return d
+}
+
+// jointProbabilities computes the symmetrized affinity matrix P with the
+// per-point bandwidths found by binary search on perplexity.
+func jointProbabilities(x *tensor.Matrix, perplexity float64) *tensor.Matrix {
+	n := x.Rows
+	d := pairwiseSqDist(x)
+	p := tensor.New(n, n)
+	logU := math.Log(perplexity)
+	for i := 0; i < n; i++ {
+		// Binary search beta = 1/(2σ²) to hit the target entropy.
+		beta, betaMin, betaMax := 1.0, math.Inf(-1), math.Inf(1)
+		var row []float64
+		for iter := 0; iter < 64; iter++ {
+			row = condProb(d.Row(i), i, beta)
+			h := entropy(row)
+			diff := h - logU
+			if math.Abs(diff) < 1e-5 {
+				break
+			}
+			if diff > 0 {
+				betaMin = beta
+				if math.IsInf(betaMax, 1) {
+					beta *= 2
+				} else {
+					beta = (beta + betaMax) / 2
+				}
+			} else {
+				betaMax = beta
+				if math.IsInf(betaMin, -1) {
+					beta /= 2
+				} else {
+					beta = (beta + betaMin) / 2
+				}
+			}
+		}
+		copy(p.Row(i), row)
+	}
+	// Symmetrize and normalize: P = (P + Pᵀ) / 2n, floored for stability.
+	out := tensor.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := (p.At(i, j) + p.At(j, i)) / (2 * float64(n))
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			if i == j {
+				v = 0
+			}
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}
+
+// condProb returns the conditional distribution p_{j|i} for bandwidth beta.
+func condProb(dists []float64, i int, beta float64) []float64 {
+	n := len(dists)
+	row := make([]float64, n)
+	var sum float64
+	for j, dv := range dists {
+		if j == i {
+			continue
+		}
+		e := math.Exp(-dv * beta)
+		row[j] = e
+		sum += e
+	}
+	if sum == 0 {
+		// Degenerate: all other points infinitely far; uniform fallback.
+		for j := range row {
+			if j != i {
+				row[j] = 1 / float64(n-1)
+			}
+		}
+		return row
+	}
+	for j := range row {
+		row[j] /= sum
+	}
+	return row
+}
+
+// entropy returns the Shannon entropy of a distribution (natural log).
+func entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 1e-300 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// gradient computes the exact t-SNE KL gradient.
+func gradient(p, y *tensor.Matrix) *tensor.Matrix {
+	n := y.Rows
+	dims := y.Cols
+	// Student-t affinities q_ij ∝ (1+||y_i-y_j||²)⁻¹.
+	num := tensor.New(n, n)
+	var zSum float64
+	for i := 0; i < n; i++ {
+		ri := y.Row(i)
+		for j := i + 1; j < n; j++ {
+			rj := y.Row(j)
+			var s float64
+			for k := 0; k < dims; k++ {
+				diff := ri[k] - rj[k]
+				s += diff * diff
+			}
+			v := 1 / (1 + s)
+			num.Set(i, j, v)
+			num.Set(j, i, v)
+			zSum += 2 * v
+		}
+	}
+	grad := tensor.New(n, dims)
+	for i := 0; i < n; i++ {
+		ri := y.Row(i)
+		gi := grad.Row(i)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			q := num.At(i, j) / zSum
+			if q < 1e-12 {
+				q = 1e-12
+			}
+			mult := 4 * (p.At(i, j) - q) * num.At(i, j)
+			rj := y.Row(j)
+			for k := 0; k < dims; k++ {
+				gi[k] += mult * (ri[k] - rj[k])
+			}
+		}
+	}
+	return grad
+}
+
+// KNNPurity scores how well labels cluster in the embedded space: the mean
+// fraction of each point's k nearest neighbors sharing its label. Used to
+// verify the qualitative claims of paper Fig. 7 / 12 quantitatively.
+func KNNPurity(y *tensor.Matrix, labels []string, k int) float64 {
+	idx := make([]int, y.Rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	return KNNPuritySubset(y, labels, idx, k)
+}
+
+// KNNPuritySubset is KNNPurity averaged only over the points in subset
+// (neighbors are still drawn from the full embedding).
+func KNNPuritySubset(y *tensor.Matrix, labels []string, subset []int, k int) float64 {
+	n := y.Rows
+	if n == 0 || k <= 0 || len(subset) == 0 {
+		return 0
+	}
+	d := pairwiseSqDist(y)
+	var total float64
+	for _, i := range subset {
+		type nd struct {
+			j    int
+			dist float64
+		}
+		nds := make([]nd, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				nds = append(nds, nd{j, d.At(i, j)})
+			}
+		}
+		// partial selection sort for the k nearest
+		kk := k
+		if kk > len(nds) {
+			kk = len(nds)
+		}
+		for a := 0; a < kk; a++ {
+			best := a
+			for b := a + 1; b < len(nds); b++ {
+				if nds[b].dist < nds[best].dist {
+					best = b
+				}
+			}
+			nds[a], nds[best] = nds[best], nds[a]
+		}
+		match := 0
+		for a := 0; a < kk; a++ {
+			if labels[nds[a].j] == labels[i] {
+				match++
+			}
+		}
+		total += float64(match) / float64(kk)
+	}
+	return total / float64(len(subset))
+}

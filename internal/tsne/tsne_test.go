@@ -1,0 +1,156 @@
+package tsne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// clusters generates n points around c well-separated centers in dim-D.
+func clusters(rng *rand.Rand, n, c, dim int) (*tensor.Matrix, []string) {
+	x := tensor.New(n, dim)
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		ci := i % c
+		labels[i] = string(rune('A' + ci))
+		for j := 0; j < dim; j++ {
+			center := 0.0
+			if j == ci {
+				center = 8.0
+			}
+			x.Set(i, j, center+0.3*rng.NormFloat64())
+		}
+	}
+	return x, labels
+}
+
+func TestEmbedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := clusters(rng, 30, 3, 5)
+	y := Embed(x, Config{Seed: 1, Iters: 100})
+	if y.Rows != 30 || y.Cols != 2 {
+		t.Fatalf("embed shape %dx%d", y.Rows, y.Cols)
+	}
+	if y.HasNaN() {
+		t.Fatal("NaN in embedding")
+	}
+}
+
+func TestEmbedEmpty(t *testing.T) {
+	y := Embed(tensor.New(0, 4), Config{})
+	if y.Rows != 0 || y.Cols != 2 {
+		t.Fatal("empty embed wrong shape")
+	}
+}
+
+func TestEmbedSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, labels := clusters(rng, 60, 3, 6)
+	y := Embed(x, Config{Seed: 2, Iters: 400, Perplexity: 10})
+	purity := KNNPurity(y, labels, 5)
+	if purity < 0.9 {
+		t.Fatalf("kNN purity %.3f < 0.9: clusters not separated", purity)
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, _ := clusters(rng, 20, 2, 4)
+	a := Embed(x, Config{Seed: 5, Iters: 50})
+	b := Embed(x, Config{Seed: 5, Iters: 50})
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("same seed produced different embeddings")
+	}
+}
+
+func TestEmbedCentered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, _ := clusters(rng, 40, 4, 6)
+	y := Embed(x, Config{Seed: 6, Iters: 120})
+	sums := y.ColSums()
+	for _, s := range sums.Data {
+		if math.Abs(s)/float64(y.Rows) > 1e-6 {
+			t.Fatalf("embedding not centered: col sums %v", sums.Data)
+		}
+	}
+}
+
+func TestJointProbabilitiesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, _ := clusters(rng, 25, 3, 4)
+	p := jointProbabilities(x, 8)
+	var total float64
+	for i := 0; i < p.Rows; i++ {
+		if p.At(i, i) != 0 {
+			t.Fatal("diagonal not zero")
+		}
+		for j := 0; j < p.Cols; j++ {
+			v := p.At(i, j)
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("invalid probability %v", v)
+			}
+			if math.Abs(p.At(i, j)-p.At(j, i)) > 1e-15 {
+				t.Fatal("P not symmetric")
+			}
+			total += v
+		}
+	}
+	// Sums to ~1 (up to the 1e-12 floor terms).
+	if math.Abs(total-1) > 1e-3 {
+		t.Fatalf("P sums to %v", total)
+	}
+}
+
+func TestPerplexityBinarySearchHitsTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, _ := clusters(rng, 50, 1, 4) // single blob: all bandwidths solvable
+	d := pairwiseSqDist(x)
+	target := 12.0
+	logU := math.Log(target)
+	// Replicate one binary search and verify entropy convergence.
+	beta, betaMin, betaMax := 1.0, math.Inf(-1), math.Inf(1)
+	var h float64
+	for iter := 0; iter < 64; iter++ {
+		row := condProb(d.Row(0), 0, beta)
+		h = entropy(row)
+		diff := h - logU
+		if math.Abs(diff) < 1e-5 {
+			break
+		}
+		if diff > 0 {
+			betaMin = beta
+			if math.IsInf(betaMax, 1) {
+				beta *= 2
+			} else {
+				beta = (beta + betaMax) / 2
+			}
+		} else {
+			betaMax = beta
+			if math.IsInf(betaMin, -1) {
+				beta /= 2
+			} else {
+				beta = (beta + betaMin) / 2
+			}
+		}
+	}
+	if math.Abs(math.Exp(h)-target) > 0.1 {
+		t.Fatalf("achieved perplexity %.2f want %.2f", math.Exp(h), target)
+	}
+}
+
+func TestKNNPurityBounds(t *testing.T) {
+	y := tensor.FromRows([][]float64{{0, 0}, {0.1, 0}, {10, 10}, {10.1, 10}})
+	labels := []string{"a", "a", "b", "b"}
+	if p := KNNPurity(y, labels, 1); p != 1 {
+		t.Fatalf("perfect purity = %v", p)
+	}
+	mixed := []string{"a", "b", "a", "b"}
+	if p := KNNPurity(y, mixed, 1); p != 0 {
+		t.Fatalf("anti-purity = %v", p)
+	}
+	if KNNPurity(tensor.New(0, 2), nil, 3) != 0 {
+		t.Fatal("empty purity")
+	}
+}

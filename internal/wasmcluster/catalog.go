@@ -1,0 +1,220 @@
+// Package wasmcluster simulates the paper's heterogeneous WebAssembly test
+// cluster (§4, Fig. 3) and generates the runtime dataset used to train and
+// evaluate Pitot.
+//
+// The paper measured 249 benchmarks on a physical cluster of 24 devices
+// running 10 WebAssembly runtime configurations for roughly 80 hours. That
+// hardware is not available here, so this package substitutes a generative
+// model with the same structure (documented in DESIGN.md):
+//
+//   - the device catalog reproduces Table 2 (vendors, microarchitectures,
+//     caches, clock speeds), and the runtime catalog reproduces Table 3;
+//   - per-arch support rules follow App. C.1 (the Cortex-M7 runs only
+//     AOT-compiled WAMR, the RISC-V board only WAMR and wasm3, and WAMR AOT
+//     is excluded on Cortex-A72);
+//   - true runtimes follow a multiplicative (log-additive) model: workload
+//     difficulty + platform speed + a low-rank workload×platform interaction
+//   - heavy-tailed measurement noise, matching the paper's motivation for
+//     the log objective (§3.2);
+//   - interference follows a per-platform low-rank threshold model that
+//     produces the 1x–20x slowdown distribution of Fig. 1.
+package wasmcluster
+
+// Device describes one physical machine of the cluster (paper Table 2).
+type Device struct {
+	Model string
+	CPU   string
+	Arch  string // microarchitecture, one-hot feature
+	Class string // vendor/ISA class for Fig. 12c: amd-x86, intel-x86, arm-a, riscv, arm-m
+	GHz   float64
+	L1dKB float64 // 0 = absent
+	L1iKB float64
+	L2KB  float64
+	L3KB  float64 // 0 = absent
+	MemMB float64
+	// logSpeed is the true log throughput offset of the device (negative =
+	// slower); chosen to span the several-orders-of-magnitude range the
+	// paper reports. Hidden from features.
+	logSpeed float64
+	// fragility scales interference susceptibility: resource-constrained
+	// devices suffer more from co-located workloads.
+	fragility float64
+}
+
+// Devices returns the 24-device catalog. The first 22 rows follow paper
+// Table 2; the paper states 24 devices, so two plausible cluster members
+// (a second RPi 4 and an NXP i.MX 8M, NXP being listed as a cluster vendor
+// in App. C.1) complete the set.
+func Devices() []Device {
+	return []Device{
+		{Model: "NUC 8", CPU: "Intel i7-8650U", Arch: "skylake", Class: "intel-x86", GHz: 1.9, L1dKB: 32, L1iKB: 32, L2KB: 256, L3KB: 8192, MemMB: 16384, logSpeed: 0.0, fragility: 0.18},
+		{Model: "NUC 4", CPU: "Intel i3-4010U", Arch: "haswell", Class: "intel-x86", GHz: 1.7, L1dKB: 32, L1iKB: 32, L2KB: 256, L3KB: 3072, MemMB: 8192, logSpeed: -0.45, fragility: 0.22},
+		{Model: "Generic ITX", CPU: "Intel i7-4770TE", Arch: "haswell", Class: "intel-x86", GHz: 2.3, L1dKB: 32, L1iKB: 32, L2KB: 256, L3KB: 8192, MemMB: 16384, logSpeed: -0.15, fragility: 0.18},
+		{Model: "Compute Stick", CPU: "Intel x5-Z8330", Arch: "silvermont", Class: "intel-x86", GHz: 1.44, L1dKB: 24, L1iKB: 32, L2KB: 1024, L3KB: 0, MemMB: 2048, logSpeed: -1.6, fragility: 0.55},
+		{Model: "NUC 11 i5", CPU: "Intel i5-1145G7", Arch: "tigerlake", Class: "intel-x86", GHz: 2.6, L1dKB: 48, L1iKB: 32, L2KB: 1280, L3KB: 8192, MemMB: 16384, logSpeed: 0.35, fragility: 0.15},
+		{Model: "NUC 11 i7", CPU: "Intel i7-1165G7", Arch: "tigerlake", Class: "intel-x86", GHz: 2.8, L1dKB: 48, L1iKB: 32, L2KB: 1280, L3KB: 12288, MemMB: 16384, logSpeed: 0.45, fragility: 0.15},
+		{Model: "Mini PC N4020", CPU: "Intel N4020", Arch: "goldmontplus", Class: "intel-x86", GHz: 1.1, L1dKB: 24, L1iKB: 32, L2KB: 4096, L3KB: 0, MemMB: 4096, logSpeed: -1.3, fragility: 0.5},
+		{Model: "EliteDesk 805 G8", CPU: "AMD R5-5650G", Arch: "znver3", Class: "amd-x86", GHz: 3.9, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 16384, MemMB: 32768, logSpeed: 0.6, fragility: 0.12},
+		{Model: "Mini PC 4500U", CPU: "AMD R5-4500U", Arch: "znver2", Class: "amd-x86", GHz: 2.3, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 8192, MemMB: 16384, logSpeed: 0.2, fragility: 0.18},
+		{Model: "Mini PC 3200U", CPU: "AMD R3-3200U", Arch: "znver1", Class: "amd-x86", GHz: 2.6, L1dKB: 32, L1iKB: 64, L2KB: 512, L3KB: 4096, MemMB: 8192, logSpeed: -0.35, fragility: 0.25},
+		{Model: "Mini PC A6", CPU: "AMD A6-1450", Arch: "jaguar", Class: "amd-x86", GHz: 1.0, L1dKB: 32, L1iKB: 32, L2KB: 2048, L3KB: 0, MemMB: 4096, logSpeed: -1.9, fragility: 0.55},
+		{Model: "RPi 4 Rev 1.2", CPU: "Broadcom BCM2711", Arch: "cortex-a72", Class: "arm-a", GHz: 1.5, L1dKB: 32, L1iKB: 48, L2KB: 1024, L3KB: 0, MemMB: 4096, logSpeed: -1.8, fragility: 0.6},
+		{Model: "RPi 3B+ Rev 1.3", CPU: "Broadcom BCM2837B0", Arch: "cortex-a53", Class: "arm-a", GHz: 1.4, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 0, MemMB: 1024, logSpeed: -2.6, fragility: 0.75},
+		{Model: "Banana Pi M5", CPU: "Amlogic S905X3", Arch: "cortex-a55", Class: "arm-a", GHz: 2.0, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 0, MemMB: 4096, logSpeed: -2.1, fragility: 0.65},
+		{Model: "Le Potato", CPU: "Amlogic S905X", Arch: "cortex-a53", Class: "arm-a", GHz: 1.512, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 0, MemMB: 2048, logSpeed: -2.5, fragility: 0.72},
+		{Model: "Odroid C4", CPU: "Amlogic S905X3", Arch: "cortex-a55", Class: "arm-a", GHz: 2.0, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 0, MemMB: 4096, logSpeed: -2.05, fragility: 0.65},
+		{Model: "RockPro64", CPU: "RockChip RK3399", Arch: "cortex-a72", Class: "arm-a", GHz: 1.8, L1dKB: 32, L1iKB: 48, L2KB: 1024, L3KB: 0, MemMB: 4096, logSpeed: -1.75, fragility: 0.6},
+		{Model: "Rock Pi 4b", CPU: "RockChip RK3399", Arch: "cortex-a72", Class: "arm-a", GHz: 1.8, L1dKB: 32, L1iKB: 48, L2KB: 1024, L3KB: 0, MemMB: 4096, logSpeed: -1.78, fragility: 0.6},
+		{Model: "Renegade", CPU: "RockChip RK3328", Arch: "cortex-a53", Class: "arm-a", GHz: 1.4, L1dKB: 32, L1iKB: 32, L2KB: 256, L3KB: 0, MemMB: 4096, logSpeed: -2.55, fragility: 0.72},
+		{Model: "Orange Pi 3", CPU: "Allwinner H6", Arch: "cortex-a53", Class: "arm-a", GHz: 1.8, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 0, MemMB: 2048, logSpeed: -2.4, fragility: 0.7},
+		{Model: "Starfive VF2", CPU: "SiFive U74", Arch: "sifive-u74", Class: "riscv", GHz: 1.5, L1dKB: 32, L1iKB: 32, L2KB: 2048, L3KB: 0, MemMB: 8192, logSpeed: -2.3, fragility: 0.68},
+		{Model: "Nucleo-F767ZI", CPU: "STMicro STM32F767ZI", Arch: "cortex-m7", Class: "arm-m", GHz: 0.216, L1dKB: 16, L1iKB: 16, L2KB: 0, L3KB: 0, MemMB: 0.512, logSpeed: -4.6, fragility: 0.45},
+		{Model: "RPi 4 Rev 1.4", CPU: "Broadcom BCM2711", Arch: "cortex-a72", Class: "arm-a", GHz: 1.8, L1dKB: 32, L1iKB: 48, L2KB: 1024, L3KB: 0, MemMB: 8192, logSpeed: -1.7, fragility: 0.6},
+		{Model: "i.MX 8M Mini", CPU: "NXP i.MX8MM", Arch: "cortex-a53", Class: "arm-a", GHz: 1.8, L1dKB: 32, L1iKB: 32, L2KB: 512, L3KB: 0, MemMB: 2048, logSpeed: -2.45, fragility: 0.7},
+	}
+}
+
+// RuntimeConfig describes one WebAssembly runtime configuration (paper
+// Table 3: 5 runtimes, 10 configurations).
+type RuntimeConfig struct {
+	Name string
+	Kind string // "interp", "aot", "jit"
+	// logSlowdown is the true log runtime penalty relative to native-speed
+	// AOT code. Interpreters are 1–2 orders of magnitude slower (§3.2).
+	logSlowdown float64
+	// memPressure scales how much cache/memory contention the runtime both
+	// causes and suffers (interpreters touch far more memory per op).
+	memPressure float64
+}
+
+// Runtimes returns the 10 runtime configurations of paper Table 3.
+func Runtimes() []RuntimeConfig {
+	return []RuntimeConfig{
+		{Name: "wasm3-interp", Kind: "interp", logSlowdown: 3.0, memPressure: 1.2},
+		{Name: "wamr-interp", Kind: "interp", logSlowdown: 3.6, memPressure: 1.3},
+		{Name: "wamr-llvm-aot", Kind: "aot", logSlowdown: 0.15, memPressure: 0.8},
+		{Name: "wasmedge-interp", Kind: "interp", logSlowdown: 4.1, memPressure: 1.4},
+		{Name: "wasmtime-cranelift-aot", Kind: "aot", logSlowdown: 0.3, memPressure: 0.85},
+		{Name: "wasmtime-cranelift-jit", Kind: "jit", logSlowdown: 0.4, memPressure: 0.95},
+		{Name: "wasmer-singlepass-jit", Kind: "jit", logSlowdown: 1.0, memPressure: 1.0},
+		{Name: "wasmer-cranelift-jit", Kind: "jit", logSlowdown: 0.45, memPressure: 0.95},
+		{Name: "wasmer-cranelift-aot", Kind: "aot", logSlowdown: 0.35, memPressure: 0.85},
+		{Name: "wasmer-llvm-aot", Kind: "aot", logSlowdown: 0.1, memPressure: 0.8},
+	}
+}
+
+// Supports implements the support rules of App. C.1.
+func Supports(d Device, r RuntimeConfig) bool {
+	switch {
+	case d.Arch == "cortex-m7":
+		// Only AOT WAMR runs on the Cortex-M7.
+		return r.Name == "wamr-llvm-aot"
+	case d.Class == "riscv":
+		// Only WAMR and wasm3 run on the RISC-V device.
+		return r.Name == "wasm3-interp" || r.Name == "wamr-interp" || r.Name == "wamr-llvm-aot"
+	case d.Arch == "cortex-a72" && r.Name == "wamr-llvm-aot":
+		// WAMR AOT excluded on Cortex-A72 (code generation bug).
+		return false
+	}
+	return true
+}
+
+// Suite describes one benchmark suite (paper §4): the number of workloads it
+// contributes and the generative profile of its members.
+type Suite struct {
+	Name  string
+	Count int
+	// difficulty range: log seconds on the reference platform.
+	logDiffLo, logDiffHi float64
+	// opcodeCenter indexes into opcode groups (see opcodeGroups) giving the
+	// suite's characteristic instruction mix.
+	mix []float64
+	// memIntensity range: drives cache-contention aggression/susceptibility.
+	memLo, memHi float64
+	// latentCenter: suite center in the hidden workload-behaviour space that
+	// interacts with platforms (FPU use, locality, branchiness, syscalls).
+	latentCenter []float64
+}
+
+// opcodeNames are the instrumented instruction counters collected as
+// workload features (paper App. C.2: opcode log-frequencies from the WAMR
+// fast interpreter). Grouped loosely by functional unit.
+var opcodeNames = []string{
+	// integer ALU
+	"i32.add", "i32.sub", "i32.mul", "i32.div_s", "i32.and", "i32.or", "i32.xor", "i32.shl", "i32.shr_u",
+	"i64.add", "i64.mul", "i64.shl",
+	// float
+	"f32.add", "f32.mul", "f32.div", "f64.add", "f64.sub", "f64.mul", "f64.div", "f64.sqrt",
+	// memory
+	"i32.load", "i32.store", "i64.load", "i64.store", "f32.load", "f32.store", "f64.load", "f64.store",
+	"i32.load8_u", "i32.store8", "memory.grow", "memory.copy",
+	// control
+	"br", "br_if", "br_table", "call", "call_indirect", "return", "if", "loop", "block",
+	// comparison / conversion
+	"i32.eq", "i32.lt_s", "i32.gt_s", "f64.lt", "f64.gt", "i32.wrap_i64", "f64.convert_i32_s",
+	// misc / host
+	"local.get", "local.set", "global.get", "select", "drop", "wasi.fd_read", "wasi.fd_write",
+}
+
+// opcode group boundaries (half-open) into opcodeNames, used by suite mixes:
+// ialu [0,12), float [12,20), mem [20,32), ctrl [32,41), cmp [41,48),
+// misc/host [48,55).
+var opcodeGroups = [][2]int{{0, 12}, {12, 20}, {20, 32}, {32, 41}, {41, 48}, {48, 55}}
+
+// NumOpcodes returns the workload feature dimensionality.
+func NumOpcodes() int { return len(opcodeNames) }
+
+// OpcodeNames returns the instrumented opcode counter names.
+func OpcodeNames() []string { return append([]string(nil), opcodeNames...) }
+
+// latentDim is the dimensionality of the hidden workload-behaviour space
+// whose interaction with platforms the factorization must learn.
+const latentDim = 4
+
+// Suites returns the benchmark-suite catalog; counts sum to 249 (§4).
+func Suites() []Suite {
+	return []Suite{
+		{
+			Name: "polybench", Count: 30,
+			logDiffLo: -3.5, logDiffHi: 1.0,
+			mix:   []float64{0.18, 0.38, 0.25, 0.08, 0.06, 0.05}, // float-heavy kernels
+			memLo: 0.4, memHi: 0.9,
+			latentCenter: []float64{1.0, 0.6, -0.3, -0.5},
+		},
+		{
+			Name: "mibench", Count: 35,
+			logDiffLo: -4.5, logDiffHi: 0.5,
+			mix:   []float64{0.32, 0.08, 0.22, 0.18, 0.12, 0.08}, // diverse embedded mix
+			memLo: 0.2, memHi: 0.8,
+			latentCenter: []float64{-0.2, 0.1, 0.4, 0.0},
+		},
+		{
+			Name: "cortex", Count: 44,
+			logDiffLo: -2.5, logDiffHi: 2.0,
+			mix:   []float64{0.22, 0.28, 0.28, 0.08, 0.08, 0.06}, // ML/vision
+			memLo: 0.5, memHi: 1.0,
+			latentCenter: []float64{0.7, 1.0, -0.1, -0.2},
+		},
+		{
+			Name: "sdvbs", Count: 28,
+			logDiffLo: -2.8, logDiffHi: 1.6,
+			mix:   []float64{0.24, 0.26, 0.30, 0.07, 0.08, 0.05}, // vision
+			memLo: 0.5, memHi: 1.0,
+			latentCenter: []float64{0.6, 0.9, 0.0, -0.1},
+		},
+		{
+			Name: "libsodium", Count: 100,
+			logDiffLo: -5.0, logDiffHi: -0.5,
+			mix:   []float64{0.52, 0.03, 0.18, 0.10, 0.12, 0.05}, // integer crypto
+			memLo: 0.1, memHi: 0.45,
+			latentCenter: []float64{-0.8, -0.4, 0.8, -0.4},
+		},
+		{
+			Name: "python", Count: 12,
+			logDiffLo: -1.0, logDiffHi: 2.5,
+			mix:   []float64{0.25, 0.06, 0.25, 0.22, 0.10, 0.12}, // interpreter-on-interpreter
+			memLo: 0.6, memHi: 1.0,
+			latentCenter: []float64{-0.3, 0.5, 0.6, 1.0},
+		},
+	}
+}

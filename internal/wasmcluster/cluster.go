@@ -1,0 +1,502 @@
+package wasmcluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/tensor"
+)
+
+// numTrueTypes is the number of ground-truth interference types: memory/
+// cache contention (0) and CPU/scheduler contention (1). The learned model
+// does not see this; paper App. D.2 finds s=2 learned types sufficient,
+// consistent with this generator.
+const numTrueTypes = 2
+
+// Config controls the scale of the generated dataset. The zero value is
+// adjusted to Defaults; use Full() for paper-scale generation.
+type Config struct {
+	Seed int64
+	// NumWorkloads caps the number of workloads drawn from the suite
+	// catalog (proportionally); 0 = all 249.
+	NumWorkloads int
+	// MaxDevices caps the device catalog; 0 = all 24.
+	MaxDevices int
+	// SetsPerDegree is the number of random co-location sets per platform
+	// per degree (paper: 250 sets each of 2, 3, 4 workloads).
+	SetsPerDegree int
+	// TimeoutSeconds drops isolation measurements longer than this,
+	// mirroring the paper's exclusion of timed-out benchmarks.
+	TimeoutSeconds float64
+	// CrashRate is the probability an individual (workload, platform)
+	// measurement fails for implementation reasons (paper App. C.3).
+	CrashRate float64
+	// UseVM derives each workload's opcode mix by generating a benchmark
+	// program in its suite's style and executing it on the instrumented
+	// interpreter in internal/wasmvm — the reproduction of the paper's
+	// instrumented-WAMR feature collection (App. C.2) — instead of the
+	// synthetic Dirichlet mixture. Slower but yields features grounded in
+	// real executed instruction streams.
+	UseVM bool
+}
+
+// Defaults fills unset fields with small-scale values suitable for tests.
+func (c Config) Defaults() Config {
+	if c.NumWorkloads == 0 {
+		c.NumWorkloads = 48
+	}
+	if c.MaxDevices == 0 {
+		c.MaxDevices = 8
+	}
+	if c.SetsPerDegree == 0 {
+		c.SetsPerDegree = 25
+	}
+	if c.TimeoutSeconds == 0 {
+		c.TimeoutSeconds = 120
+	}
+	if c.CrashRate == 0 {
+		c.CrashRate = 0.03
+	}
+	return c
+}
+
+// Full returns the paper-scale configuration (249 workloads, 24 devices,
+// 250 sets per degree).
+func Full(seed int64) Config {
+	return Config{Seed: seed, NumWorkloads: 249, MaxDevices: 24, SetsPerDegree: 250,
+		TimeoutSeconds: 120, CrashRate: 0.03}
+}
+
+// Workload is one benchmark with its hidden generative parameters.
+type Workload struct {
+	Name  string
+	Suite string
+
+	logDiff      float64   // log seconds on the reference platform
+	mix          []float64 // opcode distribution
+	memIntensity float64
+	latent       []float64             // hidden behaviour vector (latentDim)
+	aggression   [numTrueTypes]float64 // interference caused per type
+	suscept      [numTrueTypes]float64 // interference suffered per type
+	opcodeCounts []float64             // instrumented counter values
+}
+
+// Platform is a (device, runtime) pair with its hidden parameters.
+type Platform struct {
+	Name       string
+	DeviceIdx  int
+	RuntimeIdx int
+
+	latent    []float64 // hidden response vector (latentDim)
+	susScale  [numTrueTypes]float64
+	threshold [numTrueTypes]float64
+	osLatency float64 // additive scheduling/OS overhead in seconds
+}
+
+// Cluster holds the generated ground truth and produces observations.
+type Cluster struct {
+	Config    Config
+	Devices   []Device
+	Runtimes  []RuntimeConfig
+	Workloads []Workload
+	Platforms []Platform
+
+	rng *rand.Rand
+}
+
+// cores approximates the device core count by class; the catalog's devices
+// are all quad-core except the single-core microcontroller.
+func cores(d Device) int {
+	if d.Class == "arm-m" {
+		return 1
+	}
+	return 4
+}
+
+// New generates a cluster with the given configuration.
+func New(cfg Config) *Cluster {
+	cfg = cfg.Defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Cluster{Config: cfg, rng: rng}
+
+	devs := Devices()
+	if cfg.MaxDevices < len(devs) {
+		devs = devs[:cfg.MaxDevices]
+	}
+	c.Devices = devs
+	c.Runtimes = Runtimes()
+
+	c.buildWorkloads()
+	c.buildPlatforms()
+	return c
+}
+
+// buildWorkloads samples workloads from the suite catalog, allocating the
+// configured count proportionally across suites (at least one per suite).
+func (c *Cluster) buildWorkloads() {
+	suites := Suites()
+	total := 0
+	for _, s := range suites {
+		total += s.Count
+	}
+	target := c.Config.NumWorkloads
+	if target > total {
+		target = total
+	}
+	for si, s := range suites {
+		n := s.Count * target / total
+		if n < 1 {
+			n = 1
+		}
+		if si == len(suites)-1 {
+			// absorb rounding so the total is exact
+			n = target - len(c.Workloads)
+			if n < 1 {
+				n = 1
+			}
+		}
+		for i := 0; i < n; i++ {
+			c.Workloads = append(c.Workloads, c.makeWorkload(s, i))
+		}
+	}
+}
+
+func (c *Cluster) makeWorkload(s Suite, i int) Workload {
+	rng := c.rng
+	w := Workload{
+		Name:         fmt.Sprintf("%s/%02d", s.Name, i),
+		Suite:        s.Name,
+		logDiff:      s.logDiffLo + rng.Float64()*(s.logDiffHi-s.logDiffLo),
+		memIntensity: s.memLo + rng.Float64()*(s.memHi-s.memLo),
+	}
+	if c.Config.UseVM {
+		w.mix = profiledMix(s.Name, rng, i)
+	}
+	if w.mix == nil {
+		// Synthetic mix: suite group mix perturbed per workload, spread
+		// across the opcodes of each group with a random within-group
+		// profile.
+		w.mix = make([]float64, NumOpcodes())
+		var norm float64
+		for g, bounds := range opcodeGroups {
+			share := s.mix[g] * math.Exp(0.35*rng.NormFloat64())
+			lo, hi := bounds[0], bounds[1]
+			weights := make([]float64, hi-lo)
+			var wsum float64
+			for j := range weights {
+				weights[j] = rng.ExpFloat64()
+				wsum += weights[j]
+			}
+			for j := range weights {
+				w.mix[lo+j] = share * weights[j] / wsum
+				norm += w.mix[lo+j]
+			}
+		}
+		for k := range w.mix {
+			w.mix[k] /= norm
+		}
+	}
+	// Hidden behaviour vector: suite center plus idiosyncratic noise.
+	w.latent = make([]float64, latentDim)
+	for d := 0; d < latentDim; d++ {
+		w.latent[d] = s.latentCenter[d] + 0.45*rng.NormFloat64()
+	}
+	// Interference ground truth. Memory-type aggression/susceptibility
+	// follow memory intensity; CPU-type reflects that every benchmark runs
+	// hot in a loop (paper App. C.3).
+	w.aggression[0] = w.memIntensity * (0.5 + 0.5*rng.Float64())
+	w.aggression[1] = 0.3 + 0.4*rng.Float64()
+	w.suscept[0] = w.memIntensity * (0.4 + 0.6*rng.Float64())
+	w.suscept[1] = 0.2 + 0.5*rng.Float64()
+	// Instrumented opcode counters: total executed ops follow difficulty
+	// (a reference platform retiring ~e^19 ops/sec) with profiling noise.
+	totalOps := math.Exp(w.logDiff + 19 + 0.2*rng.NormFloat64())
+	w.opcodeCounts = make([]float64, NumOpcodes())
+	for k, m := range w.mix {
+		w.opcodeCounts[k] = totalOps * m
+	}
+	return w
+}
+
+// buildPlatforms enumerates supported (device, runtime) pairs and derives
+// their hidden parameters.
+func (c *Cluster) buildPlatforms() {
+	rng := c.rng
+	for di, d := range c.Devices {
+		for ri, r := range c.Runtimes {
+			if !Supports(d, r) {
+				continue
+			}
+			p := Platform{
+				Name:       d.Model + "+" + r.Name,
+				DeviceIdx:  di,
+				RuntimeIdx: ri,
+			}
+			// Hidden response vector, aligned with the workload latent
+			// dimensions: [FPU weakness, cache smallness, int throughput,
+			// syscall cost].
+			fpuWeak := 0.15
+			if d.Class == "arm-m" {
+				fpuWeak = 1.0
+			} else if d.Class == "arm-a" || d.Class == "riscv" {
+				fpuWeak = 0.45
+			}
+			if r.Kind == "interp" {
+				fpuWeak *= 0.5 // dispatch dominates; relative FPU cost shrinks
+			}
+			cacheSmall := 1.2 - 0.12*math.Log1p(d.L2KB+d.L3KB)
+			intThroughput := -0.2 * d.logSpeed
+			syscall := 0.3
+			if d.Class == "arm-m" {
+				syscall = -0.5 // no OS: syscall-ish work is cheap (paper §4 fn.5)
+			}
+			p.latent = []float64{
+				-(fpuWeak + 0.1*rng.NormFloat64()) * 0.5,
+				-(cacheSmall + 0.1*rng.NormFloat64()) * 0.3,
+				-(intThroughput + 0.1*rng.NormFloat64()) * 0.3,
+				-(syscall + 0.1*rng.NormFloat64()) * 0.3,
+			}
+			// Interference response: fragile devices and memory-hungry
+			// runtimes suffer more; strong devices have higher thresholds.
+			p.susScale[0] = 1.6 * d.fragility * r.memPressure * math.Exp(0.15*rng.NormFloat64())
+			p.susScale[1] = 0.6 * d.fragility * math.Exp(0.15*rng.NormFloat64())
+			if cores(d) == 1 {
+				p.susScale[1] = 1.1
+			}
+			p.threshold[0] = 0.35 + 1.3*(1-d.fragility) + 0.1*rng.NormFloat64()
+			p.threshold[1] = 0.7*float64(cores(d)-1) + 0.1 + 0.1*rng.NormFloat64()
+			// OS/scheduler overhead: additive latency floor on Linux
+			// platforms, nearly absent on the bare-metal MCU.
+			if d.Class == "arm-m" {
+				p.osLatency = 0.0002
+			} else {
+				p.osLatency = 0.004 * math.Exp(0.5*rng.NormFloat64())
+			}
+			c.Platforms = append(c.Platforms, p)
+		}
+	}
+}
+
+// TrueIsolationSeconds returns the noise-free runtime of workload w on
+// platform p with no interference.
+func (c *Cluster) TrueIsolationSeconds(w, p int) float64 {
+	wl, pl := &c.Workloads[w], &c.Platforms[p]
+	d := c.Devices[pl.DeviceIdx]
+	r := c.Runtimes[pl.RuntimeIdx]
+	logC := wl.logDiff - d.logSpeed + r.logSlowdown
+	for i := 0; i < latentDim; i++ {
+		// platform latent entries are negative costs; subtracting yields a
+		// penalty for workloads exercising that dimension.
+		logC -= wl.latent[i] * pl.latent[i]
+	}
+	return math.Exp(logC) + pl.osLatency
+}
+
+// TrueInterferenceLogSlowdown returns the noise-free log slowdown of
+// workload w on platform p with interferer set ks.
+func (c *Cluster) TrueInterferenceLogSlowdown(w, p int, ks []int) float64 {
+	if len(ks) == 0 {
+		return 0
+	}
+	wl, pl := &c.Workloads[w], &c.Platforms[p]
+	var total float64
+	for t := 0; t < numTrueTypes; t++ {
+		var mag float64
+		for _, k := range ks {
+			mag += c.Workloads[k].aggression[t]
+		}
+		// Threshold response: strong effect past the platform's capacity,
+		// mild sub-threshold effect (random alignment, paper App. C.3).
+		excess := mag - pl.threshold[t]
+		alpha := 0.03 * mag
+		if excess > 0 {
+			alpha += excess
+		}
+		total += wl.suscept[t] * pl.susScale[t] * alpha
+	}
+	// Global gain calibrated so random 4-way co-locations reach the ~20x
+	// slowdown tail of Fig. 1 while typical pairs stay near 1x.
+	return 2.2 * total
+}
+
+// MeasureSeconds returns one noisy runtime measurement; noise grows with
+// the interference degree (paper §3.5 notes interference data is noisier).
+func (c *Cluster) MeasureSeconds(rng *rand.Rand, w, p int, ks []int) float64 {
+	base := c.TrueIsolationSeconds(w, p)
+	slow := c.TrueInterferenceLogSlowdown(w, p, ks)
+	sigma := 0.04 + 0.03*float64(len(ks))
+	noise := sigma * rng.NormFloat64()
+	if rng.Float64() < 0.02 {
+		noise += 0.3 * rng.NormFloat64() // occasional heavy-tail disturbance
+	}
+	return base * math.Exp(slow+noise)
+}
+
+// Generate collects the full observation dataset: every supported
+// (workload, platform) pair in isolation (minus crashes and timeouts), plus
+// SetsPerDegree random co-location sets of 2, 3, and 4 workloads per
+// platform (paper App. C.3).
+func (c *Cluster) Generate() *dataset.Dataset {
+	rng := rand.New(rand.NewSource(c.Config.Seed + 1))
+	ds := &dataset.Dataset{
+		WorkloadFeatures: c.WorkloadFeatureMatrix(),
+		PlatformFeatures: c.PlatformFeatureMatrix(),
+	}
+	for _, w := range c.Workloads {
+		ds.WorkloadNames = append(ds.WorkloadNames, w.Name)
+		ds.WorkloadSuites = append(ds.WorkloadSuites, w.Suite)
+	}
+	for _, p := range c.Platforms {
+		ds.PlatformNames = append(ds.PlatformNames, p.Name)
+		ds.PlatformRuntimes = append(ds.PlatformRuntimes, c.Runtimes[p.RuntimeIdx].Name)
+		ds.PlatformArchs = append(ds.PlatformArchs, c.Devices[p.DeviceIdx].Class)
+	}
+
+	// Isolation observations; track which workloads run on each platform so
+	// interference sets only use supported combinations.
+	supported := make([][]int, len(c.Platforms))
+	for p := range c.Platforms {
+		for w := range c.Workloads {
+			t := c.TrueIsolationSeconds(w, p)
+			if t > c.Config.TimeoutSeconds || rng.Float64() < c.Config.CrashRate {
+				continue
+			}
+			supported[p] = append(supported[p], w)
+			ds.Obs = append(ds.Obs, dataset.Observation{
+				Workload: w, Platform: p,
+				Seconds: c.MeasureSeconds(rng, w, p, nil),
+			})
+		}
+	}
+
+	// Interference observations: for each platform and degree, draw random
+	// sets; every member contributes one observation with the others as its
+	// interferer set. Timed-out members are dropped individually; whole-set
+	// crashes are dropped entirely (paper App. C.3).
+	for p := range c.Platforms {
+		sup := supported[p]
+		for degree := 2; degree <= 4; degree++ {
+			if len(sup) < degree {
+				continue
+			}
+			for set := 0; set < c.Config.SetsPerDegree; set++ {
+				members := pickDistinct(rng, sup, degree)
+				if rng.Float64() < 0.05 {
+					continue // set crashed
+				}
+				for mi, w := range members {
+					ks := make([]int, 0, degree-1)
+					for mj, k := range members {
+						if mj != mi {
+							ks = append(ks, k)
+						}
+					}
+					sec := c.MeasureSeconds(rng, w, p, ks)
+					if sec > c.Config.TimeoutSeconds {
+						continue // this member timed out; others remain
+					}
+					ds.Obs = append(ds.Obs, dataset.Observation{
+						Workload: w, Platform: p, Interferers: ks, Seconds: sec,
+					})
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// pickDistinct samples k distinct values from pool.
+func pickDistinct(rng *rand.Rand, pool []int, k int) []int {
+	idx := rng.Perm(len(pool))[:k]
+	out := make([]int, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// WorkloadFeatureMatrix returns the Nw x NumOpcodes matrix of opcode
+// log1p-frequencies (paper App. C.2).
+func (c *Cluster) WorkloadFeatureMatrix() *tensor.Matrix {
+	m := tensor.New(len(c.Workloads), NumOpcodes())
+	for i, w := range c.Workloads {
+		row := m.Row(i)
+		for k, v := range w.opcodeCounts {
+			row[k] = math.Log1p(v)
+		}
+	}
+	return m
+}
+
+// PlatformFeatureNames returns the column labels of the platform feature
+// matrix.
+func (c *Cluster) PlatformFeatureNames() []string {
+	var names []string
+	for _, a := range archList(c.Devices) {
+		names = append(names, "arch="+a)
+	}
+	for _, r := range c.Runtimes {
+		names = append(names, "rt="+r.Name)
+	}
+	names = append(names, "kind=interp", "kind=aot", "kind=jit", "log_ghz",
+		"log_l1d", "has_l1d", "log_l1i", "has_l1i", "log_l2", "has_l2",
+		"log_l3", "has_l3", "log_mem")
+	return names
+}
+
+// archList returns the distinct microarchitectures over the full catalog in
+// stable order, so feature layout does not depend on MaxDevices.
+func archList(_ []Device) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, d := range Devices() {
+		if !seen[d.Arch] {
+			seen[d.Arch] = true
+			out = append(out, d.Arch)
+		}
+	}
+	return out
+}
+
+// PlatformFeatureMatrix returns the Np x dp platform feature matrix: one-hot
+// microarchitecture and runtime configuration, runtime kind, and log-scaled
+// clock/cache/memory information with presence indicators (App. C.2).
+func (c *Cluster) PlatformFeatureMatrix() *tensor.Matrix {
+	archs := archList(c.Devices)
+	archIdx := map[string]int{}
+	for i, a := range archs {
+		archIdx[a] = i
+	}
+	dp := len(archs) + len(c.Runtimes) + 3 + 1 + 8 + 1
+	m := tensor.New(len(c.Platforms), dp)
+	for i, p := range c.Platforms {
+		d := c.Devices[p.DeviceIdx]
+		r := c.Runtimes[p.RuntimeIdx]
+		row := m.Row(i)
+		row[archIdx[d.Arch]] = 1
+		row[len(archs)+p.RuntimeIdx] = 1
+		kindOff := len(archs) + len(c.Runtimes)
+		switch r.Kind {
+		case "interp":
+			row[kindOff] = 1
+		case "aot":
+			row[kindOff+1] = 1
+		case "jit":
+			row[kindOff+2] = 1
+		}
+		j := kindOff + 3
+		row[j] = math.Log(d.GHz)
+		j++
+		for _, kb := range []float64{d.L1dKB, d.L1iKB, d.L2KB, d.L3KB} {
+			if kb > 0 {
+				row[j] = math.Log(kb)
+				row[j+1] = 1
+			}
+			j += 2
+		}
+		row[j] = math.Log(d.MemMB)
+	}
+	return m
+}

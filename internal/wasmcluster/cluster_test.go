@@ -1,0 +1,291 @@
+package wasmcluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestCatalogCounts(t *testing.T) {
+	if n := len(Devices()); n != 24 {
+		t.Fatalf("devices = %d want 24", n)
+	}
+	if n := len(Runtimes()); n != 10 {
+		t.Fatalf("runtime configs = %d want 10", n)
+	}
+	total := 0
+	for _, s := range Suites() {
+		total += s.Count
+	}
+	if total != 249 {
+		t.Fatalf("suite workloads = %d want 249", total)
+	}
+}
+
+func TestSuiteMixesNormalized(t *testing.T) {
+	for _, s := range Suites() {
+		var sum float64
+		for _, m := range s.mix {
+			sum += m
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("suite %s mix sums to %v", s.Name, sum)
+		}
+		if len(s.latentCenter) != latentDim {
+			t.Fatalf("suite %s latent dim %d", s.Name, len(s.latentCenter))
+		}
+	}
+}
+
+func TestSupportRules(t *testing.T) {
+	devs := Devices()
+	rts := Runtimes()
+	byName := func(n string) RuntimeConfig {
+		for _, r := range rts {
+			if r.Name == n {
+				return r
+			}
+		}
+		t.Fatalf("runtime %s missing", n)
+		return RuntimeConfig{}
+	}
+	var m7, riscv, a72 Device
+	for _, d := range devs {
+		switch {
+		case d.Arch == "cortex-m7":
+			m7 = d
+		case d.Class == "riscv":
+			riscv = d
+		case d.Arch == "cortex-a72" && a72.Model == "":
+			a72 = d
+		}
+	}
+	if !Supports(m7, byName("wamr-llvm-aot")) {
+		t.Fatal("M7 must support WAMR AOT")
+	}
+	if Supports(m7, byName("wasmtime-cranelift-jit")) {
+		t.Fatal("M7 must not support wasmtime")
+	}
+	if !Supports(riscv, byName("wasm3-interp")) || Supports(riscv, byName("wasmer-llvm-aot")) {
+		t.Fatal("RISC-V support rules wrong")
+	}
+	if Supports(a72, byName("wamr-llvm-aot")) {
+		t.Fatal("A72 must exclude WAMR AOT")
+	}
+	if !Supports(a72, byName("wamr-interp")) {
+		t.Fatal("A72 must support WAMR interp")
+	}
+}
+
+func TestFullScalePlatformCount(t *testing.T) {
+	c := New(Full(1))
+	// 24 devices x 10 configs = 240, minus support exclusions (App. C.1):
+	// M7 keeps 1 of 10 (-9), RISC-V keeps 3 (-7), four A72 devices lose
+	// WAMR AOT (-4) => 220. The paper reports Np=231 for its cluster; the
+	// difference is the exact support matrix, documented in DESIGN.md.
+	if n := len(c.Platforms); n != 220 {
+		t.Fatalf("platforms = %d want 220", n)
+	}
+	if n := len(c.Workloads); n != 249 {
+		t.Fatalf("workloads = %d want 249", n)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := New(Config{Seed: 7}).Generate()
+	b := New(Config{Seed: 7}).Generate()
+	if len(a.Obs) != len(b.Obs) {
+		t.Fatalf("obs counts differ: %d vs %d", len(a.Obs), len(b.Obs))
+	}
+	for i := range a.Obs {
+		if a.Obs[i].Seconds != b.Obs[i].Seconds {
+			t.Fatal("same seed produced different observations")
+		}
+	}
+	c := New(Config{Seed: 8}).Generate()
+	if len(a.Obs) == len(c.Obs) && a.Obs[0].Seconds == c.Obs[0].Seconds {
+		t.Fatal("different seeds produced identical dataset")
+	}
+}
+
+func TestGeneratedDatasetValidates(t *testing.T) {
+	ds := New(Config{Seed: 3}).Generate()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Degree counts interferers: sets of 2/3/4 running workloads yield
+	// degrees 1/2/3 for each member.
+	by := ds.CountByDegree()
+	for _, g := range []int{0, 1, 2, 3} {
+		if by[g] == 0 {
+			t.Fatalf("no degree-%d observations: %v", g, by)
+		}
+	}
+	if by[4] != 0 {
+		t.Fatal("unexpected degree-4 observations")
+	}
+}
+
+func TestRuntimeSpansOrdersOfMagnitude(t *testing.T) {
+	// Paper §3.2: runtimes vary by several orders of magnitude.
+	c := New(Config{Seed: 4, MaxDevices: 24})
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for p := range c.Platforms {
+		for w := 0; w < len(c.Workloads); w += 7 {
+			v := c.TrueIsolationSeconds(w, p)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi/lo < 1e4 {
+		t.Fatalf("dynamic range only %.1fx", hi/lo)
+	}
+}
+
+func TestInterpretersSlowerThanAOT(t *testing.T) {
+	c := New(Config{Seed: 5})
+	// Compare geometric-mean runtime of interp vs aot platforms on the same
+	// device.
+	byKind := map[string][]float64{}
+	for p, pl := range c.Platforms {
+		kind := c.Runtimes[pl.RuntimeIdx].Kind
+		for w := 0; w < len(c.Workloads); w += 5 {
+			byKind[kind] = append(byKind[kind], c.TrueIsolationSeconds(w, p))
+		}
+	}
+	if stats.GeoMean(byKind["interp"]) < 5*stats.GeoMean(byKind["aot"]) {
+		t.Fatalf("interp gm %.3f vs aot gm %.3f: interpreters should be much slower",
+			stats.GeoMean(byKind["interp"]), stats.GeoMean(byKind["aot"]))
+	}
+}
+
+func TestInterferenceSlowdownDistribution(t *testing.T) {
+	// Fig. 1: slowdowns range from ~1x up to ~20x, heavier with more
+	// interferers.
+	c := New(Config{Seed: 6, MaxDevices: 24, NumWorkloads: 120})
+	rng := rand.New(rand.NewSource(1))
+	byDeg := map[int][]float64{}
+	for trial := 0; trial < 4000; trial++ {
+		p := rng.Intn(len(c.Platforms))
+		deg := 2 + rng.Intn(3)
+		members := pickDistinct(rng, seq(len(c.Workloads)), deg)
+		w := members[0]
+		slow := math.Exp(c.TrueInterferenceLogSlowdown(w, p, members[1:]))
+		byDeg[deg] = append(byDeg[deg], slow)
+	}
+	med2 := stats.Quantile(byDeg[2], 0.5)
+	med4 := stats.Quantile(byDeg[4], 0.5)
+	if med2 < 1.0 || med2 > 2.0 {
+		t.Fatalf("2-way median slowdown %.2f outside [1,2]", med2)
+	}
+	if med4 <= med2 {
+		t.Fatalf("4-way median %.2f not worse than 2-way %.2f", med4, med2)
+	}
+	max4 := stats.Quantile(byDeg[4], 1.0)
+	if max4 < 5 || max4 > 80 {
+		t.Fatalf("4-way max slowdown %.1fx outside plausible [5,80] tail", max4)
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestFeatureMatrices(t *testing.T) {
+	c := New(Config{Seed: 7})
+	wf := c.WorkloadFeatureMatrix()
+	if wf.Rows != len(c.Workloads) || wf.Cols != NumOpcodes() {
+		t.Fatalf("workload features %dx%d", wf.Rows, wf.Cols)
+	}
+	pf := c.PlatformFeatureMatrix()
+	if pf.Rows != len(c.Platforms) {
+		t.Fatalf("platform features %d rows", pf.Rows)
+	}
+	if len(c.PlatformFeatureNames()) != pf.Cols {
+		t.Fatalf("feature names %d for %d cols", len(c.PlatformFeatureNames()), pf.Cols)
+	}
+	if wf.HasNaN() || pf.HasNaN() {
+		t.Fatal("NaN in features")
+	}
+	// One-hot sections: each platform row must have exactly one arch and
+	// one runtime set.
+	archN := 14
+	for i := 0; i < pf.Rows; i++ {
+		row := pf.Row(i)
+		var aSum, rSum float64
+		for _, v := range row[:archN] {
+			aSum += v
+		}
+		for _, v := range row[archN : archN+10] {
+			rSum += v
+		}
+		if aSum != 1 || rSum != 1 {
+			t.Fatalf("platform %d one-hots: arch %v runtime %v", i, aSum, rSum)
+		}
+	}
+}
+
+func TestWorkloadFeaturesInformative(t *testing.T) {
+	// Total opcode count must correlate strongly with difficulty: the
+	// features carry real signal (paper: opcode counts predict runtime).
+	c := New(Config{Seed: 8, NumWorkloads: 120})
+	var tot, diff []float64
+	for _, w := range c.Workloads {
+		var s float64
+		for _, v := range w.opcodeCounts {
+			s += v
+		}
+		tot = append(tot, math.Log(s))
+		diff = append(diff, w.logDiff)
+	}
+	if r := stats.Pearson(tot, diff); r < 0.9 {
+		t.Fatalf("opcode-total vs difficulty correlation %.2f < 0.9", r)
+	}
+}
+
+func TestMCUFastOnTinyBenchmarks(t *testing.T) {
+	// Paper §4 fn.5: the microcontroller beats some Linux platforms on the
+	// smallest benchmarks due to missing OS overhead. Verify the additive
+	// latency floor makes this possible: MCU latency << Linux latency.
+	c := New(Full(9))
+	var mcu, linux []float64
+	for _, p := range c.Platforms {
+		if c.Devices[p.DeviceIdx].Class == "arm-m" {
+			mcu = append(mcu, p.osLatency)
+		} else {
+			linux = append(linux, p.osLatency)
+		}
+	}
+	if len(mcu) == 0 {
+		t.Fatal("no MCU platform generated")
+	}
+	if stats.Mean(mcu) > stats.Mean(linux)/5 {
+		t.Fatalf("MCU latency %.5f not well below linux %.5f", stats.Mean(mcu), stats.Mean(linux))
+	}
+}
+
+func TestGenerateObservationVolumeFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	ds := New(Full(10)).Generate()
+	by := ds.CountByDegree()
+	// Paper: 53,637 isolation and 357,333 interference observations.
+	if by[0] < 40000 || by[0] > 60000 {
+		t.Fatalf("isolation obs %d outside [40k,60k]", by[0])
+	}
+	interf := by[2] + by[3] + by[4]
+	if interf < 250000 || interf > 500000 {
+		t.Fatalf("interference obs %d outside [250k,500k]", interf)
+	}
+}

@@ -1,0 +1,31 @@
+package wasmcluster
+
+import (
+	"math/rand"
+
+	"repro/internal/wasmvm"
+)
+
+// profiledMix generates a benchmark program in the suite's style and
+// measures its opcode-execution frequencies on the instrumented
+// interpreter (internal/wasmvm) — the reproduction of the paper's
+// feature-collection pipeline (App. C.2: an instrumented WAMR fast
+// interpreter counting every executed opcode). Returns nil if the suite
+// has no generator or the program fails to execute, in which case the
+// caller falls back to the synthetic mixture.
+func profiledMix(suite string, rng *rand.Rand, size int) []float64 {
+	prog, err := wasmvm.Generate(suite, rng, size)
+	if err != nil {
+		return nil
+	}
+	// 200k instructions capture the loop-dominated steady-state mix; the
+	// paper likewise profiles once on a fast machine, not per-platform.
+	mix, err := wasmvm.Profile(prog, 200_000)
+	if err != nil {
+		return nil
+	}
+	if len(mix) != NumOpcodes() {
+		return nil
+	}
+	return mix
+}

@@ -1,0 +1,95 @@
+package wasmcluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/wasmvm"
+)
+
+// The VM's counted instruction set must align 1:1 with the dataset's
+// feature columns — profiled mixes index directly into features.
+func TestOpcodeColumnsAlignWithVM(t *testing.T) {
+	vm := wasmvm.CountedNames()
+	ds := OpcodeNames()
+	if len(vm) != len(ds) {
+		t.Fatalf("VM counts %d opcodes, features have %d columns", len(vm), len(ds))
+	}
+	for i := range vm {
+		if vm[i] != ds[i] {
+			t.Fatalf("column %d: VM %q vs features %q", i, vm[i], ds[i])
+		}
+	}
+}
+
+func TestProfiledMixValid(t *testing.T) {
+	for _, s := range Suites() {
+		mix := profiledMix(s.Name, newTestRng(1), 3)
+		if mix == nil {
+			t.Fatalf("suite %s: no profiled mix", s.Name)
+		}
+		var sum float64
+		for _, v := range mix {
+			if v < 0 {
+				t.Fatalf("suite %s: negative frequency", s.Name)
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("suite %s: mix sums to %v", s.Name, sum)
+		}
+	}
+	if profiledMix("unknown-suite", newTestRng(1), 1) != nil {
+		t.Fatal("unknown suite should return nil")
+	}
+}
+
+// UseVM datasets must validate and keep the suite-feature correlation that
+// makes side information useful (paper Fig. 4b).
+func TestGenerateWithVMFeatures(t *testing.T) {
+	ds := New(Config{Seed: 13, NumWorkloads: 24, MaxDevices: 4, SetsPerDegree: 8, UseVM: true}).Generate()
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Workloads of the same suite should have more similar feature vectors
+	// than workloads of different suites (profiled mixes are
+	// suite-characteristic).
+	f := ds.WorkloadFeatures
+	var within, across []float64
+	for i := 0; i < f.Rows; i++ {
+		for j := i + 1; j < f.Rows; j++ {
+			var d float64
+			for k := 0; k < f.Cols; k++ {
+				diff := f.At(i, k) - f.At(j, k)
+				d += diff * diff
+			}
+			if ds.WorkloadSuites[i] == ds.WorkloadSuites[j] {
+				within = append(within, d)
+			} else {
+				across = append(across, d)
+			}
+		}
+	}
+	if stats.Mean(within) >= stats.Mean(across) {
+		t.Fatalf("within-suite distance %.2f not below across-suite %.2f",
+			stats.Mean(within), stats.Mean(across))
+	}
+}
+
+// VM-profiled generation must remain deterministic.
+func TestGenerateWithVMDeterministic(t *testing.T) {
+	a := New(Config{Seed: 5, NumWorkloads: 12, MaxDevices: 3, SetsPerDegree: 4, UseVM: true}).Generate()
+	b := New(Config{Seed: 5, NumWorkloads: 12, MaxDevices: 3, SetsPerDegree: 4, UseVM: true}).Generate()
+	if len(a.Obs) != len(b.Obs) {
+		t.Fatal("nondeterministic observation count")
+	}
+	for k := range a.WorkloadFeatures.Data {
+		if a.WorkloadFeatures.Data[k] != b.WorkloadFeatures.Data[k] {
+			t.Fatal("nondeterministic VM features")
+		}
+	}
+}
+
+// newTestRng is a tiny helper for profile tests.
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,417 @@
+package wasmvm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Benchmark program generators in the style of each suite of the paper's
+// dataset (§4): numerical float kernels (Polybench), integer crypto rounds
+// (libsodium), mixed embedded code (MiBench), vision/ML convolutions
+// (Cortex Suite / SDVBS), and interpreter-dispatch loops (CPython on WASI).
+// Generated programs are deterministic given the rng and size.
+
+// builder assembles one function body with two-pass branch patching.
+type builder struct {
+	ins    []Instr
+	tables [][]int32
+}
+
+func (b *builder) emit(op Opcode, imm int32) int {
+	b.ins = append(b.ins, Instr{Op: op, Imm: imm})
+	return len(b.ins) - 1
+}
+
+func (b *builder) emitF(op Opcode, f float64) int {
+	b.ins = append(b.ins, Instr{Op: op, F: f})
+	return len(b.ins) - 1
+}
+
+func (b *builder) constI(v int32)   { b.emit(OpI32Const, v) }
+func (b *builder) constF(v float64) { b.emitF(OpF64Const, v) }
+func (b *builder) get(l int)        { b.emit(OpLocalGet, int32(l)) }
+func (b *builder) set(l int)        { b.emit(OpLocalSet, int32(l)) }
+
+// forRange emits `for local = 0; local < n; local++ { body }`.
+func (b *builder) forRange(local int, n int32, body func()) {
+	b.constI(0)
+	b.set(local)
+	b.emit(OpLoop, 0)
+	start := len(b.ins)
+	body()
+	// local++
+	b.get(local)
+	b.constI(1)
+	b.emit(OpI32Add, 0)
+	b.set(local)
+	// local < n ?
+	b.get(local)
+	b.constI(n)
+	b.emit(OpI32LtS, 0)
+	b.emit(OpBrIf, int32(start))
+}
+
+// fn finalizes the function.
+func (b *builder) fn(name string, params, locals int) Function {
+	b.emit(OpEnd, 0)
+	return Function{
+		Name: name, NumParams: params, NumLocals: params + locals,
+		Body: b.ins, Tables: b.tables,
+	}
+}
+
+// GenPolybench builds an n x n f64 matrix-multiply kernel (the shape of
+// Polybench's gemm). size scales n.
+func GenPolybench(rng *rand.Rand, size int) *Program {
+	n := int32(4 + size%12)
+	stride := n * 8
+	aBase, bBase, cBase := int32(0), n*stride, 2*n*stride
+	b := &builder{}
+	// locals: 0=i 1=j 2=k 3=addr scratch
+	b.forRange(0, n, func() {
+		b.forRange(1, n, func() {
+			b.forRange(2, n, func() {
+				// C[i*stride + j*8] += A[i*stride+k*8] * B[k*stride+j*8]
+				addr2 := func(base int32, row, col int) {
+					b.get(row)
+					b.constI(stride)
+					b.emit(OpI32Mul, 0)
+					b.get(col)
+					b.constI(8)
+					b.emit(OpI32Mul, 0)
+					b.emit(OpI32Add, 0)
+					b.constI(base)
+					b.emit(OpI32Add, 0)
+				}
+				addr2(cBase, 0, 1) // address for the final store
+				addr2(cBase, 0, 1)
+				b.emit(OpF64Load, 0)
+				addr2(aBase, 0, 2)
+				b.emit(OpF64Load, 0)
+				addr2(bBase, 2, 1)
+				b.emit(OpF64Load, 0)
+				b.emit(OpF64Mul, 0)
+				b.emit(OpF64Add, 0)
+				b.emit(OpF64Store, 0)
+			})
+		})
+	})
+	main := b.fn("gemm", 0, 4)
+	return &Program{Funcs: []Function{main}, MemSize: int(3*n*stride) + 64}
+}
+
+// GenLibsodium builds an ARX (add-rotate-xor) round loop over a 16-word
+// state, the shape of ChaCha/Salsa cores. size scales the round count.
+func GenLibsodium(rng *rand.Rand, size int) *Program {
+	rounds := int32(64 + 16*(size%16))
+	b := &builder{}
+	// locals: 0=round counter, 1..4 = state words
+	for l := 1; l <= 4; l++ {
+		b.constI(int32(rng.Uint32()))
+		b.set(l)
+	}
+	quarter := func(x, y int, rot int32) {
+		// x = (x + y); x ^= rotl(x, rot) approximated with shl/shr_u/or
+		b.get(x)
+		b.get(y)
+		b.emit(OpI32Add, 0)
+		b.set(x)
+		b.get(x)
+		b.get(x)
+		b.constI(rot)
+		b.emit(OpI32Shl, 0)
+		b.get(x)
+		b.constI(32 - rot)
+		b.emit(OpI32ShrU, 0)
+		b.emit(OpI32Or, 0)
+		b.emit(OpI32Xor, 0)
+		b.set(x)
+	}
+	b.forRange(0, rounds, func() {
+		quarter(1, 2, 7)
+		quarter(2, 3, 9)
+		quarter(3, 4, 13)
+		quarter(4, 1, 18)
+	})
+	b.get(1)
+	main := b.fn("arx", 0, 5)
+	return &Program{Funcs: []Function{main}, MemSize: 256}
+}
+
+// GenMibench builds a mixed embedded-style workload: a byte-table
+// transform with data-dependent branches and block copies (the shape of
+// MiBench's susan/CRC/dijkstra mix). size scales the element count.
+func GenMibench(rng *rand.Rand, size int) *Program {
+	n := int32(128 + 32*(size%16))
+	b := &builder{}
+	// memory: [0,256) lookup table, [256, 256+n) data, [4096, ...) copy dst
+	// locals: 0=i 1=acc 2=tmp
+	b.forRange(0, n, func() {
+		// tmp = table[data[i]]
+		b.get(0)
+		b.constI(256)
+		b.emit(OpI32Add, 0)
+		b.emit(OpI32Load8U, 0)
+		b.emit(OpI32Load8U, 0) // table lookup: data byte indexes table at 0
+		b.set(2)
+		// if tmp > 127 { acc += tmp } else { acc ^= tmp }
+		b.get(2)
+		b.constI(127)
+		b.emit(OpI32GtS, 0)
+		jIf := b.emit(OpIf, 0)
+		b.get(1)
+		b.get(2)
+		b.emit(OpI32Add, 0)
+		b.set(1)
+		jBr := b.emit(OpBr, 0)
+		b.ins[jIf].Imm = int32(len(b.ins))
+		b.get(1)
+		b.get(2)
+		b.emit(OpI32Xor, 0)
+		b.set(1)
+		b.ins[jBr].Imm = int32(len(b.ins))
+		// store transformed byte
+		b.get(0)
+		b.constI(4096)
+		b.emit(OpI32Add, 0)
+		b.get(2)
+		b.emit(OpI32Store8, 0)
+	})
+	// final block copy of the transformed buffer
+	b.constI(4096)
+	b.constI(8192)
+	b.constI(n)
+	b.emit(OpMemoryCopy, 0)
+	b.get(1)
+	main := b.fn("transform", 0, 3)
+	return &Program{Funcs: []Function{main}, MemSize: 16384}
+}
+
+// GenVision builds a 3x3 f64 convolution with thresholding plus an f32
+// smoothing pass, the shape of SDVBS/Cortex vision kernels. size scales
+// the image dimension. The accumulator lives in a memory scratch slot to
+// keep the operand stack balanced across the structured loops.
+func GenVision(rng *rand.Rand, size int) *Program {
+	w := int32(12 + 4*(size%10))
+	stride := w * 8 // f64 image
+	srcBase := int32(64)
+	dstBase := srcBase + w*stride
+	f32Base := dstBase + w*4 // f32 plane for the smoothing pass
+	const accAddr = int32(0) // f64 accumulator scratch
+	b := &builder{}
+	// locals: 0=y 1=x 2=ky 3=kx 4=i
+	pixelAddr := func(base int32, row, col int, scale int32) {
+		b.get(row)
+		b.get(2)
+		b.emit(OpI32Add, 0)
+		b.constI(stride)
+		b.emit(OpI32Mul, 0)
+		b.get(col)
+		b.get(3)
+		b.emit(OpI32Add, 0)
+		b.constI(scale)
+		b.emit(OpI32Mul, 0)
+		b.emit(OpI32Add, 0)
+		b.constI(base)
+		b.emit(OpI32Add, 0)
+	}
+	b.forRange(0, w-2, func() {
+		b.forRange(1, w-2, func() {
+			// acc = 0
+			b.constI(accAddr)
+			b.constF(0)
+			b.emit(OpF64Store, 0)
+			b.forRange(2, 3, func() {
+				b.forRange(3, 3, func() {
+					// acc += pixel * pixel
+					b.constI(accAddr)
+					b.constI(accAddr)
+					b.emit(OpF64Load, 0)
+					pixelAddr(srcBase, 0, 1, 8)
+					b.emit(OpF64Load, 0)
+					pixelAddr(srcBase, 0, 1, 8)
+					b.emit(OpF64Load, 0)
+					b.emit(OpF64Mul, 0)
+					b.emit(OpF64Add, 0)
+					b.emit(OpF64Store, 0)
+				})
+			})
+			// if sqrt(acc) > 4: dst[y*4 + x] = 1
+			b.constI(accAddr)
+			b.emit(OpF64Load, 0)
+			b.emit(OpF64Sqrt, 0)
+			b.constF(4)
+			b.emit(OpF64Gt, 0)
+			jIf := b.emit(OpIf, 0)
+			b.get(0)
+			b.constI(4)
+			b.emit(OpI32Mul, 0)
+			b.get(1)
+			b.emit(OpI32Add, 0)
+			b.constI(dstBase)
+			b.emit(OpI32Add, 0)
+			b.constI(1)
+			b.emit(OpI32Store, 0)
+			b.ins[jIf].Imm = int32(len(b.ins))
+		})
+	})
+	// f32 smoothing pass: plane[i] = plane[i] + plane[i+1] (running sum),
+	// with a multiply/divide every iteration to exercise the f32 units.
+	b.forRange(4, w-1, func() {
+		idx := func(off int32) {
+			b.get(4)
+			b.constI(4)
+			b.emit(OpI32Mul, 0)
+			b.constI(f32Base + off*4)
+			b.emit(OpI32Add, 0)
+		}
+		idx(0) // store address
+		idx(0)
+		b.emit(OpF32Load, 0)
+		idx(1)
+		b.emit(OpF32Load, 0)
+		b.emit(OpF32Add, 0)
+		idx(1)
+		b.emit(OpF32Load, 0)
+		b.emit(OpF32Mul, 0)
+		idx(0)
+		b.emit(OpF32Load, 0)
+		b.emit(OpF32Div, 0)
+		b.emit(OpF32Store, 0)
+	})
+	// return converted loop counter (exercises i64/i32 conversion path)
+	b.get(4)
+	main := b.fn("conv", 0, 5)
+	prog := &Program{Funcs: []Function{main}, MemSize: int(f32Base+w*4) + 64}
+	// seed the image planes with pseudo-random data
+	mem := make([]byte, prog.MemSize)
+	for i := range mem {
+		mem[i] = byte(rng.Intn(256))
+	}
+	prog.initMem = mem
+	return prog
+}
+
+// GenPython builds an interpreter-dispatch loop: a bytecode buffer in
+// memory drives a br_table into handlers that perform small integer ops
+// and indirect calls — the shape of CPython running under WASI. size
+// scales the bytecode length.
+func GenPython(rng *rand.Rand, size int) *Program {
+	n := int32(64 + 16*(size%16))
+	// helper functions called indirectly by handlers
+	mkHelper := func(name string, op Opcode) Function {
+		hb := &builder{}
+		hb.get(0)
+		hb.get(1)
+		hb.emit(op, 0)
+		return hb.fn(name, 2, 0)
+	}
+	add := mkHelper("add", OpI32Add)
+	mul := mkHelper("mul", OpI32Mul)
+	xor := mkHelper("xor", OpI32Xor)
+
+	b := &builder{}
+	// locals: 0=pc 1=acc 2=op
+	b.forRange(0, n, func() {
+		// op = code[pc] & 3
+		b.get(0)
+		b.emit(OpI32Load8U, 0)
+		b.constI(3)
+		b.emit(OpI32And, 0)
+		b.set(2)
+		b.get(2)
+		jTable := b.emit(OpBrTable, 0)
+		// handler 0: acc = add(acc, pc) via call_indirect
+		h0 := int32(len(b.ins))
+		b.get(1)
+		b.get(0)
+		b.constI(0)
+		b.emit(OpCallIndirect, 0)
+		b.set(1)
+		j0 := b.emit(OpBr, 0)
+		// handler 1: acc = mul(acc, 3) via direct call
+		h1 := int32(len(b.ins))
+		b.get(1)
+		b.constI(3)
+		b.emit(OpCall, 2) // funcs[2] = mul
+		b.set(1)
+		j1 := b.emit(OpBr, 0)
+		// handler 2: acc = xor(acc, 0x5a) indirect
+		h2 := int32(len(b.ins))
+		b.get(1)
+		b.constI(0x5a)
+		b.constI(2)
+		b.emit(OpCallIndirect, 0)
+		b.set(1)
+		j2 := b.emit(OpBr, 0)
+		// handler 3 (default): simulated wasi write of 1 byte
+		h3 := int32(len(b.ins))
+		b.constI(1)
+		b.emit(OpWasiFdWrite, 0)
+		b.emit(OpDrop, 0)
+		end := int32(len(b.ins))
+		b.ins[j0].Imm = end
+		b.ins[j1].Imm = end
+		b.ins[j2].Imm = end
+		b.tables = append(b.tables, []int32{h0, h1, h2, h3})
+		b.ins[jTable].Imm = int32(len(b.tables) - 1)
+	})
+	b.get(1)
+	main := b.fn("dispatch", 0, 3)
+	prog := &Program{
+		Funcs:   []Function{main, add, mul, xor},
+		Table:   []int32{1, 2, 3}, // indirect slots: add, mul, xor
+		MemSize: int(n) + 64,
+		Start:   0,
+	}
+	// random "bytecode"
+	mem := make([]byte, prog.MemSize)
+	for i := range mem {
+		mem[i] = byte(rng.Intn(256))
+	}
+	prog.initMem = mem
+	return prog
+}
+
+// Generate builds a benchmark program in the style of the named suite.
+// Supported suites: polybench, libsodium, mibench, cortex, sdvbs, python.
+func Generate(suite string, rng *rand.Rand, size int) (*Program, error) {
+	switch suite {
+	case "polybench":
+		return GenPolybench(rng, size), nil
+	case "libsodium":
+		return GenLibsodium(rng, size), nil
+	case "mibench":
+		return GenMibench(rng, size), nil
+	case "cortex", "sdvbs":
+		return GenVision(rng, size), nil
+	case "python":
+		return GenPython(rng, size), nil
+	}
+	return nil, fmt.Errorf("wasmvm: unknown suite %q", suite)
+}
+
+// Profile runs prog with the given fuel and returns the normalized
+// opcode-frequency mix over the counted instruction set. The program may
+// run out of fuel; the partial counts still characterize its steady-state
+// mix (benchmarks are loop-dominated).
+func Profile(prog *Program, fuel int64) ([]float64, error) {
+	vm := NewVM(prog)
+	res, err := vm.Run(fuel)
+	if err != nil {
+		return nil, err
+	}
+	mix := make([]float64, NumCounted)
+	var total float64
+	for i, c := range res.Counts {
+		mix[i] = float64(c)
+		total += float64(c)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("wasmvm: program executed no counted instructions")
+	}
+	for i := range mix {
+		mix[i] /= total
+	}
+	return mix, nil
+}

@@ -1,0 +1,181 @@
+package wasmvm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// groupShare sums the mix over an opcode range [lo,hi).
+func groupShare(mix []float64, lo, hi Opcode) float64 {
+	var s float64
+	for op := lo; op < hi; op++ {
+		s += mix[op]
+	}
+	return s
+}
+
+func TestGenerateAllSuites(t *testing.T) {
+	for _, suite := range []string{"polybench", "libsodium", "mibench", "cortex", "sdvbs", "python"} {
+		rng := rand.New(rand.NewSource(1))
+		p, err := Generate(suite, rng, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", suite, err)
+		}
+		res, err := NewVM(p).Run(500_000)
+		if err != nil {
+			t.Fatalf("%s: %v", suite, err)
+		}
+		if res.Steps == 0 {
+			t.Fatalf("%s executed nothing", suite)
+		}
+	}
+	if _, err := Generate("nope", rand.New(rand.NewSource(1)), 1); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+}
+
+func TestSuiteMixesCharacteristic(t *testing.T) {
+	// Each generator's executed instruction mix must have the signature of
+	// its suite — this is what makes VM-derived features informative.
+	profile := func(suite string) []float64 {
+		rng := rand.New(rand.NewSource(7))
+		p, err := Generate(suite, rng, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix, err := Profile(p, 300_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mix
+	}
+	poly := profile("polybench")
+	sodium := profile("libsodium")
+	python := profile("python")
+	vision := profile("cortex")
+	mibench := profile("mibench")
+
+	floatShare := func(m []float64) float64 { return groupShare(m, OpF32Add, OpF64Sqrt+1) }
+	// Polybench: float-heavy, much more than libsodium.
+	if floatShare(poly) < 3*floatShare(sodium) {
+		t.Fatalf("polybench float share %.3f not >> libsodium %.3f",
+			floatShare(poly), floatShare(sodium))
+	}
+	// Libsodium: integer-ALU dominated.
+	ialu := func(m []float64) float64 { return groupShare(m, OpI32Add, OpI64Shl+1) }
+	if ialu(sodium) < 0.3 {
+		t.Fatalf("libsodium integer share %.3f < 0.3", ialu(sodium))
+	}
+	// Python: only suite with call_indirect and br_table dispatch.
+	if python[OpBrTable] == 0 || python[OpCallIndirect] == 0 {
+		t.Fatal("python dispatch missing br_table/call_indirect")
+	}
+	if poly[OpCallIndirect] != 0 || sodium[OpBrTable] != 0 {
+		t.Fatal("non-python suites should not use indirect dispatch")
+	}
+	// Vision: uses both f64 conv and f32 smoothing plus sqrt.
+	if vision[OpF64Sqrt] == 0 || vision[OpF32Add] == 0 {
+		t.Fatal("vision kernel missing f64.sqrt / f32.add")
+	}
+	// MiBench: byte loads and branches.
+	if mibench[OpI32Load8U] == 0 || mibench[OpIf] == 0 || mibench[OpMemoryCopy] == 0 {
+		t.Fatal("mibench missing byte/branch/copy signature")
+	}
+}
+
+func TestProfileNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p, _ := Generate("polybench", rng, 2)
+	mix, err := Profile(p, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range mix {
+		if v < 0 {
+			t.Fatal("negative frequency")
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("mix sums to %v", sum)
+	}
+}
+
+func TestSizeScalesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	small, _ := Generate("polybench", rng, 0) // n = 4
+	rng = rand.New(rand.NewSource(3))
+	large, _ := Generate("polybench", rng, 11) // n = 15
+	rs, err := NewVM(small).Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := NewVM(large).Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Steps < 8*rs.Steps {
+		t.Fatalf("size scaling weak: %d vs %d steps", rs.Steps, rl.Steps)
+	}
+}
+
+func TestPolybenchComputesRealGEMM(t *testing.T) {
+	// The generated kernel must actually accumulate C += A*B: with zeroed
+	// memory the result stays zero; with seeded A/B it changes memory.
+	rng := rand.New(rand.NewSource(4))
+	p := GenPolybench(rng, 0)
+	vm := NewVM(p)
+	if _, err := vm.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	allZero := true
+	for _, b := range vm.mem {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	if !allZero {
+		t.Fatal("zero inputs produced nonzero output")
+	}
+	// Seed A and B with 1.0 values: C accumulates n per cell.
+	p2 := GenPolybench(rand.New(rand.NewSource(4)), 0)
+	mem := make([]byte, p2.MemSize)
+	one := [8]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x3f} // float64(1.0) little-endian
+	n := 4
+	for i := 0; i < 2*n*n; i++ { // A and B planes
+		copy(mem[i*8:], one[:])
+	}
+	p2.SetInitialMemory(mem)
+	vm2 := NewVM(p2)
+	if _, err := vm2.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// C[0][0] = sum_k A[0][k]*B[k][0] = n = 4.0
+	cBase := 2 * n * n * 8
+	var bits uint64
+	for i := 7; i >= 0; i-- {
+		bits = bits<<8 | uint64(vm2.mem[cBase+i])
+	}
+	if got := math.Float64frombits(bits); got != 4.0 {
+		t.Fatalf("C[0][0] = %v want 4.0", got)
+	}
+}
+
+func BenchmarkInterpreter(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	p, _ := Generate("libsodium", rng, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		res, err := NewVM(p).Run(1_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

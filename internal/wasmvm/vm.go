@@ -1,0 +1,646 @@
+// Package wasmvm implements a miniature WebAssembly-style stack virtual
+// machine with an instrumented interpreter.
+//
+// The paper's workload features are opcode-execution counts collected by
+// instrumenting the WebAssembly Micro Runtime fast interpreter (App. C.2).
+// This package provides the equivalent substrate for the reproduction: a
+// bytecode VM whose instruction set mirrors the instrumented counters in
+// internal/wasmcluster, benchmark program generators in the style of each
+// suite (internal/wasmvm/bench.go), and an interpreter that counts every
+// executed opcode. internal/wasmcluster can profile generated programs
+// through this VM to derive workload features from real execution rather
+// than a synthetic mixture (Config.UseVM).
+//
+// The VM is deliberately small: i32/i64/f32/f64 values on an operand
+// stack, locals, linear memory with bounds checking, direct and indirect
+// calls, and structured-control opcodes lowered to explicit branch
+// targets. It is an interpreter substrate, not a spec-complete
+// WebAssembly implementation.
+package wasmvm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Opcode identifies one instruction. The numbering matches the feature
+// columns used by the dataset generator (see Names and the alignment test
+// in internal/wasmcluster).
+type Opcode uint8
+
+// Instruction set. Grouped as: integer ALU, float, memory, control,
+// comparison/conversion, misc/host.
+const (
+	OpI32Add Opcode = iota
+	OpI32Sub
+	OpI32Mul
+	OpI32DivS
+	OpI32And
+	OpI32Or
+	OpI32Xor
+	OpI32Shl
+	OpI32ShrU
+	OpI64Add
+	OpI64Mul
+	OpI64Shl
+	OpF32Add
+	OpF32Mul
+	OpF32Div
+	OpF64Add
+	OpF64Sub
+	OpF64Mul
+	OpF64Div
+	OpF64Sqrt
+	OpI32Load
+	OpI32Store
+	OpI64Load
+	OpI64Store
+	OpF32Load
+	OpF32Store
+	OpF64Load
+	OpF64Store
+	OpI32Load8U
+	OpI32Store8
+	OpMemoryGrow
+	OpMemoryCopy
+	OpBr
+	OpBrIf
+	OpBrTable
+	OpCall
+	OpCallIndirect
+	OpReturn
+	OpIf
+	OpLoop
+	OpBlock
+	OpI32Eq
+	OpI32LtS
+	OpI32GtS
+	OpF64Lt
+	OpF64Gt
+	OpI32WrapI64
+	OpF64ConvertI32S
+	OpLocalGet
+	OpLocalSet
+	OpGlobalGet
+	OpSelect
+	OpDrop
+	OpWasiFdRead
+	OpWasiFdWrite
+	// OpI32Const pushes an immediate; it is an encoding helper and is
+	// counted under local.get (constant materialization) like fast
+	// interpreters fold it.
+	OpI32Const
+	OpF64Const
+	// OpEnd terminates a function body.
+	OpEnd
+
+	numOpcodes
+)
+
+// NumCounted is the number of opcode counters exposed as features
+// (OpI32Add .. OpWasiFdWrite); encoding helpers beyond it are folded.
+const NumCounted = int(OpWasiFdWrite) + 1
+
+// names in feature-column order.
+var names = [numOpcodes]string{
+	"i32.add", "i32.sub", "i32.mul", "i32.div_s", "i32.and", "i32.or", "i32.xor", "i32.shl", "i32.shr_u",
+	"i64.add", "i64.mul", "i64.shl",
+	"f32.add", "f32.mul", "f32.div", "f64.add", "f64.sub", "f64.mul", "f64.div", "f64.sqrt",
+	"i32.load", "i32.store", "i64.load", "i64.store", "f32.load", "f32.store", "f64.load", "f64.store",
+	"i32.load8_u", "i32.store8", "memory.grow", "memory.copy",
+	"br", "br_if", "br_table", "call", "call_indirect", "return", "if", "loop", "block",
+	"i32.eq", "i32.lt_s", "i32.gt_s", "f64.lt", "f64.gt", "i32.wrap_i64", "f64.convert_i32_s",
+	"local.get", "local.set", "global.get", "select", "drop", "wasi.fd_read", "wasi.fd_write",
+	"i32.const", "f64.const", "end",
+}
+
+// Name returns the opcode mnemonic.
+func (o Opcode) Name() string {
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// CountedNames returns the mnemonics of the counted (feature) opcodes in
+// column order.
+func CountedNames() []string {
+	out := make([]string, NumCounted)
+	for i := range out {
+		out[i] = names[i]
+	}
+	return out
+}
+
+// Instr is one lowered instruction. Structured control has been resolved
+// to absolute instruction indices: for OpBr/OpBrIf, Imm is the jump
+// target; for OpIf, Imm is the else/endif target; OpLoop/OpBlock are
+// counted markers. For OpBrTable, Imm indexes the function's tables slice.
+// For constants, F holds the value (bit pattern for integers).
+type Instr struct {
+	Op  Opcode
+	Imm int32
+	F   float64
+}
+
+// Function is a callable unit.
+type Function struct {
+	Name      string
+	NumParams int
+	NumLocals int // including params
+	Body      []Instr
+	Tables    [][]int32 // br_table target lists
+}
+
+// Program is a module: functions, an indirect-call table, and the initial
+// memory size in bytes.
+type Program struct {
+	Funcs   []Function
+	Table   []int32 // function indices for call_indirect
+	MemSize int
+	Start   int // index of the entry function
+
+	// initMem, when non-nil, seeds linear memory (data segment).
+	initMem []byte
+}
+
+// SetInitialMemory installs a data segment copied into linear memory at
+// VM creation.
+func (p *Program) SetInitialMemory(data []byte) { p.initMem = data }
+
+// Result of an execution.
+type Result struct {
+	// Counts[op] is the number of times each counted opcode executed.
+	Counts []int64
+	// Steps is the total number of instructions executed.
+	Steps int64
+	// Return value of the entry function (0 if none).
+	Return uint64
+	// Fuel exhausted (execution truncated).
+	OutOfFuel bool
+}
+
+// execution errors
+var (
+	ErrStackUnderflow = fmt.Errorf("wasmvm: stack underflow")
+	ErrOOB            = fmt.Errorf("wasmvm: memory access out of bounds")
+	ErrBadFunction    = fmt.Errorf("wasmvm: bad function index")
+	ErrDivByZero      = fmt.Errorf("wasmvm: integer divide by zero")
+	ErrCallDepth      = fmt.Errorf("wasmvm: call depth exceeded")
+)
+
+const maxCallDepth = 256
+
+// VM executes programs.
+type VM struct {
+	prog   *Program
+	mem    []byte
+	stack  []uint64
+	counts []int64
+	steps  int64
+	fuel   int64
+	wasiIO int64 // bytes moved through wasi fd_read/fd_write
+}
+
+// NewVM prepares an execution context for prog.
+func NewVM(prog *Program) *VM {
+	vm := &VM{
+		prog:   prog,
+		mem:    make([]byte, prog.MemSize),
+		counts: make([]int64, NumCounted),
+	}
+	copy(vm.mem, prog.initMem)
+	return vm
+}
+
+// Run executes the entry function with the given i32 arguments and a fuel
+// budget (maximum instructions; <=0 means 100M). Counts accumulate across
+// calls to Run on the same VM.
+func (vm *VM) Run(fuel int64, args ...int32) (Result, error) {
+	if fuel <= 0 {
+		fuel = 100_000_000
+	}
+	vm.fuel = fuel
+	vm.stack = vm.stack[:0]
+	locals := make([]uint64, 0, 16)
+	for _, a := range args {
+		locals = append(locals, uint64(uint32(a)))
+	}
+	ret, outOfFuel, err := vm.call(vm.prog.Start, locals, 0)
+	res := Result{
+		Counts:    append([]int64(nil), vm.counts...),
+		Steps:     vm.steps,
+		Return:    ret,
+		OutOfFuel: outOfFuel,
+	}
+	return res, err
+}
+
+// count tallies an executed opcode (encoding helpers fold into local.get).
+func (vm *VM) count(op Opcode) {
+	switch {
+	case int(op) < NumCounted:
+		vm.counts[op]++
+	case op == OpI32Const || op == OpF64Const:
+		vm.counts[OpLocalGet]++
+	}
+	vm.steps++
+	vm.fuel--
+}
+
+func (vm *VM) push(v uint64) { vm.stack = append(vm.stack, v) }
+
+func (vm *VM) pop() (uint64, error) {
+	if len(vm.stack) == 0 {
+		return 0, ErrStackUnderflow
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v, nil
+}
+
+// pop2 pops b then a (a pushed first).
+func (vm *VM) pop2() (a, b uint64, err error) {
+	b, err = vm.pop()
+	if err != nil {
+		return
+	}
+	a, err = vm.pop()
+	return
+}
+
+func (vm *VM) checkMem(addr, size int64) error {
+	if addr < 0 || addr+size > int64(len(vm.mem)) {
+		return ErrOOB
+	}
+	return nil
+}
+
+func (vm *VM) load(addr int64, size int) (uint64, error) {
+	if err := vm.checkMem(addr, int64(size)); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(vm.mem[addr+int64(i)])
+	}
+	return v, nil
+}
+
+func (vm *VM) store(addr int64, size int, v uint64) error {
+	if err := vm.checkMem(addr, int64(size)); err != nil {
+		return err
+	}
+	for i := 0; i < size; i++ {
+		vm.mem[addr+int64(i)] = byte(v)
+		v >>= 8
+	}
+	return nil
+}
+
+// call executes function fi with the given locals (params first).
+func (vm *VM) call(fi int, locals []uint64, depth int) (ret uint64, outOfFuel bool, err error) {
+	if fi < 0 || fi >= len(vm.prog.Funcs) {
+		return 0, false, ErrBadFunction
+	}
+	if depth > maxCallDepth {
+		return 0, false, ErrCallDepth
+	}
+	f := &vm.prog.Funcs[fi]
+	for len(locals) < f.NumLocals {
+		locals = append(locals, 0)
+	}
+	pc := 0
+	for pc < len(f.Body) {
+		if vm.fuel <= 0 {
+			return 0, true, nil
+		}
+		in := &f.Body[pc]
+		vm.count(in.Op)
+		switch in.Op {
+		case OpI32Const:
+			vm.push(uint64(uint32(in.Imm)))
+		case OpF64Const:
+			vm.push(math.Float64bits(in.F))
+		case OpLocalGet:
+			if int(in.Imm) >= len(locals) {
+				return 0, false, fmt.Errorf("wasmvm: local %d out of range", in.Imm)
+			}
+			vm.push(locals[in.Imm])
+		case OpLocalSet:
+			v, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			if int(in.Imm) >= len(locals) {
+				return 0, false, fmt.Errorf("wasmvm: local %d out of range", in.Imm)
+			}
+			locals[in.Imm] = v
+		case OpGlobalGet:
+			// single global: the VM's wasi byte counter (observable state)
+			vm.push(uint64(vm.wasiIO))
+		case OpDrop:
+			if _, e := vm.pop(); e != nil {
+				return 0, false, e
+			}
+		case OpSelect:
+			c, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			v1, v2, e := vm.pop2() // v1 pushed first, v2 on top
+			if e != nil {
+				return 0, false, e
+			}
+			// WebAssembly semantics: nonzero condition keeps v1.
+			if c != 0 {
+				vm.push(v1)
+			} else {
+				vm.push(v2)
+			}
+
+		// integer ALU (i32 semantics on low 32 bits)
+		case OpI32Add, OpI32Sub, OpI32Mul, OpI32DivS, OpI32And, OpI32Or, OpI32Xor, OpI32Shl, OpI32ShrU,
+			OpI32Eq, OpI32LtS, OpI32GtS:
+			a, b, e := vm.pop2()
+			if e != nil {
+				return 0, false, e
+			}
+			x, y := int32(uint32(a)), int32(uint32(b))
+			var r uint32
+			switch in.Op {
+			case OpI32Add:
+				r = uint32(x + y)
+			case OpI32Sub:
+				r = uint32(x - y)
+			case OpI32Mul:
+				r = uint32(x * y)
+			case OpI32DivS:
+				if y == 0 {
+					return 0, false, ErrDivByZero
+				}
+				r = uint32(x / y)
+			case OpI32And:
+				r = uint32(x & y)
+			case OpI32Or:
+				r = uint32(x | y)
+			case OpI32Xor:
+				r = uint32(x ^ y)
+			case OpI32Shl:
+				r = uint32(x << (uint32(y) & 31))
+			case OpI32ShrU:
+				r = uint32(uint32(x) >> (uint32(y) & 31))
+			case OpI32Eq:
+				if x == y {
+					r = 1
+				}
+			case OpI32LtS:
+				if x < y {
+					r = 1
+				}
+			case OpI32GtS:
+				if x > y {
+					r = 1
+				}
+			}
+			vm.push(uint64(r))
+
+		case OpI64Add, OpI64Mul, OpI64Shl:
+			a, b, e := vm.pop2()
+			if e != nil {
+				return 0, false, e
+			}
+			switch in.Op {
+			case OpI64Add:
+				vm.push(a + b)
+			case OpI64Mul:
+				vm.push(a * b)
+			case OpI64Shl:
+				vm.push(a << (b & 63))
+			}
+
+		// floats
+		case OpF32Add, OpF32Mul, OpF32Div:
+			a, b, e := vm.pop2()
+			if e != nil {
+				return 0, false, e
+			}
+			x, y := math.Float32frombits(uint32(a)), math.Float32frombits(uint32(b))
+			var r float32
+			switch in.Op {
+			case OpF32Add:
+				r = x + y
+			case OpF32Mul:
+				r = x * y
+			case OpF32Div:
+				r = x / y
+			}
+			vm.push(uint64(math.Float32bits(r)))
+		case OpF64Add, OpF64Sub, OpF64Mul, OpF64Div, OpF64Lt, OpF64Gt:
+			a, b, e := vm.pop2()
+			if e != nil {
+				return 0, false, e
+			}
+			x, y := math.Float64frombits(a), math.Float64frombits(b)
+			switch in.Op {
+			case OpF64Add:
+				vm.push(math.Float64bits(x + y))
+			case OpF64Sub:
+				vm.push(math.Float64bits(x - y))
+			case OpF64Mul:
+				vm.push(math.Float64bits(x * y))
+			case OpF64Div:
+				vm.push(math.Float64bits(x / y))
+			case OpF64Lt:
+				if x < y {
+					vm.push(1)
+				} else {
+					vm.push(0)
+				}
+			case OpF64Gt:
+				if x > y {
+					vm.push(1)
+				} else {
+					vm.push(0)
+				}
+			}
+		case OpF64Sqrt:
+			a, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			vm.push(math.Float64bits(math.Sqrt(math.Float64frombits(a))))
+		case OpI32WrapI64:
+			a, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			vm.push(uint64(uint32(a)))
+		case OpF64ConvertI32S:
+			a, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			vm.push(math.Float64bits(float64(int32(uint32(a)))))
+
+		// memory
+		case OpI32Load, OpI64Load, OpF32Load, OpF64Load, OpI32Load8U:
+			a, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			addr := int64(int32(uint32(a))) + int64(in.Imm)
+			size := 4
+			switch in.Op {
+			case OpI64Load, OpF64Load:
+				size = 8
+			case OpI32Load8U:
+				size = 1
+			}
+			v, e := vm.load(addr, size)
+			if e != nil {
+				return 0, false, e
+			}
+			vm.push(v)
+		case OpI32Store, OpI64Store, OpF32Store, OpF64Store, OpI32Store8:
+			v, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			a, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			addr := int64(int32(uint32(a))) + int64(in.Imm)
+			size := 4
+			switch in.Op {
+			case OpI64Store, OpF64Store:
+				size = 8
+			case OpI32Store8:
+				size = 1
+			}
+			if e := vm.store(addr, size, v); e != nil {
+				return 0, false, e
+			}
+		case OpMemoryGrow:
+			pages, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			old := len(vm.mem) / 65536
+			vm.mem = append(vm.mem, make([]byte, int(uint32(pages))*65536)...)
+			vm.push(uint64(uint32(old)))
+		case OpMemoryCopy:
+			n, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			src, dst, e := vm.pop2()
+			if e != nil {
+				return 0, false, e
+			}
+			ln := int64(uint32(n))
+			if err := vm.checkMem(int64(uint32(src)), ln); err != nil {
+				return 0, false, err
+			}
+			if err := vm.checkMem(int64(uint32(dst)), ln); err != nil {
+				return 0, false, err
+			}
+			copy(vm.mem[uint32(dst):int64(uint32(dst))+ln], vm.mem[uint32(src):int64(uint32(src))+ln])
+
+		// control
+		case OpBlock, OpLoop:
+			// counted structural markers
+		case OpBr:
+			pc = int(in.Imm)
+			continue
+		case OpBrIf:
+			c, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			if c != 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpBrTable:
+			idx, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			tbl := f.Tables[in.Imm]
+			i := int(uint32(idx))
+			if i >= len(tbl)-1 {
+				i = len(tbl) - 1 // last entry = default
+			}
+			pc = int(tbl[i])
+			continue
+		case OpIf:
+			c, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			if c == 0 {
+				pc = int(in.Imm)
+				continue
+			}
+		case OpCall:
+			callee := int(in.Imm)
+			ret, oof, e := vm.callWithStackArgs(callee, depth)
+			if e != nil || oof {
+				return 0, oof, e
+			}
+			vm.push(ret)
+		case OpCallIndirect:
+			ti, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			i := int(uint32(ti))
+			if i >= len(vm.prog.Table) {
+				return 0, false, ErrBadFunction
+			}
+			ret, oof, e := vm.callWithStackArgs(int(vm.prog.Table[i]), depth)
+			if e != nil || oof {
+				return 0, oof, e
+			}
+			vm.push(ret)
+		case OpReturn, OpEnd:
+			if len(vm.stack) > 0 {
+				v, _ := vm.pop()
+				return v, false, nil
+			}
+			return 0, false, nil
+
+		// host (simulated WASI)
+		case OpWasiFdRead, OpWasiFdWrite:
+			n, e := vm.pop()
+			if e != nil {
+				return 0, false, e
+			}
+			vm.wasiIO += int64(uint32(n))
+			vm.push(uint64(uint32(n)))
+
+		default:
+			return 0, false, fmt.Errorf("wasmvm: unimplemented opcode %s", in.Op.Name())
+		}
+		pc++
+	}
+	return 0, false, nil
+}
+
+// callWithStackArgs pops the callee's parameters off the operand stack and
+// invokes it.
+func (vm *VM) callWithStackArgs(fi, depth int) (uint64, bool, error) {
+	if fi < 0 || fi >= len(vm.prog.Funcs) {
+		return 0, false, ErrBadFunction
+	}
+	np := vm.prog.Funcs[fi].NumParams
+	if len(vm.stack) < np {
+		return 0, false, ErrStackUnderflow
+	}
+	locals := make([]uint64, np, np+8)
+	copy(locals, vm.stack[len(vm.stack)-np:])
+	vm.stack = vm.stack[:len(vm.stack)-np]
+	return vm.call(fi, locals, depth+1)
+}

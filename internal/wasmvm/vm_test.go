@@ -1,0 +1,349 @@
+package wasmvm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// prog wraps a single-function program.
+func prog(f Function, memSize int) *Program {
+	return &Program{Funcs: []Function{f}, MemSize: memSize}
+}
+
+// run executes and fails the test on error.
+func run(t *testing.T, p *Program, fuel int64, args ...int32) Result {
+	t.Helper()
+	res, err := NewVM(p).Run(fuel, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestArithmeticGolden(t *testing.T) {
+	// (7 + 5) * 3 - 6 = 30
+	b := &builder{}
+	b.constI(7)
+	b.constI(5)
+	b.emit(OpI32Add, 0)
+	b.constI(3)
+	b.emit(OpI32Mul, 0)
+	b.constI(6)
+	b.emit(OpI32Sub, 0)
+	res := run(t, prog(b.fn("f", 0, 0), 0), 0)
+	if int32(res.Return) != 30 {
+		t.Fatalf("got %d want 30", int32(res.Return))
+	}
+}
+
+func TestDivisionAndSignedness(t *testing.T) {
+	b := &builder{}
+	b.constI(-9)
+	b.constI(2)
+	b.emit(OpI32DivS, 0)
+	res := run(t, prog(b.fn("f", 0, 0), 0), 0)
+	if int32(res.Return) != -4 {
+		t.Fatalf("(-9)/2 = %d want -4", int32(res.Return))
+	}
+}
+
+func TestDivByZeroErrors(t *testing.T) {
+	b := &builder{}
+	b.constI(1)
+	b.constI(0)
+	b.emit(OpI32DivS, 0)
+	if _, err := NewVM(prog(b.fn("f", 0, 0), 0)).Run(0); err != ErrDivByZero {
+		t.Fatalf("got %v want ErrDivByZero", err)
+	}
+}
+
+func TestFloatGolden(t *testing.T) {
+	// sqrt(3*3 + 4*4) = 5 via f64 ops
+	b := &builder{}
+	b.constF(3)
+	b.constF(3)
+	b.emit(OpF64Mul, 0)
+	b.constF(4)
+	b.constF(4)
+	b.emit(OpF64Mul, 0)
+	b.emit(OpF64Add, 0)
+	b.emit(OpF64Sqrt, 0)
+	res := run(t, prog(b.fn("f", 0, 0), 0), 0)
+	if got := math.Float64frombits(res.Return); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("got %v want 5", got)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	// sum 0..9 = 45 using forRange
+	b := &builder{}
+	b.forRange(0, 10, func() {
+		b.get(1)
+		b.get(0)
+		b.emit(OpI32Add, 0)
+		b.set(1)
+	})
+	b.get(1)
+	res := run(t, prog(b.fn("sum", 0, 2), 0), 0)
+	if int32(res.Return) != 45 {
+		t.Fatalf("got %d want 45", int32(res.Return))
+	}
+	if res.Counts[OpLoop] != 1 || res.Counts[OpBrIf] != 10 {
+		t.Fatalf("loop counts: loop=%d br_if=%d", res.Counts[OpLoop], res.Counts[OpBrIf])
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	// store i64 at 8, load it back
+	b := &builder{}
+	b.constI(8)
+	b.constI(0)
+	b.emit(OpI64Shl, 0) // push 0 as i64 via shl identity? simpler: store i32
+	b.emit(OpDrop, 0)
+	b.constI(8)
+	b.constI(-123456)
+	b.emit(OpI32Store, 0)
+	b.constI(8)
+	b.emit(OpI32Load, 0)
+	res := run(t, prog(b.fn("mem", 0, 0), 64), 0)
+	if int32(res.Return) != -123456 {
+		t.Fatalf("got %d want -123456", int32(res.Return))
+	}
+}
+
+func TestMemoryBoundsChecked(t *testing.T) {
+	b := &builder{}
+	b.constI(1 << 20)
+	b.emit(OpI32Load, 0)
+	if _, err := NewVM(prog(b.fn("oob", 0, 0), 64)).Run(0); err != ErrOOB {
+		t.Fatalf("got %v want ErrOOB", err)
+	}
+	// negative address
+	b2 := &builder{}
+	b2.constI(-4)
+	b2.emit(OpI32Load, 0)
+	if _, err := NewVM(prog(b2.fn("neg", 0, 0), 64)).Run(0); err != ErrOOB {
+		t.Fatalf("got %v want ErrOOB for negative address", err)
+	}
+}
+
+func TestIfElseBothBranches(t *testing.T) {
+	mk := func(c int32) int32 {
+		b := &builder{}
+		b.constI(c)
+		jIf := b.emit(OpIf, 0)
+		b.constI(100)
+		jEnd := b.emit(OpBr, 0)
+		b.ins[jIf].Imm = int32(len(b.ins))
+		b.constI(200)
+		b.ins[jEnd].Imm = int32(len(b.ins))
+		res := run(t, prog(b.fn("if", 0, 0), 0), 0)
+		return int32(res.Return)
+	}
+	if mk(1) != 100 || mk(0) != 200 {
+		t.Fatalf("if/else wrong: %d %d", mk(1), mk(0))
+	}
+}
+
+func TestCallAndReturn(t *testing.T) {
+	// callee: square(x) = x*x ; main: square(12) = 144
+	cb := &builder{}
+	cb.get(0)
+	cb.get(0)
+	cb.emit(OpI32Mul, 0)
+	square := cb.fn("square", 1, 0)
+	mb := &builder{}
+	mb.constI(12)
+	mb.emit(OpCall, 1)
+	main := mb.fn("main", 0, 0)
+	p := &Program{Funcs: []Function{main, square}, MemSize: 0}
+	res := run(t, p, 0)
+	if int32(res.Return) != 144 {
+		t.Fatalf("got %d want 144", int32(res.Return))
+	}
+	if res.Counts[OpCall] != 1 {
+		t.Fatal("call not counted")
+	}
+}
+
+func TestCallIndirect(t *testing.T) {
+	cb := &builder{}
+	cb.get(0)
+	cb.constI(1)
+	cb.emit(OpI32Add, 0)
+	inc := cb.fn("inc", 1, 0)
+	mb := &builder{}
+	mb.constI(41)
+	mb.constI(0) // table slot 0
+	mb.emit(OpCallIndirect, 0)
+	main := mb.fn("main", 0, 0)
+	p := &Program{Funcs: []Function{main, inc}, Table: []int32{1}}
+	res := run(t, p, 0)
+	if int32(res.Return) != 42 {
+		t.Fatalf("got %d want 42", int32(res.Return))
+	}
+	// bad table index errors
+	mb2 := &builder{}
+	mb2.constI(9)
+	mb2.emit(OpCallIndirect, 0)
+	p2 := &Program{Funcs: []Function{mb2.fn("main", 0, 0), inc}, Table: []int32{1}}
+	if _, err := NewVM(p2).Run(0); err != ErrBadFunction {
+		t.Fatalf("got %v want ErrBadFunction", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	// f() { return f() } — infinite recursion must hit the depth limit.
+	b := &builder{}
+	b.emit(OpCall, 0)
+	f := b.fn("f", 0, 0)
+	if _, err := NewVM(&Program{Funcs: []Function{f}}).Run(0); err != ErrCallDepth {
+		t.Fatalf("got %v want ErrCallDepth", err)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// infinite loop must stop via fuel, flagged OutOfFuel.
+	b := &builder{}
+	b.emit(OpLoop, 0)
+	start := len(b.ins)
+	b.constI(1)
+	b.emit(OpDrop, 0)
+	b.emit(OpBr, int32(start))
+	res, err := NewVM(prog(b.fn("spin", 0, 0), 0)).Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OutOfFuel {
+		t.Fatal("expected OutOfFuel")
+	}
+	if res.Steps > 1001 {
+		t.Fatalf("ran %d steps past fuel", res.Steps)
+	}
+}
+
+func TestStackUnderflowDetected(t *testing.T) {
+	b := &builder{}
+	b.emit(OpI32Add, 0)
+	if _, err := NewVM(prog(b.fn("bad", 0, 0), 0)).Run(0); err != ErrStackUnderflow {
+		t.Fatalf("got %v want ErrStackUnderflow", err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	mk := func(c int32) int32 {
+		b := &builder{}
+		b.constI(10)
+		b.constI(20)
+		b.constI(c)
+		b.emit(OpSelect, 0)
+		return int32(run(t, prog(b.fn("sel", 0, 0), 0), 0).Return)
+	}
+	// WebAssembly select: condition != 0 keeps the FIRST (deeper) operand.
+	if mk(1) != 10 || mk(0) != 20 {
+		t.Fatalf("select wrong: %d %d", mk(1), mk(0))
+	}
+}
+
+func TestBrTableDispatch(t *testing.T) {
+	// br_table selecting one of three constants; index 7 hits the default.
+	mk := func(idx int32) int32 {
+		b := &builder{}
+		b.constI(idx)
+		jT := b.emit(OpBrTable, 0)
+		h0 := int32(len(b.ins))
+		b.constI(100)
+		j0 := b.emit(OpBr, 0)
+		h1 := int32(len(b.ins))
+		b.constI(200)
+		j1 := b.emit(OpBr, 0)
+		hd := int32(len(b.ins))
+		b.constI(999)
+		end := int32(len(b.ins))
+		b.ins[j0].Imm = end
+		b.ins[j1].Imm = end
+		b.tables = append(b.tables, []int32{h0, h1, hd})
+		b.ins[jT].Imm = 0
+		return int32(run(t, prog(b.fn("bt", 0, 0), 0), 0).Return)
+	}
+	if mk(0) != 100 || mk(1) != 200 || mk(7) != 999 {
+		t.Fatalf("br_table: %d %d %d", mk(0), mk(1), mk(7))
+	}
+}
+
+func TestMemoryCopyAndGrow(t *testing.T) {
+	b := &builder{}
+	// write a byte, copy region, read from destination
+	b.constI(0)
+	b.constI(77)
+	b.emit(OpI32Store8, 0)
+	b.constI(0) // src ... note operand order: push src, dst, n
+	b.constI(32)
+	b.constI(8)
+	b.emit(OpMemoryCopy, 0)
+	b.constI(1)
+	b.emit(OpMemoryGrow, 0)
+	b.emit(OpDrop, 0)
+	b.constI(32)
+	b.emit(OpI32Load8U, 0)
+	res := run(t, prog(b.fn("cp", 0, 0), 64), 0)
+	if int32(res.Return) != 77 {
+		t.Fatalf("copy got %d want 77", int32(res.Return))
+	}
+}
+
+func TestWasiCounted(t *testing.T) {
+	b := &builder{}
+	b.constI(100)
+	b.emit(OpWasiFdWrite, 0)
+	b.emit(OpDrop, 0)
+	b.constI(50)
+	b.emit(OpWasiFdRead, 0)
+	res := run(t, prog(b.fn("io", 0, 0), 0), 0)
+	if res.Counts[OpWasiFdWrite] != 1 || res.Counts[OpWasiFdRead] != 1 {
+		t.Fatal("wasi ops not counted")
+	}
+	if int32(res.Return) != 50 {
+		t.Fatalf("fd_read returned %d", int32(res.Return))
+	}
+}
+
+func TestCountsDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(9))
+	rng2 := rand.New(rand.NewSource(9))
+	p1 := GenPython(rng1, 5)
+	p2 := GenPython(rng2, 5)
+	r1 := run(t, p1, 100000)
+	r2 := run(t, p2, 100000)
+	for op, c := range r1.Counts {
+		if r2.Counts[op] != c {
+			t.Fatalf("nondeterministic counts at %s: %d vs %d", Opcode(op).Name(), c, r2.Counts[op])
+		}
+	}
+}
+
+func TestInitialMemorySeed(t *testing.T) {
+	b := &builder{}
+	b.constI(3)
+	b.emit(OpI32Load8U, 0)
+	f := b.fn("rd", 0, 0)
+	p := prog(f, 16)
+	p.SetInitialMemory([]byte{0, 0, 0, 42})
+	res := run(t, p, 0)
+	if res.Return != 42 {
+		t.Fatalf("initial memory not seeded: %d", res.Return)
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	if OpI32Add.Name() != "i32.add" || OpWasiFdWrite.Name() != "wasi.fd_write" {
+		t.Fatal("opcode names wrong")
+	}
+	if Opcode(200).Name() == "" {
+		t.Fatal("unknown opcode name empty")
+	}
+	if len(CountedNames()) != NumCounted {
+		t.Fatal("counted names length")
+	}
+}

@@ -1,0 +1,282 @@
+// Package pitot is the public API of this repository: a Go implementation
+// of Pitot, the interference-aware edge runtime predictor with conformal
+// uncertainty bounds from
+//
+//	"Interference-aware Edge Runtime Prediction with Conformal Matrix
+//	Completion" (Huang et al., MLSys 2025, arXiv:2503.06428).
+//
+// The package wraps the internal building blocks (two-tower matrix
+// factorization with side information, log-residual objective,
+// interference term, conformalized quantile regression) behind a small
+// deployment-oriented surface:
+//
+//	ds := pitot.GenerateDataset(pitot.DatasetConfig{Seed: 1})
+//	pred, _ := pitot.Train(ds, pitot.Options{Seed: 1, EnableBounds: true})
+//	sec := pred.Estimate(workload, platform, interferers)
+//	bound, _ := pred.Bound(workload, platform, interferers, 0.05)
+//
+// Estimate returns the expected runtime; Bound returns a runtime budget
+// sufficient with probability ≥ 1−ε, guaranteed by split conformal
+// calibration. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-reproduction results.
+package pitot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/conformal"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/wasmcluster"
+)
+
+// Dataset is a collection of runtime observations with entity metadata and
+// side-information features.
+type Dataset = dataset.Dataset
+
+// Observation is one measured (workload, platform, interference) runtime.
+type Observation = dataset.Observation
+
+// DatasetConfig controls synthetic dataset generation (the substitute for
+// the paper's physical WebAssembly cluster; see DESIGN.md).
+type DatasetConfig = wasmcluster.Config
+
+// GenerateDataset produces a synthetic runtime dataset with the paper's
+// structure: heterogeneous platforms, suite-structured workloads, opcode
+// and platform features, and 2/3/4-way interference observations.
+func GenerateDataset(cfg DatasetConfig) *Dataset {
+	return wasmcluster.New(cfg).Generate()
+}
+
+// ReadDataset deserializes a dataset written by Dataset.WriteJSON.
+func ReadDataset(r io.Reader) (*Dataset, error) { return dataset.ReadJSON(r) }
+
+// ModelConfig exposes the full hyperparameter surface of the core model.
+type ModelConfig = core.Config
+
+// DefaultModelConfig returns paper-faithful hyperparameters.
+func DefaultModelConfig(seed int64) ModelConfig { return core.DefaultConfig(seed) }
+
+// Options configures Train.
+type Options struct {
+	// Seed drives all randomness (splits, initialization, batching).
+	Seed int64
+	// Model overrides the model configuration; zero value = defaults.
+	Model *ModelConfig
+	// EnableBounds additionally trains the multi-quantile model required
+	// by Bound; Estimate works either way.
+	EnableBounds bool
+	// HoldoutFraction is the share of observations reserved for validation
+	// and conformal calibration (default 0.2, split evenly).
+	HoldoutFraction float64
+}
+
+// Predictor is a trained Pitot model ready for estimation and bounding.
+type Predictor struct {
+	ds    *Dataset
+	mean  *core.Model
+	quant *core.Model
+	split dataset.Split
+
+	bounders map[float64]*conformal.Bounder
+}
+
+// Train fits Pitot on the dataset. All observations are used: 80% (by
+// default) for fitting and the rest for validation and calibration.
+func Train(ds *Dataset, opts Options) (*Predictor, error) {
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	hold := opts.HoldoutFraction
+	if hold == 0 {
+		hold = 0.2
+	}
+	if hold <= 0 || hold >= 1 {
+		return nil, fmt.Errorf("pitot: holdout fraction %v out of (0,1)", hold)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	perm := rng.Perm(len(ds.Obs))
+	nHold := int(hold * float64(len(ds.Obs)))
+	nVal := nHold / 2
+	split := dataset.Split{
+		Val:   perm[:nVal],
+		Cal:   perm[nVal:nHold],
+		Train: perm[nHold:],
+	}
+
+	cfg := core.DefaultConfig(opts.Seed)
+	if opts.Model != nil {
+		cfg = *opts.Model
+		cfg.Seed = opts.Seed
+	}
+	cfg.Quantiles = nil
+	mean, err := core.NewModel(cfg, ds)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mean.Train(split); err != nil {
+		return nil, err
+	}
+	p := &Predictor{ds: ds, mean: mean, split: split, bounders: map[float64]*conformal.Bounder{}}
+
+	if opts.EnableBounds {
+		qcfg := cfg
+		qcfg.Quantiles = core.PaperQuantiles()
+		qcfg.Seed = opts.Seed + 1
+		quant, err := core.NewModel(qcfg, ds)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := quant.Train(split); err != nil {
+			return nil, err
+		}
+		p.quant = quant
+	}
+	return p, nil
+}
+
+// Estimate returns the predicted runtime in seconds of workload w on
+// platform pl while the interferers run simultaneously (nil for isolation).
+func (p *Predictor) Estimate(w, pl int, interferers []int) float64 {
+	return p.mean.PredictSeconds(w, pl, interferers, 0)
+}
+
+// Bound returns a runtime budget in seconds that is sufficient with
+// probability at least 1−eps (paper Eq. 10), using conformalized quantile
+// regression with per-degree calibration pools and optimal head selection.
+// Requires Options.EnableBounds at training time. A +Inf result means the
+// calibration set is too small for the requested eps.
+func (p *Predictor) Bound(w, pl int, interferers []int, eps float64) (float64, error) {
+	if p.quant == nil {
+		return 0, fmt.Errorf("pitot: bounds not enabled; train with Options.EnableBounds")
+	}
+	b, err := p.bounder(eps)
+	if err != nil {
+		return 0, err
+	}
+	pred := p.quant.PredictLogSeconds(w, pl, interferers, b.Head)
+	return math.Exp(b.Bound(pred, len(interferers))), nil
+}
+
+// bounder calibrates (and caches) the conformal bounder for eps.
+func (p *Predictor) bounder(eps float64) (*conformal.Bounder, error) {
+	if b, ok := p.bounders[eps]; ok {
+		return b, nil
+	}
+	hp := eval.BuildHeadPredictions(p.ds, quantAdapter{p.quant}, p.split)
+	b, err := conformal.Calibrate(hp, eps, conformal.SelectOptimal)
+	if err != nil {
+		return nil, err
+	}
+	p.bounders[eps] = b
+	return b, nil
+}
+
+// quantAdapter exposes the quantile model through eval.Trained.
+type quantAdapter struct{ m *core.Model }
+
+func (a quantAdapter) PredictLogObs(idx []int, head int) []float64 {
+	d := a.m.Dataset()
+	out := make([]float64, len(idx))
+	for i, oi := range idx {
+		o := d.Obs[oi]
+		out[i] = a.m.PredictLogSeconds(o.Workload, o.Platform, o.Interferers, head)
+	}
+	return out
+}
+func (a quantAdapter) NumHeads() int        { return a.m.Cfg.NumHeads() }
+func (a quantAdapter) Quantiles() []float64 { return a.m.Cfg.Quantiles }
+
+// WorkloadEmbeddings returns the learned per-workload embedding vectors
+// (rows aligned with Dataset.WorkloadNames), usable for clustering or
+// anomaly detection (paper §5.4).
+func (p *Predictor) WorkloadEmbeddings() [][]float64 {
+	m := p.mean.WorkloadEmbeddings(0)
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// PlatformEmbeddings returns the learned per-platform embedding vectors.
+func (p *Predictor) PlatformEmbeddings() [][]float64 {
+	m := p.mean.PlatformEmbeddings()
+	out := make([][]float64, m.Rows)
+	for i := range out {
+		out[i] = append([]float64(nil), m.Row(i)...)
+	}
+	return out
+}
+
+// InterferenceNorm returns ‖F_j‖₂ for a platform: how strongly workloads
+// can interfere there (paper Fig. 12d).
+func (p *Predictor) InterferenceNorm(platform int) float64 {
+	return p.mean.InterferenceNorm(platform)
+}
+
+// EstimateSeconds is Estimate under the name internal/sched.Predictor
+// expects, so a trained Predictor plugs directly into the scheduler.
+func (p *Predictor) EstimateSeconds(w, pl int, interferers []int) float64 {
+	return p.Estimate(w, pl, interferers)
+}
+
+// BoundSeconds is Bound with errors mapped to +Inf (infeasible), matching
+// internal/sched.Predictor.
+func (p *Predictor) BoundSeconds(w, pl int, interferers []int, eps float64) float64 {
+	b, err := p.Bound(w, pl, interferers, eps)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return b
+}
+
+// Observe incorporates freshly measured observations into the predictor —
+// the paper's "efficient online learning" future-work extension (§6). New
+// measurements are appended to the dataset and the model is fine-tuned on
+// them (with replay of the original training data to prevent forgetting).
+// Conformal calibrations are invalidated and recomputed lazily on the next
+// Bound call.
+func (p *Predictor) Observe(obs []Observation) error {
+	if len(obs) == 0 {
+		return fmt.Errorf("pitot: no observations")
+	}
+	start := len(p.ds.Obs)
+	p.ds.Obs = append(p.ds.Obs, obs...)
+	if err := p.ds.Validate(); err != nil {
+		p.ds.Obs = p.ds.Obs[:start]
+		return err
+	}
+	newIdx := make([]int, len(obs))
+	for i := range newIdx {
+		newIdx[i] = start + i
+	}
+	if err := p.mean.OnlineUpdate(newIdx, p.split.Train, core.OnlineConfig{Seed: int64(start)}); err != nil {
+		return err
+	}
+	if p.quant != nil {
+		if err := p.quant.OnlineUpdate(newIdx, p.split.Train, core.OnlineConfig{Seed: int64(start) + 1}); err != nil {
+			return err
+		}
+	}
+	// Fold the new observations into the calibration pool and drop stale
+	// bounders (recomputed on demand).
+	p.split.Cal = append(p.split.Cal, newIdx...)
+	p.bounders = map[float64]*conformal.Bounder{}
+	return nil
+}
+
+// SaveModel persists the mean model (and quantile model if present).
+func (p *Predictor) SaveModel(meanW, quantW io.Writer) error {
+	if err := p.mean.Save(meanW); err != nil {
+		return err
+	}
+	if p.quant != nil && quantW != nil {
+		return p.quant.Save(quantW)
+	}
+	return nil
+}

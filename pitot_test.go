@@ -1,0 +1,160 @@
+package pitot
+
+import (
+	"math"
+	"testing"
+)
+
+func smallDataset() *Dataset {
+	return GenerateDataset(DatasetConfig{Seed: 11, NumWorkloads: 24, MaxDevices: 4, SetsPerDegree: 10})
+}
+
+func smallOptions(seed int64, bounds bool) Options {
+	cfg := DefaultModelConfig(seed)
+	cfg.Hidden = 32
+	cfg.EmbeddingDim = 16
+	cfg.Steps = 400
+	cfg.BatchPerDegree = 128
+	cfg.EvalEvery = 100
+	return Options{Seed: seed, Model: &cfg, EnableBounds: bounds}
+}
+
+func TestTrainAndEstimate(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := pred.Estimate(0, 0, nil)
+	if !(est > 0) || math.IsInf(est, 0) {
+		t.Fatalf("Estimate = %v", est)
+	}
+	// Sanity: the estimate for a known observation should be within a
+	// factor of ~2 of the measurement for most pairs; check a loose bound
+	// on the first isolation observation.
+	o := ds.Obs[0]
+	got := pred.Estimate(o.Workload, o.Platform, o.Interferers)
+	ratio := got / o.Seconds
+	if ratio < 0.2 || ratio > 5 {
+		t.Fatalf("estimate %.4fs vs measured %.4fs (ratio %.2f)", got, o.Seconds, ratio)
+	}
+}
+
+func TestBoundRequiresEnable(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Bound(0, 0, nil, 0.1); err == nil {
+		t.Fatal("Bound without EnableBounds must error")
+	}
+}
+
+func TestBoundCoversEstimate(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered, total := 0, 0
+	for i, o := range ds.Obs {
+		if i%37 != 0 { // subsample for speed
+			continue
+		}
+		b, err := pred.Bound(o.Workload, o.Platform, o.Interferers, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(b > 0) {
+			t.Fatalf("bound = %v", b)
+		}
+		if o.Seconds <= b {
+			covered++
+		}
+		total++
+	}
+	// In-sample check is optimistic, but coverage must be near 1-eps.
+	if rate := float64(covered) / float64(total); rate < 0.8 {
+		t.Fatalf("bound coverage %.3f too low", rate)
+	}
+}
+
+func TestBoundMonotoneInEps(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := pred.Bound(1, 1, nil, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := pred.Bound(1, 1, nil, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight < loose {
+		t.Fatalf("eps=0.05 bound %.4f below eps=0.2 bound %.4f", tight, loose)
+	}
+}
+
+func TestEmbeddingsExposed(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(5, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	we := pred.WorkloadEmbeddings()
+	if len(we) != ds.NumWorkloads() || len(we[0]) == 0 {
+		t.Fatal("workload embeddings wrong shape")
+	}
+	pe := pred.PlatformEmbeddings()
+	if len(pe) != ds.NumPlatforms() {
+		t.Fatal("platform embeddings wrong shape")
+	}
+	for j := 0; j < ds.NumPlatforms(); j++ {
+		if n := pred.InterferenceNorm(j); n < 0 {
+			t.Fatal("negative interference norm")
+		}
+	}
+}
+
+func TestObserveOnlineLearning(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(6, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pred.Estimate(0, 0, nil)
+	// Feed drifted measurements of (0,0): the platform got 2x slower.
+	var obs []Observation
+	for i := 0; i < 30; i++ {
+		obs = append(obs, Observation{Workload: 0, Platform: 0, Seconds: before * 2})
+	}
+	if err := pred.Observe(obs); err != nil {
+		t.Fatal(err)
+	}
+	after := pred.Estimate(0, 0, nil)
+	if after <= before*1.1 {
+		t.Fatalf("Observe did not adapt: %.4f -> %.4f (want > %.4f)", before, after, before*1.1)
+	}
+	// Invalid observations must be rejected atomically.
+	n := len(pred.ds.Obs)
+	if err := pred.Observe([]Observation{{Workload: 999, Platform: 0, Seconds: 1}}); err == nil {
+		t.Fatal("accepted invalid observation")
+	}
+	if len(pred.ds.Obs) != n {
+		t.Fatal("failed Observe mutated the dataset")
+	}
+	if err := pred.Observe(nil); err == nil {
+		t.Fatal("accepted empty Observe")
+	}
+}
+
+func TestTrainRejectsBadOptions(t *testing.T) {
+	ds := smallDataset()
+	if _, err := Train(ds, Options{HoldoutFraction: 1.5}); err == nil {
+		t.Fatal("accepted bad holdout")
+	}
+}
