@@ -232,6 +232,159 @@ func BenchmarkBatching(b *testing.B) {
 	})
 }
 
+// benchPredictor trains a small public-API predictor plus a
+// scheduler-shaped query batch: every workload scanned on every platform
+// against the platform's resident set (the orchestrator/capacity pattern).
+func benchPredictor(b *testing.B) (*Predictor, []Query) {
+	b.Helper()
+	ds := GenerateDataset(DatasetConfig{
+		Seed: 1, NumWorkloads: 48, MaxDevices: 8, SetsPerDegree: 15,
+	})
+	cfg := DefaultModelConfig(1)
+	cfg.Steps = 60
+	cfg.EvalEvery = 30
+	pred, err := Train(ds, Options{Seed: 1, Model: &cfg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var qs []Query
+	for p := 0; p < ds.NumPlatforms(); p++ {
+		resident := []int{p % ds.NumWorkloads(), (p + 7) % ds.NumWorkloads(), (p + 13) % ds.NumWorkloads()}
+		for w := 0; w < ds.NumWorkloads(); w++ {
+			qs = append(qs, Query{Workload: w, Platform: p, Interferers: resident})
+		}
+	}
+	return pred, qs
+}
+
+var sinkFloat float64
+
+// BenchmarkEstimateLoop serves the scheduler scan one Estimate call at a
+// time — the pre-batch-API serving pattern.
+func BenchmarkEstimateLoop(b *testing.B) {
+	pred, qs := benchPredictor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s float64
+		for _, q := range qs {
+			s += pred.Estimate(q.Workload, q.Platform, q.Interferers)
+		}
+		sinkFloat = s
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkEstimateBatch serves the same scan through EstimateBatch, which
+// folds each platform's interference term into one effective vector and
+// fans groups out across workers.
+func BenchmarkEstimateBatch(b *testing.B) {
+	pred, qs := benchPredictor(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := pred.EstimateBatch(qs)
+		sinkFloat = out[0]
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkFusedRowDot compares the fused RowDot op against the unfused
+// RowSum(Mul(...)) composition it replaces in predictBatch, forward +
+// backward.
+func BenchmarkFusedRowDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const batch, r = 256, 32
+	w := tensor.New(batch, r)
+	p := tensor.New(batch, r)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+		p.Data[i] = rng.NormFloat64()
+	}
+	wv := autodiff.NewParam(w)
+	pv := autodiff.NewParam(p)
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loss := autodiff.Mean(autodiff.Square(autodiff.RowSum(autodiff.Mul(wv, pv))))
+			loss.Backward()
+			wv.ZeroGrad()
+			pv.ZeroGrad()
+			autodiff.ReleaseGraph(loss)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loss := autodiff.Mean(autodiff.Square(autodiff.RowDot(wv, pv)))
+			loss.Backward()
+			wv.ZeroGrad()
+			pv.ZeroGrad()
+			autodiff.ReleaseGraph(loss)
+		}
+	})
+}
+
+// BenchmarkFusedGatherCols compares the fused GatherCols op against the
+// Gather+SliceCols composition on an 8-head-wide embedding table (the
+// quantile model's lookup shape).
+func BenchmarkFusedGatherCols(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const n, r, heads, batch = 64, 32, 8, 256
+	table := tensor.New(n, r*heads)
+	for i := range table.Data {
+		table.Data[i] = rng.NormFloat64()
+	}
+	idx := make([]int, batch)
+	for i := range idx {
+		idx[i] = rng.Intn(n)
+	}
+	tv := autodiff.NewParam(table)
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h := i % heads
+			loss := autodiff.Mean(autodiff.Square(
+				autodiff.SliceCols(autodiff.Gather(tv, idx), h*r, (h+1)*r)))
+			loss.Backward()
+			tv.ZeroGrad()
+			autodiff.ReleaseGraph(loss)
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h := i % heads
+			loss := autodiff.Mean(autodiff.Square(
+				autodiff.GatherCols(tv, idx, h*r, (h+1)*r)))
+			loss.Backward()
+			tv.ZeroGrad()
+			autodiff.ReleaseGraph(loss)
+		}
+	})
+}
+
+// BenchmarkMatrixAlloc compares pool-recycled matrix storage against fresh
+// heap allocation at the training graph's dominant shape.
+func BenchmarkMatrixAlloc(b *testing.B) {
+	const rows, cols = 256, 64
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := tensor.New(rows, cols)
+			sinkFloat = m.Data[0]
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := tensor.GetPooled(rows, cols)
+			sinkFloat = m.Data[0]
+			tensor.PutPooled(m)
+		}
+	})
+}
+
 // BenchmarkConformalCalibration measures calibrating one epsilon over the
 // full calibration set.
 func BenchmarkConformalCalibration(b *testing.B) {

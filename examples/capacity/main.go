@@ -67,10 +67,9 @@ func main() {
 		worst    float64
 		cost     float64
 	}
-	var feasible, infeasible []result
+	// Every (platform, mix member) bound in one batched call.
+	var qs []pitot.Query
 	for p := 0; p < ds.NumPlatforms(); p++ {
-		worst := 0.0
-		ok := true
 		for i, w := range mix {
 			others := make([]int, 0, len(mix)-1)
 			for j, o := range mix {
@@ -78,8 +77,20 @@ func main() {
 					others = append(others, o)
 				}
 			}
-			b, err := pred.Bound(w, p, others, eps)
-			if err != nil || math.IsInf(b, 1) {
+			qs = append(qs, pitot.Query{Workload: w, Platform: p, Interferers: others})
+		}
+	}
+	bounds, err := pred.BoundBatch(qs, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var feasible, infeasible []result
+	for p := 0; p < ds.NumPlatforms(); p++ {
+		worst := 0.0
+		ok := true
+		for i := range mix {
+			b := bounds[p*len(mix)+i]
+			if math.IsInf(b, 1) {
 				ok = false
 				break
 			}

@@ -53,19 +53,25 @@ func main() {
 			bound    float64
 			load     int
 		}
-		var cands []cand
+		// One batched bound call covers every candidate platform; queries
+		// share the per-platform resident sets, which BoundBatch exploits.
+		var qs []pitot.Query
 		for p := 0; p < ds.NumPlatforms(); p++ {
-			interferers := placed[p]
-			if len(interferers) >= 3 {
+			if len(placed[p]) >= 3 {
 				continue // capacity: at most 4 co-located workloads
 			}
-			b, err := pred.Bound(job.w, p, interferers, eps)
-			if err != nil || math.IsInf(b, 1) {
+			qs = append(qs, pitot.Query{Workload: job.w, Platform: p, Interferers: placed[p]})
+		}
+		bounds, err := pred.BoundBatch(qs, eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var cands []cand
+		for i, b := range bounds {
+			if math.IsInf(b, 1) || b > job.deadline {
 				continue
 			}
-			if b <= job.deadline {
-				cands = append(cands, cand{p, b, len(interferers)})
-			}
+			cands = append(cands, cand{qs[i].Platform, b, len(qs[i].Interferers)})
 		}
 		if len(cands) == 0 {
 			fmt.Printf("job %-14s deadline %5.1fs: NO feasible placement\n",

@@ -10,13 +10,26 @@
 //
 // The design intentionally mirrors "micrograd"-style tapes: each op records
 // a closure that propagates the output gradient to its inputs. Graphs are
-// built per step and garbage-collected afterwards; parameters (created with
-// Param) persist across steps and accumulate gradients until ZeroGrad.
+// built per step; parameters (created with Param) persist across steps and
+// accumulate gradients until ZeroGrad.
+//
+// Two mechanisms keep the per-step graph churn off the garbage collector:
+// every op output and interior gradient is drawn from the size-classed pool
+// in internal/tensor, and ReleaseGraph hands a finished graph's buffers
+// back. Callers that skip ReleaseGraph (tests, one-shot evaluations) simply
+// fall back to GC collection.
+//
+// Disjoint graphs may run Backward concurrently: topological sorting marks
+// nodes with a per-traversal generation stamp drawn from an atomic counter
+// instead of a shared visited map. Graphs that share Values (other than
+// constants, which backward never visits) must not be differentiated
+// concurrently; Stub exists to cut such sharing deliberately.
 package autodiff
 
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/tensor"
 )
@@ -32,7 +45,11 @@ type Value struct {
 	parents      []*Value
 	backward     func()
 	op           string
+	visit        uint64 // generation stamp of the last graph traversal
 }
+
+// newMat allocates graph-lifetime storage from the shared matrix pool.
+func newMat(rows, cols int) *tensor.Matrix { return tensor.GetPooled(rows, cols) }
 
 // NewConst wraps a matrix as a constant (no gradient tracked).
 func NewConst(m *tensor.Matrix) *Value {
@@ -43,6 +60,16 @@ func NewConst(m *tensor.Matrix) *Value {
 // and persist until ZeroGrad is called.
 func NewParam(m *tensor.Matrix) *Value {
 	return &Value{Data: m, Grad: tensor.New(m.Rows, m.Cols), requiresGrad: true, op: "param"}
+}
+
+// Stub returns a detached leaf that shares v's data but accumulates into
+// its own gradient buffer. It cuts the graph at v: subgraphs built on stubs
+// of the same upstream Value are fully disjoint and may run Backward
+// concurrently; the caller then adds each stub's Grad into v.Grad (in a
+// fixed order, for determinism) before differentiating v's own graph with
+// BackwardSeeded.
+func Stub(v *Value) *Value {
+	return &Value{Data: v.Data, Grad: newMat(v.Data.Rows, v.Data.Cols), requiresGrad: true, op: "stub"}
 }
 
 // IsParam reports whether v is a leaf parameter node.
@@ -61,9 +88,10 @@ func (v *Value) ZeroGrad() {
 	}
 }
 
-// newResult allocates the output node for an op over parents.
-func newResult(data *tensor.Matrix, op string, parents ...*Value) *Value {
-	out := &Value{Data: data, op: op, parents: parents}
+// newResult allocates the output node for an op over parents. The output
+// matrix is pool-backed and zeroed; the caller computes it afterwards.
+func newResult(rows, cols int, op string, parents ...*Value) *Value {
+	out := &Value{Data: newMat(rows, cols), op: op, parents: parents}
 	for _, p := range parents {
 		if p.requiresGrad {
 			out.requiresGrad = true
@@ -71,7 +99,7 @@ func newResult(data *tensor.Matrix, op string, parents ...*Value) *Value {
 		}
 	}
 	if out.requiresGrad {
-		out.Grad = tensor.New(data.Rows, data.Cols)
+		out.Grad = newMat(rows, cols)
 	}
 	return out
 }
@@ -79,7 +107,7 @@ func newResult(data *tensor.Matrix, op string, parents ...*Value) *Value {
 // ensureGrad lazily allocates the gradient buffer of an interior node.
 func (v *Value) ensureGrad() *tensor.Matrix {
 	if v.Grad == nil {
-		v.Grad = tensor.New(v.Data.Rows, v.Data.Cols)
+		v.Grad = newMat(v.Data.Rows, v.Data.Cols)
 	}
 	return v.Grad
 }
@@ -91,35 +119,57 @@ func (v *Value) Backward() {
 	if v.Data.Rows != 1 || v.Data.Cols != 1 {
 		panic(fmt.Sprintf("autodiff: Backward on non-scalar %dx%d", v.Data.Rows, v.Data.Cols))
 	}
-	order := topoSort(v)
+	if !v.requiresGrad {
+		return
+	}
 	v.ensureGrad().Data[0] = 1
+	runBackward(v)
+}
+
+// BackwardSeeded propagates gradients from v, whose Grad must already have
+// been seeded by the caller (any shape). Used to resume differentiation at
+// a graph cut: accumulate stub gradients into v.Grad, then call this.
+func (v *Value) BackwardSeeded() {
+	if !v.requiresGrad {
+		return
+	}
+	v.ensureGrad()
+	runBackward(v)
+}
+
+func runBackward(v *Value) {
+	order := topoSort(v)
 	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
-		if n.backward != nil && n.requiresGrad {
+		if n := order[i]; n.backward != nil {
 			n.backward()
 		}
 	}
 }
 
-// topoSort returns the nodes reachable from root in topological order
-// (parents before children), using an iterative DFS to avoid stack overflow
-// on deep graphs.
+// topoGen issues one generation stamp per graph traversal; being atomic, it
+// lets disjoint graphs traverse concurrently with no shared visited set.
+var topoGen atomic.Uint64
+
+// topoSort returns the gradient-requiring nodes reachable from root in
+// topological order (parents before children), using an iterative DFS to
+// avoid stack overflow on deep graphs. Constants and other grad-free
+// subtrees are pruned: no gradient flows through them.
 func topoSort(root *Value) []*Value {
+	gen := topoGen.Add(1)
 	var order []*Value
-	visited := map[*Value]bool{}
 	type frame struct {
 		node *Value
 		next int
 	}
 	stack := []frame{{root, 0}}
-	visited[root] = true
+	root.visit = gen
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		if f.next < len(f.node.parents) {
 			p := f.node.parents[f.next]
 			f.next++
-			if !visited[p] {
-				visited[p] = true
+			if p.requiresGrad && p.visit != gen {
+				p.visit = gen
 				stack = append(stack, frame{p, 0})
 			}
 			continue
@@ -130,12 +180,51 @@ func topoSort(root *Value) []*Value {
 	return order
 }
 
+// ReleaseGraph returns the pool-backed buffers of every node reachable from
+// roots. Parameters and constants are untouched (their storage is owned by
+// the caller); stubs release only their gradient accumulator. None of the
+// graph's Values — including the data of non-parameter results — may be
+// used afterwards.
+func ReleaseGraph(roots ...*Value) {
+	gen := topoGen.Add(1)
+	var stack []*Value
+	for _, r := range roots {
+		if r != nil && r.visit != gen {
+			r.visit = gen
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range n.parents {
+			if p.visit != gen {
+				p.visit = gen
+				stack = append(stack, p)
+			}
+		}
+		switch n.op {
+		case "param", "const":
+		case "stub":
+			tensor.PutPooled(n.Grad)
+			n.Grad = nil
+		default:
+			tensor.PutPooled(n.Data)
+			tensor.PutPooled(n.Grad)
+			n.Data, n.Grad = nil, nil
+		}
+		n.parents = nil
+		n.backward = nil
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Arithmetic ops
 
 // Add returns a+b (same shape).
 func Add(a, b *Value) *Value {
-	out := newResult(tensor.Add(a.Data, b.Data), "add", a, b)
+	out := newResult(a.Data.Rows, a.Data.Cols, "add", a, b)
+	tensor.AddInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
 		if a.requiresGrad {
 			tensor.AddInPlace(a.ensureGrad(), out.Grad)
@@ -149,7 +238,8 @@ func Add(a, b *Value) *Value {
 
 // Sub returns a-b (same shape).
 func Sub(a, b *Value) *Value {
-	out := newResult(tensor.Sub(a.Data, b.Data), "sub", a, b)
+	out := newResult(a.Data.Rows, a.Data.Cols, "sub", a, b)
+	tensor.SubInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
 		if a.requiresGrad {
 			tensor.AddInPlace(a.ensureGrad(), out.Grad)
@@ -163,7 +253,8 @@ func Sub(a, b *Value) *Value {
 
 // Mul returns the elementwise product a∘b (same shape).
 func Mul(a, b *Value) *Value {
-	out := newResult(tensor.Mul(a.Data, b.Data), "mul", a, b)
+	out := newResult(a.Data.Rows, a.Data.Cols, "mul", a, b)
+	tensor.MulInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -183,7 +274,8 @@ func Mul(a, b *Value) *Value {
 
 // Scale returns c*a for a scalar constant c.
 func Scale(a *Value, c float64) *Value {
-	out := newResult(tensor.Scale(a.Data, c), "scale", a)
+	out := newResult(a.Data.Rows, a.Data.Cols, "scale", a)
+	tensor.ScaleInto(out.Data, a.Data, c)
 	out.backward = func() {
 		if a.requiresGrad {
 			tensor.AXPY(a.ensureGrad(), c, out.Grad)
@@ -194,7 +286,8 @@ func Scale(a *Value, c float64) *Value {
 
 // AddScalar returns a+c elementwise for a scalar constant c.
 func AddScalar(a *Value, c float64) *Value {
-	out := newResult(tensor.Apply(a.Data, func(v float64) float64 { return v + c }), "addscalar", a)
+	out := newResult(a.Data.Rows, a.Data.Cols, "addscalar", a)
+	tensor.ApplyInto(out.Data, a.Data, func(v float64) float64 { return v + c })
 	out.backward = func() {
 		if a.requiresGrad {
 			tensor.AddInPlace(a.ensureGrad(), out.Grad)
@@ -205,14 +298,16 @@ func AddScalar(a *Value, c float64) *Value {
 
 // MatMul returns a*b.
 func MatMul(a, b *Value) *Value {
-	out := newResult(tensor.MatMul(a.Data, b.Data), "matmul", a, b)
+	out := newResult(a.Data.Rows, b.Data.Cols, "matmul", a, b)
+	tensor.MatMulInto(out.Data, a.Data, b.Data, false)
 	out.backward = func() {
-		// dL/dA = dL/dOut * Bᵀ ; dL/dB = Aᵀ * dL/dOut
+		// dL/dA = dL/dOut * Bᵀ ; dL/dB = Aᵀ * dL/dOut — accumulated
+		// directly into the parent gradients, no temporaries.
 		if a.requiresGrad {
-			tensor.AddInPlace(a.ensureGrad(), tensor.MatMulABT(out.Grad, b.Data))
+			tensor.MatMulABTInto(a.ensureGrad(), out.Grad, b.Data, true)
 		}
 		if b.requiresGrad {
-			tensor.AddInPlace(b.ensureGrad(), tensor.MatMulATB(a.Data, out.Grad))
+			tensor.MatMulATBInto(b.ensureGrad(), a.Data, out.Grad, true)
 		}
 	}
 	return out
@@ -221,13 +316,14 @@ func MatMul(a, b *Value) *Value {
 // AddRowVector returns m + v broadcast over rows, where v is 1 x Cols.
 // Used for layer biases.
 func AddRowVector(m, v *Value) *Value {
-	out := newResult(tensor.AddRowVector(m.Data, v.Data), "addrow", m, v)
+	out := newResult(m.Data.Rows, m.Data.Cols, "addrow", m, v)
+	tensor.AddRowVectorInto(out.Data, m.Data, v.Data)
 	out.backward = func() {
 		if m.requiresGrad {
 			tensor.AddInPlace(m.ensureGrad(), out.Grad)
 		}
 		if v.requiresGrad {
-			tensor.AddInPlace(v.ensureGrad(), out.Grad.ColSums())
+			tensor.AddColSums(v.ensureGrad(), out.Grad)
 		}
 	}
 	return out
@@ -240,7 +336,8 @@ func AddRowVector(m, v *Value) *Value {
 // backward pass scatter-adds gradients into the table, so repeated indices
 // accumulate correctly.
 func Gather(table *Value, idx []int) *Value {
-	out := newResult(tensor.GatherRows(table.Data, idx), "gather", table)
+	out := newResult(len(idx), table.Data.Cols, "gather", table)
+	tensor.GatherRowsInto(out.Data, table.Data, idx)
 	out.backward = func() {
 		if table.requiresGrad {
 			tensor.ScatterAddRows(table.ensureGrad(), out.Grad, idx)
@@ -249,15 +346,80 @@ func Gather(table *Value, idx []int) *Value {
 	return out
 }
 
+// GatherCols returns the matrix whose i-th row is table.Row(idx[i])[lo:hi],
+// fusing Gather + SliceCols: per-head lookups into a multi-head table copy
+// only the head's rank-r block instead of the full r*H-wide row.
+func GatherCols(table *Value, idx []int, lo, hi int) *Value {
+	out := newResult(len(idx), hi-lo, "gathercols", table)
+	tensor.GatherColsInto(out.Data, table.Data, idx, lo, hi)
+	out.backward = func() {
+		if table.requiresGrad {
+			tensor.ScatterAddCols(table.ensureGrad(), out.Grad, idx, lo)
+		}
+	}
+	return out
+}
+
 // ConcatCols returns [a | b].
 func ConcatCols(a, b *Value) *Value {
-	out := newResult(tensor.ConcatCols(a.Data, b.Data), "concat", a, b)
+	out := newResult(a.Data.Rows, a.Data.Cols+b.Data.Cols, "concat", a, b)
+	tensor.ConcatColsInto(out.Data, a.Data, b.Data)
 	out.backward = func() {
 		if a.requiresGrad {
-			tensor.AddInPlace(a.ensureGrad(), tensor.SliceCols(out.Grad, 0, a.Data.Cols))
+			g := a.ensureGrad()
+			for i := 0; i < out.Grad.Rows; i++ {
+				grow := g.Row(i)
+				for j, v := range out.Grad.Row(i)[:a.Data.Cols] {
+					grow[j] += v
+				}
+			}
 		}
 		if b.requiresGrad {
-			tensor.AddInPlace(b.ensureGrad(), tensor.SliceCols(out.Grad, a.Data.Cols, out.Data.Cols))
+			g := b.ensureGrad()
+			for i := 0; i < out.Grad.Rows; i++ {
+				grow := g.Row(i)
+				for j, v := range out.Grad.Row(i)[a.Data.Cols:] {
+					grow[j] += v
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ConcatConstCols returns [feats | table] where feats is a constant
+// side-information matrix and table is a full learned-feature table. It
+// fuses the common "concat features with an identity gather of φ" pattern:
+// the identity gather is elided and the backward pass adds the right column
+// block straight into the table's gradient. feats may be nil, in which case
+// the caller should normally just use table directly; it is accepted for
+// uniformity and behaves as a zero-width left block.
+func ConcatConstCols(feats *tensor.Matrix, table *Value) *Value {
+	dw := 0
+	if feats != nil {
+		if feats.Rows != table.Data.Rows {
+			panic(fmt.Sprintf("autodiff: ConcatConstCols rows %d vs %d", feats.Rows, table.Data.Rows))
+		}
+		dw = feats.Cols
+	}
+	out := newResult(table.Data.Rows, dw+table.Data.Cols, "concatconst", table)
+	for i := 0; i < out.Data.Rows; i++ {
+		row := out.Data.Row(i)
+		if feats != nil {
+			copy(row[:dw], feats.Row(i))
+		}
+		copy(row[dw:], table.Data.Row(i))
+	}
+	out.backward = func() {
+		if !table.requiresGrad {
+			return
+		}
+		g := table.ensureGrad()
+		for i := 0; i < out.Grad.Rows; i++ {
+			grow := g.Row(i)
+			for j, v := range out.Grad.Row(i)[dw:] {
+				grow[j] += v
+			}
 		}
 	}
 	return out
@@ -265,7 +427,8 @@ func ConcatCols(a, b *Value) *Value {
 
 // SliceCols returns columns [lo,hi) of a.
 func SliceCols(a *Value, lo, hi int) *Value {
-	out := newResult(tensor.SliceCols(a.Data, lo, hi), "slice", a)
+	out := newResult(a.Data.Rows, hi-lo, "slice", a)
+	tensor.SliceColsInto(out.Data, a.Data, lo, hi)
 	out.backward = func() {
 		if !a.requiresGrad {
 			return
@@ -283,7 +446,8 @@ func SliceCols(a *Value, lo, hi int) *Value {
 
 // RowSum returns the Rows x 1 matrix of per-row sums.
 func RowSum(a *Value) *Value {
-	out := newResult(a.Data.RowSums(), "rowsum", a)
+	out := newResult(a.Data.Rows, 1, "rowsum", a)
+	a.Data.RowSumsInto(out.Data)
 	out.backward = func() {
 		if !a.requiresGrad {
 			return
@@ -300,9 +464,47 @@ func RowSum(a *Value) *Value {
 	return out
 }
 
+// RowDot returns the Rows x 1 matrix of per-row inner products Σ_j a_ij·b_ij.
+// It fuses RowSum(Mul(a, b)) — the factorization kernel wᵢᵀpⱼ — avoiding
+// the Rows x Cols product intermediate and its gradient.
+func RowDot(a, b *Value) *Value {
+	out := newResult(a.Data.Rows, 1, "rowdot", a, b)
+	tensor.RowDotInto(out.Data, a.Data, b.Data)
+	out.backward = func() {
+		if a.requiresGrad {
+			g := a.ensureGrad()
+			for i := 0; i < a.Data.Rows; i++ {
+				gi := out.Grad.Data[i]
+				if gi == 0 {
+					continue
+				}
+				grow := g.Row(i)
+				for j, v := range b.Data.Row(i) {
+					grow[j] += gi * v
+				}
+			}
+		}
+		if b.requiresGrad {
+			g := b.ensureGrad()
+			for i := 0; i < b.Data.Rows; i++ {
+				gi := out.Grad.Data[i]
+				if gi == 0 {
+					continue
+				}
+				grow := g.Row(i)
+				for j, v := range a.Data.Row(i) {
+					grow[j] += gi * v
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Sum returns the 1x1 sum of all elements.
 func Sum(a *Value) *Value {
-	out := newResult(tensor.FromSlice(1, 1, []float64{a.Data.Sum()}), "sum", a)
+	out := newResult(1, 1, "sum", a)
+	out.Data.Data[0] = a.Data.Sum()
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -318,7 +520,8 @@ func Sum(a *Value) *Value {
 // Mean returns the 1x1 mean of all elements.
 func Mean(a *Value) *Value {
 	n := float64(len(a.Data.Data))
-	out := newResult(tensor.FromSlice(1, 1, []float64{a.Data.Mean()}), "mean", a)
+	out := newResult(1, 1, "mean", a)
+	out.Data.Data[0] = a.Data.Mean()
 	out.backward = func() {
 		if a.requiresGrad {
 			g := a.ensureGrad()
@@ -337,7 +540,8 @@ func Mean(a *Value) *Value {
 // apply1 builds an elementwise op with derivative df expressed in terms of
 // the input value x.
 func apply1(a *Value, op string, f, df func(float64) float64) *Value {
-	out := newResult(tensor.Apply(a.Data, f), op, a)
+	out := newResult(a.Data.Rows, a.Data.Cols, op, a)
+	tensor.ApplyInto(out.Data, a.Data, f)
 	out.backward = func() {
 		if !a.requiresGrad {
 			return
@@ -434,7 +638,8 @@ func Abs(a *Value) *Value {
 
 // Softmax applies a row-wise softmax; used by the attention baseline.
 func Softmax(a *Value) *Value {
-	data := tensor.New(a.Data.Rows, a.Data.Cols)
+	out := newResult(a.Data.Rows, a.Data.Cols, "softmax", a)
+	data := out.Data
 	for i := 0; i < a.Data.Rows; i++ {
 		row := a.Data.Row(i)
 		mx := math.Inf(-1)
@@ -454,7 +659,6 @@ func Softmax(a *Value) *Value {
 			orow[j] /= sum
 		}
 	}
-	out := newResult(data, "softmax", a)
 	out.backward = func() {
 		if !a.requiresGrad {
 			return
@@ -494,7 +698,8 @@ func MSE(pred *Value, target *tensor.Matrix) *Value {
 		loss += d * d
 	}
 	loss /= n
-	out := newResult(tensor.FromSlice(1, 1, []float64{loss}), "mse", pred)
+	out := newResult(1, 1, "mse", pred)
+	out.Data.Data[0] = loss
 	out.backward = func() {
 		if !pred.requiresGrad {
 			return
@@ -517,7 +722,8 @@ func WeightedMSE(pred *Value, target, weight *tensor.Matrix) *Value {
 		loss += weight.Data[i] * d * d
 	}
 	loss /= n
-	out := newResult(tensor.FromSlice(1, 1, []float64{loss}), "wmse", pred)
+	out := newResult(1, 1, "wmse", pred)
+	out.Data.Data[0] = loss
 	out.backward = func() {
 		if !pred.requiresGrad {
 			return
@@ -554,7 +760,8 @@ func Pinball(pred *Value, target *tensor.Matrix, xi float64) *Value {
 		}
 	}
 	loss /= n
-	out := newResult(tensor.FromSlice(1, 1, []float64{loss}), "pinball", pred)
+	out := newResult(1, 1, "pinball", pred)
+	out.Data.Data[0] = loss
 	out.backward = func() {
 		if !pred.requiresGrad {
 			return

@@ -3,6 +3,7 @@ package autodiff
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -365,5 +366,172 @@ func BenchmarkBackwardMLP(b *testing.B) {
 		w2.ZeroGrad()
 		b2.ZeroGrad()
 		w3.ZeroGrad()
+	}
+}
+
+func TestGradRowDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a, b := randMat(rng, 5, 4), randMat(rng, 5, 4)
+	checkGrad(t, "rowdot", []*tensor.Matrix{a, b}, func(v []*Value) *Value {
+		return Sum(Square(RowDot(v[0], v[1])))
+	})
+}
+
+func TestRowDotMatchesRowSumMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	aM, bM := randMat(rng, 6, 3), randMat(rng, 6, 3)
+	a1, b1 := NewParam(aM.Clone()), NewParam(bM.Clone())
+	a2, b2 := NewParam(aM.Clone()), NewParam(bM.Clone())
+	fused := RowDot(a1, b1)
+	unfused := RowSum(Mul(a2, b2))
+	if !tensor.Equal(fused.Data, unfused.Data, 1e-12) {
+		t.Fatal("RowDot forward diverges from RowSum(Mul)")
+	}
+	Sum(Square(fused)).Backward()
+	Sum(Square(unfused)).Backward()
+	if !tensor.Equal(a1.Grad, a2.Grad, 1e-12) || !tensor.Equal(b1.Grad, b2.Grad, 1e-12) {
+		t.Fatal("RowDot backward diverges from RowSum(Mul)")
+	}
+}
+
+func TestGradGatherCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	table := randMat(rng, 5, 6)
+	idx := []int{4, 1, 1, 0} // repeated index exercises scatter-accumulation
+	checkGrad(t, "gathercols", []*tensor.Matrix{table}, func(v []*Value) *Value {
+		return Sum(Square(GatherCols(v[0], idx, 2, 5)))
+	})
+}
+
+func TestGatherColsMatchesGatherSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tM := randMat(rng, 7, 8)
+	idx := []int{6, 2, 2, 5}
+	t1, t2 := NewParam(tM.Clone()), NewParam(tM.Clone())
+	fused := GatherCols(t1, idx, 3, 7)
+	unfused := SliceCols(Gather(t2, idx), 3, 7)
+	if !tensor.Equal(fused.Data, unfused.Data, 0) {
+		t.Fatal("GatherCols forward diverges from Gather+SliceCols")
+	}
+	Sum(Square(fused)).Backward()
+	Sum(Square(unfused)).Backward()
+	if !tensor.Equal(t1.Grad, t2.Grad, 1e-12) {
+		t.Fatal("GatherCols backward diverges from Gather+SliceCols")
+	}
+}
+
+func TestGradConcatConstCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	feats := randMat(rng, 4, 3)
+	table := randMat(rng, 4, 2)
+	checkGrad(t, "concatconst", []*tensor.Matrix{table}, func(v []*Value) *Value {
+		return Sum(Square(ConcatConstCols(feats, v[0])))
+	})
+	// Forward must match the unfused ConcatCols of const + identity gather.
+	p := NewParam(table)
+	all := []int{0, 1, 2, 3}
+	want := ConcatCols(NewConst(feats), Gather(p, all))
+	got := ConcatConstCols(feats, p)
+	if !tensor.Equal(got.Data, want.Data, 0) {
+		t.Fatal("ConcatConstCols forward diverges")
+	}
+	// nil feats degenerates to an identity view of the table.
+	if g := ConcatConstCols(nil, p); !tensor.Equal(g.Data, table, 0) {
+		t.Fatal("ConcatConstCols(nil, table) should equal table")
+	}
+}
+
+func TestStubBackwardSeededMatchesMonolithic(t *testing.T) {
+	// Differentiating loss = sum((x*w)∘(x*w)) through a stub cut at h=x*w
+	// must equal differentiating the monolithic graph.
+	rng := rand.New(rand.NewSource(23))
+	xM, wM := randMat(rng, 4, 3), randMat(rng, 3, 5)
+
+	wMono := NewParam(wM.Clone())
+	hMono := MatMul(NewConst(xM), wMono)
+	Sum(Square(hMono)).Backward()
+
+	wCut := NewParam(wM.Clone())
+	h := MatMul(NewConst(xM), wCut)
+	stub := Stub(h)
+	loss := Sum(Square(stub))
+	loss.ensureGrad().Data[0] = 1
+	loss.BackwardSeeded()
+	tensor.AddInPlace(h.ensureGrad(), stub.Grad)
+	h.BackwardSeeded()
+
+	if !tensor.Equal(wMono.Grad, wCut.Grad, 1e-12) {
+		t.Fatalf("stub-cut grad %v != monolithic %v", wCut.Grad, wMono.Grad)
+	}
+}
+
+func TestConcurrentDisjointBackward(t *testing.T) {
+	// Disjoint graphs must be differentiable concurrently (the parallel
+	// per-degree training path); run under -race to verify.
+	rng := rand.New(rand.NewSource(24))
+	base := randMat(rng, 8, 8)
+	var wg sync.WaitGroup
+	grads := make([]*tensor.Matrix, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			p := NewParam(base.Clone())
+			Sum(Square(Gather(p, []int{1, 3, 3}))).Backward()
+			grads[g] = p.Grad
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < 16; g++ {
+		if !tensor.Equal(grads[g], grads[0], 0) {
+			t.Fatal("concurrent backward nondeterministic")
+		}
+	}
+}
+
+func TestReleaseGraphRecyclesAndPreservesLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	xM := randMat(rng, 4, 4)
+	p := NewParam(xM.Clone())
+	c := NewConst(xM)
+	h := Mul(p, c)
+	stub := Stub(h)
+	loss := Sum(Square(stub))
+	loss.Backward()
+	gradBefore := p.Grad.Clone()
+	ReleaseGraph(loss, h)
+	if p.Data == nil || p.Grad == nil || !tensor.Equal(p.Grad, gradBefore, 0) {
+		t.Fatal("ReleaseGraph touched parameter storage")
+	}
+	if c.Data == nil {
+		t.Fatal("ReleaseGraph touched constant storage")
+	}
+	if stub.Grad != nil || h.Data != nil || loss.Data != nil {
+		t.Fatal("ReleaseGraph left interior buffers live")
+	}
+}
+
+// The pooled graph engine must not allocate fresh matrix storage once the
+// pool is warm: only the fixed per-node bookkeeping (Value structs, slices,
+// closures) remains.
+func TestPooledGraphSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	x := NewConst(randMat(rng, 128, 32))
+	w := NewParam(randMat(rng, 32, 32))
+	step := func() {
+		h := GELU(MatMul(x, w))
+		loss := Mean(Square(RowDot(h, x)))
+		loss.Backward()
+		w.ZeroGrad()
+		ReleaseGraph(loss)
+	}
+	step() // warm the pool
+	allocs := testing.AllocsPerRun(20, step)
+	// 6 graph nodes of fixed bookkeeping each; matrix payloads (128x32
+	// floats = 32 KiB per op) must all come from the pool. The bound is
+	// deliberately loose on node-count bookkeeping but far below a single
+	// payload allocation.
+	if allocs > 60 {
+		t.Fatalf("pooled graph step allocates %v objects; pool not effective", allocs)
 	}
 }

@@ -107,6 +107,11 @@ type Config struct {
 	BatchPerDegree int
 	LR             float64
 	EvalEvery      int // validation cadence for best-checkpoint selection
+
+	// Workers caps the goroutines used for per-(batch, head) loss graphs
+	// and batch inference; 0 means GOMAXPROCS. Results are identical for
+	// every worker count: gradient accumulation order is fixed.
+	Workers int
 }
 
 // DefaultConfig returns paper-faithful hyperparameters at a training scale

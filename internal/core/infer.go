@@ -3,17 +3,21 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/tensor"
 )
 
 // SyncEmbeddings recomputes and caches the tower outputs for inference.
 // Train calls this automatically; call it manually after mutating
-// parameters (e.g. after Load).
+// parameters (e.g. after Load). The recompute runs on the tape-free
+// forward path.
 func (m *Model) SyncEmbeddings() {
-	w, p := m.embeddings()
-	m.wEmb = w.Data.Clone()
-	m.pEmb = p.Data.Clone()
+	w, p := m.embeddingsInfer()
+	m.wEmb = w.Clone()
+	m.pEmb = p.Clone()
+	tensor.PutPooled(w)
+	tensor.PutPooled(p)
 }
 
 func dot(a, b []float64) float64 {
@@ -55,25 +59,247 @@ func (m *Model) PredictResidual(w, p int, ks []int, h int) float64 {
 // PredictLogSeconds returns head h's predicted log runtime, combining the
 // residual with the linear-scaling baseline according to the objective.
 func (m *Model) PredictLogSeconds(w, p int, ks []int, h int) float64 {
-	res := m.PredictResidual(w, p, ks, h)
+	return m.logSecondsFromResidual(m.PredictResidual(w, p, ks, h), w, p)
+}
+
+// PredictSeconds returns head h's predicted runtime in seconds.
+func (m *Model) PredictSeconds(w, p int, ks []int, h int) float64 {
+	return math.Exp(m.PredictLogSeconds(w, p, ks, h))
+}
+
+// Query identifies one (workload, platform, interferers) prediction for
+// the batch inference path.
+type Query struct {
+	Workload, Platform int
+	Interferers        []int
+}
+
+// PredictLogSecondsBatch fills out with head h's predicted log runtimes
+// for all queries, using the cached embedding tables. Queries are grouped
+// by (platform, interferer set) and each group's interference term is
+// folded into a single effective platform vector
+//
+//	p̃ⱼ = pⱼ + Σ_t α(mag_t) · v_s⁽ᵗ⁾ ,  mag_t = Σ_k w_kᵀ v_g⁽ᵗ⁾
+//
+// so that every query in the group costs one rank-r dot product — the
+// algebraic identity wᵢᵀpⱼ + Σ_t (wᵢᵀv_s⁽ᵗ⁾)·α(mag_t) = wᵢᵀp̃ⱼ. Groups fan
+// out across Config.Workers goroutines (scheduler-style scans share a
+// platform's resident set across many candidate workloads, so groups are
+// few and wide). Results are deterministic: each output index is written
+// exactly once, independent of scheduling.
+func (m *Model) PredictLogSecondsBatch(qs []Query, h int, out []float64) {
+	m.predictBatchInto(qs, h, out, false)
+}
+
+// PredictSecondsBatch is PredictLogSecondsBatch with the final exp applied
+// per span while its results are still cache-hot: out holds predicted
+// runtimes in seconds, with no full second pass over the results.
+func (m *Model) PredictSecondsBatch(qs []Query, h int, out []float64) {
+	m.predictBatchInto(qs, h, out, true)
+}
+
+func (m *Model) predictBatchInto(qs []Query, h int, out []float64, inSeconds bool) {
+	if m.wEmb == nil {
+		panic("core: SyncEmbeddings not called")
+	}
+	if len(out) != len(qs) {
+		panic(fmt.Sprintf("core: batch predict out len %d for %d queries", len(out), len(qs)))
+	}
+	if len(qs) == 0 {
+		return
+	}
+	// Consecutive queries with the same (platform, interferer set) form a
+	// group — the natural shape of a scheduler scanning candidates per
+	// platform. Non-consecutive repeats just open a fresh group, which
+	// costs amortization but never correctness, and keeps grouping an
+	// allocation-free scan instead of a keyed map.
+	type span struct{ lo, hi int }
+	r := m.Cfg.EmbeddingDim
+	wlo, whi := h*r, (h+1)*r
+	wData, wCols := m.wEmb.Data, m.wEmb.Cols
+	runSpan := func(sp span, peff []float64) {
+		q0 := qs[sp.lo]
+		m.effectivePlatform(peff, q0.Platform, q0.Interferers, h)
+		switch {
+		case m.Cfg.Objective == ObjLogResidual && whi-wlo == 32:
+			// Tight loop for the default configuration: baseline platform
+			// offset hoisted, single-step row slicing, fully unrolled
+			// rank-32 kernel, no per-query dispatch.
+			bW := m.Baseline.W
+			bP := m.Baseline.P[q0.Platform]
+			for i := sp.lo; i < sp.hi; i++ {
+				w := qs[i].Workload
+				base := w * wCols
+				out[i] = bW[w] + bP + dot32(wData[base+wlo:], peff)
+			}
+		case m.Cfg.Objective == ObjLogResidual:
+			bW := m.Baseline.W
+			bP := m.Baseline.P[q0.Platform]
+			for i := sp.lo; i < sp.hi; i++ {
+				w := qs[i].Workload
+				base := w * wCols
+				out[i] = bW[w] + bP + dotUnrolled(wData[base+wlo:base+whi], peff)
+			}
+		default:
+			for i := sp.lo; i < sp.hi; i++ {
+				w := qs[i].Workload
+				base := w * wCols
+				res := dotUnrolled(wData[base+wlo:base+whi], peff)
+				out[i] = m.logSecondsFromResidual(res, w, q0.Platform)
+			}
+		}
+		if inSeconds {
+			// Separate exp sweep: keeping the transcendental out of the
+			// dot loop leaves its registers free and pipelines better.
+			for i := sp.lo; i < sp.hi; i++ {
+				out[i] = math.Exp(out[i])
+			}
+		}
+	}
+	if workers := m.workers(); workers > 1 {
+		// Detect spans up front, then fan them out.
+		spans := make([]span, 0, 16)
+		for lo := 0; lo < len(qs); {
+			hi := lo + 1
+			for hi < len(qs) && sameGroup(&qs[hi], &qs[lo]) {
+				hi++
+			}
+			spans = append(spans, span{lo, hi})
+			lo = hi
+		}
+		if workers > len(spans) {
+			workers = len(spans)
+		}
+		if workers > 1 {
+			var wg sync.WaitGroup
+			next := make(chan span)
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					peff := make([]float64, r)
+					for sp := range next {
+						runSpan(sp, peff)
+					}
+				}()
+			}
+			for _, sp := range spans {
+				next <- sp
+			}
+			close(next)
+			wg.Wait()
+			return
+		}
+	}
+	// Single worker: detect each span and process it immediately, one
+	// streaming pass over the query array.
+	peff := make([]float64, r)
+	for lo := 0; lo < len(qs); {
+		hi := lo + 1
+		for hi < len(qs) && sameGroup(&qs[hi], &qs[lo]) {
+			hi++
+		}
+		runSpan(span{lo, hi}, peff)
+		lo = hi
+	}
+}
+
+// sameGroup reports whether two queries share a platform and interferer
+// set (compared by value, in order). Queries that share the same backing
+// slice — a scheduler reusing one resident set across a scan — short-cut
+// on pointer identity.
+func sameGroup(a, b *Query) bool {
+	if a.Platform != b.Platform || len(a.Interferers) != len(b.Interferers) {
+		return false
+	}
+	if len(a.Interferers) == 0 || &a.Interferers[0] == &b.Interferers[0] {
+		return true
+	}
+	for i, k := range a.Interferers {
+		if k != b.Interferers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dot32 is dotUnrolled with the bounds fixed at the default embedding rank,
+// letting the compiler drop all loop-bound checks.
+func dot32(a, b []float64) float64 {
+	a = a[:32]
+	b = b[:32]
+	var s0, s1, s2, s3 float64
+	for i := 0; i < 32; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// dotUnrolled is the batch path's inner-product kernel: four accumulators
+// expose instruction-level parallelism the simple reduction loop serializes
+// (~1.5x on rank-32 embeddings). Summation order differs from dot, so
+// results may drift from the scalar path by reassociation rounding.
+func dotUnrolled(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	n := len(a) &^ 3
+	b = b[:len(a)]
+	for i := 0; i < n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for i := n; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// effectivePlatform writes platform j's rank-r base embedding with the
+// interference contribution of ks folded in, for head h.
+func (m *Model) effectivePlatform(peff []float64, j int, ks []int, h int) {
+	r, s := m.Cfg.EmbeddingDim, m.Cfg.InterferenceTypes
+	prow := m.pEmb.Row(j)
+	copy(peff, prow[:r])
+	if len(ks) == 0 || m.Cfg.Interference != InterferenceAware || s == 0 {
+		return
+	}
+	lo, hi := h*r, (h+1)*r
+	for t := 0; t < s; t++ {
+		vs := prow[r*(1+t) : r*(2+t)]
+		vg := prow[r*(1+s+t) : r*(2+s+t)]
+		var mag float64
+		for _, k := range ks {
+			mag += dotUnrolled(m.wEmb.Row(k)[lo:hi], vg)
+		}
+		if m.Cfg.UseActivation && mag < 0 {
+			mag *= m.Cfg.ActivationSlope
+		}
+		for a := 0; a < r; a++ {
+			peff[a] += mag * vs[a]
+		}
+	}
+}
+
+// logSecondsFromResidual applies the objective's residual-to-log-runtime
+// mapping, mirroring PredictLogSeconds.
+func (m *Model) logSecondsFromResidual(res float64, w, p int) float64 {
 	switch m.Cfg.Objective {
 	case ObjLogResidual:
 		return m.Baseline.LogBaseline(w, p) + res
 	case ObjLog:
 		return res
 	case ObjProportional:
-		// The model output is a linear-space runtime; clamp to positive.
 		if res < 1e-9 {
 			res = 1e-9
 		}
 		return math.Log(res)
 	}
 	panic("core: unknown objective")
-}
-
-// PredictSeconds returns head h's predicted runtime in seconds.
-func (m *Model) PredictSeconds(w, p int, ks []int, h int) float64 {
-	return math.Exp(m.PredictLogSeconds(w, p, ks, h))
 }
 
 // HeadForQuantile returns the head index trained at target quantile xi.
@@ -125,19 +351,21 @@ func (m *Model) InterferenceNorm(j int) float64 {
 			}
 		}
 	}
-	// Power iteration on FᵀF for the dominant singular value.
+	// Power iteration on FᵀF for the dominant singular value. The iterate
+	// and scratch vectors are allocated once, outside the loop.
 	v := make([]float64, r)
 	for i := range v {
 		v[i] = 1 / math.Sqrt(float64(r))
 	}
+	u := make([]float64, r)
+	w := make([]float64, r)
 	var sigma float64
 	for it := 0; it < 100; it++ {
 		// u = F v ; w = Fᵀ u
-		u := make([]float64, r)
 		for a := 0; a < r; a++ {
 			u[a] = dot(f.Row(a), v)
 		}
-		w := make([]float64, r)
+		clear(w)
 		for a := 0; a < r; a++ {
 			fa := f.Row(a)
 			for b := 0; b < r; b++ {

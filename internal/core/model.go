@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/autodiff"
 	"repro/internal/dataset"
@@ -38,21 +39,31 @@ type Model struct {
 	// Inference-time embedding caches, refreshed by SyncEmbeddings.
 	wEmb *tensor.Matrix // Nw x r*H
 	pEmb *tensor.Matrix // Np x r*(1+2s)
+
+	// Cached constant tower inputs, valid when a tower has no learned
+	// features (the input then never changes across steps).
+	wInConst, pInConst *autodiff.Value
 }
 
-// standardize z-scores each column; constant columns become zero.
+// standardize z-scores each column; constant columns become zero. The
+// variance uses the two-pass formula Σ(x−mean)² rather than E[x²]−E[x]²,
+// which cancels catastrophically for large-mean columns (such as raw
+// opcode log-counts).
 func standardize(m *tensor.Matrix) *tensor.Matrix {
 	out := m.Clone()
+	n := float64(m.Rows)
 	for j := 0; j < m.Cols; j++ {
-		var sum, sumSq float64
+		var sum float64
 		for i := 0; i < m.Rows; i++ {
-			v := m.At(i, j)
-			sum += v
-			sumSq += v * v
+			sum += m.At(i, j)
 		}
-		n := float64(m.Rows)
 		mean := sum / n
-		variance := sumSq/n - mean*mean
+		var sumSq float64
+		for i := 0; i < m.Rows; i++ {
+			d := m.At(i, j) - mean
+			sumSq += d * d
+		}
+		variance := sumSq / n
 		if variance < 1e-12 {
 			for i := 0; i < m.Rows; i++ {
 				out.Set(i, j, 0)
@@ -102,7 +113,22 @@ func NewModel(cfg Config, d *dataset.Dataset) (*Model, error) {
 		m.params = append(m.params, m.phiW.Params()...)
 		m.params = append(m.params, m.phiP.Params()...)
 	}
+	if m.phiW == nil && m.xw != nil {
+		m.wInConst = autodiff.NewConst(m.xw)
+	}
+	if m.phiP == nil && m.xp != nil {
+		m.pInConst = autodiff.NewConst(m.xp)
+	}
 	return m, nil
+}
+
+// workers returns the goroutine fan-out for parallel loss tasks and batch
+// inference.
+func (m *Model) workers() int {
+	if m.Cfg.Workers > 0 {
+		return m.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // NumParams returns the number of scalar trainable parameters.
@@ -115,24 +141,17 @@ func (m *Model) Params() []*autodiff.Value { return m.params }
 func (m *Model) Dataset() *dataset.Dataset { return m.data }
 
 // towerInput assembles [features | φ] for one tower. Either part may be
-// absent depending on the configuration.
-func towerInput(feats *tensor.Matrix, use bool, phi *nn.Embedding, n int) *autodiff.Value {
-	var x *autodiff.Value
-	if use {
-		x = autodiff.NewConst(feats)
+// absent depending on the configuration. With learned features the concat
+// is a single fused op (the old per-step identity gather over the φ table
+// is elided); without them the cached constant is reused across steps.
+func towerInput(feats *tensor.Matrix, phi *nn.Embedding, cached *autodiff.Value) *autodiff.Value {
+	if phi == nil {
+		return cached
 	}
-	if phi != nil {
-		all := make([]int, n)
-		for i := range all {
-			all[i] = i
-		}
-		phiV := phi.Lookup(all)
-		if x == nil {
-			return phiV
-		}
-		return autodiff.ConcatCols(x, phiV)
+	if feats == nil {
+		return phi.Table
 	}
-	return x
+	return autodiff.ConcatConstCols(feats, phi.Table)
 }
 
 // embeddings runs both towers over every workload and platform. Computing
@@ -140,9 +159,32 @@ func towerInput(feats *tensor.Matrix, use bool, phi *nn.Embedding, n int) *autod
 // paper's implementation strategy (App. B.3) — the tables are small
 // relative to the batch.
 func (m *Model) embeddings() (w, p *autodiff.Value) {
-	xw := towerInput(m.xw, m.Cfg.UseWorkloadFeatures, m.phiW, m.data.NumWorkloads())
-	xp := towerInput(m.xp, m.Cfg.UsePlatformFeatures, m.phiP, m.data.NumPlatforms())
+	xw := towerInput(m.xw, m.phiW, m.wInConst)
+	xp := towerInput(m.xp, m.phiP, m.pInConst)
 	return m.fw.Forward(xw), m.fp.Forward(xp)
+}
+
+// embeddingsInfer computes both towers' outputs without building a tape:
+// no Value graph, no gradient buffers. The returned matrices are
+// pool-backed and owned by the caller (release with tensor.PutPooled).
+func (m *Model) embeddingsInfer() (w, p *tensor.Matrix) {
+	return m.towerInfer(m.fw, m.xw, m.phiW), m.towerInfer(m.fp, m.xp, m.phiP)
+}
+
+func (m *Model) towerInfer(f *nn.MLP, feats *tensor.Matrix, phi *nn.Embedding) *tensor.Matrix {
+	x := feats
+	if phi != nil {
+		t := phi.Table.Data
+		if feats == nil {
+			x = t
+		} else {
+			cat := tensor.GetPooled(feats.Rows, feats.Cols+t.Cols)
+			tensor.ConcatColsInto(cat, feats, t)
+			defer tensor.PutPooled(cat)
+			x = cat
+		}
+	}
+	return f.Infer(x)
 }
 
 // batch describes one fixed-degree minibatch: parallel index slices into
@@ -187,41 +229,33 @@ func (m *Model) makeBatch(obsIdx []int, stripInterference bool) batch {
 	return bt
 }
 
-// headSlice extracts head h's rank-r embedding block from the workload
-// tower output.
-func (m *Model) headSlice(w *autodiff.Value, h int) func(idx []int) *autodiff.Value {
-	r := m.Cfg.EmbeddingDim
-	return func(idx []int) *autodiff.Value {
-		return autodiff.SliceCols(autodiff.Gather(w, idx), h*r, (h+1)*r)
-	}
-}
-
 // predictBatch builds the prediction graph for one batch and head h
 // (paper Eq. 9):
 //
 //	ŷ = wᵢᵀpⱼ + Σ_t (wᵢᵀ v_s⁽ᵗ⁾) · α( Σ_k w_kᵀ v_g⁽ᵗ⁾ )
 //
-// returning a B x 1 Value of residual predictions.
+// returning a B x 1 Value of residual predictions. Embedding lookups use
+// the fused GatherCols (no full-width row copies for multi-head tables)
+// and the inner products use the fused RowDot (no B x r intermediates).
 func (m *Model) predictBatch(w, p *autodiff.Value, bt batch, h int) *autodiff.Value {
 	r, s := m.Cfg.EmbeddingDim, m.Cfg.InterferenceTypes
-	getW := m.headSlice(w, h)
-	wi := getW(bt.wi)
-	pAll := autodiff.Gather(p, bt.pj)
-	pj := autodiff.SliceCols(pAll, 0, r)
-	pred := autodiff.RowSum(autodiff.Mul(wi, pj))
+	lo, hi := h*r, (h+1)*r
+	wi := autodiff.GatherCols(w, bt.wi, lo, hi)
+	pj := autodiff.GatherCols(p, bt.pj, 0, r)
+	pred := autodiff.RowDot(wi, pj)
 
 	if bt.degree > 0 && m.Cfg.Interference == InterferenceAware && s > 0 {
 		// Gather interferer embeddings once per slot.
 		wks := make([]*autodiff.Value, bt.degree)
 		for mi := 0; mi < bt.degree; mi++ {
-			wks[mi] = getW(bt.ks[mi])
+			wks[mi] = autodiff.GatherCols(w, bt.ks[mi], lo, hi)
 		}
 		for t := 0; t < s; t++ {
-			vs := autodiff.SliceCols(pAll, r*(1+t), r*(2+t))
-			vg := autodiff.SliceCols(pAll, r*(1+s+t), r*(2+s+t))
+			vs := autodiff.GatherCols(p, bt.pj, r*(1+t), r*(2+t))
+			vg := autodiff.GatherCols(p, bt.pj, r*(1+s+t), r*(2+s+t))
 			var mag *autodiff.Value
 			for mi := 0; mi < bt.degree; mi++ {
-				term := autodiff.RowSum(autodiff.Mul(wks[mi], vg))
+				term := autodiff.RowDot(wks[mi], vg)
 				if mag == nil {
 					mag = term
 				} else {
@@ -231,18 +265,20 @@ func (m *Model) predictBatch(w, p *autodiff.Value, bt batch, h int) *autodiff.Va
 			if m.Cfg.UseActivation {
 				mag = autodiff.LeakyReLU(mag, m.Cfg.ActivationSlope)
 			}
-			sus := autodiff.RowSum(autodiff.Mul(wi, vs))
+			sus := autodiff.RowDot(wi, vs)
 			pred = autodiff.Add(pred, autodiff.Mul(sus, mag))
 		}
 	}
 	return pred
 }
 
-// batchLoss computes the training loss of one batch across all heads.
-func (m *Model) batchLoss(w, p *autodiff.Value, bt batch) *autodiff.Value {
+// headLoss builds the loss graph of one batch for a single head: pinball
+// at the head's quantile, or the configured squared loss for the mean
+// model (head 0).
+func (m *Model) headLoss(w, p *autodiff.Value, bt batch, h int) *autodiff.Value {
 	target := tensor.FromSlice(len(bt.target), 1, bt.target)
+	pred := m.predictBatch(w, p, bt, h)
 	if len(m.Cfg.Quantiles) == 0 {
-		pred := m.predictBatch(w, p, bt, 0)
 		if m.Cfg.Objective == ObjProportional {
 			// Relative squared error: weight each sample by 1/C*².
 			wgt := tensor.New(target.Rows, 1)
@@ -253,11 +289,18 @@ func (m *Model) batchLoss(w, p *autodiff.Value, bt batch) *autodiff.Value {
 		}
 		return autodiff.MSE(pred, target)
 	}
-	// Quantile heads: equal weight per head (App. B.3).
+	return autodiff.Pinball(pred, target, m.Cfg.Quantiles[h])
+}
+
+// batchLoss computes the training loss of one batch across all heads.
+// Quantile heads get equal weight (App. B.3).
+func (m *Model) batchLoss(w, p *autodiff.Value, bt batch) *autodiff.Value {
+	if len(m.Cfg.Quantiles) == 0 {
+		return m.headLoss(w, p, bt, 0)
+	}
 	var total *autodiff.Value
-	for h, xi := range m.Cfg.Quantiles {
-		pred := m.predictBatch(w, p, bt, h)
-		l := autodiff.Pinball(pred, target, xi)
+	for h := range m.Cfg.Quantiles {
+		l := m.headLoss(w, p, bt, h)
 		if total == nil {
 			total = l
 		} else {
@@ -265,4 +308,75 @@ func (m *Model) batchLoss(w, p *autodiff.Value, bt batch) *autodiff.Value {
 		}
 	}
 	return autodiff.Scale(total, 1/float64(len(m.Cfg.Quantiles)))
+}
+
+// predictResidualsInto fills dst with head h's residual predictions for
+// the batch using plain embedding matrices — the tape-free twin of
+// predictBatch, used by validation and batch inference.
+func (m *Model) predictResidualsInto(dst []float64, wE, pE *tensor.Matrix, bt batch, h int) {
+	r, s := m.Cfg.EmbeddingDim, m.Cfg.InterferenceTypes
+	lo, hi := h*r, (h+1)*r
+	interference := bt.degree > 0 && m.Cfg.Interference == InterferenceAware && s > 0
+	for b := range dst {
+		wrow := wE.Row(bt.wi[b])[lo:hi]
+		prow := pE.Row(bt.pj[b])
+		pred := dot(wrow, prow[:r])
+		if interference {
+			for t := 0; t < s; t++ {
+				vs := prow[r*(1+t) : r*(2+t)]
+				vg := prow[r*(1+s+t) : r*(2+s+t)]
+				var mag float64
+				for mi := 0; mi < bt.degree; mi++ {
+					mag += dot(wE.Row(bt.ks[mi][b])[lo:hi], vg)
+				}
+				if m.Cfg.UseActivation && mag < 0 {
+					mag *= m.Cfg.ActivationSlope
+				}
+				pred += dot(wrow, vs) * mag
+			}
+		}
+		dst[b] = pred
+	}
+}
+
+// batchLossInfer computes the training loss of one batch across all heads
+// without building a tape, mirroring batchLoss.
+func (m *Model) batchLossInfer(wE, pE *tensor.Matrix, bt batch) float64 {
+	n := len(bt.target)
+	if n == 0 {
+		return 0
+	}
+	preds := make([]float64, n)
+	if len(m.Cfg.Quantiles) == 0 {
+		m.predictResidualsInto(preds, wE, pE, bt, 0)
+		var loss float64
+		if m.Cfg.Objective == ObjProportional {
+			for i, p := range preds {
+				c := bt.target[i]
+				d := (p - c) / c
+				loss += d * d
+			}
+		} else {
+			for i, p := range preds {
+				d := p - bt.target[i]
+				loss += d * d
+			}
+		}
+		return loss / float64(n)
+	}
+	var total float64
+	for h, xi := range m.Cfg.Quantiles {
+		m.predictResidualsInto(preds, wE, pE, bt, h)
+		var loss float64
+		for i, p := range preds {
+			d := bt.target[i] - p
+			if d > 0 {
+				loss += xi * d
+			} else {
+				loss += (xi - 1) * d
+			}
+		}
+		total += loss / float64(n)
+	}
+	return total / float64(len(m.Cfg.Quantiles))
 }

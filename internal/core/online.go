@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/autodiff"
 	"repro/internal/dataset"
 	"repro/internal/opt"
 )
@@ -76,6 +75,8 @@ func (m *Model) OnlineUpdate(newIdx, replayIdx []int, cfg OnlineConfig) error {
 	if len(replayIdx) == 0 {
 		nOld = 0
 	}
+	var batches []batch
+	var weights []float64
 	for step := 0; step < cfg.Steps; step++ {
 		idx := make([]int, 0, cfg.Batch)
 		for i := 0; i < nNew; i++ {
@@ -85,18 +86,12 @@ func (m *Model) OnlineUpdate(newIdx, replayIdx []int, cfg OnlineConfig) error {
 			idx = append(idx, replayIdx[rng.Intn(len(replayIdx))])
 		}
 		pools, degrees := dataset.ByDegree(m.data, idx)
-		w, p := m.embeddings()
-		var total *autodiff.Value
+		batches, weights = batches[:0], weights[:0]
 		for _, deg := range degrees {
-			bt := m.makeBatch(pools[deg], m.Cfg.Interference == InterferenceIgnore)
-			l := autodiff.Scale(m.batchLoss(w, p, bt), float64(len(pools[deg]))/float64(len(idx)))
-			if total == nil {
-				total = l
-			} else {
-				total = autodiff.Add(total, l)
-			}
+			batches = append(batches, m.makeBatch(pools[deg], m.Cfg.Interference == InterferenceIgnore))
+			weights = append(weights, float64(len(pools[deg]))/float64(len(idx)))
 		}
-		total.Backward()
+		m.runStep(batches, weights)
 		optimizer.Step()
 		optimizer.ZeroGrads()
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/autodiff"
 	"repro/internal/dataset"
@@ -45,33 +46,31 @@ func (m *Model) Train(split dataset.Split) (*TrainResult, error) {
 	res := &TrainResult{BestValLoss: math.Inf(1)}
 	var best []*tensor.Matrix
 
+	var batches []batch
+	var weights []float64
 	for step := 1; step <= cfg.Steps; step++ {
-		w, p := m.embeddings()
-		var total *autodiff.Value
+		batches, weights = batches[:0], weights[:0]
 		var wsum float64
 		for _, deg := range batcher.Degrees {
 			idx := batcher.Sample(deg, cfg.BatchPerDegree)
 			if idx == nil {
 				continue
 			}
-			bt := m.makeBatch(idx, cfg.Interference == InterferenceIgnore)
 			weight := 1.0
 			if deg > 0 {
 				weight = cfg.Beta / 3
 			}
-			l := autodiff.Scale(m.batchLoss(w, p, bt), weight)
+			batches = append(batches, m.makeBatch(idx, cfg.Interference == InterferenceIgnore))
+			weights = append(weights, weight)
 			wsum += weight
-			if total == nil {
-				total = l
-			} else {
-				total = autodiff.Add(total, l)
-			}
 		}
-		if total == nil {
+		if len(batches) == 0 {
 			return nil, fmt.Errorf("core: no batches drawn")
 		}
-		total = autodiff.Scale(total, 1/wsum)
-		total.Backward()
+		for i := range weights {
+			weights[i] /= wsum
+		}
+		m.runStep(batches, weights)
 		optimizer.Step()
 		optimizer.ZeroGrads()
 
@@ -92,6 +91,94 @@ func (m *Model) Train(split dataset.Split) (*TrainResult, error) {
 	return res, nil
 }
 
+// lossTask is one (degree-batch, head) unit of a training step's objective.
+type lossTask struct {
+	bt     batch
+	head   int
+	weight float64 // this task's contribution to the total loss
+}
+
+// expandTasks flattens normalized per-batch weights into per-(batch, head)
+// tasks. Quantile heads split their batch's weight evenly (App. B.3), which
+// also lets each head's graph run on its own goroutine.
+func (m *Model) expandTasks(batches []batch, weights []float64) []lossTask {
+	nh := m.Cfg.NumHeads()
+	tasks := make([]lossTask, 0, len(batches)*nh)
+	for i, bt := range batches {
+		for h := 0; h < nh; h++ {
+			tasks = append(tasks, lossTask{bt: bt, head: h, weight: weights[i] / float64(nh)})
+		}
+	}
+	return tasks
+}
+
+// runStep executes one optimization step over pre-normalized batch weights:
+// shared tower forward, per-(batch, head) loss graphs fanned out across
+// workers, deterministic gradient accumulation, tower backward, and graph
+// release back to the matrix pool. It returns the weighted training loss.
+//
+// Parallelism never changes the result: each task differentiates a fully
+// disjoint subgraph rooted at stubs of the tower outputs, and stub
+// gradients are folded into the tower gradients sequentially in task order,
+// so floating-point accumulation order is fixed regardless of worker count
+// or goroutine scheduling.
+func (m *Model) runStep(batches []batch, weights []float64) float64 {
+	w, p := m.embeddings()
+	tasks := m.expandTasks(batches, weights)
+
+	type taskGraph struct {
+		root, wStub, pStub *autodiff.Value
+	}
+	graphs := make([]taskGraph, len(tasks))
+	run := func(i int) {
+		t := tasks[i]
+		wS, pS := autodiff.Stub(w), autodiff.Stub(p)
+		loss := m.headLoss(wS, pS, t.bt, t.head)
+		loss.Grad.Data[0] = t.weight
+		loss.BackwardSeeded()
+		graphs[i] = taskGraph{root: loss, wStub: wS, pStub: pS}
+	}
+	workers := m.workers()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for i := range tasks {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					run(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var total float64
+	for i := range graphs {
+		g := &graphs[i]
+		total += tasks[i].weight * g.root.Scalar()
+		tensor.AddInPlace(w.Grad, g.wStub.Grad)
+		tensor.AddInPlace(p.Grad, g.pStub.Grad)
+		autodiff.ReleaseGraph(g.root)
+	}
+	w.BackwardSeeded()
+	p.BackwardSeeded()
+	autodiff.ReleaseGraph(w, p)
+	return total
+}
+
 // filterIndices applies the interference-mode filter: InterferenceDiscard
 // keeps only isolation observations; other modes keep everything.
 func (m *Model) filterIndices(idx []int) []int {
@@ -108,13 +195,17 @@ func (m *Model) filterIndices(idx []int) []int {
 }
 
 // evalLoss computes the training objective on held-out indices, in fixed-
-// degree chunks, with the same degree weighting as training.
+// degree chunks, with the same degree weighting as training. Validation
+// never needs gradients, so it runs on the tape-free forward path — no
+// graph nodes, no gradient buffers.
 func (m *Model) evalLoss(idx []int) float64 {
 	if len(idx) == 0 {
 		return math.Inf(1)
 	}
 	pools, degrees := dataset.ByDegree(m.data, idx)
-	w, p := m.embeddings()
+	wE, pE := m.embeddingsInfer()
+	defer tensor.PutPooled(wE)
+	defer tensor.PutPooled(pE)
 	var total, wsum float64
 	const chunk = 2048
 	for _, deg := range degrees {
@@ -131,8 +222,7 @@ func (m *Model) evalLoss(idx []int) float64 {
 				hi = len(pool)
 			}
 			bt := m.makeBatch(pool[lo:hi], m.Cfg.Interference == InterferenceIgnore)
-			l := m.batchLoss(w, p, bt)
-			sum += l.Scalar() * float64(hi-lo)
+			sum += m.batchLossInfer(wE, pE, bt) * float64(hi-lo)
 			n += hi - lo
 		}
 		total += weight * sum / float64(n)

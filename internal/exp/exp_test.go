@@ -167,6 +167,9 @@ func TestHeadlineQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training experiment")
 	}
+	if raceEnabled {
+		t.Skip("full baseline sweep exceeds the package timeout under the race detector; engine concurrency is race-tested in core and autodiff")
+	}
 	tables, err := runHeadline(Quick, 6)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,7 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is active; the heavyweight
+// experiment sweeps scale themselves down under its ~10x slowdown.
+const raceEnabled = true

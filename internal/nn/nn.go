@@ -40,6 +40,25 @@ func (a Activation) apply(v *autodiff.Value) *autodiff.Value {
 	panic(fmt.Sprintf("nn: unknown activation %d", a))
 }
 
+// scalar returns the pointwise function of the activation, for the
+// tape-free inference path. The formulas match the autodiff ops exactly.
+func (a Activation) scalar() func(float64) float64 {
+	switch a {
+	case ActNone:
+		return nil
+	case ActGELU:
+		const invSqrt2 = 0.7071067811865476
+		return func(x float64) float64 { return 0.5 * x * (1 + math.Erf(x*invSqrt2)) }
+	case ActReLU:
+		return func(x float64) float64 { return math.Max(x, 0) }
+	case ActTanh:
+		return math.Tanh
+	case ActSigmoid:
+		return func(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+	}
+	panic(fmt.Sprintf("nn: unknown activation %d", a))
+}
+
 // String returns the activation name.
 func (a Activation) String() string {
 	switch a {
@@ -115,6 +134,33 @@ func (m *MLP) Forward(x *autodiff.Value) *autodiff.Value {
 		x = l.Forward(x)
 	}
 	return x
+}
+
+// Infer runs the MLP forward on a plain matrix without building a tape —
+// no Value nodes, no gradient buffers. Intermediates come from the tensor
+// pool; the returned matrix is pool-backed and owned by the caller (release
+// it with tensor.PutPooled when done).
+func (m *MLP) Infer(x *tensor.Matrix) *tensor.Matrix {
+	cur := x
+	for _, l := range m.Layers {
+		w, b := l.W.Data, l.B.Data
+		next := tensor.GetPooled(cur.Rows, w.Cols)
+		tensor.MatMulInto(next, cur, w, false)
+		for i := 0; i < next.Rows; i++ {
+			row := next.Row(i)
+			for j := range row {
+				row[j] += b.Data[j]
+			}
+		}
+		if f := l.Act.scalar(); f != nil {
+			tensor.ApplyInto(next, next, f)
+		}
+		if cur != x {
+			tensor.PutPooled(cur)
+		}
+		cur = next
+	}
+	return cur
 }
 
 // Params returns all trainable parameters in order.

@@ -148,3 +148,20 @@ func TestActivationString(t *testing.T) {
 		}
 	}
 }
+
+func TestMLPInferMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, act := range []Activation{ActGELU, ActReLU, ActTanh, ActSigmoid, ActNone} {
+		mlp := NewMLP(rng, act, 6, 10, 4)
+		x := tensor.New(7, 6)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		want := mlp.Forward(autodiff.NewConst(x))
+		got := mlp.Infer(x)
+		if !tensor.Equal(got, want.Data, 0) {
+			t.Fatalf("%v: Infer diverges from Forward", act)
+		}
+		tensor.PutPooled(got)
+	}
+}

@@ -221,19 +221,7 @@ func MatMulATB(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMulATB dims %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := out.Row(i)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	MatMulATBInto(out, a, b, true)
 	return out
 }
 
@@ -243,19 +231,62 @@ func MatMulABT(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMulABT dims %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
+	MatMulABTInto(out, a, b, false)
+	return out
+}
+
+// MatMulATBInto computes dst = aᵀ*b (or dst += aᵀ*b when accumulate is
+// true) without materializing the transpose.
+func MatMulATBInto(dst, a, b *Matrix, accumulate bool) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulATB dims %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB dst %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	if !accumulate {
+		dst.Zero()
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTInto computes dst = a*bᵀ (or dst += a*bᵀ when accumulate is
+// true) without materializing the transpose.
+func MatMulABTInto(dst, a, b *Matrix, accumulate bool) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABT dims %dx%d, %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT dst %dx%d for %dx%d result", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
-		drow := out.Row(i)
+		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Row(j)
 			var s float64
 			for k, av := range arow {
 				s += av * brow[k]
 			}
-			drow[j] = s
+			if accumulate {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
 		}
 	}
-	return out
 }
 
 // Add returns a+b elementwise.
@@ -266,6 +297,15 @@ func Add(a, b *Matrix) *Matrix {
 		out.Data[i] = v + b.Data[i]
 	}
 	return out
+}
+
+// AddInto computes dst = a+b elementwise.
+func AddInto(dst, a, b *Matrix) {
+	a.assertSameShape(b, "AddInto")
+	dst.assertSameShape(a, "AddInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
 }
 
 // AddInPlace computes a += b elementwise.
@@ -286,6 +326,15 @@ func Sub(a, b *Matrix) *Matrix {
 	return out
 }
 
+// SubInto computes dst = a-b elementwise.
+func SubInto(dst, a, b *Matrix) {
+	a.assertSameShape(b, "SubInto")
+	dst.assertSameShape(a, "SubInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+}
+
 // Mul returns the elementwise (Hadamard) product a∘b.
 func Mul(a, b *Matrix) *Matrix {
 	a.assertSameShape(b, "Mul")
@@ -296,6 +345,15 @@ func Mul(a, b *Matrix) *Matrix {
 	return out
 }
 
+// MulInto computes dst = a∘b elementwise.
+func MulInto(dst, a, b *Matrix) {
+	a.assertSameShape(b, "MulInto")
+	dst.assertSameShape(a, "MulInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+}
+
 // Scale returns c*a.
 func Scale(a *Matrix, c float64) *Matrix {
 	out := New(a.Rows, a.Cols)
@@ -303,6 +361,14 @@ func Scale(a *Matrix, c float64) *Matrix {
 		out.Data[i] = c * v
 	}
 	return out
+}
+
+// ScaleInto computes dst = c*a.
+func ScaleInto(dst, a *Matrix, c float64) {
+	dst.assertSameShape(a, "ScaleInto")
+	for i, v := range a.Data {
+		dst.Data[i] = c * v
+	}
 }
 
 // ScaleInPlace computes a *= c.
@@ -336,6 +402,21 @@ func AddRowVector(m, v *Matrix) *Matrix {
 	return out
 }
 
+// AddRowVectorInto computes dst = m + v broadcast over rows.
+func AddRowVectorInto(dst, m, v *Matrix) {
+	if v.Rows != 1 || v.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto %dx%d + %dx%d", m.Rows, m.Cols, v.Rows, v.Cols))
+	}
+	dst.assertSameShape(m, "AddRowVectorInto")
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		drow := dst.Row(i)
+		for j, x := range row {
+			drow[j] = x + v.Data[j]
+		}
+	}
+}
+
 // Apply returns f applied elementwise to m.
 func Apply(m *Matrix, f func(float64) float64) *Matrix {
 	out := New(m.Rows, m.Cols)
@@ -343,6 +424,14 @@ func Apply(m *Matrix, f func(float64) float64) *Matrix {
 		out.Data[i] = f(v)
 	}
 	return out
+}
+
+// ApplyInto computes dst = f applied elementwise to m. dst may alias m.
+func ApplyInto(dst, m *Matrix, f func(float64) float64) {
+	dst.assertSameShape(m, "ApplyInto")
+	for i, v := range m.Data {
+		dst.Data[i] = f(v)
+	}
 }
 
 // Sum returns the sum of all elements.
@@ -375,6 +464,20 @@ func (m *Matrix) RowSums() *Matrix {
 	return out
 }
 
+// RowSumsInto computes dst = per-row sums of m (dst is Rows x 1).
+func (m *Matrix) RowSumsInto(dst *Matrix) {
+	if dst.Rows != m.Rows || dst.Cols != 1 {
+		panic(fmt.Sprintf("tensor: RowSumsInto dst %dx%d for %d rows", dst.Rows, dst.Cols, m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		dst.Data[i] = s
+	}
+}
+
 // ColSums returns a 1 x Cols matrix of per-column sums.
 func (m *Matrix) ColSums() *Matrix {
 	out := New(1, m.Cols)
@@ -384,6 +487,44 @@ func (m *Matrix) ColSums() *Matrix {
 		}
 	}
 	return out
+}
+
+// AddColSums accumulates m's per-column sums into the 1 x Cols matrix dst,
+// fusing ColSums + AddInPlace for bias gradients.
+func AddColSums(dst, m *Matrix) {
+	if dst.Rows != 1 || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: AddColSums dst %dx%d for %d cols", dst.Rows, dst.Cols, m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			dst.Data[j] += v
+		}
+	}
+}
+
+// RowDot returns the Rows x 1 matrix of per-row inner products Σ_j a_ij·b_ij,
+// fusing RowSums(Mul(a, b)) without the Rows x Cols intermediate.
+func RowDot(a, b *Matrix) *Matrix {
+	out := New(a.Rows, 1)
+	RowDotInto(out, a, b)
+	return out
+}
+
+// RowDotInto computes dst = per-row inner products of a and b (dst Rows x 1).
+func RowDotInto(dst, a, b *Matrix) {
+	a.assertSameShape(b, "RowDotInto")
+	if dst.Rows != a.Rows || dst.Cols != 1 {
+		panic(fmt.Sprintf("tensor: RowDotInto dst %dx%d for %d rows", dst.Rows, dst.Cols, a.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		brow := b.Row(i)
+		var s float64
+		for k, av := range arow {
+			s += av * brow[k]
+		}
+		dst.Data[i] = s
+	}
 }
 
 // MaxAbs returns the largest absolute value in m (0 for empty matrices).
@@ -419,10 +560,57 @@ func Dot(a, b *Matrix) float64 {
 // GatherRows returns the matrix whose i-th row is m.Row(idx[i]).
 func GatherRows(m *Matrix, idx []int) *Matrix {
 	out := New(len(idx), m.Cols)
-	for i, r := range idx {
-		copy(out.Row(i), m.Row(r))
-	}
+	GatherRowsInto(out, m, idx)
 	return out
+}
+
+// GatherRowsInto computes dst[i] = m.Row(idx[i]).
+func GatherRowsInto(dst, m *Matrix, idx []int) {
+	if dst.Rows != len(idx) || dst.Cols != m.Cols {
+		panic(fmt.Sprintf("tensor: GatherRowsInto dst %dx%d for %d idx of %d cols",
+			dst.Rows, dst.Cols, len(idx), m.Cols))
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r))
+	}
+}
+
+// GatherCols returns the len(idx) x (hi-lo) matrix whose i-th row is
+// m.Row(idx[i])[lo:hi], fusing GatherRows + SliceCols so multi-head lookups
+// copy only the head's block instead of the full row.
+func GatherCols(m *Matrix, idx []int, lo, hi int) *Matrix {
+	out := New(len(idx), hi-lo)
+	GatherColsInto(out, m, idx, lo, hi)
+	return out
+}
+
+// GatherColsInto computes dst[i] = m.Row(idx[i])[lo:hi].
+func GatherColsInto(dst, m *Matrix, idx []int, lo, hi int) {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: GatherCols [%d,%d) of %d cols", lo, hi, m.Cols))
+	}
+	if dst.Rows != len(idx) || dst.Cols != hi-lo {
+		panic(fmt.Sprintf("tensor: GatherColsInto dst %dx%d for %d idx of %d cols",
+			dst.Rows, dst.Cols, len(idx), hi-lo))
+	}
+	for i, r := range idx {
+		copy(dst.Row(i), m.Row(r)[lo:hi])
+	}
+}
+
+// ScatterAddCols adds each row of src into dst.Row(idx[i])[lo:lo+src.Cols).
+// The backward pass of GatherCols.
+func ScatterAddCols(dst, src *Matrix, idx []int, lo int) {
+	if src.Rows != len(idx) || lo < 0 || lo+src.Cols > dst.Cols {
+		panic(fmt.Sprintf("tensor: ScatterAddCols src %dx%d idx %d into %dx%d at %d",
+			src.Rows, src.Cols, len(idx), dst.Rows, dst.Cols, lo))
+	}
+	for i, r := range idx {
+		drow := dst.Row(r)[lo : lo+src.Cols]
+		for j, v := range src.Row(i) {
+			drow[j] += v
+		}
+	}
 }
 
 // ScatterAddRows adds each row of src into dst.Row(idx[i]). Used for the
@@ -442,16 +630,25 @@ func ScatterAddRows(dst, src *Matrix, idx []int) {
 
 // ConcatCols returns [a | b], the column-wise concatenation.
 func ConcatCols(a, b *Matrix) *Matrix {
+	out := New(a.Rows, a.Cols+b.Cols)
+	ConcatColsInto(out, a, b)
+	return out
+}
+
+// ConcatColsInto computes dst = [a | b].
+func ConcatColsInto(dst, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: ConcatCols rows %d vs %d", a.Rows, b.Rows))
 	}
-	out := New(a.Rows, a.Cols+b.Cols)
+	if dst.Rows != a.Rows || dst.Cols != a.Cols+b.Cols {
+		panic(fmt.Sprintf("tensor: ConcatColsInto dst %dx%d for %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols+b.Cols))
+	}
 	for i := 0; i < a.Rows; i++ {
-		row := out.Row(i)
+		row := dst.Row(i)
 		copy(row[:a.Cols], a.Row(i))
 		copy(row[a.Cols:], b.Row(i))
 	}
-	return out
 }
 
 // SliceCols returns columns [lo,hi) of m as a copy.
@@ -460,10 +657,22 @@ func SliceCols(m *Matrix, lo, hi int) *Matrix {
 		panic(fmt.Sprintf("tensor: SliceCols [%d,%d) of %d cols", lo, hi, m.Cols))
 	}
 	out := New(m.Rows, hi-lo)
-	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[lo:hi])
-	}
+	SliceColsInto(out, m, lo, hi)
 	return out
+}
+
+// SliceColsInto computes dst = columns [lo,hi) of m.
+func SliceColsInto(dst, m *Matrix, lo, hi int) {
+	if lo < 0 || hi > m.Cols || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceColsInto [%d,%d) of %d cols", lo, hi, m.Cols))
+	}
+	if dst.Rows != m.Rows || dst.Cols != hi-lo {
+		panic(fmt.Sprintf("tensor: SliceColsInto dst %dx%d for %dx%d",
+			dst.Rows, dst.Cols, m.Rows, hi-lo))
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(dst.Row(i), m.Row(i)[lo:hi])
+	}
 }
 
 // Equal reports whether a and b have the same shape and elements within tol.

@@ -376,3 +376,143 @@ func BenchmarkMatMul512(b *testing.B) {
 		MatMulInto(dst, x, y, false)
 	}
 }
+
+func TestRowDotMatchesRowSumsOfMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	a, b := randMatrix(rng, 7, 5), randMatrix(rng, 7, 5)
+	want := Mul(a, b).RowSums()
+	got := RowDot(a, b)
+	if !Equal(got, want, 1e-12) {
+		t.Fatalf("RowDot %v want %v", got, want)
+	}
+}
+
+func TestGatherColsMatchesGatherThenSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := randMatrix(rng, 6, 8)
+	idx := []int{5, 0, 3, 3}
+	want := SliceCols(GatherRows(m, idx), 2, 7)
+	got := GatherCols(m, idx, 2, 7)
+	if !Equal(got, want, 0) {
+		t.Fatalf("GatherCols %v want %v", got, want)
+	}
+}
+
+func TestScatterAddColsInvertsGatherCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	src := randMatrix(rng, 3, 4)
+	dst := New(5, 9)
+	idx := []int{4, 1, 1}
+	ScatterAddCols(dst, src, idx, 3)
+	for i, r := range idx {
+		for j := 0; j < src.Cols; j++ {
+			var want float64
+			for i2, r2 := range idx {
+				if r2 == r {
+					want += src.At(i2, j)
+				}
+			}
+			if math.Abs(dst.At(r, 3+j)-want) > 1e-12 {
+				t.Fatalf("ScatterAddCols row %d col %d: %v want %v", i, j, dst.At(r, 3+j), want)
+			}
+		}
+	}
+	// Columns outside [3,7) stay zero.
+	for i := 0; i < dst.Rows; i++ {
+		for _, j := range []int{0, 1, 2, 7, 8} {
+			if dst.At(i, j) != 0 {
+				t.Fatalf("ScatterAddCols wrote outside slice at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a, b := randMatrix(rng, 4, 6), randMatrix(rng, 4, 6)
+	v := randMatrix(rng, 1, 6)
+	check := func(name string, want *Matrix, into func(dst *Matrix)) {
+		t.Helper()
+		dst := New(want.Rows, want.Cols)
+		into(dst)
+		if !Equal(dst, want, 1e-12) {
+			t.Fatalf("%s Into variant diverges", name)
+		}
+	}
+	check("Add", Add(a, b), func(d *Matrix) { AddInto(d, a, b) })
+	check("Sub", Sub(a, b), func(d *Matrix) { SubInto(d, a, b) })
+	check("Mul", Mul(a, b), func(d *Matrix) { MulInto(d, a, b) })
+	check("Scale", Scale(a, -2.5), func(d *Matrix) { ScaleInto(d, a, -2.5) })
+	check("AddRowVector", AddRowVector(a, v), func(d *Matrix) { AddRowVectorInto(d, a, v) })
+	check("Apply", Apply(a, math.Exp), func(d *Matrix) { ApplyInto(d, a, math.Exp) })
+	check("RowSums", a.RowSums(), func(d *Matrix) { a.RowSumsInto(d) })
+	check("GatherRows", GatherRows(a, []int{3, 0}), func(d *Matrix) { GatherRowsInto(d, a, []int{3, 0}) })
+	check("SliceCols", SliceCols(a, 1, 5), func(d *Matrix) { SliceColsInto(d, a, 1, 5) })
+	check("ConcatCols", ConcatCols(a, b), func(d *Matrix) { ConcatColsInto(d, a, b) })
+}
+
+func TestMatMulIntoTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a, b := randMatrix(rng, 5, 3), randMatrix(rng, 5, 4)
+	want := MatMul(a.Transpose(), b)
+	got := New(3, 4)
+	MatMulATBInto(got, a, b, false)
+	if !Equal(got, want, 1e-12) {
+		t.Fatal("MatMulATBInto wrong")
+	}
+	MatMulATBInto(got, a, b, true)
+	if !Equal(got, Scale(want, 2), 1e-12) {
+		t.Fatal("MatMulATBInto accumulate wrong")
+	}
+
+	c := randMatrix(rng, 6, 3)
+	d := randMatrix(rng, 2, 3)
+	wantABT := MatMul(c, d.Transpose())
+	gotABT := New(6, 2)
+	MatMulABTInto(gotABT, c, d, false)
+	if !Equal(gotABT, wantABT, 1e-12) {
+		t.Fatal("MatMulABTInto wrong")
+	}
+	MatMulABTInto(gotABT, c, d, true)
+	if !Equal(gotABT, Scale(wantABT, 2), 1e-12) {
+		t.Fatal("MatMulABTInto accumulate wrong")
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	m := GetPooled(3, 5)
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("GetPooled not zeroed")
+		}
+	}
+	m.Fill(7)
+	PutPooled(m)
+	// The next same-class request must come back zeroed even if it reuses
+	// the dirtied storage.
+	n := GetPooled(5, 3)
+	for _, v := range n.Data {
+		if v != 0 {
+			t.Fatal("pooled storage not re-zeroed")
+		}
+	}
+	PutPooled(n)
+	// Non-power-of-two capacities (plain New) are silently dropped.
+	PutPooled(New(3, 5))
+	// Empty and nil matrices are no-ops.
+	PutPooled(New(0, 0))
+	PutPooled(nil)
+}
+
+func TestPoolSizeClassReuse(t *testing.T) {
+	m := GetPooled(1, 100) // class 7, cap 128
+	if cap(m.Data) != 128 {
+		t.Fatalf("cap %d want 128", cap(m.Data))
+	}
+	PutPooled(m)
+	n := GetPooled(1, 128) // same class, different length
+	if len(n.Data) != 128 {
+		t.Fatalf("len %d want 128", len(n.Data))
+	}
+	PutPooled(n)
+}

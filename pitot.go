@@ -145,6 +145,43 @@ func (p *Predictor) Estimate(w, pl int, interferers []int) float64 {
 	return p.mean.PredictSeconds(w, pl, interferers, 0)
 }
 
+// Query identifies one (workload, platform, interferers) prediction for
+// EstimateBatch and BoundBatch.
+type Query = core.Query
+
+// EstimateBatch returns the predicted runtime in seconds for every query.
+// It vectorizes over the cached embedding tables: queries sharing a
+// (platform, interferer set) — the shape of a scheduler scanning candidate
+// workloads per platform — amortize the interference term into a single
+// effective platform vector, and independent groups fan out across
+// worker goroutines. Several times faster than looping Estimate; up to
+// ~10^-12 relative floating-point reassociation difference per prediction.
+func (p *Predictor) EstimateBatch(qs []Query) []float64 {
+	out := make([]float64, len(qs))
+	p.mean.PredictSecondsBatch(qs, 0, out)
+	return out
+}
+
+// BoundBatch returns, for every query, a runtime budget in seconds that is
+// sufficient with probability at least 1−eps — Bound vectorized the same
+// way as EstimateBatch, with the conformal calibration shared across the
+// whole batch. Requires Options.EnableBounds at training time.
+func (p *Predictor) BoundBatch(qs []Query, eps float64) ([]float64, error) {
+	if p.quant == nil {
+		return nil, fmt.Errorf("pitot: bounds not enabled; train with Options.EnableBounds")
+	}
+	b, err := p.bounder(eps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(qs))
+	p.quant.PredictLogSecondsBatch(qs, b.Head, out)
+	for i := range out {
+		out[i] = math.Exp(b.Bound(out[i], len(qs[i].Interferers)))
+	}
+	return out, nil
+}
+
 // Bound returns a runtime budget in seconds that is sufficient with
 // probability at least 1−eps (paper Eq. 10), using conformalized quantile
 // regression with per-degree calibration pools and optimal head selection.

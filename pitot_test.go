@@ -158,3 +158,77 @@ func TestTrainRejectsBadOptions(t *testing.T) {
 		t.Fatal("accepted bad holdout")
 	}
 }
+
+// schedQueries builds a scheduler-shaped query batch: every workload scanned
+// on every platform against that platform's resident set.
+func schedQueries(ds *Dataset) []Query {
+	var qs []Query
+	for p := 0; p < ds.NumPlatforms(); p++ {
+		resident := []int{p % ds.NumWorkloads(), (p + 5) % ds.NumWorkloads()}
+		for w := 0; w < ds.NumWorkloads(); w++ {
+			qs = append(qs, Query{Workload: w, Platform: p, Interferers: resident})
+		}
+	}
+	return qs
+}
+
+func TestEstimateBatchMatchesLoopedEstimate(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(7, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := schedQueries(ds)
+	got := pred.EstimateBatch(qs)
+	if len(got) != len(qs) {
+		t.Fatalf("EstimateBatch returned %d results for %d queries", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want := pred.Estimate(q.Workload, q.Platform, q.Interferers)
+		if math.Abs(got[i]-want) > 1e-9*want {
+			t.Fatalf("query %d: batch %.12f vs looped %.12f", i, got[i], want)
+		}
+	}
+	if out := pred.EstimateBatch(nil); len(out) != 0 {
+		t.Fatal("EstimateBatch(nil) should be empty")
+	}
+}
+
+func TestBoundBatchMatchesLoopedBound(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(8, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := schedQueries(ds)
+	got, err := pred.BoundBatch(qs, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, err := pred.Bound(q.Workload, q.Platform, q.Interferers, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(want, 1) {
+			if !math.IsInf(got[i], 1) {
+				t.Fatalf("query %d: batch %v, looped +Inf", i, got[i])
+			}
+			continue
+		}
+		if math.Abs(got[i]-want) > 1e-9*want {
+			t.Fatalf("query %d: batch %.12f vs looped %.12f", i, got[i], want)
+		}
+	}
+}
+
+func TestBoundBatchRequiresEnable(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(9, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.BoundBatch(schedQueries(ds)[:3], 0.1); err == nil {
+		t.Fatal("BoundBatch without EnableBounds must error")
+	}
+}
