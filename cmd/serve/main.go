@@ -1,0 +1,169 @@
+// Command serve runs the Pitot batch prediction daemon: an HTTP JSON
+// service with micro-batched /estimate and /bound endpoints, non-blocking
+// online learning via /observe, and /healthz for liveness and metrics.
+//
+// Load a persisted predictor (written by Predictor.SaveModel):
+//
+//	serve -data dataset.json -mean mean.pit -quant quant.bin -addr :8080
+//
+// Or train at startup for a self-contained deployment:
+//
+//	serve -data dataset.json -train -quantiles -save-mean mean.pit -save-quant quant.bin
+//
+// Prediction requests are micro-batched: single calls arriving within
+// -window of each other (up to -max-batch) are fused into one vectorized
+// EstimateBatch/BoundBatch pass over the model. Admission is bounded by
+// -max-queue; excess load fails fast with HTTP 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	pitot "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		dataPath  = flag.String("data", "", "dataset JSON (required)")
+		meanPath  = flag.String("mean", "", "predictor mean stream written by SaveModel/Export (not a cmd/train model file)")
+		quantPath = flag.String("quant", "", "quantile model stream (optional; enables /bound)")
+		train     = flag.Bool("train", false, "train at startup instead of loading -mean/-quant")
+		quantiles = flag.Bool("quantiles", false, "with -train: also fit the quantile model for /bound")
+		seed      = flag.Int64("seed", 1, "with -train: training seed")
+		steps     = flag.Int("steps", 2500, "with -train: optimization steps")
+		saveMean  = flag.String("save-mean", "", "with -train: persist the mean stream here")
+		saveQuant = flag.String("save-quant", "", "with -train: persist the quantile model here")
+		window    = flag.Duration("window", 100*time.Microsecond, "micro-batch window")
+		maxBatch  = flag.Int("max-batch", 256, "flush a batch at this many pending requests")
+		maxQueue  = flag.Int("max-queue", 4096, "admission queue bound (excess requests get 503)")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		log.Fatal("-data is required")
+	}
+
+	df, err := os.Open(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := pitot.ReadDataset(df)
+	df.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dataset: %d workloads, %d platforms, %d observations",
+		ds.NumWorkloads(), ds.NumPlatforms(), len(ds.Obs))
+
+	var pred *pitot.Predictor
+	switch {
+	case *train:
+		cfg := pitot.DefaultModelConfig(*seed)
+		cfg.Steps = *steps
+		log.Printf("training (steps=%d quantiles=%v)...", *steps, *quantiles)
+		pred, err = pitot.Train(ds, pitot.Options{Seed: *seed, Model: &cfg, EnableBounds: *quantiles})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *saveMean != "" {
+			if err := persist(pred, *saveMean, *saveQuant); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case *meanPath != "":
+		mf, err := os.Open(*meanPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *quantPath != "" {
+			qf, err := os.Open(*quantPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred, err = pitot.LoadPredictor(ds, mf, qf)
+			qf.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else if pred, err = pitot.LoadPredictor(ds, mf, nil); err != nil {
+			log.Fatal(err)
+		}
+		mf.Close()
+	default:
+		log.Fatal("either -mean (load) or -train is required")
+	}
+
+	info := pred.Info()
+	log.Printf("predictor ready: snapshot v%d, bounds=%v", info.Version, info.Bounds)
+
+	srv := serve.New(pred, serve.Config{
+		MaxBatch: *maxBatch,
+		Window:   *window,
+		MaxQueue: *maxQueue,
+	})
+
+	// Graceful shutdown: stop accepting, drain in-flight HTTP requests,
+	// then drain the micro-batcher. log.Fatal skips defers, so the
+	// teardown is explicit.
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s (window=%v max-batch=%d max-queue=%d)",
+		*addr, *window, *maxBatch, *maxQueue)
+	err = httpSrv.ListenAndServe()
+	if err != nil && err != http.ErrServerClosed {
+		srv.Close()
+		log.Fatal(err)
+	}
+	<-done
+	srv.Close()
+	log.Print("drained")
+}
+
+// persist writes the trained predictor with SaveModel.
+func persist(pred *pitot.Predictor, meanPath, quantPath string) error {
+	mw, err := os.Create(meanPath)
+	if err != nil {
+		return err
+	}
+	defer mw.Close()
+	var qw *os.File
+	if quantPath != "" && pred.Info().Bounds {
+		if qw, err = os.Create(quantPath); err != nil {
+			return err
+		}
+		defer qw.Close()
+	}
+	if qw != nil {
+		err = pred.SaveModel(mw, qw)
+	} else {
+		err = pred.SaveModel(mw, nil)
+	}
+	if err != nil {
+		return fmt.Errorf("save model: %w", err)
+	}
+	return nil
+}

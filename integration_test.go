@@ -3,6 +3,7 @@ package pitot
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/sched"
@@ -78,4 +79,66 @@ func TestEndToEndOrchestration(t *testing.T) {
 	}
 	t.Logf("bound: placed=%d miss=%.3f | mean: placed=%d miss=%.3f",
 		bound.Placed, bound.MissRate, mean.Placed, mean.MissRate)
+}
+
+// TestConcurrentOrchestration is the serving scenario the snapshot
+// isolation exists for: several schedulers place deadline jobs against one
+// shared predictor from concurrent goroutines while Observe publishes new
+// snapshots. Every placement must respect its deadline budget and no read
+// may ever block or tear. Run under `go test -race`.
+func TestConcurrentOrchestration(t *testing.T) {
+	ds := smallDataset()
+	pred, err := Train(ds, smallOptions(55, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		obs := []Observation{{
+			Workload: 2, Platform: 1,
+			Seconds: pred.Estimate(2, 1, nil) * 1.4,
+		}}
+		if err := pred.Observe(obs); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	const schedulers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < schedulers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := sched.New(sched.Config{
+				NumPlatforms: ds.NumPlatforms(), MaxColocation: 4,
+			}, sched.BoundPolicy{Eps: 0.1}, pred)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 12; i++ {
+				w := rng.Intn(ds.NumWorkloads())
+				p := rng.Intn(ds.NumPlatforms())
+				deadline := pred.BoundSeconds(w, p, nil, 0.1) * (1.2 + rng.Float64())
+				a := s.Place(sched.Job{Workload: w, Deadline: deadline})
+				if a.Placed() && a.Budget > a.Job.Deadline {
+					t.Errorf("scheduler %d accepted budget %.4f over deadline %.4f", g, a.Budget, a.Job.Deadline)
+					return
+				}
+				if a.Placed() && (math.IsNaN(a.Budget) || a.Budget <= 0) {
+					t.Errorf("scheduler %d got budget %v", g, a.Budget)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	writer.Wait()
+	if pred.Version() != 1 {
+		t.Fatalf("expected one published snapshot, got version %d", pred.Version())
+	}
 }

@@ -59,10 +59,21 @@ func (hp *HeadPredictions) validate() error {
 
 // Bounder maps a head's prediction to a calibrated upper bound on log
 // runtime.
+//
+// A Bounder is an immutable calibration result: every field is written
+// exactly once, inside Calibrate, before the Bounder is returned. Bound is
+// a pure read, so a published *Bounder may be shared by any number of
+// goroutines without synchronization — the serving layer caches Bounders
+// per snapshot and hands them to concurrent readers. Callers must not
+// mutate Offsets after calibration.
 type Bounder struct {
 	Head    int
 	Eps     float64
 	Offsets map[int]float64 // per-pool conformal offset γ
+	// MaxOffset is the most conservative per-pool offset, applied to pools
+	// never seen during calibration (+Inf when no pool was calibrated).
+	// Precomputed so Bound is a pure lookup with no lazy state.
+	MaxOffset float64
 	// ValMargin is the overprovisioning margin achieved on the validation
 	// set, used for head selection and reported by Fig. 8.
 	ValMargin float64
@@ -70,19 +81,11 @@ type Bounder struct {
 
 // Bound returns the calibrated upper bound for a prediction in the given
 // pool. Pools never seen during calibration receive the most conservative
-// observed offset.
+// observed offset. Safe for concurrent use.
 func (b *Bounder) Bound(predLog float64, pool int) float64 {
 	off, ok := b.Offsets[pool]
 	if !ok {
-		off = math.Inf(-1)
-		for _, v := range b.Offsets {
-			if v > off {
-				off = v
-			}
-		}
-		if math.IsInf(off, -1) {
-			off = math.Inf(1)
-		}
+		off = b.MaxOffset
 	}
 	return predLog + off
 }
@@ -94,9 +97,16 @@ func calibrateHead(hp *HeadPredictions, h int, eps float64) *Bounder {
 	for i, truth := range hp.CalTrue {
 		scores[hp.CalPool[i]] = append(scores[hp.CalPool[i]], truth-hp.Cal[h][i])
 	}
-	b := &Bounder{Head: h, Eps: eps, Offsets: map[int]float64{}}
+	b := &Bounder{Head: h, Eps: eps, Offsets: map[int]float64{}, MaxOffset: math.Inf(-1)}
 	for pool, s := range scores {
-		b.Offsets[pool] = stats.ConformalQuantile(s, eps)
+		off := stats.ConformalQuantile(s, eps)
+		b.Offsets[pool] = off
+		if off > b.MaxOffset {
+			b.MaxOffset = off
+		}
+	}
+	if math.IsInf(b.MaxOffset, -1) {
+		b.MaxOffset = math.Inf(1)
 	}
 	bounds := make([]float64, len(hp.ValTrue))
 	for i := range hp.ValTrue {
@@ -126,7 +136,10 @@ func Calibrate(hp *HeadPredictions, eps float64, sel Selection) (*Bounder, error
 	if err := hp.validate(); err != nil {
 		return nil, err
 	}
-	if eps <= 0 || eps >= 1 {
+	// Negated-range form so NaN (for which every comparison is false) is
+	// rejected too — a NaN eps would otherwise clamp to the least
+	// conservative quantile and poison per-eps caches with unfindable keys.
+	if !(eps > 0 && eps < 1) {
 		return nil, fmt.Errorf("conformal: eps %v out of (0,1)", eps)
 	}
 	switch sel {

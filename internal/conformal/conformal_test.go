@@ -116,11 +116,31 @@ func TestPerPoolOffsetsDiffer(t *testing.T) {
 }
 
 func TestBoundUnknownPoolConservative(t *testing.T) {
-	b := &Bounder{Offsets: map[int]float64{0: 0.1, 2: 0.5}}
-	if got := b.Bound(1.0, 7); got != 1.5 {
-		t.Fatalf("unknown pool bound %v, want max offset 1.5", got)
+	// Calibrate two pools with clearly different score levels; a pool never
+	// seen during calibration must receive the most conservative offset,
+	// precomputed at calibration time (Bounder is immutable afterwards).
+	hp := &HeadPredictions{
+		Cal:     [][]float64{{1, 1, 1, 2, 2, 2}},
+		CalTrue: []float64{1.1, 1.1, 1.1, 2.5, 2.5, 2.5},
+		CalPool: []int{0, 0, 0, 2, 2, 2},
+		Val:     [][]float64{{1}},
+		ValTrue: []float64{1},
+		ValPool: []int{0},
 	}
-	empty := &Bounder{Offsets: map[int]float64{}}
+	b, err := Calibrate(hp, 0.5, SelectOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Offsets[2] <= b.Offsets[0] {
+		t.Fatalf("offsets %v not ordered by pool score level", b.Offsets)
+	}
+	if b.MaxOffset != b.Offsets[2] {
+		t.Fatalf("MaxOffset %v, want the largest per-pool offset %v", b.MaxOffset, b.Offsets[2])
+	}
+	if got, want := b.Bound(1.0, 7), 1.0+b.Offsets[2]; got != want {
+		t.Fatalf("unknown pool bound %v, want %v", got, want)
+	}
+	empty := &Bounder{Offsets: map[int]float64{}, MaxOffset: math.Inf(1)}
 	if !math.IsInf(empty.Bound(1.0, 0), 1) {
 		t.Fatal("empty bounder should return +Inf")
 	}

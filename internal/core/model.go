@@ -86,6 +86,15 @@ func NewModel(cfg Config, d *dataset.Dataset) (*Model, error) {
 	if !cfg.UseWorkloadFeatures && !cfg.UsePlatformFeatures && cfg.LearnedFeatures == 0 {
 		return nil, fmt.Errorf("core: model needs features or learned features")
 	}
+	// A config can arrive from a persisted model and the dataset from the
+	// wire (LoadPredictor); a missing feature matrix must be an error, not
+	// a panic in standardize.
+	if cfg.UseWorkloadFeatures && d.WorkloadFeatures == nil {
+		return nil, fmt.Errorf("core: config requires workload features but dataset has none")
+	}
+	if cfg.UsePlatformFeatures && d.PlatformFeatures == nil {
+		return nil, fmt.Errorf("core: config requires platform features but dataset has none")
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	m := &Model{Cfg: cfg, data: d}
 	if cfg.UseWorkloadFeatures {

@@ -55,9 +55,19 @@ func Load(r io.Reader, d *dataset.Dataset) (*Model, error) {
 			return nil, fmt.Errorf("core: parameter %d shape %dx%d, file has %dx%d",
 				i, m.params[i].Data.Rows, m.params[i].Data.Cols, sp.Rows, sp.Cols)
 		}
+		// The file arrives from disk or the wire: a payload that disagrees
+		// with its declared shape must error, not panic in FromSlice.
+		if len(sp.Data) != sp.Rows*sp.Cols {
+			return nil, fmt.Errorf("core: parameter %d has %d values for %dx%d",
+				i, len(sp.Data), sp.Rows, sp.Cols)
+		}
 		m.params[i].Data.CopyFrom(tensor.FromSlice(sp.Rows, sp.Cols, sp.Data))
 	}
 	if mf.BaselineW != nil {
+		if len(mf.BaselineW) != d.NumWorkloads() || len(mf.BaselineP) != d.NumPlatforms() {
+			return nil, fmt.Errorf("core: baseline sized %dx%d for a %dx%d dataset",
+				len(mf.BaselineW), len(mf.BaselineP), d.NumWorkloads(), d.NumPlatforms())
+		}
 		m.Baseline = &LinearBaseline{W: mf.BaselineW, P: mf.BaselineP}
 	}
 	m.SyncEmbeddings()

@@ -102,6 +102,20 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
+// CloneAppend returns a new Dataset with extra appended to the observation
+// list. Entity metadata and feature matrices are shared (they are immutable
+// by convention once a dataset is in use); the observation slice is a fresh
+// copy, so the original dataset is never mutated — the snapshot-isolation
+// primitive behind Predictor.Observe. The result is not validated; call
+// Validate before publishing it to readers.
+func (d *Dataset) CloneAppend(extra []Observation) *Dataset {
+	nd := *d
+	nd.Obs = make([]Observation, 0, len(d.Obs)+len(extra))
+	nd.Obs = append(nd.Obs, d.Obs...)
+	nd.Obs = append(nd.Obs, extra...)
+	return &nd
+}
+
 // Split partitions observation indices for one replicate, mirroring the
 // paper's protocol (§5.1): a train fraction f of all observations, of which
 // 80% is used for fitting and 20% for validation + calibration; the
@@ -234,18 +248,45 @@ func (d *Dataset) WriteJSON(w io.Writer) error {
 	return enc.Encode(&jd)
 }
 
-// ReadJSON deserializes a dataset written by WriteJSON.
+// featureMatrix rebuilds one serialized feature matrix, rejecting shapes
+// that do not match the payload. Snapshots arrive over the wire in the
+// serving path, so malformed input must fail with an error, never a panic
+// (tensor.FromSlice panics on length mismatch).
+func featureMatrix(name string, rows, cols int, data []float64) (*tensor.Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("dataset: %s features negative shape %dx%d", name, rows, cols)
+	}
+	if rows == 0 {
+		// No feature matrix — but only if the payload agrees; a zeroed
+		// rows field with data still present is corruption, and dropping
+		// the matrix silently would crash consumers that require it.
+		if cols != 0 || len(data) != 0 {
+			return nil, fmt.Errorf("dataset: %s features %d values for %dx%d", name, len(data), rows, cols)
+		}
+		return nil, nil
+	}
+	if cols == 0 || len(data)/cols != rows || len(data)%cols != 0 {
+		return nil, fmt.Errorf("dataset: %s features %d values for %dx%d", name, len(data), rows, cols)
+	}
+	return tensor.FromSlice(rows, cols, data), nil
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON. Malformed input —
+// truncated JSON, feature payloads that disagree with their declared shape,
+// out-of-range entity indices, non-positive or non-finite runtimes — is
+// reported as an error; ReadJSON never panics on bad bytes.
 func ReadJSON(r io.Reader) (*Dataset, error) {
 	var jd jsonDataset
 	if err := json.NewDecoder(r).Decode(&jd); err != nil {
 		return nil, fmt.Errorf("dataset: decode: %w", err)
 	}
 	d := jd.Dataset
-	if jd.WFRows > 0 {
-		d.WorkloadFeatures = tensor.FromSlice(jd.WFRows, jd.WFCols, jd.WFData)
+	var err error
+	if d.WorkloadFeatures, err = featureMatrix("workload", jd.WFRows, jd.WFCols, jd.WFData); err != nil {
+		return nil, err
 	}
-	if jd.PFRows > 0 {
-		d.PlatformFeatures = tensor.FromSlice(jd.PFRows, jd.PFCols, jd.PFData)
+	if d.PlatformFeatures, err = featureMatrix("platform", jd.PFRows, jd.PFCols, jd.PFData); err != nil {
+		return nil, err
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err

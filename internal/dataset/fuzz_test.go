@@ -1,0 +1,104 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// fuzzSeedDataset builds a tiny but fully featured dataset by hand (this
+// package cannot import wasmcluster without a cycle through its tests).
+func fuzzSeedDataset() *Dataset {
+	return &Dataset{
+		WorkloadNames:    []string{"w0", "w1", "w2"},
+		WorkloadSuites:   []string{"a", "a", "b"},
+		PlatformNames:    []string{"p0", "p1"},
+		PlatformRuntimes: []string{"rt0", "rt1"},
+		PlatformArchs:    []string{"x86", "arm"},
+		WorkloadFeatures: tensor.FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6}),
+		PlatformFeatures: tensor.FromSlice(2, 3, []float64{0.5, 1, 0, 2, 0.25, 1}),
+		Obs: []Observation{
+			{Workload: 0, Platform: 0, Seconds: 1.5},
+			{Workload: 1, Platform: 1, Seconds: 0.25, Interferers: []int{0}},
+			{Workload: 2, Platform: 0, Seconds: 3.75, Interferers: []int{0, 1}},
+		},
+	}
+}
+
+// FuzzReadDataset asserts that malformed snapshots arriving from the wire
+// (the serving daemon reads datasets over deployment channels) fail with
+// errors, never panics, and that anything ReadJSON accepts is internally
+// consistent. The corpus is seeded from WriteJSON output plus mutations
+// that target the feature-matrix shape fields.
+func FuzzReadDataset(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzSeedDataset().WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Shape/payload disagreements that used to panic in tensor.FromSlice.
+	f.Add([]byte(`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"wf_rows":2,"wf_cols":3,"wf_data":[1]}`))
+	f.Add([]byte(`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"pf_rows":1,"pf_cols":-1,"pf_data":[]}`))
+	f.Add([]byte(`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[{"w":9,"p":0,"t":1}]}`))
+	f.Add([]byte(`{"obs":[{"w":0,"p":0,"t":-1}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be safe for every consumer downstream.
+		if err := d.Validate(); err != nil {
+			t.Fatalf("ReadJSON accepted a dataset that fails Validate: %v", err)
+		}
+		// And it must survive a write/read cycle.
+		var rt bytes.Buffer
+		if err := d.WriteJSON(&rt); err != nil {
+			t.Fatalf("re-encode of accepted dataset failed: %v", err)
+		}
+		if _, err := ReadJSON(&rt); err != nil {
+			t.Fatalf("re-decode of accepted dataset failed: %v", err)
+		}
+	})
+}
+
+func TestCloneAppendIsolatesObservations(t *testing.T) {
+	d := fuzzSeedDataset()
+	n := len(d.Obs)
+	nd := d.CloneAppend([]Observation{{Workload: 0, Platform: 1, Seconds: 2}})
+	if err := nd.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nd.Obs) != n+1 || len(d.Obs) != n {
+		t.Fatalf("CloneAppend sizes: original %d, clone %d", len(d.Obs), len(nd.Obs))
+	}
+	// Mutating the clone's observations must not reach the original.
+	nd.Obs[0].Seconds = 99
+	if d.Obs[0].Seconds == 99 {
+		t.Fatal("CloneAppend shares the observation backing array")
+	}
+	if nd.WorkloadFeatures != d.WorkloadFeatures {
+		t.Fatal("CloneAppend should share immutable feature matrices")
+	}
+}
+
+func TestReadJSONRejectsMalformedFeatureShapes(t *testing.T) {
+	cases := []string{
+		`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"wf_rows":2,"wf_cols":3,"wf_data":[1,2]}`,
+		`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"wf_rows":-2,"wf_cols":3}`,
+		`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"pf_rows":1,"pf_cols":0,"pf_data":[1]}`,
+		`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"pf_rows":4611686018427387904,"pf_cols":4,"pf_data":[1,2,3,4]}`,
+		// rows zeroed out (corruption) with the payload still present must
+		// not silently drop the matrix — downstream model loading requires it.
+		`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"wf_rows":0,"wf_cols":2,"wf_data":[1,2]}`,
+		`{"workload_names":["w"],"workload_suites":["s"],"platform_names":["p"],"platform_runtimes":["r"],"platform_archs":["a"],"obs":[],"pf_rows":0,"pf_cols":0,"pf_data":[1]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d: malformed feature shape accepted", i)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sched
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -103,6 +105,96 @@ func TestPolicies(t *testing.T) {
 			t.Fatal("empty policy name")
 		}
 	}
+}
+
+// swapPred is a concurrency-safe Predictor whose per-platform speed table
+// is swapped atomically — the same publication discipline as the snapshot-
+// isolated Pitot facade. Score calls racing a swap see either the old or
+// the new table, never a torn one.
+type swapPred struct {
+	base atomic.Pointer[[]float64]
+}
+
+func newSwapPred(base []float64) *swapPred {
+	p := &swapPred{}
+	p.base.Store(&base)
+	return p
+}
+
+func (p *swapPred) EstimateSeconds(w, pl int, ks []int) float64 {
+	return (*p.base.Load())[pl] * (1 + 0.5*float64(len(ks)))
+}
+
+func (p *swapPred) BoundSeconds(w, pl int, ks []int, eps float64) float64 {
+	return p.EstimateSeconds(w, pl, ks) * 1.5
+}
+
+// Many schedulers sharing one concurrently-updated predictor must keep
+// making deadline-consistent decisions: every placement's budget respects
+// the job's deadline, and with one platform always an order of magnitude
+// slower than any published table, tight-deadline jobs never land on it.
+// Run under `go test -race`.
+func TestConcurrentSchedulersSharedPredictor(t *testing.T) {
+	fast, slow := 1.0, 50.0
+	tableA := []float64{fast, slow, fast * 1.2}
+	tableB := []float64{fast * 2, slow * 2, fast * 1.8}
+	pred := newSwapPred(tableA)
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				pred.base.Store(&tableB)
+			} else {
+				pred.base.Store(&tableA)
+			}
+		}
+	}()
+
+	const schedulers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < schedulers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, pol := range []Policy{MeanPolicy{}, BoundPolicy{Eps: 0.1}} {
+				s, err := New(Config{NumPlatforms: 3, MaxColocation: 2}, pol, pred)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Deadline 20: feasible on the fast platforms under either
+				// published table (max score 2*1.5*2 = 6), infeasible on the
+				// slow platform under either (min score 50).
+				for i := 0; i < 4; i++ {
+					a := s.Place(Job{Workload: g*4 + i, Deadline: 20})
+					if !a.Placed() {
+						t.Errorf("scheduler %d job %d unplaced", g, i)
+						return
+					}
+					if a.Platform == 1 {
+						t.Errorf("scheduler %d placed on the slow platform (budget %.2f)", g, a.Budget)
+						return
+					}
+					if a.Budget > 20 {
+						t.Errorf("scheduler %d accepted budget %.2f over deadline", g, a.Budget)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
 }
 
 // noisyOracle returns base * lognormal noise; heavy enough that a mean

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	pitot "repro"
+)
+
+// benchQueries builds a serving-shaped workload: every query is an
+// independent (workload, platform, resident-set) arrival, so the direct
+// batch path gets no cross-query amortization — the honest baseline for
+// the micro-batching overhead.
+func benchQueries(ds *pitot.Dataset, n int) []pitot.Query {
+	rng := rand.New(rand.NewSource(99))
+	qs := make([]pitot.Query, n)
+	for i := range qs {
+		qs[i] = pitot.Query{
+			Workload: rng.Intn(ds.NumWorkloads()),
+			Platform: rng.Intn(ds.NumPlatforms()),
+			Interferers: []int{
+				rng.Intn(ds.NumWorkloads()),
+				rng.Intn(ds.NumWorkloads()),
+			},
+		}
+	}
+	return qs
+}
+
+// BenchmarkDirectEstimateBatch is the lower bound: the caller already holds
+// a batch and calls EstimateBatch directly. Reported per query.
+func BenchmarkDirectEstimateBatch(b *testing.B) {
+	pred, ds := testPredictor(b)
+	qs := benchQueries(ds, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.EstimateBatch(qs)
+	}
+	b.StopTimer()
+	perQuery := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(qs))
+	b.ReportMetric(perQuery, "ns/query")
+	b.ReportMetric(1e9/perQuery, "queries/s")
+}
+
+// BenchmarkMicroBatchedEstimate is the serving path: independent concurrent
+// clients each submit one query; the server fuses them into batch windows.
+// One benchmark op is one served query, so ns/op compares directly against
+// BenchmarkDirectEstimateBatch's ns/query.
+func BenchmarkMicroBatchedEstimate(b *testing.B) {
+	pred, ds := testPredictor(b)
+	s := New(pred, Config{MaxBatch: 512, Window: 100 * time.Microsecond, MaxQueue: 1 << 16})
+	defer s.Close()
+	qs := benchQueries(ds, 4096)
+	b.SetParallelism(32)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		i := rand.Intn(len(qs))
+		for pb.Next() {
+			if _, err := s.Estimate(ctx, qs[i%len(qs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	perQuery := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	b.ReportMetric(1e9/perQuery, "queries/s")
+}

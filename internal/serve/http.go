@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	pitot "repro"
+)
+
+// EstimateRequest is the JSON body of POST /estimate and (with Eps) of
+// POST /bound.
+type EstimateRequest struct {
+	Workload    int     `json:"workload"`
+	Platform    int     `json:"platform"`
+	Interferers []int   `json:"interferers,omitempty"`
+	Eps         float64 `json:"eps,omitempty"` // /bound only
+}
+
+// PredictionResponse is the JSON reply of /estimate and /bound. Version is
+// the snapshot version published at reply time — an upper bound on the
+// version that served the query (a concurrent Observe may land between
+// flush and reply), letting clients track staleness across updates.
+// Infeasible marks a +Inf bound (the calibration set is too small for the
+// requested eps — a documented predictor outcome JSON cannot carry as a
+// number); Seconds is 0 in that case.
+type PredictionResponse struct {
+	Seconds    float64 `json:"seconds"`
+	Version    uint64  `json:"version"`
+	Infeasible bool    `json:"infeasible,omitempty"`
+}
+
+// ObserveRequest is the JSON body of POST /observe. Observations use the
+// dataset wire format: w (workload), p (platform), k (interferers),
+// t (seconds).
+type ObserveRequest struct {
+	Observations []pitot.Observation `json:"observations"`
+}
+
+// ObserveResponse is the JSON reply of /observe.
+type ObserveResponse struct {
+	Accepted int    `json:"accepted"`
+	Version  uint64 `json:"version"`
+}
+
+// HealthResponse is the JSON reply of /healthz.
+type HealthResponse struct {
+	OK           bool    `json:"ok"`
+	Version      uint64  `json:"version"`
+	Observations int     `json:"observations"`
+	Workloads    int     `json:"workloads"`
+	Platforms    int     `json:"platforms"`
+	Bounds       bool    `json:"bounds"`
+	Metrics      Metrics `json:"metrics"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP surface of the serving daemon:
+//
+//	POST /estimate  — one query through the micro-batched estimate path
+//	POST /bound     — one query through the micro-batched bound path
+//	POST /observe   — feed measurements; publishes a new model snapshot
+//	GET  /healthz   — liveness, snapshot info, and serving metrics
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePrediction(w, r, false)
+	})
+	mux.HandleFunc("/bound", func(w http.ResponseWriter, r *http.Request) {
+		s.handlePrediction(w, r, true)
+	})
+	mux.HandleFunc("/observe", s.handleObserve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON encodes before touching the ResponseWriter, so an encoding
+// failure (e.g. a non-finite float reaching a response struct) becomes an
+// HTTP 500 instead of a 200 with an empty body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		body, _ = json.Marshal(errorResponse{Error: "encode response: " + err.Error()})
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// validateQuery bounds-checks entity indices against the current snapshot
+// before they reach the embedding tables.
+func (s *Server) validateQuery(q pitot.Query) error {
+	info := s.Info()
+	if q.Workload < 0 || q.Workload >= info.Workloads {
+		return fmt.Errorf("workload %d out of range [0,%d)", q.Workload, info.Workloads)
+	}
+	if q.Platform < 0 || q.Platform >= info.Platforms {
+		return fmt.Errorf("platform %d out of range [0,%d)", q.Platform, info.Platforms)
+	}
+	for _, k := range q.Interferers {
+		if k < 0 || k >= info.Workloads {
+			return fmt.Errorf("interferer %d out of range [0,%d)", k, info.Workloads)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handlePrediction(w http.ResponseWriter, r *http.Request, bound bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req EstimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	q := pitot.Query{Workload: req.Workload, Platform: req.Platform, Interferers: req.Interferers}
+	if err := s.validateQuery(q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		sec float64
+		err error
+	)
+	if bound {
+		sec, err = s.Bound(r.Context(), q, req.Eps)
+	} else {
+		sec, err = s.Estimate(r.Context(), q)
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, r.Context().Err()) && r.Context().Err() != nil:
+			writeError(w, http.StatusRequestTimeout, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	resp := PredictionResponse{Seconds: sec, Version: s.Info().Version}
+	if math.IsInf(sec, 1) {
+		resp = PredictionResponse{Infeasible: true, Version: resp.Version}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req ObserveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no observations"))
+		return
+	}
+	if err := s.Observe(req.Observations); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ObserveResponse{
+		Accepted: len(req.Observations),
+		Version:  s.Info().Version,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	info := s.Info()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		OK:           true,
+		Version:      info.Version,
+		Observations: info.Observations,
+		Workloads:    info.Workloads,
+		Platforms:    info.Platforms,
+		Bounds:       info.Bounds,
+		Metrics:      s.Metrics(),
+	})
+}

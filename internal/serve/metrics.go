@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// counter is a cache-line-friendly alias for the hot-path counters.
+type counter = atomic.Int64
+
+// maxSnapshotRetention bounds the per-snapshot metrics table: a daemon
+// taking periodic /observe traffic publishes a new version per update, and
+// without a cap the table (and every /healthz payload) would grow forever.
+// Only the newest versions are kept — staleness questions are about the
+// recent transition, not months-old snapshots.
+const maxSnapshotRetention = 8
+
+// metrics holds the server's internal counters. Everything on the request
+// path — including the per-snapshot attribution used by the inline fast
+// path — is lock-free: plain atomics plus a sync.Map whose read path is a
+// single atomic load once a version's entry exists. The only mutex guards
+// pruning, which runs at most once per published snapshot beyond the
+// retention window.
+type metrics struct {
+	requests       counter
+	rejected       counter
+	observes       counter
+	observeErrors  counter
+	fullFlushes    counter
+	idleFlushes    counter
+	timeoutFlushes counter
+	inlineFlushes  counter
+
+	perSnap   sync.Map // uint64 (snapshot version) -> *snapCounters
+	snapCount counter  // approximate entry count, drives pruning
+	pruneMu   sync.Mutex
+}
+
+type snapCounters struct {
+	batches counter
+	queries counter
+	maxSize counter
+}
+
+func (m *metrics) recordBatch(version uint64, size int) {
+	v, ok := m.perSnap.Load(version)
+	if !ok {
+		var loaded bool
+		v, loaded = m.perSnap.LoadOrStore(version, &snapCounters{})
+		if !loaded && m.snapCount.Add(1) > maxSnapshotRetention {
+			m.prune()
+		}
+	}
+	sc := v.(*snapCounters)
+	sc.batches.Add(1)
+	sc.queries.Add(int64(size))
+	for {
+		cur := sc.maxSize.Load()
+		if int64(size) <= cur || sc.maxSize.CompareAndSwap(cur, int64(size)) {
+			break
+		}
+	}
+}
+
+// prune drops the oldest versions beyond the retention cap. A stale flush
+// racing the prune of its (ancient) version loses its counts — acceptable
+// for aged-out telemetry.
+func (m *metrics) prune() {
+	m.pruneMu.Lock()
+	defer m.pruneMu.Unlock()
+	var versions []uint64
+	m.perSnap.Range(func(k, _ any) bool {
+		versions = append(versions, k.(uint64))
+		return true
+	})
+	if len(versions) <= maxSnapshotRetention {
+		return
+	}
+	sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+	for _, v := range versions[:len(versions)-maxSnapshotRetention] {
+		m.perSnap.Delete(v)
+		m.snapCount.Add(-1)
+	}
+}
+
+// SnapshotMetrics summarizes the traffic served from one published model
+// snapshot — the per-snapshot view that makes staleness visible: after an
+// Observe, new flushes land on the next version while in-flight ones
+// finish on the previous.
+type SnapshotMetrics struct {
+	Version      uint64  `json:"version"`
+	Batches      int64   `json:"batches"`
+	Queries      int64   `json:"queries"`
+	MaxBatchSize int     `json:"max_batch_size"`
+	MeanBatch    float64 `json:"mean_batch"`
+}
+
+// Metrics is a point-in-time copy of the server's counters.
+type Metrics struct {
+	Requests      int64 `json:"requests"`
+	Rejected      int64 `json:"rejected"`
+	Observes      int64 `json:"observes"`
+	ObserveErrors int64 `json:"observe_errors"`
+	// FullFlushes counts batches flushed at MaxBatch, IdleFlushes batches
+	// flushed because the pipeline was idle, TimeoutFlushes batches that
+	// waited out a Window behind an in-flight flush, and InlineFlushes
+	// single queries served synchronously on the caller's goroutine
+	// because there was nothing to co-batch with.
+	FullFlushes    int64 `json:"full_flushes"`
+	IdleFlushes    int64 `json:"idle_flushes"`
+	TimeoutFlushes int64 `json:"timeout_flushes"`
+	InlineFlushes  int64 `json:"inline_flushes"`
+
+	// PerSnapshot is ordered by snapshot version; only the newest
+	// maxSnapshotRetention versions are retained.
+	PerSnapshot []SnapshotMetrics `json:"per_snapshot,omitempty"`
+}
+
+// Metrics returns a consistent-enough copy of the server's counters for
+// health reporting (individual counters are read atomically; the set is
+// not a single linearizable cut).
+func (s *Server) Metrics() Metrics {
+	m := &s.metrics
+	out := Metrics{
+		Requests:       m.requests.Load(),
+		Rejected:       m.rejected.Load(),
+		Observes:       m.observes.Load(),
+		ObserveErrors:  m.observeErrors.Load(),
+		FullFlushes:    m.fullFlushes.Load(),
+		IdleFlushes:    m.idleFlushes.Load(),
+		TimeoutFlushes: m.timeoutFlushes.Load(),
+		InlineFlushes:  m.inlineFlushes.Load(),
+	}
+	m.perSnap.Range(func(k, v any) bool {
+		sc := v.(*snapCounters)
+		sm := SnapshotMetrics{
+			Version:      k.(uint64),
+			Batches:      sc.batches.Load(),
+			Queries:      sc.queries.Load(),
+			MaxBatchSize: int(sc.maxSize.Load()),
+		}
+		if sm.Batches > 0 {
+			sm.MeanBatch = float64(sm.Queries) / float64(sm.Batches)
+		}
+		out.PerSnapshot = append(out.PerSnapshot, sm)
+		return true
+	})
+	sort.Slice(out.PerSnapshot, func(i, j int) bool {
+		return out.PerSnapshot[i].Version < out.PerSnapshot[j].Version
+	})
+	return out
+}

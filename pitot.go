@@ -17,15 +17,25 @@
 //
 // Estimate returns the expected runtime; Bound returns a runtime budget
 // sufficient with probability ≥ 1−ε, guaranteed by split conformal
-// calibration. See DESIGN.md for the system inventory and EXPERIMENTS.md
-// for the paper-reproduction results.
+// calibration.
+//
+// A Predictor is safe for concurrent use by any number of goroutines: all
+// read state lives in an immutable snapshot behind an atomic pointer, so
+// Estimate/EstimateBatch/Bound/BoundBatch are lock-free, and Observe
+// fine-tunes a private copy of the model before publishing a new snapshot
+// (readers never see a half-updated model). See DESIGN.md for the snapshot
+// architecture and EXPERIMENTS.md for the paper-reproduction results.
 package pitot
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/conformal"
 	"repro/internal/core"
@@ -75,18 +85,89 @@ type Options struct {
 	HoldoutFraction float64
 }
 
-// Predictor is a trained Pitot model ready for estimation and bounding.
-type Predictor struct {
-	ds    *Dataset
-	mean  *core.Model
-	quant *core.Model
-	split dataset.Split
+// snapshot is one immutable published state of a Predictor: the dataset
+// view, the trained models with their embedding caches, the holdout split
+// used for calibration, and the per-eps conformal bounder cache. Once a
+// snapshot is published via Predictor.snap nothing in it is mutated — the
+// only "write" is the copy-on-write insertion of freshly calibrated
+// bounders, which swaps an immutable map for an extended copy.
+type snapshot struct {
+	ds      *dataset.Dataset
+	mean    *core.Model
+	quant   *core.Model // nil unless Options.EnableBounds
+	split   dataset.Split
+	version uint64
 
-	bounders map[float64]*conformal.Bounder
+	// bounders holds the per-eps conformal calibrations for this snapshot.
+	// Reads are a single atomic load; a cache miss calibrates off to the
+	// side and publishes old∪{eps} with a compare-and-swap. Losing the race
+	// costs a redundant (idempotent) calibration, never correctness.
+	bounders atomic.Pointer[map[float64]*conformal.Bounder]
+}
+
+func newSnapshot(ds *dataset.Dataset, mean, quant *core.Model, split dataset.Split, version uint64) *snapshot {
+	s := &snapshot{ds: ds, mean: mean, quant: quant, split: split, version: version}
+	empty := map[float64]*conformal.Bounder{}
+	s.bounders.Store(&empty)
+	return s
+}
+
+// bounder returns the conformal bounder for eps, calibrating it on first
+// use. Lock-free: concurrent callers with the same fresh eps may both
+// calibrate, but exactly one result is published and calibration is
+// deterministic, so both callers return equivalent bounders.
+func (s *snapshot) bounder(eps float64) (*conformal.Bounder, error) {
+	if b, ok := (*s.bounders.Load())[eps]; ok {
+		return b, nil
+	}
+	// Calibrate once, off to the side; the retry loop below only re-merges
+	// the result if another eps was published concurrently.
+	hp := eval.BuildHeadPredictions(s.ds, quantAdapter{s.quant}, s.split)
+	b, err := conformal.Calibrate(hp, eps, conformal.SelectOptimal)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		cur := s.bounders.Load()
+		if published, ok := (*cur)[eps]; ok {
+			// A racing caller published this eps first; converge on the
+			// single published instance.
+			return published, nil
+		}
+		next := make(map[float64]*conformal.Bounder, len(*cur)+1)
+		for k, v := range *cur {
+			next[k] = v
+		}
+		next[eps] = b
+		if s.bounders.CompareAndSwap(cur, &next) {
+			return b, nil
+		}
+	}
+}
+
+// Predictor is a trained Pitot model ready for estimation and bounding.
+//
+// A Predictor must be obtained from Train or LoadPredictor. It is safe for
+// concurrent use: Estimate, EstimateBatch, Bound, BoundBatch, and the
+// embedding accessors are lock-free reads of the current snapshot, while
+// Observe (the only writer) prepares a new snapshot privately and publishes
+// it with one atomic pointer swap. Readers that started on the previous
+// snapshot finish on it — predictions are snapshot-consistent, never torn.
+type Predictor struct {
+	snap atomic.Pointer[snapshot]
+	mu   sync.Mutex // serializes writers (Observe); readers never take it
+}
+
+func newPredictor(s *snapshot) *Predictor {
+	p := &Predictor{}
+	p.snap.Store(s)
+	return p
 }
 
 // Train fits Pitot on the dataset. All observations are used: 80% (by
-// default) for fitting and the rest for validation and calibration.
+// default) for fitting and the rest for validation and calibration. The
+// dataset is owned by the returned Predictor and must not be mutated by
+// the caller afterwards.
 func Train(ds *Dataset, opts Options) (*Predictor, error) {
 	if err := ds.Validate(); err != nil {
 		return nil, err
@@ -121,28 +202,28 @@ func Train(ds *Dataset, opts Options) (*Predictor, error) {
 	if _, err := mean.Train(split); err != nil {
 		return nil, err
 	}
-	p := &Predictor{ds: ds, mean: mean, split: split, bounders: map[float64]*conformal.Bounder{}}
 
+	var quant *core.Model
 	if opts.EnableBounds {
 		qcfg := cfg
 		qcfg.Quantiles = core.PaperQuantiles()
 		qcfg.Seed = opts.Seed + 1
-		quant, err := core.NewModel(qcfg, ds)
+		quant, err = core.NewModel(qcfg, ds)
 		if err != nil {
 			return nil, err
 		}
 		if _, err := quant.Train(split); err != nil {
 			return nil, err
 		}
-		p.quant = quant
 	}
-	return p, nil
+	return newPredictor(newSnapshot(ds, mean, quant, split, 0)), nil
 }
 
 // Estimate returns the predicted runtime in seconds of workload w on
 // platform pl while the interferers run simultaneously (nil for isolation).
+// Lock-free and safe from any number of goroutines.
 func (p *Predictor) Estimate(w, pl int, interferers []int) float64 {
-	return p.mean.PredictSeconds(w, pl, interferers, 0)
+	return p.snap.Load().mean.PredictSeconds(w, pl, interferers, 0)
 }
 
 // Query identifies one (workload, platform, interferers) prediction for
@@ -156,9 +237,10 @@ type Query = core.Query
 // effective platform vector, and independent groups fan out across
 // worker goroutines. Several times faster than looping Estimate; up to
 // ~10^-12 relative floating-point reassociation difference per prediction.
+// The whole batch is served from one snapshot.
 func (p *Predictor) EstimateBatch(qs []Query) []float64 {
 	out := make([]float64, len(qs))
-	p.mean.PredictSecondsBatch(qs, 0, out)
+	p.snap.Load().mean.PredictSecondsBatch(qs, 0, out)
 	return out
 }
 
@@ -167,15 +249,16 @@ func (p *Predictor) EstimateBatch(qs []Query) []float64 {
 // way as EstimateBatch, with the conformal calibration shared across the
 // whole batch. Requires Options.EnableBounds at training time.
 func (p *Predictor) BoundBatch(qs []Query, eps float64) ([]float64, error) {
-	if p.quant == nil {
+	s := p.snap.Load()
+	if s.quant == nil {
 		return nil, fmt.Errorf("pitot: bounds not enabled; train with Options.EnableBounds")
 	}
-	b, err := p.bounder(eps)
+	b, err := s.bounder(eps)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(qs))
-	p.quant.PredictLogSecondsBatch(qs, b.Head, out)
+	s.quant.PredictLogSecondsBatch(qs, b.Head, out)
 	for i := range out {
 		out[i] = math.Exp(b.Bound(out[i], len(qs[i].Interferers)))
 	}
@@ -186,31 +269,19 @@ func (p *Predictor) BoundBatch(qs []Query, eps float64) ([]float64, error) {
 // probability at least 1−eps (paper Eq. 10), using conformalized quantile
 // regression with per-degree calibration pools and optimal head selection.
 // Requires Options.EnableBounds at training time. A +Inf result means the
-// calibration set is too small for the requested eps.
+// calibration set is too small for the requested eps. Lock-free: the
+// per-eps calibration is cached per snapshot with a copy-on-write swap.
 func (p *Predictor) Bound(w, pl int, interferers []int, eps float64) (float64, error) {
-	if p.quant == nil {
+	s := p.snap.Load()
+	if s.quant == nil {
 		return 0, fmt.Errorf("pitot: bounds not enabled; train with Options.EnableBounds")
 	}
-	b, err := p.bounder(eps)
+	b, err := s.bounder(eps)
 	if err != nil {
 		return 0, err
 	}
-	pred := p.quant.PredictLogSeconds(w, pl, interferers, b.Head)
+	pred := s.quant.PredictLogSeconds(w, pl, interferers, b.Head)
 	return math.Exp(b.Bound(pred, len(interferers))), nil
-}
-
-// bounder calibrates (and caches) the conformal bounder for eps.
-func (p *Predictor) bounder(eps float64) (*conformal.Bounder, error) {
-	if b, ok := p.bounders[eps]; ok {
-		return b, nil
-	}
-	hp := eval.BuildHeadPredictions(p.ds, quantAdapter{p.quant}, p.split)
-	b, err := conformal.Calibrate(hp, eps, conformal.SelectOptimal)
-	if err != nil {
-		return nil, err
-	}
-	p.bounders[eps] = b
-	return b, nil
 }
 
 // quantAdapter exposes the quantile model through eval.Trained.
@@ -228,11 +299,40 @@ func (a quantAdapter) PredictLogObs(idx []int, head int) []float64 {
 func (a quantAdapter) NumHeads() int        { return a.m.Cfg.NumHeads() }
 func (a quantAdapter) Quantiles() []float64 { return a.m.Cfg.Quantiles }
 
+// Info describes the currently published snapshot of a Predictor.
+type Info struct {
+	// Version counts published snapshots, starting at 0 for the trained or
+	// loaded state; every successful Observe increments it. Readers can use
+	// it to detect model updates (it is monotonically non-decreasing).
+	Version uint64
+	// Observations is the dataset size of the snapshot.
+	Observations int
+	Workloads    int
+	Platforms    int
+	// Bounds reports whether the quantile model is present (Bound works).
+	Bounds bool
+}
+
+// Info returns metadata about the currently published snapshot. Lock-free.
+func (p *Predictor) Info() Info {
+	s := p.snap.Load()
+	return Info{
+		Version:      s.version,
+		Observations: len(s.ds.Obs),
+		Workloads:    s.ds.NumWorkloads(),
+		Platforms:    s.ds.NumPlatforms(),
+		Bounds:       s.quant != nil,
+	}
+}
+
+// Version returns the published snapshot version (see Info.Version).
+func (p *Predictor) Version() uint64 { return p.snap.Load().version }
+
 // WorkloadEmbeddings returns the learned per-workload embedding vectors
 // (rows aligned with Dataset.WorkloadNames), usable for clustering or
 // anomaly detection (paper §5.4).
 func (p *Predictor) WorkloadEmbeddings() [][]float64 {
-	m := p.mean.WorkloadEmbeddings(0)
+	m := p.snap.Load().mean.WorkloadEmbeddings(0)
 	out := make([][]float64, m.Rows)
 	for i := range out {
 		out[i] = append([]float64(nil), m.Row(i)...)
@@ -242,7 +342,7 @@ func (p *Predictor) WorkloadEmbeddings() [][]float64 {
 
 // PlatformEmbeddings returns the learned per-platform embedding vectors.
 func (p *Predictor) PlatformEmbeddings() [][]float64 {
-	m := p.mean.PlatformEmbeddings()
+	m := p.snap.Load().mean.PlatformEmbeddings()
 	out := make([][]float64, m.Rows)
 	for i := range out {
 		out[i] = append([]float64(nil), m.Row(i)...)
@@ -253,7 +353,7 @@ func (p *Predictor) PlatformEmbeddings() [][]float64 {
 // InterferenceNorm returns ‖F_j‖₂ for a platform: how strongly workloads
 // can interfere there (paper Fig. 12d).
 func (p *Predictor) InterferenceNorm(platform int) float64 {
-	return p.mean.InterferenceNorm(platform)
+	return p.snap.Load().mean.InterferenceNorm(platform)
 }
 
 // EstimateSeconds is Estimate under the name internal/sched.Predictor
@@ -274,46 +374,166 @@ func (p *Predictor) BoundSeconds(w, pl int, interferers []int, eps float64) floa
 
 // Observe incorporates freshly measured observations into the predictor —
 // the paper's "efficient online learning" future-work extension (§6). New
-// measurements are appended to the dataset and the model is fine-tuned on
-// them (with replay of the original training data to prevent forgetting).
-// Conformal calibrations are invalidated and recomputed lazily on the next
-// Bound call.
+// measurements are appended to a private copy of the dataset and the models
+// are fine-tuned on clones (with replay of the original training data to
+// prevent forgetting); the result is published as a new snapshot with one
+// atomic swap, so concurrent readers are never blocked and never see a
+// half-updated model — they serve the previous snapshot until the swap.
+// The new snapshot's conformal calibrations start empty and are recomputed
+// lazily (now folding the new observations into the calibration pool) on
+// the next Bound call.
+//
+// Concurrent Observe calls are serialized; each incorporates the
+// observations of all previously returned calls.
 func (p *Predictor) Observe(obs []Observation) error {
 	if len(obs) == 0 {
 		return fmt.Errorf("pitot: no observations")
 	}
-	start := len(p.ds.Obs)
-	p.ds.Obs = append(p.ds.Obs, obs...)
-	if err := p.ds.Validate(); err != nil {
-		p.ds.Obs = p.ds.Obs[:start]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.snap.Load()
+
+	ds := cur.ds.CloneAppend(obs)
+	if err := ds.Validate(); err != nil {
 		return err
 	}
+	start := len(cur.ds.Obs)
 	newIdx := make([]int, len(obs))
 	for i := range newIdx {
 		newIdx[i] = start + i
 	}
-	if err := p.mean.OnlineUpdate(newIdx, p.split.Train, core.OnlineConfig{Seed: int64(start)}); err != nil {
+
+	mean, err := cur.mean.Clone(ds)
+	if err != nil {
 		return err
 	}
-	if p.quant != nil {
-		if err := p.quant.OnlineUpdate(newIdx, p.split.Train, core.OnlineConfig{Seed: int64(start) + 1}); err != nil {
+	if err := mean.OnlineUpdate(newIdx, cur.split.Train, core.OnlineConfig{Seed: int64(start)}); err != nil {
+		return err
+	}
+	var quant *core.Model
+	if cur.quant != nil {
+		quant, err = cur.quant.Clone(ds)
+		if err != nil {
+			return err
+		}
+		if err := quant.OnlineUpdate(newIdx, cur.split.Train, core.OnlineConfig{Seed: int64(start) + 1}); err != nil {
 			return err
 		}
 	}
-	// Fold the new observations into the calibration pool and drop stale
-	// bounders (recomputed on demand).
-	p.split.Cal = append(p.split.Cal, newIdx...)
-	p.bounders = map[float64]*conformal.Bounder{}
+
+	// Fold the new observations into the calibration pool of the new
+	// snapshot; Train/Val/Test index the shared prefix and are reused.
+	split := dataset.Split{
+		Train: cur.split.Train,
+		Val:   cur.split.Val,
+		Test:  cur.split.Test,
+	}
+	split.Cal = make([]int, 0, len(cur.split.Cal)+len(newIdx))
+	split.Cal = append(split.Cal, cur.split.Cal...)
+	split.Cal = append(split.Cal, newIdx...)
+
+	p.snap.Store(newSnapshot(ds, mean, quant, split, cur.version+1))
 	return nil
 }
 
-// SaveModel persists the mean model (and quantile model if present).
+// predictorMagic identifies SaveModel's mean stream. Gob ignores unknown
+// fields, so without it a raw core model stream (cmd/train's format) would
+// silently decode into an empty predictorFile; the magic turns that
+// cross-format mistake into a clear error.
+const predictorMagic = "pitot/predictor-v1"
+
+// predictorFile is the on-disk form of SaveModel's mean stream: the core
+// model bytes plus the holdout split, which LoadPredictor needs to
+// re-calibrate conformal bounders identically to the saved predictor.
+type predictorFile struct {
+	Magic string
+	Split dataset.Split
+	Mean  []byte
+}
+
+// SaveModel persists the predictor: the mean stream carries the mean model
+// together with the holdout split (so bounders recalibrate identically on
+// load); the quantile model, if present and quantW is non-nil, is written
+// to quantW in the plain core format. The pair is read back with
+// LoadPredictor against the dataset the predictor was trained on.
+//
+// If Observe has been called, the snapshot's dataset has grown past the
+// caller's copy and the persisted split references the grown dataset — use
+// Export instead, which also writes the dataset, or the load will fail.
+// The write is snapshot-consistent under concurrent Observe.
 func (p *Predictor) SaveModel(meanW, quantW io.Writer) error {
-	if err := p.mean.Save(meanW); err != nil {
+	return saveSnapshot(p.snap.Load(), meanW, quantW)
+}
+
+// Export persists the predictor's full serving state — dataset (in the
+// WriteJSON wire format), mean stream, and quantile model — all taken from
+// one snapshot, so the three artifacts are mutually consistent even under
+// concurrent Observe. Restore with ReadDataset + LoadPredictor. This is
+// the save path for a serving daemon that has accepted /observe traffic.
+func (p *Predictor) Export(dataW, meanW, quantW io.Writer) error {
+	s := p.snap.Load()
+	if err := s.ds.WriteJSON(dataW); err != nil {
 		return err
 	}
-	if p.quant != nil && quantW != nil {
-		return p.quant.Save(quantW)
+	return saveSnapshot(s, meanW, quantW)
+}
+
+func saveSnapshot(s *snapshot, meanW, quantW io.Writer) error {
+	var buf bytes.Buffer
+	if err := s.mean.Save(&buf); err != nil {
+		return err
+	}
+	pf := predictorFile{Magic: predictorMagic, Split: s.split, Mean: buf.Bytes()}
+	if err := gob.NewEncoder(meanW).Encode(&pf); err != nil {
+		return fmt.Errorf("pitot: encode predictor: %w", err)
+	}
+	if s.quant != nil && quantW != nil {
+		return s.quant.Save(quantW)
 	}
 	return nil
+}
+
+// LoadPredictor rebuilds a Predictor from streams written by SaveModel and
+// the dataset it was trained on (e.g. from ReadDataset). quantR may be nil
+// for a predictor saved without bounds. The loaded predictor's Estimate and
+// Bound outputs are bitwise identical to the saved one's: parameters and
+// the baseline are restored exactly, embedding caches are recomputed
+// deterministically, and conformal bounders recalibrate from the persisted
+// split. The dataset is owned by the returned Predictor and must not be
+// mutated by the caller afterwards.
+func LoadPredictor(ds *Dataset, meanR, quantR io.Reader) (*Predictor, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("pitot: nil dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	var pf predictorFile
+	if err := gob.NewDecoder(meanR).Decode(&pf); err != nil {
+		return nil, fmt.Errorf("pitot: decode predictor: %w", err)
+	}
+	if pf.Magic != predictorMagic {
+		return nil, fmt.Errorf("pitot: mean stream is not a predictor written by SaveModel/Export "+
+			"(magic %q; raw core model files from cmd/train are a different format)", pf.Magic)
+	}
+	for _, idx := range [][]int{pf.Split.Train, pf.Split.Val, pf.Split.Cal, pf.Split.Test} {
+		for _, i := range idx {
+			if i < 0 || i >= len(ds.Obs) {
+				return nil, fmt.Errorf("pitot: split index %d out of range for %d observations "+
+					"(was the predictor saved after Observe? persist the grown dataset with Export)", i, len(ds.Obs))
+			}
+		}
+	}
+	mean, err := core.Load(bytes.NewReader(pf.Mean), ds)
+	if err != nil {
+		return nil, err
+	}
+	var quant *core.Model
+	if quantR != nil {
+		quant, err = core.Load(quantR, ds)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newPredictor(newSnapshot(ds, mean, quant, pf.Split, 0)), nil
 }

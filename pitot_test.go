@@ -97,6 +97,15 @@ func TestBoundMonotoneInEps(t *testing.T) {
 	if tight < loose {
 		t.Fatalf("eps=0.05 bound %.4f below eps=0.2 bound %.4f", tight, loose)
 	}
+	// NaN eps must error, not return a garbage bound (a NaN calibration
+	// would pick the least conservative quantile and its cache key could
+	// never be found again, growing the bounder cache on every call).
+	if _, err := pred.Bound(1, 1, nil, math.NaN()); err == nil {
+		t.Fatal("Bound accepted eps=NaN")
+	}
+	if _, err := pred.BoundBatch([]Query{{Workload: 1, Platform: 1}}, math.NaN()); err == nil {
+		t.Fatal("BoundBatch accepted eps=NaN")
+	}
 }
 
 func TestEmbeddingsExposed(t *testing.T) {
@@ -139,13 +148,13 @@ func TestObserveOnlineLearning(t *testing.T) {
 	if after <= before*1.1 {
 		t.Fatalf("Observe did not adapt: %.4f -> %.4f (want > %.4f)", before, after, before*1.1)
 	}
-	// Invalid observations must be rejected atomically.
-	n := len(pred.ds.Obs)
+	// Invalid observations must be rejected atomically: no new snapshot.
+	info := pred.Info()
 	if err := pred.Observe([]Observation{{Workload: 999, Platform: 0, Seconds: 1}}); err == nil {
 		t.Fatal("accepted invalid observation")
 	}
-	if len(pred.ds.Obs) != n {
-		t.Fatal("failed Observe mutated the dataset")
+	if got := pred.Info(); got != info {
+		t.Fatalf("failed Observe published a snapshot: %+v -> %+v", info, got)
 	}
 	if err := pred.Observe(nil); err == nil {
 		t.Fatal("accepted empty Observe")
