@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/exp"
+	"repro/internal/sched"
 	"repro/internal/tensor"
 	"repro/internal/wasmcluster"
 )
@@ -416,4 +417,90 @@ func buildHP(d *dataset.Dataset, tr quantAdapter, split dataset.Split) any {
 		val[h] = tr.PredictLogObs(split.Val, h)
 	}
 	return [2][][]float64{cal, val}
+}
+
+// placementBench trains a bounds-enabled predictor and builds a
+// steady-state 24-platform cluster: every platform pre-loaded with two
+// long-running residents, so candidate scoring pays the full interference
+// fold the orchestrator sees under load.
+func placementBench(b *testing.B, disableBatch bool) (*sched.Scheduler, []sched.Job) {
+	b.Helper()
+	ds := GenerateDataset(DatasetConfig{
+		Seed: 1, NumWorkloads: 40, MaxDevices: 8, SetsPerDegree: 15,
+	})
+	const platforms = 24
+	if ds.NumPlatforms() < platforms {
+		b.Fatalf("dataset has %d platforms, need %d", ds.NumPlatforms(), platforms)
+	}
+	cfg := DefaultModelConfig(1)
+	cfg.Steps = 60
+	cfg.EvalEvery = 30
+	pred, err := Train(ds, Options{Seed: 1, Model: &cfg, EnableBounds: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sched.New(sched.Config{
+		NumPlatforms:  platforms,
+		MaxColocation: 4,
+		DisableBatch:  disableBatch,
+	}, sched.BoundPolicy{Eps: 0.1}, pred)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Two permanent residents per platform: deadlines far above any bound,
+	// placed round-robin by the least-loaded strategy.
+	for i := 0; i < 2*platforms; i++ {
+		if a := s.Place(sched.Job{Workload: i % ds.NumWorkloads(), Deadline: 1e9}); !a.Placed() {
+			b.Fatalf("resident %d unplaced", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	wave := make([]sched.Job, 32)
+	for i := range wave {
+		w := rng.Intn(ds.NumWorkloads())
+		wave[i] = sched.Job{Workload: w, Deadline: pred.Estimate(w, rng.Intn(platforms), nil) * 20}
+	}
+	return s, wave
+}
+
+// runPlacementBench steadily places and retires one wave per iteration —
+// the event-driven steady state — and reports placement throughput.
+func runPlacementBench(b *testing.B, s *sched.Scheduler, wave []sched.Job) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	placed := 0
+	for i := 0; i < b.N; i++ {
+		as := s.PlaceAll(wave)
+		b.StopTimer()
+		for _, a := range as {
+			if a.Placed() {
+				placed++
+				if err := s.Complete(a.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StartTimer()
+	}
+	if placed == 0 {
+		b.Fatal("nothing placed")
+	}
+	b.ReportMetric(float64(placed)/b.Elapsed().Seconds(), "placements/s")
+}
+
+// BenchmarkPlacementScalar24 scores every candidate platform with one
+// scalar BoundSeconds call — the pre-engine serving pattern.
+func BenchmarkPlacementScalar24(b *testing.B) {
+	s, wave := placementBench(b, true)
+	runPlacementBench(b, s, wave)
+}
+
+// BenchmarkPlacementBatch24 scores through the batched path: the whole
+// wave is pre-scored in one BoundBatch call (platform-major, so each
+// platform's interference term is folded once and shared across the wave)
+// with per-job refreshes only for platforms dirtied mid-wave.
+func BenchmarkPlacementBatch24(b *testing.B) {
+	s, wave := placementBench(b, false)
+	runPlacementBench(b, s, wave)
 }

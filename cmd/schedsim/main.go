@@ -1,13 +1,31 @@
 // Command schedsim runs the end-to-end orchestration experiment: train
-// Pitot on a synthetic cluster, place a stream of deadline jobs with
-// several policies (mean estimate, padded mean, conformal bound), then
-// replay each placement against the ground-truth runtime model and report
-// deadline-miss rates — the paper's motivating application (§1)
-// quantified.
+// Pitot on a synthetic cluster, then drive the event-driven scheduler with
+// a streaming Poisson arrival process — placements occupy colocation slots
+// until their true runtime (drawn from the ground-truth cluster model)
+// elapses and the departure frees the slot. Several policies (mean
+// estimate, padded mean, conformal bound) and placement strategies are
+// swept over parallel replay trials, and with -feedback the measured
+// runtimes of completed jobs are fed back into the predictor online
+// (Observe), demonstrating the closed predict → place → measure → observe
+// loop of the paper's motivating application (§1, §6).
 //
 // Usage:
 //
-//	schedsim [-seed 1] [-jobs 60] [-eps 0.1] [-steps 1200]
+//	schedsim [-seed 1] [-jobs 200] [-eps 0.1] [-steps 1200]
+//	         [-policy all] [-strategy least-loaded]
+//	         [-arrival-rate 2] [-trials 4]
+//	         [-colocation 4] [-max-inflight 0]
+//	         [-feedback] [-feedback-every 25]
+//
+// Flags:
+//
+//	-policy         comma-separated subset of mean,padded,bound — or "all"
+//	-strategy       least-loaded, best-fit, or utilization
+//	-arrival-rate   mean job arrivals per simulated second (Poisson)
+//	-trials         independent replays (run in parallel; aggregated)
+//	-feedback       additionally run the bound policy with online feedback
+//	                and report its miss rate after the Observe updates
+//	-feedback-every flush measured runtimes to Observe every N completions
 package main
 
 import (
@@ -15,6 +33,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 
 	pitot "repro"
 	"repro/internal/sched"
@@ -34,10 +53,20 @@ func (o *oracle) TrueSeconds(w, p int, ks []int) float64 {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("schedsim: ")
-	seed := flag.Int64("seed", 1, "seed")
-	jobs := flag.Int("jobs", 60, "number of jobs to place")
-	eps := flag.Float64("eps", 0.1, "per-job deadline-miss budget for the bound policy")
-	steps := flag.Int("steps", 1200, "training steps")
+	var (
+		seed        = flag.Int64("seed", 1, "seed")
+		jobs        = flag.Int("jobs", 200, "number of arriving jobs per trial")
+		eps         = flag.Float64("eps", 0.1, "per-job deadline-miss budget for the bound policy")
+		steps       = flag.Int("steps", 1200, "training steps")
+		policyFlag  = flag.String("policy", "all", "comma-separated policies: mean,padded,bound (or all)")
+		stratFlag   = flag.String("strategy", "least-loaded", "placement strategy: least-loaded, best-fit, utilization")
+		arrivalRate = flag.Float64("arrival-rate", 2, "mean arrivals per simulated second")
+		trials      = flag.Int("trials", 4, "independent replay trials (parallel)")
+		coloc       = flag.Int("colocation", 4, "max workloads per platform")
+		maxInFlight = flag.Int("max-inflight", 0, "admission bound on in-flight jobs (0 = capacity only)")
+		feedback    = flag.Bool("feedback", false, "run the bound policy with online Observe feedback and compare")
+		fbEvery     = flag.Int("feedback-every", 25, "feed measurements back every N completions")
+	)
 	flag.Parse()
 
 	cluster := wasmcluster.New(wasmcluster.Config{
@@ -51,36 +80,111 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Jobs: random workloads with deadlines drawn a bit above their median
-	// cluster-wide runtime, so placement quality matters.
-	jrng := rand.New(rand.NewSource(*seed + 7))
-	var stream []sched.Job
-	for i := 0; i < *jobs; i++ {
-		w := jrng.Intn(ds.NumWorkloads())
-		p := jrng.Intn(ds.NumPlatforms())
-		deadline := pred.Estimate(w, p, nil) * (1.5 + jrng.Float64()*2)
-		stream = append(stream, sched.Job{Workload: w, Deadline: deadline})
+	strategy, err := sched.ParseStrategy(*stratFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	policies := []sched.Policy{
-		sched.MeanPolicy{},
-		sched.PaddedMeanPolicy{Factor: 1.3},
-		sched.BoundPolicy{Eps: *eps},
+	var policies []sched.Policy
+	names := *policyFlag
+	if names == "all" {
+		names = "mean,padded,bound"
 	}
-	fmt.Printf("placing %d jobs on %d platforms; bound policy targets ≤%.0f%% misses\n\n",
-		*jobs, ds.NumPlatforms(), 100**eps)
-	fmt.Printf("%-16s %8s %9s %10s %10s\n", "policy", "placed", "unplaced", "miss-rate", "headroom")
-	for _, pol := range policies {
-		s, err := sched.New(sched.Config{NumPlatforms: ds.NumPlatforms(), MaxColocation: 4}, pol, pred)
+	for _, n := range strings.Split(names, ",") {
+		pol, err := sched.ParsePolicy(strings.TrimSpace(n), *eps, 1.3)
 		if err != nil {
 			log.Fatal(err)
 		}
-		as := s.PlaceAll(stream)
-		out := sched.Simulate(pol.Name(), as, &oracle{cluster, rand.New(rand.NewSource(*seed + 99))},
-			s.Residents, 25)
-		fmt.Printf("%-16s %8d %9d %9.1f%% %9.1f%%\n",
-			out.Policy, out.Placed, out.Unplaced, 100*out.MissRate, 100*out.AvgHeadroom)
+		policies = append(policies, pol)
+	}
+
+	// Per-trial job streams, frozen against the initial model so every
+	// policy (and the feedback arm, whose estimates drift as the model
+	// updates) places the identical workload/deadline sequence.
+	streams := make([][]sched.Job, *trials)
+	for tr := range streams {
+		jrng := rand.New(rand.NewSource(*seed + 7 + int64(tr)*1013))
+		streams[tr] = make([]sched.Job, *jobs)
+		for i := range streams[tr] {
+			w := jrng.Intn(ds.NumWorkloads())
+			p := jrng.Intn(ds.NumPlatforms())
+			streams[tr][i] = sched.Job{
+				Workload: w,
+				Deadline: pred.Estimate(w, p, nil) * (1.5 + 2*jrng.Float64()),
+			}
+		}
+	}
+
+	scfg := sched.StreamConfig{Jobs: *jobs, ArrivalRate: *arrivalRate}
+	runTrial := func(pol sched.Policy, obs sched.Observer, fbEvery int) func(tr int) (sched.StreamResult, error) {
+		return func(tr int) (sched.StreamResult, error) {
+			s, err := sched.New(sched.Config{
+				NumPlatforms:  ds.NumPlatforms(),
+				MaxColocation: *coloc,
+				MaxInFlight:   *maxInFlight,
+				Strategy:      strategy,
+			}, pol, pred)
+			if err != nil {
+				return sched.StreamResult{}, err
+			}
+			cfg := scfg
+			cfg.FeedbackEvery = fbEvery
+			stream := streams[tr]
+			source := func(_ *rand.Rand, i int) sched.Job { return stream[i] }
+			orc := &oracle{cluster, rand.New(rand.NewSource(*seed + 99 + int64(tr)*509))}
+			return sched.Stream(cfg, s, orc, source, obs, rand.New(rand.NewSource(*seed+31+int64(tr)*271)))
+		}
+	}
+
+	fmt.Printf("streaming %d jobs/trial x %d trials at rate %.1f/s on %d platforms (strategy %s); bound targets <=%.0f%% misses\n\n",
+		*jobs, *trials, *arrivalRate, ds.NumPlatforms(), strategy.Name(), 100**eps)
+	fmt.Printf("%-16s %8s %9s %9s %10s %10s\n", "policy", "placed", "unplaced", "rejected", "miss-rate", "headroom")
+	sweep := map[string]sched.StreamResult{}
+	for _, pol := range policies {
+		_, agg, err := sched.StreamTrials(*trials, true, runTrial(pol, nil, 0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sweep[agg.Policy] = agg
+		fmt.Printf("%-16s %8d %9d %9d %9.1f%% %9.1f%%\n",
+			agg.Policy, agg.Placed, agg.Unplaced, agg.Rejected, 100*agg.MissRate, 100*agg.AvgHeadroom)
 	}
 	fmt.Println("\nmiss-rate: fraction of placed jobs whose true runtime exceeded the deadline")
 	fmt.Println("headroom:  mean unused fraction of the deadline (high = overprovisioned)")
+
+	if *feedback {
+		fmt.Printf("\n-- online feedback (bound policy, observe every %d completions) --\n", *fbEvery)
+		bound := sched.BoundPolicy{Eps: *eps}
+		// The no-feedback arm is seeded identically to the sweep, so reuse
+		// its aggregate when the sweep already ran the bound policy.
+		without, ok := sweep[bound.Name()]
+		if !ok {
+			_, without, err = sched.StreamTrials(*trials, true, runTrial(bound, nil, 0))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		v0 := pred.Version()
+		// Feedback trials run sequentially: Observe mutates the shared
+		// predictor, so this arm is one continually-learning deployment.
+		_, with, err := sched.StreamTrials(*trials, false, runTrial(bound, pred, *fbEvery))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("without feedback: miss-rate %5.1f%%  headroom %5.1f%%\n",
+			100*without.MissRate, 100*without.AvgHeadroom)
+		fmt.Printf("with feedback:    miss-rate %5.1f%%  headroom %5.1f%%  (observed %d runtimes, snapshot v%d -> v%d)\n",
+			100*with.MissRate, 100*with.AvgHeadroom, with.Observed, v0, pred.Version())
+		if with.PostPlaced == 0 {
+			fmt.Printf("no placements landed after an Observe update (%d measurements observed; "+
+				"need >= %d completions per flush) — no post-update miss-rate to report\n",
+				with.Observed, *fbEvery)
+			return
+		}
+		verdict := "AT OR UNDER"
+		if with.PostMissRate > *eps {
+			verdict = "ABOVE"
+		}
+		fmt.Printf("post-update miss-rate %.1f%% over %d placements — %s the eps budget (%.0f%%)\n",
+			100*with.PostMissRate, with.PostPlaced, verdict, 100**eps)
+	}
 }

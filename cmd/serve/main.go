@@ -48,6 +48,14 @@ func main() {
 		window    = flag.Duration("window", 100*time.Microsecond, "micro-batch window")
 		maxBatch  = flag.Int("max-batch", 256, "flush a batch at this many pending requests")
 		maxQueue  = flag.Int("max-queue", 4096, "admission queue bound (excess requests get 503)")
+
+		place         = flag.Bool("place", false, "enable the /place and /complete orchestration endpoints")
+		placePolicy   = flag.String("place-policy", "bound", "placement policy: bound, mean, or padded")
+		placeEps      = flag.Float64("place-eps", 0.1, "bound policy's per-job deadline-miss budget")
+		placeFactor   = flag.Float64("place-factor", 1.3, "padded policy's safety factor")
+		placeStrategy = flag.String("place-strategy", "least-loaded", "platform selection: least-loaded, best-fit, or utilization")
+		placeColoc    = flag.Int("place-colocation", 4, "max workloads per platform")
+		placeInFlight = flag.Int("place-max-inflight", 0, "admission bound on in-flight jobs (0 = platform capacity)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -112,6 +120,22 @@ func main() {
 		Window:   *window,
 		MaxQueue: *maxQueue,
 	})
+	if *place {
+		err := srv.EnablePlacement(serve.PlacementConfig{
+			Policy:        *placePolicy,
+			Eps:           *placeEps,
+			PadFactor:     *placeFactor,
+			Strategy:      *placeStrategy,
+			MaxColocation: *placeColoc,
+			MaxInFlight:   *placeInFlight,
+		})
+		if err != nil {
+			srv.Close()
+			log.Fatal(err)
+		}
+		log.Printf("placement enabled: policy=%s strategy=%s platforms=%d",
+			*placePolicy, *placeStrategy, info.Platforms)
+	}
 
 	// Graceful shutdown: stop accepting, drain in-flight HTTP requests,
 	// then drain the micro-batcher. log.Fatal skips defers, so the

@@ -1,21 +1,25 @@
 // Orchestrator: deadline-aware workload placement across a heterogeneous
-// edge cluster — the paper's motivating application (§1).
+// edge cluster — the paper's motivating application (§1), on the
+// event-driven orchestration engine.
 //
-// A stream of jobs arrives, each with a completion deadline. For every job
-// the orchestrator asks Pitot for a conformal runtime bound on each
-// platform given the workloads already placed there, and picks the least
-// loaded platform whose bound meets the deadline. Using the bound (rather
-// than the mean estimate) gives a per-placement probabilistic guarantee:
-// the job exceeds its budget with probability at most eps.
+// A wave of jobs arrives, each with a completion deadline. The scheduler
+// scores every candidate platform for the whole wave in one batched
+// conformal-bound call (a per-placement probabilistic guarantee: each job
+// exceeds its budget with probability at most eps), places the wave, and
+// then the cluster evolves: completed jobs free their colocation slots,
+// their measured runtimes are fed back into the predictor (Observe), and
+// a second wave is placed against the updated snapshot — the full
+// predict → place → measure → observe loop.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math"
-	"sort"
+	"math/rand"
 
 	pitot "repro"
+	"repro/internal/sched"
+	"repro/internal/wasmcluster"
 )
 
 const eps = 0.1 // acceptable per-job deadline-miss probability
@@ -23,9 +27,11 @@ const eps = 0.1 // acceptable per-job deadline-miss probability
 func main() {
 	log.SetFlags(0)
 
-	ds := pitot.GenerateDataset(pitot.DatasetConfig{
+	clusterCfg := pitot.DatasetConfig{
 		Seed: 21, NumWorkloads: 40, MaxDevices: 8, SetsPerDegree: 25,
-	})
+	}
+	cluster := wasmcluster.New(clusterCfg)
+	ds := cluster.Generate()
 	cfg := pitot.DefaultModelConfig(21)
 	cfg.Steps = 1000
 	pred, err := pitot.Train(ds, pitot.Options{Seed: 21, Model: &cfg, EnableBounds: true})
@@ -33,74 +39,68 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Jobs: workload index + deadline in seconds.
-	jobs := []struct {
-		w        int
-		deadline float64
-	}{
-		{0, 2.0}, {3, 5.0}, {5, 1.0}, {8, 10.0}, {11, 3.0},
-		{14, 2.5}, {17, 8.0}, {20, 1.5}, {23, 4.0}, {26, 6.0},
+	s, err := sched.New(sched.Config{
+		NumPlatforms:  ds.NumPlatforms(),
+		MaxColocation: 4,
+		Strategy:      sched.BestFit{},
+	}, sched.BoundPolicy{Eps: eps}, pred)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("engine: batch scoring %v, strategy best-fit, deadline-miss budget %.0f%%\n\n",
+		s.Batched(), 100*eps)
 
-	placed := make(map[int][]int) // platform -> workloads running there
-	fmt.Printf("placing %d jobs across %d platforms (deadline-miss budget %.0f%%)\n\n",
-		len(jobs), ds.NumPlatforms(), 100*eps)
+	wave1 := []sched.Job{
+		{Workload: 0, Deadline: 2.0}, {Workload: 3, Deadline: 5.0},
+		{Workload: 5, Deadline: 1.0}, {Workload: 8, Deadline: 10.0},
+		{Workload: 11, Deadline: 3.0}, {Workload: 14, Deadline: 2.5},
+		{Workload: 17, Deadline: 8.0}, {Workload: 20, Deadline: 1.5},
+	}
+	fmt.Printf("wave 1: placing %d jobs across %d platforms (one batched bound call)\n", len(wave1), ds.NumPlatforms())
+	as := s.PlaceAll(wave1)
+	report(ds, as)
 
-	var missed int
-	for _, job := range jobs {
-		type cand struct {
-			platform int
-			bound    float64
-			load     int
-		}
-		// One batched bound call covers every candidate platform; queries
-		// share the per-platform resident sets, which BoundBatch exploits.
-		var qs []pitot.Query
-		for p := 0; p < ds.NumPlatforms(); p++ {
-			if len(placed[p]) >= 3 {
-				continue // capacity: at most 4 co-located workloads
-			}
-			qs = append(qs, pitot.Query{Workload: job.w, Platform: p, Interferers: placed[p]})
-		}
-		bounds, err := pred.BoundBatch(qs, eps)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var cands []cand
-		for i, b := range bounds {
-			if math.IsInf(b, 1) || b > job.deadline {
-				continue
-			}
-			cands = append(cands, cand{qs[i].Platform, b, len(qs[i].Interferers)})
-		}
-		if len(cands) == 0 {
-			fmt.Printf("job %-14s deadline %5.1fs: NO feasible placement\n",
-				ds.WorkloadNames[job.w], job.deadline)
-			missed++
+	// The cluster runs: completed jobs free their slots and report their
+	// measured runtimes back to the predictor.
+	mrng := rand.New(rand.NewSource(99))
+	var ms []sched.Measurement
+	for _, a := range as {
+		if !a.Placed() {
 			continue
 		}
-		// Least-loaded platform first; break ties by tightest bound (keep
-		// fast platforms free for hard deadlines).
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].load != cands[j].load {
-				return cands[i].load < cands[j].load
-			}
-			return cands[i].bound > cands[j].bound
+		runtime := cluster.MeasureSeconds(mrng, a.Job.Workload, a.Platform, a.Interferers)
+		ms = append(ms, sched.Measurement{
+			Workload: a.Job.Workload, Platform: a.Platform,
+			Interferers: a.Interferers, Seconds: runtime,
 		})
-		best := cands[0]
-		placed[best.platform] = append(placed[best.platform], job.w)
-		fmt.Printf("job %-14s deadline %5.1fs -> %-28s bound %.3fs (co-located: %d)\n",
-			ds.WorkloadNames[job.w], job.deadline,
-			ds.PlatformNames[best.platform], best.bound, best.load)
+		if err := s.Complete(a.ID); err != nil {
+			log.Fatal(err)
+		}
 	}
+	v0 := pred.Version()
+	if err := pred.ObserveSeconds(ms); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompleted %d jobs; fed %d measured runtimes back (snapshot v%d -> v%d)\n",
+		len(ms), len(ms), v0, pred.Version())
 
-	fmt.Printf("\nplaced %d/%d jobs; final load:\n", len(jobs)-missed, len(jobs))
-	var ps []int
-	for p := range placed {
-		ps = append(ps, p)
+	wave2 := []sched.Job{
+		{Workload: 23, Deadline: 4.0}, {Workload: 26, Deadline: 6.0},
+		{Workload: 5, Deadline: 1.2}, {Workload: 31, Deadline: 2.0},
 	}
-	sort.Ints(ps)
-	for _, p := range ps {
-		fmt.Printf("  %-28s %d workload(s)\n", ds.PlatformNames[p], len(placed[p]))
+	fmt.Printf("\nwave 2: placing %d jobs against the updated snapshot (slots freed by completions)\n", len(wave2))
+	report(ds, s.PlaceAll(wave2))
+}
+
+func report(ds *pitot.Dataset, as []sched.Assignment) {
+	for _, a := range as {
+		if !a.Placed() {
+			fmt.Printf("  job %-14s deadline %5.1fs: NO feasible placement\n",
+				ds.WorkloadNames[a.Job.Workload], a.Job.Deadline)
+			continue
+		}
+		fmt.Printf("  job %-14s deadline %5.1fs -> %-28s bound %.3fs (co-located: %d)\n",
+			ds.WorkloadNames[a.Job.Workload], a.Job.Deadline,
+			ds.PlatformNames[a.Platform], a.Budget, len(a.Interferers))
 	}
 }

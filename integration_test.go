@@ -142,3 +142,201 @@ func TestConcurrentOrchestration(t *testing.T) {
 		t.Fatalf("expected one published snapshot, got version %d", pred.Version())
 	}
 }
+
+// The facade satisfies the batch-scoring and feedback surfaces of the
+// orchestration engine.
+var (
+	_ sched.BatchPredictor = (*Predictor)(nil)
+	_ sched.Observer       = (*Predictor)(nil)
+)
+
+// engineShared lazily trains one bounds-enabled predictor shared by the
+// orchestration-engine tests below (training dominates their runtime, and
+// under -race a per-test model pushes the package past the suite timeout).
+// Tests that Observe assert version/observation deltas, never absolutes.
+var engineShared struct {
+	once sync.Once
+	ds   *Dataset
+	pred *Predictor
+	err  error
+}
+
+func enginePredictor(t *testing.T) (*Predictor, *Dataset) {
+	t.Helper()
+	engineShared.once.Do(func() {
+		engineShared.ds = smallDataset()
+		engineShared.pred, engineShared.err = Train(engineShared.ds, smallOptions(77, true))
+	})
+	if engineShared.err != nil {
+		t.Fatal(engineShared.err)
+	}
+	return engineShared.pred, engineShared.ds
+}
+
+// TestBatchPlacementMatchesScalar pins the acceptance property on the real
+// model: batch-scored placement (one BoundBatch per candidate scan, wave
+// pre-scoring in PlaceAll) picks the identical platform as scalar scoring
+// for the same policy and job stream, including across completions.
+func TestBatchPlacementMatchesScalar(t *testing.T) {
+	pred, ds := enginePredictor(t)
+	for _, pol := range []sched.Policy{sched.MeanPolicy{}, sched.BoundPolicy{Eps: 0.1}} {
+		cfg := sched.Config{NumPlatforms: ds.NumPlatforms(), MaxColocation: 3}
+		scalarCfg := cfg
+		scalarCfg.DisableBatch = true
+		sb, err := sched.New(cfg, pol, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := sched.New(scalarCfg, pol, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sb.Batched() || ss.Batched() {
+			t.Fatal("batch wiring wrong")
+		}
+		jrng := rand.New(rand.NewSource(5))
+		var jobs []sched.Job
+		for i := 0; i < 30; i++ {
+			w := jrng.Intn(ds.NumWorkloads())
+			p := jrng.Intn(ds.NumPlatforms())
+			jobs = append(jobs, sched.Job{
+				Workload: w,
+				Deadline: pred.Estimate(w, p, nil) * (1.2 + 2*jrng.Float64()),
+			})
+		}
+		// First half as individual placements with interleaved completes,
+		// second half as one wave.
+		var live []sched.JobID
+		for i, job := range jobs[:15] {
+			ab, as := sb.Place(job), ss.Place(job)
+			if ab.Platform != as.Platform || ab.ID != as.ID || ab.Rejected != as.Rejected {
+				t.Fatalf("policy %s job %d: batch (p=%d id=%d) != scalar (p=%d id=%d)",
+					pol.Name(), i, ab.Platform, ab.ID, as.Platform, as.ID)
+			}
+			if ab.Placed() {
+				live = append(live, ab.ID)
+			}
+			if len(live) > 2 && i%3 == 0 {
+				id := live[0]
+				live = live[1:]
+				if err := sb.Complete(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := ss.Complete(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		wb, ws := sb.PlaceAll(jobs[15:]), ss.PlaceAll(jobs[15:])
+		for i := range wb {
+			if wb[i].Platform != ws[i].Platform || wb[i].ID != ws[i].ID {
+				t.Fatalf("policy %s wave job %d: batch p=%d != scalar p=%d",
+					pol.Name(), i, wb[i].Platform, ws[i].Platform)
+			}
+		}
+	}
+}
+
+// TestConcurrentPlaceCompleteDuringObserve drives the full engine against
+// a live predictor while Observe publishes new snapshots — the event-driven
+// lifecycle racing online learning. Run under -race.
+func TestConcurrentPlaceCompleteDuringObserve(t *testing.T) {
+	pred, ds := enginePredictor(t)
+	v0 := pred.Version()
+	s, err := sched.New(sched.Config{
+		NumPlatforms: ds.NumPlatforms(), MaxColocation: 4, MaxInFlight: 24,
+	}, sched.BoundPolicy{Eps: 0.1}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; i < 2; i++ {
+			obs := []Observation{{
+				Workload: i, Platform: 1,
+				Seconds: pred.Estimate(i, 1, nil) * 1.2,
+			}}
+			if err := pred.Observe(obs); err != nil {
+				t.Error(err)
+			}
+		}
+	}()
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var mine []sched.JobID
+			for i := 0; i < 20; i++ {
+				if len(mine) > 0 && rng.Float64() < 0.5 {
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := s.Complete(id); err != nil {
+						t.Errorf("worker %d complete: %v", g, err)
+						return
+					}
+					continue
+				}
+				w := rng.Intn(ds.NumWorkloads())
+				p := rng.Intn(ds.NumPlatforms())
+				deadline := pred.BoundSeconds(w, p, nil, 0.1) * (1.2 + rng.Float64())
+				a := s.Place(sched.Job{Workload: w, Deadline: deadline})
+				if a.Placed() {
+					if a.Budget > a.Job.Deadline {
+						t.Errorf("worker %d budget %v over deadline %v", g, a.Budget, a.Job.Deadline)
+						return
+					}
+					mine = append(mine, a.ID)
+				}
+			}
+			for _, id := range mine {
+				if err := s.Complete(id); err != nil {
+					t.Errorf("worker %d drain: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	writer.Wait()
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain: %d", got)
+	}
+	if got := pred.Version() - v0; got != 2 {
+		t.Fatalf("expected two published snapshots, got %d", got)
+	}
+}
+
+// TestObserveSecondsFeedbackBridge checks the sched.Observer bridge: a
+// measured-runtime batch publishes a new snapshot whose calibration pool
+// includes the measurements, and predictions keep serving throughout.
+func TestObserveSecondsFeedbackBridge(t *testing.T) {
+	pred, _ := enginePredictor(t)
+	before := pred.Info()
+	ms := []sched.Measurement{
+		{Workload: 0, Platform: 0, Seconds: pred.Estimate(0, 0, nil) * 1.1},
+		{Workload: 1, Platform: 2, Interferers: []int{3}, Seconds: pred.Estimate(1, 2, []int{3}) * 0.9},
+	}
+	if err := pred.ObserveSeconds(ms); err != nil {
+		t.Fatal(err)
+	}
+	after := pred.Info()
+	if after.Version != before.Version+1 {
+		t.Fatalf("version %d -> %d", before.Version, after.Version)
+	}
+	if after.Observations != before.Observations+len(ms) {
+		t.Fatalf("observations %d -> %d", before.Observations, after.Observations)
+	}
+	if _, err := pred.Bound(0, 0, nil, 0.1); err != nil {
+		t.Fatalf("bound after feedback: %v", err)
+	}
+	if err := pred.ObserveSeconds(nil); err == nil {
+		t.Fatal("accepted empty measurement batch")
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import "fmt"
+
+// Policy ranks candidate platforms for a job. Score returns the predicted
+// runtime metric used for feasibility (compared against the deadline) —
+// lower is better; returning +Inf marks the platform infeasible.
+type Policy interface {
+	Name() string
+	Score(pred Predictor, job Job, platform int, residents []int) float64
+}
+
+// BatchPolicy scores a whole candidate set in one predictor call. The
+// scheduler uses it whenever the predictor is a BatchPredictor — for a
+// single job's platform scan and for whole waves of jobs at once, so the
+// score must be fully determined by the query (deadline feasibility is the
+// scheduler's concern). ScoreBatch must assign out[i] the same value Score
+// would return for qs[i] (up to the predictor's own batch-vs-scalar
+// floating-point reassociation), which keeps batch-scored placement
+// decision-identical to scalar scoring.
+type BatchPolicy interface {
+	Policy
+	// ScoreBatch fills out[i] with the score of qs[i]. len(out) == len(qs).
+	ScoreBatch(pred BatchPredictor, qs []Query, out []float64)
+}
+
+// MeanPolicy places on the expected runtime — the natural choice when only
+// a point predictor is available. It systematically underestimates tail
+// latency, which the simulation harness exposes.
+type MeanPolicy struct{}
+
+// Name implements Policy.
+func (MeanPolicy) Name() string { return "mean" }
+
+// Score implements Policy.
+func (MeanPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
+	return pred.EstimateSeconds(job.Workload, platform, residents)
+}
+
+// ScoreBatch implements BatchPolicy.
+func (MeanPolicy) ScoreBatch(pred BatchPredictor, qs []Query, out []float64) {
+	copy(out, pred.EstimateSecondsBatch(qs))
+}
+
+// BoundPolicy places on the conformal (1−eps)-sufficient runtime bound,
+// giving each placement a per-job probabilistic deadline guarantee.
+type BoundPolicy struct{ Eps float64 }
+
+// Name implements Policy.
+func (p BoundPolicy) Name() string { return fmt.Sprintf("bound(eps=%.2f)", p.Eps) }
+
+// Score implements Policy.
+func (p BoundPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
+	return pred.BoundSeconds(job.Workload, platform, residents, p.Eps)
+}
+
+// ScoreBatch implements BatchPolicy; all candidates share one conformal
+// calibration fetch.
+func (p BoundPolicy) ScoreBatch(pred BatchPredictor, qs []Query, out []float64) {
+	copy(out, pred.BoundSecondsBatch(qs, p.Eps))
+}
+
+// PaddedMeanPolicy is the common heuristic alternative: mean estimate
+// inflated by a fixed safety factor. It has no calibration guarantee —
+// too small on volatile platforms, wasteful on stable ones.
+type PaddedMeanPolicy struct{ Factor float64 }
+
+// Name implements Policy.
+func (p PaddedMeanPolicy) Name() string { return fmt.Sprintf("mean*%.1f", p.Factor) }
+
+// Score implements Policy.
+func (p PaddedMeanPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
+	return pred.EstimateSeconds(job.Workload, platform, residents) * p.Factor
+}
+
+// ScoreBatch implements BatchPolicy.
+func (p PaddedMeanPolicy) ScoreBatch(pred BatchPredictor, qs []Query, out []float64) {
+	copy(out, pred.EstimateSecondsBatch(qs))
+	for i := range out {
+		out[i] *= p.Factor
+	}
+}
+
+// ParsePolicy resolves a policy by name: "mean", "padded" (mean×factor),
+// or "bound" (conformal 1−eps budget).
+func ParsePolicy(name string, eps, factor float64) (Policy, error) {
+	switch name {
+	case "mean":
+		return MeanPolicy{}, nil
+	case "padded":
+		if factor <= 0 {
+			factor = 1.3
+		}
+		return PaddedMeanPolicy{Factor: factor}, nil
+	case "bound":
+		if !(eps > 0 && eps < 1) {
+			return nil, fmt.Errorf("sched: bound policy needs eps in (0,1), got %v", eps)
+		}
+		return BoundPolicy{Eps: eps}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown policy %q (want mean, padded, or bound)", name)
+}

@@ -1,20 +1,37 @@
-// Package sched implements the edge-orchestration application that
-// motivates the paper (§1): placing latency-sensitive workloads across a
-// heterogeneous cluster using runtime predictions.
+// Package sched is the edge-orchestration engine that motivates the paper
+// (§1): placing latency-sensitive workloads across a heterogeneous cluster
+// using calibrated runtime predictions.
 //
-// A Scheduler assigns each arriving job to a platform using a pluggable
-// Policy; the interesting policies consult a runtime predictor. The
-// package also provides a simulation harness that replays a placement
-// against the ground-truth runtime model of the synthetic cluster and
-// scores deadline misses — this quantifies the paper's argument that
-// calibrated bounds (not just mean estimates) are what an orchestrator
-// needs to meet quality-of-service targets.
+// The engine is event-driven: jobs arrive (Place) and complete (Complete),
+// so a platform's resident set — and therefore the interference every
+// candidate placement must account for — changes over time. A Scheduler
+// scores all candidate platforms for a job in one batched predictor call
+// when the predictor supports it (BatchPredictor; the Pitot facade does),
+// selects among feasible platforms with a pluggable Strategy, and bounds
+// admission so a saturated cluster fails fast instead of queueing
+// placements it cannot serve.
+//
+// Measured runtimes flow back through Observer: a simulator or live
+// orchestrator reports each completed job's (workload, platform,
+// interferers, seconds) and the predictor fine-tunes online — the paper's
+// §6 extension, closing the predict → place → measure → observe loop.
+//
+// The package also provides two simulation harnesses: Simulate replays a
+// static placement against a ground-truth Oracle, and Stream runs the full
+// event loop (Poisson arrivals, true-runtime departures, optional online
+// feedback) used by cmd/schedsim.
 package sched
 
 import (
-	"fmt"
-	"math"
+	"errors"
+
+	"repro/internal/core"
 )
+
+// Query identifies one (workload, platform, interferers) prediction — the
+// same type the Pitot batch inference path consumes, so batched placement
+// scoring needs no conversion.
+type Query = core.Query
 
 // Job is one placement request.
 type Job struct {
@@ -24,8 +41,12 @@ type Job struct {
 	Deadline float64
 }
 
-// Predictor supplies runtime estimates for placement decisions. Both the
-// Pitot facade and a ground-truth oracle satisfy it.
+// JobID identifies a placed job for the rest of its lifecycle; Complete
+// frees its colocation slot.
+type JobID uint64
+
+// Predictor supplies scalar runtime estimates for placement decisions.
+// Both the Pitot facade and a ground-truth oracle satisfy it.
 type Predictor interface {
 	// EstimateSeconds returns the expected runtime of w on platform p with
 	// the given co-located workloads.
@@ -35,201 +56,77 @@ type Predictor interface {
 	BoundSeconds(w, p int, interferers []int, eps float64) float64
 }
 
+// BatchPredictor additionally scores many queries in one call — the shape
+// of a scheduler scanning every candidate platform for a job (or a whole
+// wave of jobs). The Pitot facade implements it on top of
+// EstimateBatch/BoundBatch; scalar-only predictors fall back to Predictor.
+type BatchPredictor interface {
+	Predictor
+	// EstimateSecondsBatch returns the expected runtime for every query.
+	EstimateSecondsBatch(qs []Query) []float64
+	// BoundSecondsBatch returns the 1−eps runtime budget for every query,
+	// +Inf where no valid bound exists.
+	BoundSecondsBatch(qs []Query, eps float64) []float64
+}
+
+// Measurement is one observed job execution: the runtime actually measured
+// on the platform the job ran on, under the co-location it experienced.
+type Measurement struct {
+	Workload    int
+	Platform    int
+	Interferers []int
+	Seconds     float64
+}
+
+// Observer receives measured runtimes so the predictor can fine-tune
+// online. The Pitot facade implements it via ObserveSeconds; each call may
+// publish a new model snapshot, so in-flight placements keep reading the
+// previous one.
+type Observer interface {
+	ObserveSeconds(ms []Measurement) error
+}
+
+// ErrUnknownJob is returned by Complete for an ID that was never placed or
+// has already completed.
+var ErrUnknownJob = errors.New("sched: unknown or already-completed job")
+
 // Assignment is the result of placing one job.
 type Assignment struct {
-	Job      Job
-	Platform int     // -1 if unplaced
-	Budget   float64 // the predicted value the decision was based on
+	// ID identifies the placed job for Complete; zero when unplaced.
+	ID  JobID
+	Job Job
+	// Platform is -1 if unplaced (infeasible or rejected).
+	Platform int
+	// Budget is the predicted value the decision was based on.
+	Budget float64
+	// Interferers are the workloads co-resident on the chosen platform at
+	// placement time — the interference this job was scored under (a copy;
+	// safe to retain). They are also what a Measurement of this execution
+	// should report.
+	Interferers []int
+	// Rejected marks an admission-control refusal (cluster at MaxInFlight),
+	// as opposed to an infeasible job no platform can serve in time.
+	Rejected bool
 }
 
 // Placed reports whether the job found a platform.
 func (a Assignment) Placed() bool { return a.Platform >= 0 }
 
-// Policy ranks candidate platforms for a job. Score returns the predicted
-// runtime metric used for feasibility (compared against the deadline) —
-// lower is better; returning +Inf marks the platform infeasible.
-type Policy interface {
-	Name() string
-	Score(pred Predictor, job Job, platform int, residents []int) float64
-}
-
-// MeanPolicy places on the expected runtime — the natural choice when only
-// a point predictor is available. It systematically underestimates tail
-// latency, which the simulation harness exposes.
-type MeanPolicy struct{}
-
-// Name implements Policy.
-func (MeanPolicy) Name() string { return "mean" }
-
-// Score implements Policy.
-func (MeanPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
-	return pred.EstimateSeconds(job.Workload, platform, residents)
-}
-
-// BoundPolicy places on the conformal (1−eps)-sufficient runtime bound,
-// giving each placement a per-job probabilistic deadline guarantee.
-type BoundPolicy struct{ Eps float64 }
-
-// Name implements Policy.
-func (p BoundPolicy) Name() string { return fmt.Sprintf("bound(eps=%.2f)", p.Eps) }
-
-// Score implements Policy.
-func (p BoundPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
-	return pred.BoundSeconds(job.Workload, platform, residents, p.Eps)
-}
-
-// PaddedMeanPolicy is the common heuristic alternative: mean estimate
-// inflated by a fixed safety factor. It has no calibration guarantee —
-// too small on volatile platforms, wasteful on stable ones.
-type PaddedMeanPolicy struct{ Factor float64 }
-
-// Name implements Policy.
-func (p PaddedMeanPolicy) Name() string { return fmt.Sprintf("mean*%.1f", p.Factor) }
-
-// Score implements Policy.
-func (p PaddedMeanPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
-	return pred.EstimateSeconds(job.Workload, platform, residents) * p.Factor
-}
-
-// Config bounds the scheduler's search.
+// Config bounds the scheduler's search and admission.
 type Config struct {
 	// NumPlatforms in the cluster.
 	NumPlatforms int
 	// MaxColocation is the maximum number of workloads per platform
 	// (paper's dataset observes up to 4 simultaneous workloads).
 	MaxColocation int
-}
-
-// Scheduler assigns jobs to platforms with a policy.
-type Scheduler struct {
-	cfg    Config
-	policy Policy
-	pred   Predictor
-
-	residents [][]int // platform -> workloads currently placed
-}
-
-// New creates a scheduler.
-func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
-	if cfg.NumPlatforms <= 0 {
-		return nil, fmt.Errorf("sched: no platforms")
-	}
-	if cfg.MaxColocation <= 0 {
-		cfg.MaxColocation = 4
-	}
-	return &Scheduler{
-		cfg:       cfg,
-		policy:    policy,
-		pred:      pred,
-		residents: make([][]int, cfg.NumPlatforms),
-	}, nil
-}
-
-// Residents returns the workloads currently placed on platform p.
-func (s *Scheduler) Residents(p int) []int {
-	return append([]int(nil), s.residents[p]...)
-}
-
-// Place assigns one job: among feasible platforms (score ≤ deadline after
-// accounting for the interference the job will experience from residents),
-// it picks the least-loaded, breaking ties by the loosest score to keep
-// fast platforms free for tight deadlines. Returns an unplaced Assignment
-// when no platform is feasible.
-func (s *Scheduler) Place(job Job) Assignment {
-	best := Assignment{Job: job, Platform: -1, Budget: math.Inf(1)}
-	bestLoad := math.MaxInt
-	for p := 0; p < s.cfg.NumPlatforms; p++ {
-		res := s.residents[p]
-		if len(res)+1 > s.cfg.MaxColocation {
-			continue
-		}
-		score := s.policy.Score(s.pred, job, p, res)
-		if math.IsInf(score, 1) || score > job.Deadline {
-			continue
-		}
-		load := len(res)
-		if load < bestLoad || (load == bestLoad && score > best.Budget) {
-			best = Assignment{Job: job, Platform: p, Budget: score}
-			bestLoad = load
-		}
-	}
-	if best.Placed() {
-		s.residents[best.Platform] = append(s.residents[best.Platform], job.Workload)
-	}
-	return best
-}
-
-// PlaceAll places a batch of jobs in order.
-func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
-	out := make([]Assignment, len(jobs))
-	for i, j := range jobs {
-		out[i] = s.Place(j)
-	}
-	return out
-}
-
-// Oracle is a ground-truth Predictor used by the simulation harness (and
-// as an upper bound in comparisons): it knows the true runtime
-// distribution of the synthetic cluster.
-type Oracle interface {
-	// TrueSeconds draws one true runtime (with measurement noise) of w on
-	// p given interferers.
-	TrueSeconds(w, p int, interferers []int) float64
-}
-
-// Outcome scores a completed simulation.
-type Outcome struct {
-	Policy   string
-	Placed   int
-	Unplaced int
-	// MissedExecutions / TotalExecutions count (job, trial) pairs whose
-	// true runtime exceeded the deadline; MissRate is their ratio. This is
-	// the per-execution quantity the conformal bound's ε controls.
-	MissedExecutions int
-	TotalExecutions  int
-	MissRate         float64
-	// AvgHeadroom is the mean (deadline - trueRuntime)/deadline over placed
-	// executions: high headroom at equal miss rate means wasteful
-	// overprovisioning.
-	AvgHeadroom float64
-}
-
-// Simulate replays assignments against the ground truth: every placed
-// job's true runtime (under the final co-location on its platform) is
-// compared to its deadline, over `trials` repeated executions capturing
-// runtime variance.
-func Simulate(policyName string, assignments []Assignment, oracle Oracle,
-	finalResidents func(p int) []int, trials int) Outcome {
-	out := Outcome{Policy: policyName}
-	if trials <= 0 {
-		trials = 1
-	}
-	var headroom float64
-	for _, a := range assignments {
-		if !a.Placed() {
-			out.Unplaced++
-			continue
-		}
-		out.Placed++
-		// Interferers: everyone else on the platform at the end.
-		var ks []int
-		for _, w := range finalResidents(a.Platform) {
-			if w != a.Job.Workload {
-				ks = append(ks, w)
-			}
-		}
-		for tr := 0; tr < trials; tr++ {
-			tt := oracle.TrueSeconds(a.Job.Workload, a.Platform, ks)
-			out.TotalExecutions++
-			if tt > a.Job.Deadline {
-				out.MissedExecutions++
-			}
-			headroom += (a.Job.Deadline - tt) / a.Job.Deadline
-		}
-	}
-	if out.TotalExecutions > 0 {
-		out.MissRate = float64(out.MissedExecutions) / float64(out.TotalExecutions)
-		out.AvgHeadroom = headroom / float64(out.TotalExecutions)
-	}
-	return out
+	// MaxInFlight bounds admission: once this many placed jobs have not
+	// yet completed, further Place calls are rejected (Assignment.Rejected)
+	// instead of queueing. 0 means no bound beyond platform capacity.
+	MaxInFlight int
+	// Strategy selects among feasible platforms; nil means LeastLoaded.
+	Strategy Strategy
+	// DisableBatch forces scalar scoring even when both the policy and the
+	// predictor support batching — the reference path batch scoring must
+	// be decision-identical to (used by tests and benchmarks).
+	DisableBatch bool
 }

@@ -1,0 +1,347 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// placedJob is one resident of a platform: the job's identity plus its
+// workload index (several jobs may run the same workload).
+type placedJob struct {
+	id       JobID
+	workload int
+}
+
+// Scheduler assigns jobs to platforms with a policy and tracks the live
+// cluster state: placements occupy colocation slots until Complete frees
+// them. Safe for concurrent use — Place, PlaceAll, Complete, and the
+// accessors may be called from any number of goroutines; the cluster state
+// is guarded by one mutex while predictor reads stay lock-free inside the
+// predictor itself.
+type Scheduler struct {
+	cfg      Config
+	policy   Policy
+	strategy Strategy
+	pred     Predictor
+
+	// bpred/bpolicy are non-nil when batched scoring is active: the
+	// predictor scores a job's whole candidate set (or a whole wave) in
+	// one call instead of one scalar call per platform.
+	bpred   BatchPredictor
+	bpolicy BatchPolicy
+
+	mu         sync.Mutex
+	residents  [][]placedJob
+	platformOf map[JobID]int
+	nextID     JobID
+
+	// scratch is the wave path's reusable working set (guarded by mu):
+	// steady-state PlaceAll waves allocate only resident snapshots and the
+	// returned assignments.
+	scratch waveScratch
+}
+
+// waveScratch holds PlaceAll's per-wave buffers for reuse across waves.
+type waveScratch struct {
+	qs        []Query
+	pre       []float64
+	scoreAt   []float64
+	snap      [][]int
+	prescored []bool
+	cands     []Candidate
+	snaps     [][]int
+	rescoreQ  []Query
+	rescore   []float64
+}
+
+// reserve grows the scratch buffers to a wave of nJ jobs over nP
+// platforms.
+func (sc *waveScratch) reserve(nP, nJ int) {
+	if cap(sc.qs) < nP*nJ {
+		sc.qs = make([]Query, 0, nP*nJ)
+		sc.pre = make([]float64, nP*nJ)
+		sc.scoreAt = make([]float64, nP*nJ)
+	}
+	if cap(sc.snap) < nP {
+		sc.snap = make([][]int, nP)
+		sc.prescored = make([]bool, nP)
+		sc.cands = make([]Candidate, 0, nP)
+		sc.snaps = make([][]int, 0, nP)
+	}
+	if cap(sc.rescoreQ) < nJ {
+		sc.rescoreQ = make([]Query, 0, nJ)
+		sc.rescore = make([]float64, nJ)
+	}
+}
+
+// New creates a scheduler. The batch scoring path engages automatically
+// when pred implements BatchPredictor and policy implements BatchPolicy
+// (all built-in policies do), unless cfg.DisableBatch is set.
+func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
+	if cfg.NumPlatforms <= 0 {
+		return nil, fmt.Errorf("sched: no platforms")
+	}
+	if cfg.MaxColocation <= 0 {
+		cfg.MaxColocation = 4
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = LeastLoaded{}
+	}
+	if cfg.MaxInFlight < 0 {
+		return nil, fmt.Errorf("sched: negative MaxInFlight")
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		policy:     policy,
+		strategy:   cfg.Strategy,
+		pred:       pred,
+		residents:  make([][]placedJob, cfg.NumPlatforms),
+		platformOf: make(map[JobID]int),
+	}
+	if !cfg.DisableBatch {
+		bp, okP := pred.(BatchPredictor)
+		bpol, okPol := policy.(BatchPolicy)
+		if okP && okPol {
+			s.bpred, s.bpolicy = bp, bpol
+		}
+	}
+	return s, nil
+}
+
+// Batched reports whether placements score candidates through the batched
+// predictor path.
+func (s *Scheduler) Batched() bool { return s.bpred != nil }
+
+// Residents returns a copy of the workloads currently placed on platform
+// p; mutating it never affects scheduler state.
+func (s *Scheduler) Residents(p int) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.residentWorkloadsLocked(p)
+}
+
+// InFlight returns the number of placed jobs that have not completed.
+func (s *Scheduler) InFlight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.platformOf)
+}
+
+// residentWorkloadsLocked builds a fresh workload-index snapshot of
+// platform p. Callers may hand it to policies or return it to callers;
+// it never aliases internal state.
+func (s *Scheduler) residentWorkloadsLocked(p int) []int {
+	rs := s.residents[p]
+	if len(rs) == 0 {
+		return nil
+	}
+	ks := make([]int, len(rs))
+	for i, r := range rs {
+		ks[i] = r.workload
+	}
+	return ks
+}
+
+// Place assigns one job: among feasible platforms (score ≤ deadline after
+// accounting for the interference the job will experience from residents),
+// the configured Strategy picks the winner. The returned assignment is
+// unplaced when no platform is feasible, and Rejected when admission
+// control refused the job outright (MaxInFlight reached).
+func (s *Scheduler) Place(job Job) Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.placeLocked(job)
+}
+
+func (s *Scheduler) placeLocked(job Job) Assignment {
+	if s.cfg.MaxInFlight > 0 && len(s.platformOf) >= s.cfg.MaxInFlight {
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true}
+	}
+	// Candidate set: platforms with a free colocation slot, each scored
+	// under a fresh resident snapshot (the snapshot may escape into the
+	// returned Assignment; the candidate/query buffers are scratch, reused
+	// across calls under the mutex).
+	sc := &s.scratch
+	sc.reserve(s.cfg.NumPlatforms, 1)
+	cands := sc.cands[:0]
+	snaps := sc.snaps[:0]
+	for p := 0; p < s.cfg.NumPlatforms; p++ {
+		if len(s.residents[p])+1 > s.cfg.MaxColocation {
+			continue
+		}
+		cands = append(cands, Candidate{Platform: p, Load: len(s.residents[p])})
+		snaps = append(snaps, s.residentWorkloadsLocked(p))
+	}
+	if s.bpred != nil {
+		qs := sc.qs[:0]
+		for i, c := range cands {
+			qs = append(qs, Query{Workload: job.Workload, Platform: c.Platform, Interferers: snaps[i]})
+		}
+		scores := sc.pre[:len(qs)]
+		s.bpolicy.ScoreBatch(s.bpred, qs, scores)
+		for i := range cands {
+			cands[i].Score = scores[i]
+		}
+	} else {
+		for i, c := range cands {
+			cands[i].Score = s.policy.Score(s.pred, job, c.Platform, snaps[i])
+		}
+	}
+	return s.commitBest(job, cands, snaps)
+}
+
+// commitBest selects the strategy-best feasible candidate and commits the
+// placement. snaps[i] is the resident snapshot cands[i] was scored under.
+func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int) Assignment {
+	bestIdx := -1
+	for i, c := range cands {
+		if math.IsNaN(c.Score) || math.IsInf(c.Score, 1) || c.Score > job.Deadline {
+			continue
+		}
+		if bestIdx < 0 || s.strategy.Better(job, c, cands[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1)}
+	}
+	best := cands[bestIdx]
+	s.nextID++
+	id := s.nextID
+	s.residents[best.Platform] = append(s.residents[best.Platform], placedJob{id: id, workload: job.Workload})
+	s.platformOf[id] = best.Platform
+	return Assignment{
+		ID:          id,
+		Job:         job,
+		Platform:    best.Platform,
+		Budget:      best.Score,
+		Interferers: snaps[bestIdx],
+	}
+}
+
+// Complete frees the colocation slot of a placed job; residents change
+// over time, so later placements see the vacancy. Returns ErrUnknownJob
+// for IDs never placed or already completed.
+func (s *Scheduler) Complete(id JobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.platformOf[id]
+	if !ok {
+		return ErrUnknownJob
+	}
+	delete(s.platformOf, id)
+	rs := s.residents[p]
+	for i := range rs {
+		if rs[i].id == id {
+			s.residents[p] = append(rs[:i], rs[i+1:]...)
+			return nil
+		}
+	}
+	// platformOf and residents are updated together under the lock; a
+	// missing entry would mean corrupted bookkeeping.
+	panic("sched: job in platformOf but not in residents")
+}
+
+// PlaceAll places a wave of jobs in arrival order, atomically with respect
+// to concurrent Place/Complete. On the batched path the whole wave is
+// pre-scored against the wave-start cluster state in a single predictor
+// call — queries are laid out platform-major so every platform's resident
+// set (and therefore its interference term) is folded once and shared
+// across all jobs in the wave. When a placement changes a platform's
+// residents mid-wave, that platform alone is eagerly re-scored for every
+// remaining job, again in one wide span with a single fold, so the score
+// cache stays current with O(1) folds per placement instead of one per
+// (job, platform) pair. Decisions are identical to calling Place per job:
+// every selection reads scores computed under the platform's current
+// residents.
+func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Assignment, len(jobs))
+	if s.bpred == nil {
+		for i, j := range jobs {
+			out[i] = s.placeLocked(j)
+		}
+		return out
+	}
+	nP, nJ := s.cfg.NumPlatforms, len(jobs)
+	sc := &s.scratch
+	sc.reserve(nP, nJ)
+
+	// Wave pre-score against the wave-start state, one batched call.
+	// Queries are built platform-major, so pre[] maps back to (p, j) by
+	// walking the platforms in the same order — no index bookkeeping.
+	qs := sc.qs[:0]
+	snap := sc.snap[:nP]
+	prescored := sc.prescored[:nP]
+	for p := 0; p < nP; p++ {
+		snap[p], prescored[p] = nil, false
+		if len(s.residents[p]) >= s.cfg.MaxColocation {
+			continue // full at wave start; can only stay full mid-wave
+		}
+		snap[p], prescored[p] = s.residentWorkloadsLocked(p), true
+		for j := range jobs {
+			qs = append(qs, Query{Workload: jobs[j].Workload, Platform: p, Interferers: snap[p]})
+		}
+	}
+	pre := sc.pre[:len(qs)]
+	s.bpolicy.ScoreBatch(s.bpred, qs, pre)
+	scoreAt := sc.scoreAt[:nP*nJ]
+	next := 0
+	for p := 0; p < nP; p++ {
+		if !prescored[p] {
+			for j := 0; j < nJ; j++ {
+				scoreAt[p*nJ+j] = math.NaN()
+			}
+			continue
+		}
+		copy(scoreAt[p*nJ:(p+1)*nJ], pre[next:next+nJ])
+		next += nJ
+	}
+
+	cands := sc.cands[:0]
+	snaps := sc.snaps[:0]
+	rescoreQ := sc.rescoreQ[:0]
+	rescore := sc.rescore[:0]
+	for j, job := range jobs {
+		if s.cfg.MaxInFlight > 0 && len(s.platformOf) >= s.cfg.MaxInFlight {
+			out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true}
+			continue
+		}
+		cands, snaps = cands[:0], snaps[:0]
+		for p := 0; p < nP; p++ {
+			if len(s.residents[p])+1 > s.cfg.MaxColocation {
+				continue
+			}
+			cands = append(cands, Candidate{
+				Platform: p,
+				Load:     len(s.residents[p]),
+				Score:    scoreAt[p*nJ+j],
+			})
+			snaps = append(snaps, snap[p])
+		}
+		out[j] = s.commitBest(job, cands, snaps)
+		p := out[j].Platform
+		if p < 0 || j+1 == nJ {
+			continue
+		}
+		// Re-score the just-dirtied platform for the remaining jobs: one
+		// span, one interference fold over its updated residents.
+		ks := s.residentWorkloadsLocked(p)
+		snap[p] = ks
+		if len(s.residents[p]) >= s.cfg.MaxColocation {
+			continue // full now; remaining jobs exclude it by the cap check
+		}
+		rescoreQ = rescoreQ[:0]
+		for r := j + 1; r < nJ; r++ {
+			rescoreQ = append(rescoreQ, Query{Workload: jobs[r].Workload, Platform: p, Interferers: ks})
+		}
+		rescore = rescore[:len(rescoreQ)]
+		s.bpolicy.ScoreBatch(s.bpred, rescoreQ, rescore)
+		for i, r := 0, j+1; r < nJ; i, r = i+1, r+1 {
+			scoreAt[p*nJ+r] = rescore[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package sched
+
+import "math"
+
+// Oracle is a ground-truth Predictor used by the simulation harnesses (and
+// as an upper bound in comparisons): it knows the true runtime
+// distribution of the synthetic cluster.
+type Oracle interface {
+	// TrueSeconds draws one true runtime (with measurement noise) of w on
+	// p given interferers.
+	TrueSeconds(w, p int, interferers []int) float64
+}
+
+// Outcome scores a completed simulation.
+type Outcome struct {
+	Policy   string
+	Placed   int
+	Unplaced int
+	// MissedExecutions / TotalExecutions count (job, trial) pairs whose
+	// true runtime exceeded the deadline; MissRate is their ratio. This is
+	// the per-execution quantity the conformal bound's ε controls.
+	MissedExecutions int
+	TotalExecutions  int
+	MissRate         float64
+	// AvgHeadroom is the mean (deadline - trueRuntime)/deadline over placed
+	// executions with finite positive deadlines: high headroom at equal
+	// miss rate means wasteful overprovisioning.
+	AvgHeadroom float64
+}
+
+// Simulate replays assignments against the ground truth: every placed
+// job's true runtime (under the final co-location on its platform) is
+// compared to its deadline, over `trials` repeated executions capturing
+// runtime variance. Executions whose deadline is not a finite positive
+// number are excluded from the headroom average — a NaN or ±Inf deadline
+// would otherwise poison every execution's mean through one bad job.
+func Simulate(policyName string, assignments []Assignment, oracle Oracle,
+	finalResidents func(p int) []int, trials int) Outcome {
+	out := Outcome{Policy: policyName}
+	if trials <= 0 {
+		trials = 1
+	}
+	var headroom float64
+	var headroomN int
+	for _, a := range assignments {
+		if !a.Placed() {
+			out.Unplaced++
+			continue
+		}
+		out.Placed++
+		// Interferers: everyone else on the platform at the end.
+		var ks []int
+		for _, w := range finalResidents(a.Platform) {
+			if w != a.Job.Workload {
+				ks = append(ks, w)
+			}
+		}
+		finiteDeadline := !math.IsNaN(a.Job.Deadline) && !math.IsInf(a.Job.Deadline, 0) && a.Job.Deadline > 0
+		for tr := 0; tr < trials; tr++ {
+			tt := oracle.TrueSeconds(a.Job.Workload, a.Platform, ks)
+			out.TotalExecutions++
+			if tt > a.Job.Deadline {
+				out.MissedExecutions++
+			}
+			if finiteDeadline {
+				headroom += (a.Job.Deadline - tt) / a.Job.Deadline
+				headroomN++
+			}
+		}
+	}
+	if out.TotalExecutions > 0 {
+		out.MissRate = float64(out.MissedExecutions) / float64(out.TotalExecutions)
+	}
+	if headroomN > 0 {
+		out.AvgHeadroom = headroom / float64(headroomN)
+	}
+	return out
+}

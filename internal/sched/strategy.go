@@ -1,0 +1,85 @@
+package sched
+
+import "fmt"
+
+// Candidate is one feasible placement option under consideration: the
+// platform, the policy score the decision is based on, and the platform's
+// load (resident count) before this job joins.
+type Candidate struct {
+	Platform int
+	Score    float64
+	Load     int
+}
+
+// Strategy selects among feasible candidates. Better reports whether a
+// strictly beats b for the job; the scheduler scans platforms in ascending
+// index order and keeps the first best, so any complete non-strict order
+// yields deterministic placements.
+type Strategy interface {
+	Name() string
+	Better(job Job, a, b Candidate) bool
+}
+
+// LeastLoaded picks the platform with the fewest residents, breaking ties
+// by the loosest score — spreading load and keeping fast platforms free
+// for tight deadlines. This is the classic headroom-preserving default.
+type LeastLoaded struct{}
+
+// Name implements Strategy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Better implements Strategy.
+func (LeastLoaded) Better(job Job, a, b Candidate) bool {
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	return a.Score > b.Score
+}
+
+// BestFit picks the feasible platform whose score sits closest to the
+// deadline (minimal headroom): jobs pack onto just-fast-enough platforms,
+// preserving the fastest ones for jobs that genuinely need them.
+type BestFit struct{}
+
+// Name implements Strategy.
+func (BestFit) Name() string { return "best-fit" }
+
+// Better implements Strategy.
+func (BestFit) Better(job Job, a, b Candidate) bool {
+	ha, hb := job.Deadline-a.Score, job.Deadline-b.Score
+	if ha != hb {
+		return ha < hb
+	}
+	return a.Load < b.Load
+}
+
+// UtilizationAware minimizes the platform's projected occupancy — the
+// score weighted by the post-placement resident count — a proxy for total
+// predicted busy-time that balances runtime cost against crowding.
+type UtilizationAware struct{}
+
+// Name implements Strategy.
+func (UtilizationAware) Name() string { return "utilization" }
+
+// Better implements Strategy.
+func (UtilizationAware) Better(job Job, a, b Candidate) bool {
+	ua, ub := a.Score*float64(a.Load+1), b.Score*float64(b.Load+1)
+	if ua != ub {
+		return ua < ub
+	}
+	return a.Load < b.Load
+}
+
+// ParseStrategy resolves a strategy by name: "least-loaded", "best-fit",
+// or "utilization".
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "", "least-loaded":
+		return LeastLoaded{}, nil
+	case "best-fit":
+		return BestFit{}, nil
+	case "utilization":
+		return UtilizationAware{}, nil
+	}
+	return nil, fmt.Errorf("sched: unknown strategy %q (want least-loaded, best-fit, or utilization)", name)
+}

@@ -1,0 +1,243 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// StreamConfig configures one streaming replay: a Poisson arrival process
+// of deadline jobs placed against the live cluster state, with true-runtime
+// departures freeing colocation slots and, optionally, measured runtimes
+// fed back to the predictor online.
+type StreamConfig struct {
+	// Jobs is the total number of arrivals.
+	Jobs int
+	// ArrivalRate is the mean number of arrivals per (simulated) second;
+	// inter-arrival times are exponential. Default 1.
+	ArrivalRate float64
+	// FeedbackEvery flushes buffered measurements to the Observer after
+	// every that many completions (0 disables feedback even when an
+	// Observer is supplied).
+	FeedbackEvery int
+}
+
+// StreamResult aggregates one streaming replay (or several, via
+// AggregateStream).
+type StreamResult struct {
+	Policy   string
+	Strategy string
+	Arrived  int
+	Placed   int
+	Unplaced int
+	// Rejected counts admission-control refusals (cluster at MaxInFlight).
+	Rejected  int
+	Completed int
+	// Missed counts placed jobs whose true runtime exceeded the deadline;
+	// MissRate is Missed/Placed — the per-execution quantity the bound
+	// policy's eps controls.
+	Missed   int
+	MissRate float64
+	// AvgHeadroom is the mean (deadline−runtime)/deadline over placed jobs
+	// with finite positive deadlines.
+	AvgHeadroom float64
+	headroomSum float64
+	headroomN   int
+	// PostPlaced/PostMissed restrict to jobs placed after the first online
+	// feedback update was absorbed — the "after Observe" miss rate the
+	// feedback loop is judged on. Zero-valued without feedback.
+	PostPlaced   int
+	PostMissed   int
+	PostMissRate float64
+	// Observed counts measurements fed back to the Observer.
+	Observed int
+}
+
+func (r *StreamResult) finalize() {
+	if r.Placed > 0 {
+		r.MissRate = float64(r.Missed) / float64(r.Placed)
+	}
+	if r.headroomN > 0 {
+		r.AvgHeadroom = r.headroomSum / float64(r.headroomN)
+	}
+	if r.PostPlaced > 0 {
+		r.PostMissRate = float64(r.PostMissed) / float64(r.PostPlaced)
+	}
+}
+
+// JobSource generates the i-th arriving job of a trial.
+type JobSource func(rng *rand.Rand, i int) Job
+
+// event is one entry of the simulation clock: a job arrival or a placed
+// job's completion.
+type event struct {
+	t   float64
+	seq int // tie-break: deterministic order for simultaneous events
+	// arrival
+	arrival bool
+	jobIdx  int
+	// completion (miss/post accounting happens at placement time, when the
+	// runtime is drawn; the completion event only frees the slot and
+	// carries the measurement for feedback)
+	id JobID
+	m  Measurement
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Stream runs one event-driven replay: jobs arrive with exponential
+// inter-arrival times, each placement's true runtime is drawn from the
+// oracle under the interference it was placed into, its completion frees
+// the colocation slot, and (with obs non-nil and FeedbackEvery > 0)
+// measured runtimes are flushed to the Observer in batches — after which
+// the predictor serves updated estimates and recalibrated bounds to
+// subsequent placements. Deterministic given rng.
+func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs Observer, rng *rand.Rand) (StreamResult, error) {
+	res := StreamResult{Policy: s.policy.Name(), Strategy: s.strategy.Name()}
+	if cfg.Jobs <= 0 {
+		return res, nil
+	}
+	rate := cfg.ArrivalRate
+	if rate <= 0 {
+		rate = 1
+	}
+	var (
+		h       eventHeap
+		seq     int
+		pending []Measurement
+		post    bool // at least one feedback update has been absorbed
+	)
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&h, e)
+	}
+	push(event{t: rng.ExpFloat64() / rate, arrival: true, jobIdx: 0})
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.arrival {
+			if e.jobIdx+1 < cfg.Jobs {
+				push(event{t: e.t + rng.ExpFloat64()/rate, arrival: true, jobIdx: e.jobIdx + 1})
+			}
+			job := source(rng, e.jobIdx)
+			res.Arrived++
+			a := s.Place(job)
+			switch {
+			case a.Rejected:
+				res.Rejected++
+			case !a.Placed():
+				res.Unplaced++
+			default:
+				res.Placed++
+				rt := oracle.TrueSeconds(job.Workload, a.Platform, a.Interferers)
+				finite := !math.IsNaN(job.Deadline) && !math.IsInf(job.Deadline, 0) && job.Deadline > 0
+				miss := rt > job.Deadline
+				if miss {
+					res.Missed++
+				}
+				if finite {
+					res.headroomSum += (job.Deadline - rt) / job.Deadline
+					res.headroomN++
+				}
+				if post {
+					res.PostPlaced++
+					if miss {
+						res.PostMissed++
+					}
+				}
+				push(event{
+					t: e.t + rt, id: a.ID,
+					m: Measurement{Workload: job.Workload, Platform: a.Platform, Interferers: a.Interferers, Seconds: rt},
+				})
+			}
+			continue
+		}
+		if err := s.Complete(e.id); err != nil {
+			return res, fmt.Errorf("sched: stream completion: %w", err)
+		}
+		res.Completed++
+		if obs != nil && cfg.FeedbackEvery > 0 {
+			pending = append(pending, e.m)
+			if len(pending) >= cfg.FeedbackEvery {
+				if err := obs.ObserveSeconds(pending); err != nil {
+					return res, fmt.Errorf("sched: stream feedback: %w", err)
+				}
+				res.Observed += len(pending)
+				pending = nil
+				post = true
+			}
+		}
+	}
+	res.finalize()
+	return res, nil
+}
+
+// StreamTrials runs independent replays of run and aggregates them. With
+// parallel set, trials execute concurrently — safe when the trials share a
+// predictor read-only (predictor reads are lock-free); feedback trials
+// mutate the predictor and should run sequentially.
+func StreamTrials(trials int, parallel bool, run func(trial int) (StreamResult, error)) ([]StreamResult, StreamResult, error) {
+	if trials <= 0 {
+		trials = 1
+	}
+	results := make([]StreamResult, trials)
+	errs := make([]error, trials)
+	if parallel {
+		var wg sync.WaitGroup
+		for tr := 0; tr < trials; tr++ {
+			wg.Add(1)
+			go func(tr int) {
+				defer wg.Done()
+				results[tr], errs[tr] = run(tr)
+			}(tr)
+		}
+		wg.Wait()
+	} else {
+		for tr := 0; tr < trials; tr++ {
+			results[tr], errs[tr] = run(tr)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, StreamResult{}, err
+		}
+	}
+	return results, AggregateStream(results), nil
+}
+
+// AggregateStream sums the counts of several replays and recomputes the
+// derived rates.
+func AggregateStream(rs []StreamResult) StreamResult {
+	var agg StreamResult
+	for i, r := range rs {
+		if i == 0 {
+			agg.Policy, agg.Strategy = r.Policy, r.Strategy
+		}
+		agg.Arrived += r.Arrived
+		agg.Placed += r.Placed
+		agg.Unplaced += r.Unplaced
+		agg.Rejected += r.Rejected
+		agg.Completed += r.Completed
+		agg.Missed += r.Missed
+		agg.headroomSum += r.headroomSum
+		agg.headroomN += r.headroomN
+		agg.PostPlaced += r.PostPlaced
+		agg.PostMissed += r.PostMissed
+		agg.Observed += r.Observed
+	}
+	agg.finalize()
+	return agg
+}

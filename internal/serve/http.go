@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	pitot "repro"
+	"repro/internal/sched"
 )
 
 // EstimateRequest is the JSON body of POST /estimate and (with Eps) of
@@ -45,6 +46,54 @@ type ObserveResponse struct {
 	Version  uint64 `json:"version"`
 }
 
+// JobSpec is one placement request inside POST /place.
+type JobSpec struct {
+	Workload int     `json:"workload"`
+	Deadline float64 `json:"deadline"`
+}
+
+// PlaceRequest is the JSON body of POST /place: a wave of jobs placed in
+// order against the live cluster state, scored in one batched predictor
+// pass.
+type PlaceRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// AssignmentJSON is one placement decision in the /place reply. Platform
+// is -1 when the job was not placed; Rejected distinguishes admission
+// refusal (cluster at capacity) from infeasibility. Budget is omitted for
+// unplaced jobs (it would be +Inf, which JSON cannot carry).
+type AssignmentJSON struct {
+	ID       uint64  `json:"id,omitempty"`
+	Workload int     `json:"workload"`
+	Deadline float64 `json:"deadline"`
+	Platform int     `json:"platform"`
+	Budget   float64 `json:"budget,omitempty"`
+	Placed   bool    `json:"placed"`
+	Rejected bool    `json:"rejected,omitempty"`
+}
+
+// PlaceResponse is the JSON reply of POST /place. Version is the model
+// snapshot version at reply time, as in PredictionResponse.
+type PlaceResponse struct {
+	Assignments []AssignmentJSON `json:"assignments"`
+	Placed      int              `json:"placed"`
+	Version     uint64           `json:"version"`
+}
+
+// CompleteRequest is the JSON body of POST /complete: job IDs (from
+// /place) whose executions finished, freeing their colocation slots.
+type CompleteRequest struct {
+	IDs []uint64 `json:"ids"`
+}
+
+// CompleteResponse is the JSON reply of POST /complete. Unknown lists IDs
+// that were never placed or had already completed.
+type CompleteResponse struct {
+	Completed int      `json:"completed"`
+	Unknown   []uint64 `json:"unknown,omitempty"`
+}
+
 // HealthResponse is the JSON reply of /healthz.
 type HealthResponse struct {
 	OK           bool    `json:"ok"`
@@ -65,7 +114,10 @@ type errorResponse struct {
 //	POST /estimate  — one query through the micro-batched estimate path
 //	POST /bound     — one query through the micro-batched bound path
 //	POST /observe   — feed measurements; publishes a new model snapshot
+//	POST /place     — place a wave of deadline jobs (requires EnablePlacement)
+//	POST /complete  — retire placed jobs, freeing colocation slots
 //	GET  /healthz   — liveness, snapshot info, and serving metrics
+//	GET  /metrics   — Prometheus plain-text exposition of the same counters
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
@@ -75,7 +127,10 @@ func NewHandler(s *Server) http.Handler {
 		s.handlePrediction(w, r, true)
 	})
 	mux.HandleFunc("/observe", s.handleObserve)
+	mux.HandleFunc("/place", s.handlePlace)
+	mux.HandleFunc("/complete", s.handleComplete)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -179,6 +234,111 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		Accepted: len(req.Observations),
 		Version:  s.Info().Version,
 	})
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.placer == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrPlacementDisabled)
+		return
+	}
+	var req PlaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no jobs"))
+		return
+	}
+	info := s.Info()
+	jobs := make([]sched.Job, len(req.Jobs))
+	for i, j := range req.Jobs {
+		if j.Workload < 0 || j.Workload >= info.Workloads {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("job %d: workload %d out of range [0,%d)", i, j.Workload, info.Workloads))
+			return
+		}
+		if !(j.Deadline > 0) || math.IsInf(j.Deadline, 1) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("job %d: deadline must be a finite positive number of seconds", i))
+			return
+		}
+		jobs[i] = sched.Job{Workload: j.Workload, Deadline: j.Deadline}
+	}
+	as, err := s.PlaceJobs(jobs)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := PlaceResponse{Assignments: make([]AssignmentJSON, len(as)), Version: s.Info().Version}
+	for i, a := range as {
+		aj := AssignmentJSON{
+			ID:       uint64(a.ID),
+			Workload: a.Job.Workload,
+			Deadline: a.Job.Deadline,
+			Platform: a.Platform,
+			Placed:   a.Placed(),
+			Rejected: a.Rejected,
+		}
+		if a.Placed() {
+			aj.Budget = a.Budget
+			resp.Placed++
+		}
+		resp.Assignments[i] = aj
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.placer == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrPlacementDisabled)
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no ids"))
+		return
+	}
+	ids := make([]sched.JobID, len(req.IDs))
+	for i, id := range req.IDs {
+		ids[i] = sched.JobID(id)
+	}
+	ok, err := s.CompleteJobs(ids)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	resp := CompleteResponse{}
+	for i, o := range ok {
+		if o {
+			resp.Completed++
+		} else {
+			resp.Unknown = append(resp.Unknown, req.IDs[i])
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.WritePrometheus(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

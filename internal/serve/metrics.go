@@ -32,6 +32,13 @@ type metrics struct {
 	timeoutFlushes counter
 	inlineFlushes  counter
 
+	// Placement lifecycle (populated only when EnablePlacement ran).
+	placed          counter
+	placeUnplaced   counter
+	placeRejected   counter
+	completed       counter
+	completeUnknown counter
+
 	perSnap   sync.Map // uint64 (snapshot version) -> *snapCounters
 	snapCount counter  // approximate entry count, drives pruning
 	pruneMu   sync.Mutex
@@ -112,6 +119,16 @@ type Metrics struct {
 	TimeoutFlushes int64 `json:"timeout_flushes"`
 	InlineFlushes  int64 `json:"inline_flushes"`
 
+	// Placement lifecycle counters: jobs placed, infeasible (no platform
+	// meets the deadline), rejected by admission control, completions, and
+	// completion calls for unknown/already-retired jobs. All zero unless
+	// placement is enabled.
+	Placed          int64 `json:"placed,omitempty"`
+	PlaceUnplaced   int64 `json:"place_unplaced,omitempty"`
+	PlaceRejected   int64 `json:"place_rejected,omitempty"`
+	Completed       int64 `json:"completed,omitempty"`
+	CompleteUnknown int64 `json:"complete_unknown,omitempty"`
+
 	// PerSnapshot is ordered by snapshot version; only the newest
 	// maxSnapshotRetention versions are retained.
 	PerSnapshot []SnapshotMetrics `json:"per_snapshot,omitempty"`
@@ -123,14 +140,19 @@ type Metrics struct {
 func (s *Server) Metrics() Metrics {
 	m := &s.metrics
 	out := Metrics{
-		Requests:       m.requests.Load(),
-		Rejected:       m.rejected.Load(),
-		Observes:       m.observes.Load(),
-		ObserveErrors:  m.observeErrors.Load(),
-		FullFlushes:    m.fullFlushes.Load(),
-		IdleFlushes:    m.idleFlushes.Load(),
-		TimeoutFlushes: m.timeoutFlushes.Load(),
-		InlineFlushes:  m.inlineFlushes.Load(),
+		Requests:        m.requests.Load(),
+		Rejected:        m.rejected.Load(),
+		Observes:        m.observes.Load(),
+		ObserveErrors:   m.observeErrors.Load(),
+		FullFlushes:     m.fullFlushes.Load(),
+		IdleFlushes:     m.idleFlushes.Load(),
+		TimeoutFlushes:  m.timeoutFlushes.Load(),
+		InlineFlushes:   m.inlineFlushes.Load(),
+		Placed:          m.placed.Load(),
+		PlaceUnplaced:   m.placeUnplaced.Load(),
+		PlaceRejected:   m.placeRejected.Load(),
+		Completed:       m.completed.Load(),
+		CompleteUnknown: m.completeUnknown.Load(),
 	}
 	m.perSnap.Range(func(k, v any) bool {
 		sc := v.(*snapCounters)

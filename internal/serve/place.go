@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	pitot "repro"
+	"repro/internal/sched"
+)
+
+// PlacementConfig enables the /place orchestration surface: the daemon
+// holds a live sched.Scheduler over the serving predictor and serves
+// placement decisions against the current model snapshot.
+type PlacementConfig struct {
+	// Platforms in the cluster; 0 uses the predictor's platform count.
+	Platforms int
+	// MaxColocation caps workloads per platform (default 4).
+	MaxColocation int
+	// MaxInFlight bounds admission; 0 = platform capacity only.
+	MaxInFlight int
+	// Policy is "bound" (default), "mean", or "padded".
+	Policy string
+	// Eps is the bound policy's per-job miss budget (default 0.1).
+	Eps float64
+	// PadFactor is the padded policy's safety factor (default 1.3).
+	PadFactor float64
+	// Strategy is "least-loaded" (default), "best-fit", or "utilization".
+	Strategy string
+}
+
+// backendPredictor adapts the serving Backend to sched.BatchPredictor:
+// placement scoring goes straight to the vectorized batch calls (already a
+// batch — micro-batching single calls would only add hand-offs), with
+// errors mapped to +Inf per the scheduler's infeasibility convention.
+type backendPredictor struct{ be Backend }
+
+func (b backendPredictor) EstimateSeconds(w, pl int, interferers []int) float64 {
+	return b.be.Estimate(w, pl, interferers)
+}
+
+func (b backendPredictor) BoundSeconds(w, pl int, interferers []int, eps float64) float64 {
+	v, err := b.be.Bound(w, pl, interferers, eps)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return v
+}
+
+func (b backendPredictor) EstimateSecondsBatch(qs []pitot.Query) []float64 {
+	return b.be.EstimateBatch(qs)
+}
+
+func (b backendPredictor) BoundSecondsBatch(qs []pitot.Query, eps float64) []float64 {
+	out, err := b.be.BoundBatch(qs, eps)
+	if err != nil {
+		out = make([]float64, len(qs))
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// EnablePlacement constructs the placement engine. Must be called before
+// the handler serves /place; not safe to call concurrently with requests.
+func (s *Server) EnablePlacement(pc PlacementConfig) error {
+	if pc.Platforms == 0 {
+		pc.Platforms = s.be.Info().Platforms
+	}
+	if pc.Policy == "" {
+		pc.Policy = "bound"
+	}
+	if pc.Eps == 0 {
+		pc.Eps = 0.1
+	}
+	if pc.Policy == "bound" && !s.be.Info().Bounds {
+		return fmt.Errorf("serve: bound placement policy needs a quantile model (train with bounds)")
+	}
+	pol, err := sched.ParsePolicy(pc.Policy, pc.Eps, pc.PadFactor)
+	if err != nil {
+		return err
+	}
+	strat, err := sched.ParseStrategy(pc.Strategy)
+	if err != nil {
+		return err
+	}
+	placer, err := sched.New(sched.Config{
+		NumPlatforms:  pc.Platforms,
+		MaxColocation: pc.MaxColocation,
+		MaxInFlight:   pc.MaxInFlight,
+		Strategy:      strat,
+	}, pol, backendPredictor{s.be})
+	if err != nil {
+		return err
+	}
+	s.placer = placer
+	s.placementPolicy = pol.Name()
+	s.placementStrategy = strat.Name()
+	return nil
+}
+
+// Placer returns the placement engine, nil unless EnablePlacement ran.
+func (s *Server) Placer() *sched.Scheduler { return s.placer }
+
+// PlaceJobs places a wave of jobs through the placement engine, updating
+// the serving metrics.
+func (s *Server) PlaceJobs(jobs []sched.Job) ([]sched.Assignment, error) {
+	if s.placer == nil {
+		return nil, ErrPlacementDisabled
+	}
+	as := s.placer.PlaceAll(jobs)
+	for _, a := range as {
+		switch {
+		case a.Rejected:
+			s.metrics.placeRejected.Add(1)
+		case !a.Placed():
+			s.metrics.placeUnplaced.Add(1)
+		default:
+			s.metrics.placed.Add(1)
+		}
+	}
+	return as, nil
+}
+
+// CompleteJobs retires placed jobs, freeing their colocation slots; the
+// returned slice flags per-ID success.
+func (s *Server) CompleteJobs(ids []sched.JobID) ([]bool, error) {
+	if s.placer == nil {
+		return nil, ErrPlacementDisabled
+	}
+	ok := make([]bool, len(ids))
+	for i, id := range ids {
+		if err := s.placer.Complete(id); err == nil {
+			ok[i] = true
+			s.metrics.completed.Add(1)
+		} else {
+			s.metrics.completeUnknown.Add(1)
+		}
+	}
+	return ok, nil
+}

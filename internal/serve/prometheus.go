@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the server's counters and snapshot gauges in the
+// Prometheus plain-text exposition format (version 0.0.4) — the scrape
+// surface behind GET /metrics. Counter semantics match Metrics; snapshot
+// attribution appears as version-labeled series over the retained window.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	m := s.Metrics()
+	info := s.Info()
+	var b strings.Builder
+
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	c("pitot_requests_total", "Prediction requests admitted (estimate and bound).", m.Requests)
+	c("pitot_rejected_total", "Requests rejected by admission control (queue full).", m.Rejected)
+	c("pitot_observes_total", "Observe calls forwarded to the predictor.", m.Observes)
+	c("pitot_observe_errors_total", "Observe calls that returned an error.", m.ObserveErrors)
+	c("pitot_flushes_full_total", "Batches flushed at MaxBatch.", m.FullFlushes)
+	c("pitot_flushes_idle_total", "Batches flushed because the pipeline was idle.", m.IdleFlushes)
+	c("pitot_flushes_timeout_total", "Batches released by the window timer behind an in-flight flush.", m.TimeoutFlushes)
+	c("pitot_flushes_inline_total", "Single queries served synchronously on the caller's goroutine.", m.InlineFlushes)
+	if s.placer != nil {
+		c("pitot_placed_total", "Jobs placed on a platform.", m.Placed)
+		c("pitot_place_unplaced_total", "Jobs with no feasible platform.", m.PlaceUnplaced)
+		c("pitot_place_rejected_total", "Jobs rejected by placement admission control.", m.PlaceRejected)
+		c("pitot_completed_total", "Placed jobs retired via /complete.", m.Completed)
+		c("pitot_complete_unknown_total", "Completion calls for unknown or already-retired jobs.", m.CompleteUnknown)
+		fmt.Fprintf(&b, "# HELP pitot_place_in_flight Placed jobs not yet completed.\n# TYPE pitot_place_in_flight gauge\npitot_place_in_flight %d\n",
+			s.placer.InFlight())
+	}
+
+	fmt.Fprintf(&b, "# HELP pitot_snapshot_version Currently published model snapshot version.\n# TYPE pitot_snapshot_version gauge\npitot_snapshot_version %d\n", info.Version)
+	fmt.Fprintf(&b, "# HELP pitot_snapshot_observations Dataset size of the published snapshot.\n# TYPE pitot_snapshot_observations gauge\npitot_snapshot_observations %d\n", info.Observations)
+
+	sort.Slice(m.PerSnapshot, func(i, j int) bool { return m.PerSnapshot[i].Version < m.PerSnapshot[j].Version })
+	fmt.Fprintf(&b, "# HELP pitot_snapshot_batches_total Batches served per model snapshot (retained window).\n# TYPE pitot_snapshot_batches_total counter\n")
+	for _, sm := range m.PerSnapshot {
+		fmt.Fprintf(&b, "pitot_snapshot_batches_total{version=\"%d\"} %d\n", sm.Version, sm.Batches)
+	}
+	fmt.Fprintf(&b, "# HELP pitot_snapshot_queries_total Queries served per model snapshot (retained window).\n# TYPE pitot_snapshot_queries_total counter\n")
+	for _, sm := range m.PerSnapshot {
+		fmt.Fprintf(&b, "pitot_snapshot_queries_total{version=\"%d\"} %d\n", sm.Version, sm.Queries)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

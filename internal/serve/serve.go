@@ -31,6 +31,7 @@ import (
 	"time"
 
 	pitot "repro"
+	"repro/internal/sched"
 )
 
 // Backend is the predictor surface the server batches over. *pitot.Predictor
@@ -53,6 +54,10 @@ var ErrOverloaded = errors.New("serve: overloaded, request queue full")
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrPlacementDisabled is returned for placement calls when
+// EnablePlacement was never configured.
+var ErrPlacementDisabled = errors.New("serve: placement not enabled")
 
 // Config tunes the micro-batching window and admission control.
 type Config struct {
@@ -120,6 +125,13 @@ type Server struct {
 	flushes       sync.WaitGroup
 
 	metrics metrics
+
+	// placer is the optional orchestration engine behind /place; nil until
+	// EnablePlacement. Its decisions read the same lock-free snapshot the
+	// prediction paths serve.
+	placer            *sched.Scheduler
+	placementPolicy   string
+	placementStrategy string
 }
 
 // New starts a server over the backend.

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eval"
+	"repro/internal/sched"
 	"repro/internal/wasmcluster"
 )
 
@@ -356,6 +357,13 @@ func (p *Predictor) InterferenceNorm(platform int) float64 {
 	return p.snap.Load().mean.InterferenceNorm(platform)
 }
 
+// The facade is the orchestration engine's batch-scoring predictor and its
+// online-feedback sink.
+var (
+	_ sched.BatchPredictor = (*Predictor)(nil)
+	_ sched.Observer       = (*Predictor)(nil)
+)
+
 // EstimateSeconds is Estimate under the name internal/sched.Predictor
 // expects, so a trained Predictor plugs directly into the scheduler.
 func (p *Predictor) EstimateSeconds(w, pl int, interferers []int) float64 {
@@ -370,6 +378,48 @@ func (p *Predictor) BoundSeconds(w, pl int, interferers []int, eps float64) floa
 		return math.Inf(1)
 	}
 	return b
+}
+
+// EstimateSecondsBatch is EstimateBatch under the sched.BatchPredictor
+// name: the scheduler scores a job's whole candidate set (or a whole wave
+// of jobs) in one vectorized pass instead of one scalar call per platform.
+func (p *Predictor) EstimateSecondsBatch(qs []Query) []float64 {
+	return p.EstimateBatch(qs)
+}
+
+// BoundSecondsBatch is BoundBatch with errors mapped to +Inf per query
+// (every candidate infeasible), matching sched.BatchPredictor. The whole
+// batch shares one conformal calibration fetch and one model snapshot.
+func (p *Predictor) BoundSecondsBatch(qs []Query, eps float64) []float64 {
+	out, err := p.BoundBatch(qs, eps)
+	if err != nil {
+		out = make([]float64, len(qs))
+		for i := range out {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// ObserveSeconds is the orchestration feedback bridge: measured runtimes
+// reported by the simulator or a live orchestrator (sched.Measurement) are
+// converted to dataset observations and absorbed via Observe, fine-tuning
+// the models and folding the measurements into the conformal calibration
+// pool of the next snapshot. Implements sched.Observer.
+func (p *Predictor) ObserveSeconds(ms []sched.Measurement) error {
+	if len(ms) == 0 {
+		return fmt.Errorf("pitot: no measurements")
+	}
+	obs := make([]Observation, len(ms))
+	for i, m := range ms {
+		obs[i] = Observation{
+			Workload:    m.Workload,
+			Platform:    m.Platform,
+			Interferers: m.Interferers,
+			Seconds:     m.Seconds,
+		}
+	}
+	return p.Observe(obs)
 }
 
 // Observe incorporates freshly measured observations into the predictor —
