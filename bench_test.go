@@ -489,6 +489,76 @@ func runPlacementBench(b *testing.B, s *sched.Scheduler, wave []sched.Job) {
 	b.ReportMetric(float64(placed)/b.Elapsed().Seconds(), "placements/s")
 }
 
+// benchScoreSetup trains a bounds-enabled predictor and builds the
+// 24-platform scheduler scan both heads are consumed over: every workload
+// on every platform against the platform's resident set.
+func benchScoreSetup(b *testing.B) (*Predictor, []Query) {
+	b.Helper()
+	ds := GenerateDataset(DatasetConfig{
+		Seed: 1, NumWorkloads: 40, MaxDevices: 8, SetsPerDegree: 15,
+	})
+	const platforms = 24
+	if ds.NumPlatforms() < platforms {
+		b.Fatalf("dataset has %d platforms, need %d", ds.NumPlatforms(), platforms)
+	}
+	cfg := DefaultModelConfig(1)
+	cfg.Steps = 60
+	cfg.EvalEvery = 30
+	pred, err := Train(ds, Options{Seed: 1, Model: &cfg, EnableBounds: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var qs []Query
+	for p := 0; p < platforms; p++ {
+		resident := []int{p % ds.NumWorkloads(), (p + 7) % ds.NumWorkloads(), (p + 13) % ds.NumWorkloads()}
+		for w := 0; w < ds.NumWorkloads(); w++ {
+			qs = append(qs, Query{Workload: w, Platform: p, Interferers: resident})
+		}
+	}
+	// Prime the conformal bounder so calibration cost stays out of the
+	// timed loop for both variants.
+	if _, err := pred.BoundBatch(qs[:1], 0.1); err != nil {
+		b.Fatal(err)
+	}
+	return pred, qs
+}
+
+// BenchmarkScoreTwoPass24 serves a mixed mean/bound policy the pre-fusion
+// way: back-to-back EstimateBatch + BoundBatch over the same queries (two
+// span traversals, two interference folds per platform, a per-query
+// conformal pool lookup).
+func BenchmarkScoreTwoPass24(b *testing.B) {
+	pred, qs := benchScoreSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean := pred.EstimateBatch(qs)
+		bound, err := pred.BoundBatch(qs, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFloat = mean[0] + bound[0]
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkScoreFused24 serves both heads through the fused ScoreBatch:
+// one span traversal, one fold per (platform, model), the conformal offset
+// hoisted per span. Outputs are bitwise-identical to the two-pass variant.
+func BenchmarkScoreFused24(b *testing.B) {
+	pred, qs := benchScoreSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mean, bound, err := pred.ScoreBatch(qs, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkFloat = mean[0] + bound[0]
+	}
+	b.ReportMetric(float64(len(qs))*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
 // BenchmarkPlacementScalar24 scores every candidate platform with one
 // scalar BoundSeconds call — the pre-engine serving pattern.
 func BenchmarkPlacementScalar24(b *testing.B) {

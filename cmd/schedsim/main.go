@@ -14,18 +14,27 @@
 //	schedsim [-seed 1] [-jobs 200] [-eps 0.1] [-steps 1200]
 //	         [-policy all] [-strategy least-loaded]
 //	         [-arrival-rate 2] [-trials 4]
-//	         [-colocation 4] [-max-inflight 0]
-//	         [-feedback] [-feedback-every 25]
+//	         [-colocation 4] [-max-inflight 0] [-chunk 0]
+//	         [-retry-limit 3]
+//	         [-feedback] [-feedback-every 25] [-feedback-interval 0]
 //
 // Flags:
 //
-//	-policy         comma-separated subset of mean,padded,bound — or "all"
-//	-strategy       least-loaded, best-fit, or utilization
-//	-arrival-rate   mean job arrivals per simulated second (Poisson)
-//	-trials         independent replays (run in parallel; aggregated)
-//	-feedback       additionally run the bound policy with online feedback
-//	                and report its miss rate after the Observe updates
-//	-feedback-every flush measured runtimes to Observe every N completions
+//	-policy            comma-separated subset of mean,padded,bound,
+//	                   mean-bound,padded-bound — or "all"
+//	-strategy          least-loaded, best-fit, or utilization
+//	-arrival-rate      mean job arrivals per simulated second (Poisson)
+//	-trials            independent replays (run in parallel; aggregated)
+//	-chunk             jobs placed per scheduler-lock hold (0 default,
+//	                   negative = whole wave)
+//	-retry-limit       re-queue failed placements for up to N retries after
+//	                   subsequent completions (0 drops them immediately)
+//	-feedback          additionally run the bound policy with online feedback
+//	                   and report its miss rate after the Observe updates
+//	-feedback-every    flush measured runtimes to Observe every N completions
+//	-feedback-interval also flush whenever this many simulated seconds
+//	                   passed since the last flush (0 = count trigger only),
+//	                   amortizing Observe cost on sparse completion streams
 package main
 
 import (
@@ -64,8 +73,11 @@ func main() {
 		trials      = flag.Int("trials", 4, "independent replay trials (parallel)")
 		coloc       = flag.Int("colocation", 4, "max workloads per platform")
 		maxInFlight = flag.Int("max-inflight", 0, "admission bound on in-flight jobs (0 = capacity only)")
+		chunk       = flag.Int("chunk", 0, "jobs placed per scheduler-lock hold (0 = default, negative = whole wave)")
+		retryLimit  = flag.Int("retry-limit", 3, "retry failed placements after later completions, up to N attempts each (0 = drop)")
 		feedback    = flag.Bool("feedback", false, "run the bound policy with online Observe feedback and compare")
 		fbEvery     = flag.Int("feedback-every", 25, "feed measurements back every N completions")
+		fbInterval  = flag.Float64("feedback-interval", 0, "also flush after this many simulated seconds since the last flush (0 = off)")
 	)
 	flag.Parse()
 
@@ -87,7 +99,7 @@ func main() {
 	var policies []sched.Policy
 	names := *policyFlag
 	if names == "all" {
-		names = "mean,padded,bound"
+		names = "mean,padded,bound,mean-bound,padded-bound"
 	}
 	for _, n := range strings.Split(names, ",") {
 		pol, err := sched.ParsePolicy(strings.TrimSpace(n), *eps, 1.3)
@@ -114,13 +126,14 @@ func main() {
 		}
 	}
 
-	scfg := sched.StreamConfig{Jobs: *jobs, ArrivalRate: *arrivalRate}
-	runTrial := func(pol sched.Policy, obs sched.Observer, fbEvery int) func(tr int) (sched.StreamResult, error) {
+	scfg := sched.StreamConfig{Jobs: *jobs, ArrivalRate: *arrivalRate, RetryLimit: *retryLimit}
+	runTrial := func(pol sched.Policy, obs sched.Observer, fbEvery int, fbInterval float64) func(tr int) (sched.StreamResult, error) {
 		return func(tr int) (sched.StreamResult, error) {
 			s, err := sched.New(sched.Config{
 				NumPlatforms:  ds.NumPlatforms(),
 				MaxColocation: *coloc,
 				MaxInFlight:   *maxInFlight,
+				WaveChunk:     *chunk,
 				Strategy:      strategy,
 			}, pol, pred)
 			if err != nil {
@@ -128,6 +141,7 @@ func main() {
 			}
 			cfg := scfg
 			cfg.FeedbackEvery = fbEvery
+			cfg.FeedbackInterval = fbInterval
 			stream := streams[tr]
 			source := func(_ *rand.Rand, i int) sched.Job { return stream[i] }
 			orc := &oracle{cluster, rand.New(rand.NewSource(*seed + 99 + int64(tr)*509))}
@@ -135,30 +149,45 @@ func main() {
 		}
 	}
 
-	fmt.Printf("streaming %d jobs/trial x %d trials at rate %.1f/s on %d platforms (strategy %s); bound targets <=%.0f%% misses\n\n",
-		*jobs, *trials, *arrivalRate, ds.NumPlatforms(), strategy.Name(), 100**eps)
-	fmt.Printf("%-16s %8s %9s %9s %10s %10s\n", "policy", "placed", "unplaced", "rejected", "miss-rate", "headroom")
+	fmt.Printf("streaming %d jobs/trial x %d trials at rate %.1f/s on %d platforms (strategy %s, retry-limit %d); bound targets <=%.0f%% misses\n\n",
+		*jobs, *trials, *arrivalRate, ds.NumPlatforms(), strategy.Name(), *retryLimit, 100**eps)
+	fmt.Printf("%-24s %8s %9s %9s %10s %9s %8s %9s\n",
+		"policy", "placed", "unplaced", "rejected", "miss-rate", "headroom", "retried", "retry-ok")
 	sweep := map[string]sched.StreamResult{}
 	for _, pol := range policies {
-		_, agg, err := sched.StreamTrials(*trials, true, runTrial(pol, nil, 0))
+		_, agg, err := sched.StreamTrials(*trials, true, runTrial(pol, nil, 0, 0))
 		if err != nil {
 			log.Fatal(err)
 		}
 		sweep[agg.Policy] = agg
-		fmt.Printf("%-16s %8d %9d %9d %9.1f%% %9.1f%%\n",
-			agg.Policy, agg.Placed, agg.Unplaced, agg.Rejected, 100*agg.MissRate, 100*agg.AvgHeadroom)
+		retryOK := "-"
+		if agg.RetryQueued > 0 {
+			retryOK = fmt.Sprintf("%.1f%%", 100*agg.RetryRate)
+		}
+		fmt.Printf("%-24s %8d %9d %9d %9.1f%% %8.1f%% %8d %9s\n",
+			agg.Policy, agg.Placed, agg.Unplaced, agg.Rejected, 100*agg.MissRate, 100*agg.AvgHeadroom,
+			agg.RetryQueued, retryOK)
 	}
 	fmt.Println("\nmiss-rate: fraction of placed jobs whose true runtime exceeded the deadline")
 	fmt.Println("headroom:  mean unused fraction of the deadline (high = overprovisioned)")
+	fmt.Println("retried:   jobs that entered the deferral queue after a failed placement;")
+	fmt.Println("retry-ok:  share of them eventually placed by a retry (the retry success rate)")
 
 	if *feedback {
-		fmt.Printf("\n-- online feedback (bound policy, observe every %d completions) --\n", *fbEvery)
+		switch {
+		case *fbInterval > 0 && *fbEvery > 0:
+			fmt.Printf("\n-- online feedback (bound policy, observe every %d completions or %.1f sim-seconds) --\n", *fbEvery, *fbInterval)
+		case *fbInterval > 0:
+			fmt.Printf("\n-- online feedback (bound policy, observe every %.1f sim-seconds) --\n", *fbInterval)
+		default:
+			fmt.Printf("\n-- online feedback (bound policy, observe every %d completions) --\n", *fbEvery)
+		}
 		bound := sched.BoundPolicy{Eps: *eps}
 		// The no-feedback arm is seeded identically to the sweep, so reuse
 		// its aggregate when the sweep already ran the bound policy.
 		without, ok := sweep[bound.Name()]
 		if !ok {
-			_, without, err = sched.StreamTrials(*trials, true, runTrial(bound, nil, 0))
+			_, without, err = sched.StreamTrials(*trials, true, runTrial(bound, nil, 0, 0))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -166,7 +195,7 @@ func main() {
 		v0 := pred.Version()
 		// Feedback trials run sequentially: Observe mutates the shared
 		// predictor, so this arm is one continually-learning deployment.
-		_, with, err := sched.StreamTrials(*trials, false, runTrial(bound, pred, *fbEvery))
+		_, with, err := sched.StreamTrials(*trials, false, runTrial(bound, pred, *fbEvery, *fbInterval))
 		if err != nil {
 			log.Fatal(err)
 		}

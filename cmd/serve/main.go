@@ -50,12 +50,15 @@ func main() {
 		maxQueue  = flag.Int("max-queue", 4096, "admission queue bound (excess requests get 503)")
 
 		place         = flag.Bool("place", false, "enable the /place and /complete orchestration endpoints")
-		placePolicy   = flag.String("place-policy", "bound", "placement policy: bound, mean, or padded")
+		placePolicy   = flag.String("place-policy", "bound", "placement policy: bound, mean, padded, mean-bound, or padded-bound")
 		placeEps      = flag.Float64("place-eps", 0.1, "bound policy's per-job deadline-miss budget")
 		placeFactor   = flag.Float64("place-factor", 1.3, "padded policy's safety factor")
 		placeStrategy = flag.String("place-strategy", "least-loaded", "platform selection: least-loaded, best-fit, or utilization")
 		placeColoc    = flag.Int("place-colocation", 4, "max workloads per platform")
 		placeInFlight = flag.Int("place-max-inflight", 0, "admission bound on in-flight jobs (0 = platform capacity)")
+		placeWindow   = flag.Duration("place-window", 200*time.Microsecond, "fuse concurrent single-job /place calls arriving within this window into one wave (0 disables)")
+		placeMaxWave  = flag.Int("place-max-wave", 64, "cap on a fused /place wave")
+		placeChunk    = flag.Int("place-chunk", 0, "jobs placed per scheduler-lock hold (0 = default, negative = whole wave)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -128,6 +131,9 @@ func main() {
 			Strategy:      *placeStrategy,
 			MaxColocation: *placeColoc,
 			MaxInFlight:   *placeInFlight,
+			Window:        *placeWindow,
+			MaxWave:       *placeMaxWave,
+			WaveChunk:     *placeChunk,
 		})
 		if err != nil {
 			srv.Close()

@@ -11,13 +11,14 @@ import (
 // SyncEmbeddings recomputes and caches the tower outputs for inference.
 // Train calls this automatically; call it manually after mutating
 // parameters (e.g. after Load). The recompute runs on the tape-free
-// forward path.
+// forward path, writing in place into the previous cache buffers — one
+// sync's tables are steady-state allocation-free — so it must not run
+// concurrently with predictions on the same model (the serving layer's
+// snapshot discipline already guarantees this: only private clones are
+// ever re-synced).
 func (m *Model) SyncEmbeddings() {
-	w, p := m.embeddingsInfer()
-	m.wEmb = w.Clone()
-	m.pEmb = p.Clone()
-	tensor.PutPooled(w)
-	tensor.PutPooled(p)
+	m.wEmb = m.towerInferInto(m.wEmb, m.fw, m.xw, m.phiW)
+	m.pEmb = m.towerInferInto(m.pEmb, m.fp, m.xp, m.phiP)
 }
 
 func dot(a, b []float64) float64 {
@@ -108,46 +109,11 @@ func (m *Model) predictBatchInto(qs []Query, h int, out []float64, inSeconds boo
 	if len(qs) == 0 {
 		return
 	}
-	// Consecutive queries with the same (platform, interferer set) form a
-	// group — the natural shape of a scheduler scanning candidates per
-	// platform. Non-consecutive repeats just open a fresh group, which
-	// costs amortization but never correctness, and keeps grouping an
-	// allocation-free scan instead of a keyed map.
-	type span struct{ lo, hi int }
 	r := m.Cfg.EmbeddingDim
-	wlo, whi := h*r, (h+1)*r
-	wData, wCols := m.wEmb.Data, m.wEmb.Cols
-	runSpan := func(sp span, peff []float64) {
+	runSpan := func(sp qspan, peff []float64) {
 		q0 := qs[sp.lo]
 		m.effectivePlatform(peff, q0.Platform, q0.Interferers, h)
-		switch {
-		case m.Cfg.Objective == ObjLogResidual && whi-wlo == 32:
-			// Tight loop for the default configuration: baseline platform
-			// offset hoisted, single-step row slicing, fully unrolled
-			// rank-32 kernel, no per-query dispatch.
-			bW := m.Baseline.W
-			bP := m.Baseline.P[q0.Platform]
-			for i := sp.lo; i < sp.hi; i++ {
-				w := qs[i].Workload
-				base := w * wCols
-				out[i] = bW[w] + bP + dot32(wData[base+wlo:], peff)
-			}
-		case m.Cfg.Objective == ObjLogResidual:
-			bW := m.Baseline.W
-			bP := m.Baseline.P[q0.Platform]
-			for i := sp.lo; i < sp.hi; i++ {
-				w := qs[i].Workload
-				base := w * wCols
-				out[i] = bW[w] + bP + dotUnrolled(wData[base+wlo:base+whi], peff)
-			}
-		default:
-			for i := sp.lo; i < sp.hi; i++ {
-				w := qs[i].Workload
-				base := w * wCols
-				res := dotUnrolled(wData[base+wlo:base+whi], peff)
-				out[i] = m.logSecondsFromResidual(res, w, q0.Platform)
-			}
-		}
+		m.spanLogInto(qs, sp.lo, sp.hi, peff, h, out)
 		if inSeconds {
 			// Separate exp sweep: keeping the transcendental out of the
 			// dot loop leaves its registers free and pipelines better.
@@ -158,21 +124,13 @@ func (m *Model) predictBatchInto(qs []Query, h int, out []float64, inSeconds boo
 	}
 	if workers := m.workers(); workers > 1 {
 		// Detect spans up front, then fan them out.
-		spans := make([]span, 0, 16)
-		for lo := 0; lo < len(qs); {
-			hi := lo + 1
-			for hi < len(qs) && sameGroup(&qs[hi], &qs[lo]) {
-				hi++
-			}
-			spans = append(spans, span{lo, hi})
-			lo = hi
-		}
+		spans := detectSpans(qs)
 		if workers > len(spans) {
 			workers = len(spans)
 		}
 		if workers > 1 {
 			var wg sync.WaitGroup
-			next := make(chan span)
+			next := make(chan qspan)
 			for wk := 0; wk < workers; wk++ {
 				wg.Add(1)
 				go func() {
@@ -199,8 +157,72 @@ func (m *Model) predictBatchInto(qs []Query, h int, out []float64, inSeconds boo
 		for hi < len(qs) && sameGroup(&qs[hi], &qs[lo]) {
 			hi++
 		}
-		runSpan(span{lo, hi}, peff)
+		runSpan(qspan{lo, hi}, peff)
 		lo = hi
+	}
+}
+
+// qspan is one run of consecutive queries sharing a (platform, interferer
+// set); the unit the interference fold is amortized over.
+type qspan struct{ lo, hi int }
+
+// detectSpans partitions qs into maximal same-group runs. Consecutive
+// queries with the same (platform, interferer set) form a group — the
+// natural shape of a scheduler scanning candidates per platform.
+// Non-consecutive repeats just open a fresh group, which costs amortization
+// but never correctness, and keeps grouping an allocation-free scan instead
+// of a keyed map.
+func detectSpans(qs []Query) []qspan {
+	spans := make([]qspan, 0, 16)
+	for lo := 0; lo < len(qs); {
+		hi := lo + 1
+		for hi < len(qs) && sameGroup(&qs[hi], &qs[lo]) {
+			hi++
+		}
+		spans = append(spans, qspan{lo, hi})
+		lo = hi
+	}
+	return spans
+}
+
+// spanLogInto fills out[lo:hi] with head h's predicted log runtimes for
+// queries qs[lo:hi], which must all share qs[lo]'s platform and interferer
+// set, whose interference term the caller has already folded into peff.
+// This is the per-span inner kernel shared by the single-model batch path
+// and the fused two-model path — sharing it is what makes the fused outputs
+// bitwise-identical to the separate calls.
+func (m *Model) spanLogInto(qs []Query, lo, hi int, peff []float64, h int, out []float64) {
+	r := m.Cfg.EmbeddingDim
+	wlo, whi := h*r, (h+1)*r
+	wData, wCols := m.wEmb.Data, m.wEmb.Cols
+	q0 := qs[lo]
+	switch {
+	case m.Cfg.Objective == ObjLogResidual && whi-wlo == 32:
+		// Tight loop for the default configuration: baseline platform
+		// offset hoisted, single-step row slicing, fully unrolled
+		// rank-32 kernel, no per-query dispatch.
+		bW := m.Baseline.W
+		bP := m.Baseline.P[q0.Platform]
+		for i := lo; i < hi; i++ {
+			w := qs[i].Workload
+			base := w * wCols
+			out[i] = bW[w] + bP + dot32(wData[base+wlo:], peff)
+		}
+	case m.Cfg.Objective == ObjLogResidual:
+		bW := m.Baseline.W
+		bP := m.Baseline.P[q0.Platform]
+		for i := lo; i < hi; i++ {
+			w := qs[i].Workload
+			base := w * wCols
+			out[i] = bW[w] + bP + dotUnrolled(wData[base+wlo:base+whi], peff)
+		}
+	default:
+		for i := lo; i < hi; i++ {
+			w := qs[i].Workload
+			base := w * wCols
+			res := dotUnrolled(wData[base+wlo:base+whi], peff)
+			out[i] = m.logSecondsFromResidual(res, w, q0.Platform)
+		}
 	}
 }
 
@@ -236,6 +258,29 @@ func dot32(a, b []float64) float64 {
 		s3 += a[i+3] * b[i+3]
 	}
 	return s0 + s1 + s2 + s3
+}
+
+// dot32Pair computes dot32(a1, b1) and dot32(a2, b2) in one eight-chain
+// loop — the fused two-model span kernel's shape, where every query pays
+// one dot per model. Each result accumulates in exactly dot32's order
+// (bitwise interchangeable with two dot32 calls) while sharing loop
+// overhead and exposing twice the instruction-level parallelism.
+func dot32Pair(a1, b1, a2, b2 []float64) (float64, float64) {
+	a1, b1 = a1[:32], b1[:32]
+	a2, b2 = a2[:32], b2[:32]
+	var s0, s1, s2, s3 float64
+	var t0, t1, t2, t3 float64
+	for i := 0; i < 32; i += 4 {
+		s0 += a1[i] * b1[i]
+		s1 += a1[i+1] * b1[i+1]
+		s2 += a1[i+2] * b1[i+2]
+		s3 += a1[i+3] * b1[i+3]
+		t0 += a2[i] * b2[i]
+		t1 += a2[i+1] * b2[i+1]
+		t2 += a2[i+2] * b2[i+2]
+		t3 += a2[i+3] * b2[i+3]
+	}
+	return s0 + s1 + s2 + s3, t0 + t1 + t2 + t3
 }
 
 // dotUnrolled is the batch path's inner-product kernel: four accumulators

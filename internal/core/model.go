@@ -181,19 +181,41 @@ func (m *Model) embeddingsInfer() (w, p *tensor.Matrix) {
 }
 
 func (m *Model) towerInfer(f *nn.MLP, feats *tensor.Matrix, phi *nn.Embedding) *tensor.Matrix {
-	x := feats
+	cat, x := m.towerInput2(feats, phi)
+	if cat != nil {
+		defer tensor.PutPooled(cat)
+	}
+	return f.Infer(x)
+}
+
+// towerInferInto is towerInfer writing into a caller-reused output buffer
+// (see nn.MLP.InferInto). The [features | φ] concat scratch comes from the
+// size-classed tensor pool, so consecutive tower syncs — including the
+// mean and quantile models' towers inside one Observe, whose concat shapes
+// match — recycle one backing buffer instead of allocating per tower.
+func (m *Model) towerInferInto(dst *tensor.Matrix, f *nn.MLP, feats *tensor.Matrix, phi *nn.Embedding) *tensor.Matrix {
+	cat, x := m.towerInput2(feats, phi)
+	if cat != nil {
+		defer tensor.PutPooled(cat)
+	}
+	return f.InferInto(dst, x)
+}
+
+// towerInput2 assembles the tape-free tower input [features | φ]; cat is
+// non-nil (pool-backed, owned by the caller) only when a concat was needed.
+func (m *Model) towerInput2(feats *tensor.Matrix, phi *nn.Embedding) (cat, x *tensor.Matrix) {
+	x = feats
 	if phi != nil {
 		t := phi.Table.Data
 		if feats == nil {
 			x = t
 		} else {
-			cat := tensor.GetPooled(feats.Rows, feats.Cols+t.Cols)
+			cat = tensor.GetPooled(feats.Rows, feats.Cols+t.Cols)
 			tensor.ConcatColsInto(cat, feats, t)
-			defer tensor.PutPooled(cat)
 			x = cat
 		}
 	}
-	return f.Infer(x)
+	return cat, x
 }
 
 // batch describes one fixed-degree minibatch: parallel index slices into

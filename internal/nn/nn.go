@@ -141,10 +141,30 @@ func (m *MLP) Forward(x *autodiff.Value) *autodiff.Value {
 // pool; the returned matrix is pool-backed and owned by the caller (release
 // it with tensor.PutPooled when done).
 func (m *MLP) Infer(x *tensor.Matrix) *tensor.Matrix {
+	out := m.Layers[len(m.Layers)-1].W.Data.Cols
+	return m.InferInto(tensor.GetPooled(x.Rows, out), x)
+}
+
+// InferInto is Infer with the output written into dst, which is returned.
+// A dst of the right shape is reused in place — the steady state of an
+// embedding-cache refresh, which would otherwise clone a pooled result
+// every sync; nil or a mismatched dst is replaced by a fresh heap matrix.
+// Hidden-layer intermediates still come from the tensor pool. dst must not
+// be read concurrently during the call.
+func (m *MLP) InferInto(dst *tensor.Matrix, x *tensor.Matrix) *tensor.Matrix {
+	last := len(m.Layers) - 1
 	cur := x
-	for _, l := range m.Layers {
+	for li, l := range m.Layers {
 		w, b := l.W.Data, l.B.Data
-		next := tensor.GetPooled(cur.Rows, w.Cols)
+		var next *tensor.Matrix
+		if li == last {
+			if dst == nil || dst.Rows != cur.Rows || dst.Cols != w.Cols {
+				dst = tensor.New(cur.Rows, w.Cols)
+			}
+			next = dst
+		} else {
+			next = tensor.GetPooled(cur.Rows, w.Cols)
+		}
 		tensor.MatMulInto(next, cur, w, false)
 		for i := 0; i < next.Rows; i++ {
 			row := next.Row(i)
@@ -160,7 +180,7 @@ func (m *MLP) Infer(x *tensor.Matrix) *tensor.Matrix {
 		}
 		cur = next
 	}
-	return cur
+	return dst
 }
 
 // Params returns all trainable parameters in order.

@@ -81,22 +81,144 @@ func (p PaddedMeanPolicy) ScoreBatch(pred BatchPredictor, qs []Query, out []floa
 	}
 }
 
+// DualPolicy scores the two facets of a placement decision separately,
+// from both predictor heads: a feasibility value (compared against the
+// deadline, and reported as the assignment's Budget) and a ranking value
+// (what strategies order candidates by). Single-head policies collapse the
+// two — for them the scheduler sets Rank = Score — while a dual policy can
+// gate feasibility on the conservative conformal bound yet rank platforms
+// by the cheap mean estimate. When the predictor implements FusedPredictor
+// both facets of a whole wave come out of one fused pass.
+type DualPolicy interface {
+	Policy
+	// ScoreDual is the scalar reference path: the feasibility score and the
+	// ranking score of one candidate. Batch-scored placement must be
+	// decision-identical to it (up to predictor batch-vs-scalar float
+	// reassociation).
+	ScoreDual(pred Predictor, job Job, platform int, residents []int) (feas, rank float64)
+	// ScoreDualBatch fills feas[i] and rank[i] for qs[i].
+	// len(feas) == len(rank) == len(qs).
+	ScoreDualBatch(pred BatchPredictor, qs []Query, feas, rank []float64)
+}
+
+// MeanBoundPolicy is the mixed-head policy the fused scoring path exists
+// for: feasibility (and the reported budget) comes from the conformal
+// (1−eps)-sufficient bound — every placement keeps its probabilistic
+// deadline guarantee — while strategies rank the feasible platforms by the
+// expected runtime, so e.g. BestFit packs on mean headroom ("best-fit
+// mean, feasible bound") instead of on the padded bound.
+type MeanBoundPolicy struct{ Eps float64 }
+
+// Name implements Policy.
+func (p MeanBoundPolicy) Name() string { return fmt.Sprintf("mean|bound(eps=%.2f)", p.Eps) }
+
+// Score implements Policy: the feasibility facet alone, for schedulers
+// that treat the policy as single-head.
+func (p MeanBoundPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
+	return pred.BoundSeconds(job.Workload, platform, residents, p.Eps)
+}
+
+// ScoreBatch implements BatchPolicy (feasibility facet alone).
+func (p MeanBoundPolicy) ScoreBatch(pred BatchPredictor, qs []Query, out []float64) {
+	copy(out, pred.BoundSecondsBatch(qs, p.Eps))
+}
+
+// ScoreDual implements DualPolicy.
+func (p MeanBoundPolicy) ScoreDual(pred Predictor, job Job, platform int, residents []int) (feas, rank float64) {
+	rank = pred.EstimateSeconds(job.Workload, platform, residents)
+	feas = pred.BoundSeconds(job.Workload, platform, residents, p.Eps)
+	return feas, rank
+}
+
+// ScoreDualBatch implements DualPolicy: one fused two-head pass when the
+// predictor supports it, two vectorized passes otherwise.
+func (p MeanBoundPolicy) ScoreDualBatch(pred BatchPredictor, qs []Query, feas, rank []float64) {
+	if fp, ok := pred.(FusedPredictor); ok {
+		fp.ScoreSecondsBatch(qs, p.Eps, rank, feas)
+		return
+	}
+	copy(rank, pred.EstimateSecondsBatch(qs))
+	copy(feas, pred.BoundSecondsBatch(qs, p.Eps))
+}
+
+// PaddedBoundPolicy gates feasibility on the conformal bound but ranks by
+// the padded mean — the tie-break heuristic deployments that already run
+// padded-mean scheduling can keep while upgrading their guarantee to the
+// calibrated bound.
+type PaddedBoundPolicy struct {
+	Eps    float64
+	Factor float64
+}
+
+// Name implements Policy.
+func (p PaddedBoundPolicy) Name() string {
+	return fmt.Sprintf("padded*%.1f|bound(eps=%.2f)", p.Factor, p.Eps)
+}
+
+// Score implements Policy (feasibility facet alone).
+func (p PaddedBoundPolicy) Score(pred Predictor, job Job, platform int, residents []int) float64 {
+	return pred.BoundSeconds(job.Workload, platform, residents, p.Eps)
+}
+
+// ScoreBatch implements BatchPolicy (feasibility facet alone).
+func (p PaddedBoundPolicy) ScoreBatch(pred BatchPredictor, qs []Query, out []float64) {
+	copy(out, pred.BoundSecondsBatch(qs, p.Eps))
+}
+
+// ScoreDual implements DualPolicy.
+func (p PaddedBoundPolicy) ScoreDual(pred Predictor, job Job, platform int, residents []int) (feas, rank float64) {
+	rank = pred.EstimateSeconds(job.Workload, platform, residents) * p.Factor
+	feas = pred.BoundSeconds(job.Workload, platform, residents, p.Eps)
+	return feas, rank
+}
+
+// ScoreDualBatch implements DualPolicy.
+func (p PaddedBoundPolicy) ScoreDualBatch(pred BatchPredictor, qs []Query, feas, rank []float64) {
+	if fp, ok := pred.(FusedPredictor); ok {
+		fp.ScoreSecondsBatch(qs, p.Eps, rank, feas)
+	} else {
+		copy(rank, pred.EstimateSecondsBatch(qs))
+		copy(feas, pred.BoundSecondsBatch(qs, p.Eps))
+	}
+	for i := range rank {
+		rank[i] *= p.Factor
+	}
+}
+
 // ParsePolicy resolves a policy by name: "mean", "padded" (mean×factor),
-// or "bound" (conformal 1−eps budget).
+// "bound" (conformal 1−eps budget), or the mixed-head policies
+// "mean-bound" (rank on mean, feasibility on bound) and "padded-bound"
+// (rank on padded mean, feasibility on bound).
 func ParsePolicy(name string, eps, factor float64) (Policy, error) {
+	needEps := func() error {
+		if !(eps > 0 && eps < 1) {
+			return fmt.Errorf("sched: %s policy needs eps in (0,1), got %v", name, eps)
+		}
+		return nil
+	}
+	if factor <= 0 {
+		factor = 1.3
+	}
 	switch name {
 	case "mean":
 		return MeanPolicy{}, nil
 	case "padded":
-		if factor <= 0 {
-			factor = 1.3
-		}
 		return PaddedMeanPolicy{Factor: factor}, nil
 	case "bound":
-		if !(eps > 0 && eps < 1) {
-			return nil, fmt.Errorf("sched: bound policy needs eps in (0,1), got %v", eps)
+		if err := needEps(); err != nil {
+			return nil, err
 		}
 		return BoundPolicy{Eps: eps}, nil
+	case "mean-bound":
+		if err := needEps(); err != nil {
+			return nil, err
+		}
+		return MeanBoundPolicy{Eps: eps}, nil
+	case "padded-bound":
+		if err := needEps(); err != nil {
+			return nil, err
+		}
+		return PaddedBoundPolicy{Eps: eps, Factor: factor}, nil
 	}
-	return nil, fmt.Errorf("sched: unknown policy %q (want mean, padded, or bound)", name)
+	return nil, fmt.Errorf("sched: unknown policy %q (want mean, padded, bound, mean-bound, or padded-bound)", name)
 }

@@ -69,6 +69,23 @@ type BatchPredictor interface {
 	BoundSecondsBatch(qs []Query, eps float64) []float64
 }
 
+// FusedPredictor additionally scores both heads — the mean estimate and
+// the conformal (1−eps) budget — for every query in one pass. Policies
+// that mix the heads (rank on mean, gate feasibility on the bound) consume
+// it through one call instead of back-to-back EstimateSecondsBatch +
+// BoundSecondsBatch, sharing the per-platform interference fold and the
+// query traversal across both models. The Pitot facade implements it on
+// top of the fused core kernel.
+type FusedPredictor interface {
+	BatchPredictor
+	// ScoreSecondsBatch fills meanOut[i] with the expected runtime and
+	// boundOut[i] with the 1−eps budget (+Inf where no valid bound exists)
+	// of qs[i]. len(meanOut) == len(boundOut) == len(qs). The values must
+	// match what EstimateSecondsBatch and BoundSecondsBatch would return
+	// for the same queries.
+	ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut []float64)
+}
+
 // Measurement is one observed job execution: the runtime actually measured
 // on the platform the job ran on, under the co-location it experienced.
 type Measurement struct {
@@ -125,6 +142,16 @@ type Config struct {
 	MaxInFlight int
 	// Strategy selects among feasible platforms; nil means LeastLoaded.
 	Strategy Strategy
+	// WaveChunk bounds how many jobs of a PlaceAll wave are placed per
+	// scheduler-lock hold: the lock is released between chunks, so
+	// concurrent Place/Complete calls interleave mid-wave and a Complete
+	// waits at most one chunk — not the whole wave — behind a long
+	// placement burst. Each chunk pre-scores against the then-current
+	// cluster state, so with no concurrent events chunked placement is
+	// decision-identical to an unchunked wave. 0 means the default (64);
+	// negative places the whole wave under one lock hold (the PR 3
+	// behavior).
+	WaveChunk int
 	// DisableBatch forces scalar scoring even when both the policy and the
 	// predictor support batching — the reference path batch scoring must
 	// be decision-identical to (used by tests and benchmarks).

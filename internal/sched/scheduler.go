@@ -18,7 +18,9 @@ type placedJob struct {
 // them. Safe for concurrent use — Place, PlaceAll, Complete, and the
 // accessors may be called from any number of goroutines; the cluster state
 // is guarded by one mutex while predictor reads stay lock-free inside the
-// predictor itself.
+// predictor itself. PlaceAll holds the mutex only one chunk of jobs at a
+// time (Config.WaveChunk), so completions and competing placements
+// interleave mid-wave instead of stalling behind a long wave.
 type Scheduler struct {
 	cfg      Config
 	policy   Policy
@@ -27,9 +29,17 @@ type Scheduler struct {
 
 	// bpred/bpolicy are non-nil when batched scoring is active: the
 	// predictor scores a job's whole candidate set (or a whole wave) in
-	// one call instead of one scalar call per platform.
+	// one call instead of one scalar call per platform. dpolicy is non-nil
+	// when the policy scores feasibility and ranking separately (mixed
+	// mean/bound policies); with a FusedPredictor both facets of a wave
+	// come out of one fused two-head pass.
 	bpred   BatchPredictor
 	bpolicy BatchPolicy
+	dpolicy DualPolicy
+
+	// chunk is the resolved Config.WaveChunk: max jobs placed per lock
+	// hold in PlaceAll.
+	chunk int
 
 	mu         sync.Mutex
 	residents  [][]placedJob
@@ -40,19 +50,33 @@ type Scheduler struct {
 	// steady-state PlaceAll waves allocate only resident snapshots and the
 	// returned assignments.
 	scratch waveScratch
+
+	// chunkGap, when non-nil, runs between chunk lock holds of PlaceAll
+	// (test hook: deterministic mid-wave interleaving).
+	chunkGap func()
 }
 
+// defaultWaveChunk bounds a PlaceAll lock hold when Config.WaveChunk is 0:
+// large enough to amortize the wave pre-score, small enough that a
+// concurrent Complete waits microseconds, not a whole 256-job wave.
+const defaultWaveChunk = 64
+
 // waveScratch holds PlaceAll's per-wave buffers for reuse across waves.
+// The *Rank twins carry the ranking facet of dual policies; they are left
+// untouched on the single-head path.
 type waveScratch struct {
-	qs        []Query
-	pre       []float64
-	scoreAt   []float64
-	snap      [][]int
-	prescored []bool
-	cands     []Candidate
-	snaps     [][]int
-	rescoreQ  []Query
-	rescore   []float64
+	qs          []Query
+	pre         []float64
+	preRank     []float64
+	scoreAt     []float64
+	rankAt      []float64
+	snap        [][]int
+	prescored   []bool
+	cands       []Candidate
+	snaps       [][]int
+	rescoreQ    []Query
+	rescore     []float64
+	rescoreRank []float64
 }
 
 // reserve grows the scratch buffers to a wave of nJ jobs over nP
@@ -61,7 +85,9 @@ func (sc *waveScratch) reserve(nP, nJ int) {
 	if cap(sc.qs) < nP*nJ {
 		sc.qs = make([]Query, 0, nP*nJ)
 		sc.pre = make([]float64, nP*nJ)
+		sc.preRank = make([]float64, nP*nJ)
 		sc.scoreAt = make([]float64, nP*nJ)
+		sc.rankAt = make([]float64, nP*nJ)
 	}
 	if cap(sc.snap) < nP {
 		sc.snap = make([][]int, nP)
@@ -72,12 +98,15 @@ func (sc *waveScratch) reserve(nP, nJ int) {
 	if cap(sc.rescoreQ) < nJ {
 		sc.rescoreQ = make([]Query, 0, nJ)
 		sc.rescore = make([]float64, nJ)
+		sc.rescoreRank = make([]float64, nJ)
 	}
 }
 
 // New creates a scheduler. The batch scoring path engages automatically
 // when pred implements BatchPredictor and policy implements BatchPolicy
-// (all built-in policies do), unless cfg.DisableBatch is set.
+// (all built-in policies do), unless cfg.DisableBatch is set; dual-head
+// policies (DualPolicy) additionally score through one fused pass when the
+// predictor implements FusedPredictor.
 func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
 	if cfg.NumPlatforms <= 0 {
 		return nil, fmt.Errorf("sched: no platforms")
@@ -91,13 +120,21 @@ func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
 	if cfg.MaxInFlight < 0 {
 		return nil, fmt.Errorf("sched: negative MaxInFlight")
 	}
+	chunk := cfg.WaveChunk
+	if chunk == 0 {
+		chunk = defaultWaveChunk
+	}
 	s := &Scheduler{
 		cfg:        cfg,
 		policy:     policy,
 		strategy:   cfg.Strategy,
 		pred:       pred,
+		chunk:      chunk,
 		residents:  make([][]placedJob, cfg.NumPlatforms),
 		platformOf: make(map[JobID]int),
+	}
+	if dp, ok := policy.(DualPolicy); ok {
+		s.dpolicy = dp
 	}
 	if !cfg.DisableBatch {
 		bp, okP := pred.(BatchPredictor)
@@ -112,6 +149,16 @@ func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
 // Batched reports whether placements score candidates through the batched
 // predictor path.
 func (s *Scheduler) Batched() bool { return s.bpred != nil }
+
+// Fused reports whether placements score both policy facets through one
+// fused two-head predictor pass.
+func (s *Scheduler) Fused() bool {
+	if s.bpred == nil || s.dpolicy == nil {
+		return false
+	}
+	_, ok := s.bpred.(FusedPredictor)
+	return ok
+}
 
 // Residents returns a copy of the workloads currently placed on platform
 // p; mutating it never affects scheduler state.
@@ -173,26 +220,42 @@ func (s *Scheduler) placeLocked(job Job) Assignment {
 		cands = append(cands, Candidate{Platform: p, Load: len(s.residents[p])})
 		snaps = append(snaps, s.residentWorkloadsLocked(p))
 	}
-	if s.bpred != nil {
+	switch {
+	case s.bpred != nil:
 		qs := sc.qs[:0]
 		for i, c := range cands {
 			qs = append(qs, Query{Workload: job.Workload, Platform: c.Platform, Interferers: snaps[i]})
 		}
-		scores := sc.pre[:len(qs)]
-		s.bpolicy.ScoreBatch(s.bpred, qs, scores)
-		for i := range cands {
-			cands[i].Score = scores[i]
+		feas := sc.pre[:len(qs)]
+		if s.dpolicy != nil {
+			rank := sc.preRank[:len(qs)]
+			s.dpolicy.ScoreDualBatch(s.bpred, qs, feas, rank)
+			for i := range cands {
+				cands[i].Score, cands[i].Rank = feas[i], rank[i]
+			}
+		} else {
+			s.bpolicy.ScoreBatch(s.bpred, qs, feas)
+			for i := range cands {
+				cands[i].Score, cands[i].Rank = feas[i], feas[i]
+			}
 		}
-	} else {
+	case s.dpolicy != nil:
 		for i, c := range cands {
-			cands[i].Score = s.policy.Score(s.pred, job, c.Platform, snaps[i])
+			cands[i].Score, cands[i].Rank = s.dpolicy.ScoreDual(s.pred, job, c.Platform, snaps[i])
+		}
+	default:
+		for i, c := range cands {
+			v := s.policy.Score(s.pred, job, c.Platform, snaps[i])
+			cands[i].Score, cands[i].Rank = v, v
 		}
 	}
 	return s.commitBest(job, cands, snaps)
 }
 
 // commitBest selects the strategy-best feasible candidate and commits the
-// placement. snaps[i] is the resident snapshot cands[i] was scored under.
+// placement. Feasibility is judged on Candidate.Score; the strategy orders
+// by Candidate.Rank. snaps[i] is the resident snapshot cands[i] was scored
+// under.
 func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int) Assignment {
 	bestIdx := -1
 	for i, c := range cands {
@@ -222,7 +285,9 @@ func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int) Assign
 
 // Complete frees the colocation slot of a placed job; residents change
 // over time, so later placements see the vacancy. Returns ErrUnknownJob
-// for IDs never placed or already completed.
+// for IDs never placed or already completed. Under a concurrent chunked
+// PlaceAll, Complete waits at most one chunk's scoring, never the whole
+// wave.
 func (s *Scheduler) Complete(id JobID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -243,33 +308,60 @@ func (s *Scheduler) Complete(id JobID) error {
 	panic("sched: job in platformOf but not in residents")
 }
 
-// PlaceAll places a wave of jobs in arrival order, atomically with respect
-// to concurrent Place/Complete. On the batched path the whole wave is
-// pre-scored against the wave-start cluster state in a single predictor
-// call — queries are laid out platform-major so every platform's resident
-// set (and therefore its interference term) is folded once and shared
-// across all jobs in the wave. When a placement changes a platform's
-// residents mid-wave, that platform alone is eagerly re-scored for every
-// remaining job, again in one wide span with a single fold, so the score
-// cache stays current with O(1) folds per placement instead of one per
-// (job, platform) pair. Decisions are identical to calling Place per job:
-// every selection reads scores computed under the platform's current
-// residents.
+// PlaceAll places a wave of jobs in arrival order. The wave is processed
+// in chunks of Config.WaveChunk jobs, each chunk atomic with respect to
+// concurrent Place/Complete and the scheduler lock released between
+// chunks: a completion arriving mid-wave lands between chunks, frees its
+// slot, and the following chunks see the vacancy — the event loop stays
+// responsive under long waves. With no concurrent events, decisions are
+// identical to the unchunked wave (and to calling Place per job): each
+// chunk pre-scores against the cluster state its first job would see, and
+// scores are per-query deterministic, so chunk boundaries never change a
+// selection.
+//
+// Within a chunk the batched path pre-scores every job on every platform
+// in a single predictor call — queries laid out platform-major so each
+// platform's resident set (and therefore its interference term) is folded
+// once, per model — and eagerly re-scores a platform dirtied by a
+// placement for the chunk's remaining jobs in one wide span. Dual-head
+// policies fill both the feasibility and ranking facets from the same
+// pass (one fused call when the predictor supports it).
 func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make([]Assignment, len(jobs))
+	chunk := s.chunk
+	if chunk < 0 || chunk > len(jobs) {
+		chunk = len(jobs)
+	}
+	for lo := 0; lo < len(jobs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		s.mu.Lock()
+		s.placeWaveLocked(jobs[lo:hi], out[lo:hi])
+		s.mu.Unlock()
+		if s.chunkGap != nil && hi < len(jobs) {
+			s.chunkGap()
+		}
+	}
+	return out
+}
+
+// placeWaveLocked places one chunk of jobs under the held lock, filling
+// out[i] for jobs[i].
+func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 	if s.bpred == nil {
 		for i, j := range jobs {
 			out[i] = s.placeLocked(j)
 		}
-		return out
+		return
 	}
+	dual := s.dpolicy != nil
 	nP, nJ := s.cfg.NumPlatforms, len(jobs)
 	sc := &s.scratch
 	sc.reserve(nP, nJ)
 
-	// Wave pre-score against the wave-start state, one batched call.
+	// Chunk pre-score against the chunk-start state, one batched call.
 	// Queries are built platform-major, so pre[] maps back to (p, j) by
 	// walking the platforms in the same order — no index bookkeeping.
 	qs := sc.qs[:0]
@@ -278,7 +370,7 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 	for p := 0; p < nP; p++ {
 		snap[p], prescored[p] = nil, false
 		if len(s.residents[p]) >= s.cfg.MaxColocation {
-			continue // full at wave start; can only stay full mid-wave
+			continue // full at chunk start; can only stay full mid-chunk
 		}
 		snap[p], prescored[p] = s.residentWorkloadsLocked(p), true
 		for j := range jobs {
@@ -286,8 +378,14 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 		}
 	}
 	pre := sc.pre[:len(qs)]
-	s.bpolicy.ScoreBatch(s.bpred, qs, pre)
+	preRank := sc.preRank[:len(qs)]
+	if dual {
+		s.dpolicy.ScoreDualBatch(s.bpred, qs, pre, preRank)
+	} else {
+		s.bpolicy.ScoreBatch(s.bpred, qs, pre)
+	}
 	scoreAt := sc.scoreAt[:nP*nJ]
+	rankAt := sc.rankAt[:nP*nJ]
 	next := 0
 	for p := 0; p < nP; p++ {
 		if !prescored[p] {
@@ -297,6 +395,9 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 			continue
 		}
 		copy(scoreAt[p*nJ:(p+1)*nJ], pre[next:next+nJ])
+		if dual {
+			copy(rankAt[p*nJ:(p+1)*nJ], preRank[next:next+nJ])
+		}
 		next += nJ
 	}
 
@@ -304,6 +405,7 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 	snaps := sc.snaps[:0]
 	rescoreQ := sc.rescoreQ[:0]
 	rescore := sc.rescore[:0]
+	rescoreRank := sc.rescoreRank[:0]
 	for j, job := range jobs {
 		if s.cfg.MaxInFlight > 0 && len(s.platformOf) >= s.cfg.MaxInFlight {
 			out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true}
@@ -314,11 +416,17 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 			if len(s.residents[p])+1 > s.cfg.MaxColocation {
 				continue
 			}
-			cands = append(cands, Candidate{
+			c := Candidate{
 				Platform: p,
 				Load:     len(s.residents[p]),
 				Score:    scoreAt[p*nJ+j],
-			})
+			}
+			if dual {
+				c.Rank = rankAt[p*nJ+j]
+			} else {
+				c.Rank = c.Score
+			}
+			cands = append(cands, c)
 			snaps = append(snaps, snap[p])
 		}
 		out[j] = s.commitBest(job, cands, snaps)
@@ -326,8 +434,9 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 		if p < 0 || j+1 == nJ {
 			continue
 		}
-		// Re-score the just-dirtied platform for the remaining jobs: one
-		// span, one interference fold over its updated residents.
+		// Re-score the just-dirtied platform for the chunk's remaining
+		// jobs: one span, one interference fold over its updated residents
+		// (per model).
 		ks := s.residentWorkloadsLocked(p)
 		snap[p] = ks
 		if len(s.residents[p]) >= s.cfg.MaxColocation {
@@ -338,10 +447,17 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 			rescoreQ = append(rescoreQ, Query{Workload: jobs[r].Workload, Platform: p, Interferers: ks})
 		}
 		rescore = rescore[:len(rescoreQ)]
-		s.bpolicy.ScoreBatch(s.bpred, rescoreQ, rescore)
+		if dual {
+			rescoreRank = rescoreRank[:len(rescoreQ)]
+			s.dpolicy.ScoreDualBatch(s.bpred, rescoreQ, rescore, rescoreRank)
+		} else {
+			s.bpolicy.ScoreBatch(s.bpred, rescoreQ, rescore)
+		}
 		for i, r := 0, j+1; r < nJ; i, r = i+1, r+1 {
 			scoreAt[p*nJ+r] = rescore[i]
+			if dual {
+				rankAt[p*nJ+r] = rescoreRank[i]
+			}
 		}
 	}
-	return out
 }

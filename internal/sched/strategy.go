@@ -3,11 +3,16 @@ package sched
 import "fmt"
 
 // Candidate is one feasible placement option under consideration: the
-// platform, the policy score the decision is based on, and the platform's
-// load (resident count) before this job joins.
+// platform, the policy's scores for it, and the platform's load (resident
+// count) before this job joins. Score is the feasibility value (compared
+// against the deadline; the assignment's Budget); Rank is what strategies
+// order candidates by. Single-head policies collapse the two (Rank ==
+// Score); dual policies (DualPolicy) gate on the conformal bound while
+// ranking by the mean estimate.
 type Candidate struct {
 	Platform int
 	Score    float64
+	Rank     float64
 	Load     int
 }
 
@@ -21,8 +26,9 @@ type Strategy interface {
 }
 
 // LeastLoaded picks the platform with the fewest residents, breaking ties
-// by the loosest score — spreading load and keeping fast platforms free
-// for tight deadlines. This is the classic headroom-preserving default.
+// by the loosest ranking score — spreading load and keeping fast platforms
+// free for tight deadlines. This is the classic headroom-preserving
+// default.
 type LeastLoaded struct{}
 
 // Name implements Strategy.
@@ -33,12 +39,15 @@ func (LeastLoaded) Better(job Job, a, b Candidate) bool {
 	if a.Load != b.Load {
 		return a.Load < b.Load
 	}
-	return a.Score > b.Score
+	return a.Rank > b.Rank
 }
 
-// BestFit picks the feasible platform whose score sits closest to the
-// deadline (minimal headroom): jobs pack onto just-fast-enough platforms,
-// preserving the fastest ones for jobs that genuinely need them.
+// BestFit picks the feasible platform whose ranking score sits closest to
+// the deadline (minimal headroom): jobs pack onto just-fast-enough
+// platforms, preserving the fastest ones for jobs that genuinely need
+// them. Under a dual policy this is "best-fit on the mean, feasible on the
+// bound": packing density comes from the cheap estimate while the deadline
+// guarantee stays conformal.
 type BestFit struct{}
 
 // Name implements Strategy.
@@ -46,7 +55,7 @@ func (BestFit) Name() string { return "best-fit" }
 
 // Better implements Strategy.
 func (BestFit) Better(job Job, a, b Candidate) bool {
-	ha, hb := job.Deadline-a.Score, job.Deadline-b.Score
+	ha, hb := job.Deadline-a.Rank, job.Deadline-b.Rank
 	if ha != hb {
 		return ha < hb
 	}
@@ -54,8 +63,9 @@ func (BestFit) Better(job Job, a, b Candidate) bool {
 }
 
 // UtilizationAware minimizes the platform's projected occupancy — the
-// score weighted by the post-placement resident count — a proxy for total
-// predicted busy-time that balances runtime cost against crowding.
+// ranking score weighted by the post-placement resident count — a proxy
+// for total predicted busy-time that balances runtime cost against
+// crowding.
 type UtilizationAware struct{}
 
 // Name implements Strategy.
@@ -63,7 +73,7 @@ func (UtilizationAware) Name() string { return "utilization" }
 
 // Better implements Strategy.
 func (UtilizationAware) Better(job Job, a, b Candidate) bool {
-	ua, ub := a.Score*float64(a.Load+1), b.Score*float64(b.Load+1)
+	ua, ub := a.Rank*float64(a.Load+1), b.Rank*float64(b.Load+1)
 	if ua != ub {
 		return ua < ub
 	}

@@ -19,9 +19,22 @@ type StreamConfig struct {
 	// inter-arrival times are exponential. Default 1.
 	ArrivalRate float64
 	// FeedbackEvery flushes buffered measurements to the Observer after
-	// every that many completions (0 disables feedback even when an
-	// Observer is supplied).
+	// every that many completions (0 disables the count trigger).
 	FeedbackEvery int
+	// FeedbackInterval flushes buffered measurements whenever at least
+	// this much simulated time has passed since the previous flush (0
+	// disables the time trigger). On sparse completion streams the count
+	// trigger alone can starve the Observer for long stretches; the time
+	// trigger amortizes Observe cost per wall-clock instead of per
+	// completion. Both triggers may be armed together; feedback is off
+	// when both are zero or the Observer is nil.
+	FeedbackInterval float64
+	// RetryLimit re-queues a job whose placement failed (admission
+	// rejection or no feasible platform) instead of dropping it: after
+	// the next completion frees capacity, queued jobs are retried in FIFO
+	// order, up to this many retry attempts each. 0 drops failed jobs
+	// immediately (no retry queue).
+	RetryLimit int
 }
 
 // StreamResult aggregates one streaming replay (or several, via
@@ -53,6 +66,15 @@ type StreamResult struct {
 	PostMissRate float64
 	// Observed counts measurements fed back to the Observer.
 	Observed int
+	// RetryQueued counts jobs that entered the retry queue after a failed
+	// placement; Retries counts placement re-attempts made for them;
+	// RetryPlaced counts the subset eventually placed by a retry.
+	// RetryRate is RetryPlaced/RetryQueued — the fraction of would-be
+	// drops the deferral queue saved. All zero when RetryLimit is 0.
+	RetryQueued int
+	Retries     int
+	RetryPlaced int
+	RetryRate   float64
 }
 
 func (r *StreamResult) finalize() {
@@ -64,6 +86,9 @@ func (r *StreamResult) finalize() {
 	}
 	if r.PostPlaced > 0 {
 		r.PostMissRate = float64(r.PostMissed) / float64(r.PostPlaced)
+	}
+	if r.RetryQueued > 0 {
+		r.RetryRate = float64(r.RetryPlaced) / float64(r.RetryQueued)
 	}
 }
 
@@ -98,13 +123,23 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
+// retryEntry is one deferred job in the stream's retry queue: a job whose
+// placement failed, waiting for the next completion to free capacity.
+type retryEntry struct {
+	job      Job
+	tries    int  // placement attempts made so far (the arrival counts)
+	rejected bool // last failure was an admission rejection, not infeasibility
+}
+
 // Stream runs one event-driven replay: jobs arrive with exponential
 // inter-arrival times, each placement's true runtime is drawn from the
 // oracle under the interference it was placed into, its completion frees
-// the colocation slot, and (with obs non-nil and FeedbackEvery > 0)
+// the colocation slot, and (with obs non-nil and a feedback trigger armed)
 // measured runtimes are flushed to the Observer in batches — after which
 // the predictor serves updated estimates and recalibrated bounds to
-// subsequent placements. Deterministic given rng.
+// subsequent placements. With RetryLimit > 0, failed placements re-enter
+// after the next completion instead of being dropped, modeling a real
+// orchestrator's deferral queue. Deterministic given rng.
 func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs Observer, rng *rand.Rand) (StreamResult, error) {
 	res := StreamResult{Policy: s.policy.Name(), Strategy: s.strategy.Name()}
 	if cfg.Jobs <= 0 {
@@ -114,16 +149,75 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 	if rate <= 0 {
 		rate = 1
 	}
+	feedback := obs != nil && (cfg.FeedbackEvery > 0 || cfg.FeedbackInterval > 0)
 	var (
-		h       eventHeap
-		seq     int
-		pending []Measurement
-		post    bool // at least one feedback update has been absorbed
+		h         eventHeap
+		seq       int
+		pending   []Measurement
+		post      bool // at least one feedback update has been absorbed
+		lastFlush float64
+		retryQ    []retryEntry
 	)
 	push := func(e event) {
 		e.seq = seq
 		seq++
 		heap.Push(&h, e)
+	}
+	// attempt places one job at simulated time t, recording miss/headroom
+	// accounting and scheduling the departure on success. Shared by fresh
+	// arrivals and retries.
+	attempt := func(t float64, job Job) (placed, rejected bool) {
+		a := s.Place(job)
+		if a.Rejected {
+			return false, true
+		}
+		if !a.Placed() {
+			return false, false
+		}
+		res.Placed++
+		rt := oracle.TrueSeconds(job.Workload, a.Platform, a.Interferers)
+		finite := !math.IsNaN(job.Deadline) && !math.IsInf(job.Deadline, 0) && job.Deadline > 0
+		miss := rt > job.Deadline
+		if miss {
+			res.Missed++
+		}
+		if finite {
+			res.headroomSum += (job.Deadline - rt) / job.Deadline
+			res.headroomN++
+		}
+		if post {
+			res.PostPlaced++
+			if miss {
+				res.PostMissed++
+			}
+		}
+		push(event{
+			t: t + rt, id: a.ID,
+			m: Measurement{Workload: job.Workload, Platform: a.Platform, Interferers: a.Interferers, Seconds: rt},
+		})
+		return true, false
+	}
+	// drop finalizes an entry that will never be retried again, counting
+	// it under its last failure mode.
+	drop := func(e retryEntry) {
+		if e.rejected {
+			res.Rejected++
+		} else {
+			res.Unplaced++
+		}
+	}
+	// fail re-queues a failed placement attempt, or drops it once the
+	// retry budget is spent.
+	fail := func(e retryEntry, rejected bool) {
+		e.rejected = rejected
+		if cfg.RetryLimit > 0 && e.tries <= cfg.RetryLimit {
+			if e.tries == 1 {
+				res.RetryQueued++
+			}
+			retryQ = append(retryQ, e)
+			return
+		}
+		drop(e)
 	}
 	push(event{t: rng.ExpFloat64() / rate, arrival: true, jobIdx: 0})
 	for h.Len() > 0 {
@@ -134,34 +228,8 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 			}
 			job := source(rng, e.jobIdx)
 			res.Arrived++
-			a := s.Place(job)
-			switch {
-			case a.Rejected:
-				res.Rejected++
-			case !a.Placed():
-				res.Unplaced++
-			default:
-				res.Placed++
-				rt := oracle.TrueSeconds(job.Workload, a.Platform, a.Interferers)
-				finite := !math.IsNaN(job.Deadline) && !math.IsInf(job.Deadline, 0) && job.Deadline > 0
-				miss := rt > job.Deadline
-				if miss {
-					res.Missed++
-				}
-				if finite {
-					res.headroomSum += (job.Deadline - rt) / job.Deadline
-					res.headroomN++
-				}
-				if post {
-					res.PostPlaced++
-					if miss {
-						res.PostMissed++
-					}
-				}
-				push(event{
-					t: e.t + rt, id: a.ID,
-					m: Measurement{Workload: job.Workload, Platform: a.Platform, Interferers: a.Interferers, Seconds: rt},
-				})
+			if placed, rejected := attempt(e.t, job); !placed {
+				fail(retryEntry{job: job, tries: 1}, rejected)
 			}
 			continue
 		}
@@ -169,17 +237,42 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 			return res, fmt.Errorf("sched: stream completion: %w", err)
 		}
 		res.Completed++
-		if obs != nil && cfg.FeedbackEvery > 0 {
+		if feedback {
 			pending = append(pending, e.m)
-			if len(pending) >= cfg.FeedbackEvery {
+			flushNow := (cfg.FeedbackEvery > 0 && len(pending) >= cfg.FeedbackEvery) ||
+				(cfg.FeedbackInterval > 0 && e.t-lastFlush >= cfg.FeedbackInterval)
+			if flushNow {
 				if err := obs.ObserveSeconds(pending); err != nil {
 					return res, fmt.Errorf("sched: stream feedback: %w", err)
 				}
 				res.Observed += len(pending)
 				pending = nil
 				post = true
+				lastFlush = e.t
 			}
 		}
+		// The completion freed capacity: retry every deferred job once, in
+		// FIFO order. Entries that fail again re-queue (up to RetryLimit
+		// attempts each) and wait for the next completion.
+		if len(retryQ) > 0 {
+			waiting := retryQ
+			retryQ = nil
+			for _, re := range waiting {
+				res.Retries++
+				placed, rejected := attempt(e.t, re.job)
+				if placed {
+					res.RetryPlaced++
+					continue
+				}
+				re.tries++
+				fail(re, rejected)
+			}
+		}
+	}
+	// Jobs still deferred when the event queue drained (no completion left
+	// to retry after) are dropped with their last failure mode.
+	for _, re := range retryQ {
+		drop(re)
 	}
 	res.finalize()
 	return res, nil
@@ -237,6 +330,9 @@ func AggregateStream(rs []StreamResult) StreamResult {
 		agg.PostPlaced += r.PostPlaced
 		agg.PostMissed += r.PostMissed
 		agg.Observed += r.Observed
+		agg.RetryQueued += r.RetryQueued
+		agg.Retries += r.Retries
+		agg.RetryPlaced += r.RetryPlaced
 	}
 	agg.finalize()
 	return agg

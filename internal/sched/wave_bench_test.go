@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// costPred models the real predictor's per-query scoring cost (a rank-32
+// dot per model head) without importing the facade: lock-hold times below
+// reflect realistic wave-scoring durations.
+type costPred struct {
+	emb []float64 // synthetic rank-32 embeddings, one row per platform
+}
+
+func newCostPred(nP int) *costPred {
+	rng := rand.New(rand.NewSource(5))
+	emb := make([]float64, nP*32)
+	for i := range emb {
+		emb[i] = rng.NormFloat64()
+	}
+	return &costPred{emb: emb}
+}
+
+func (c *costPred) score(w, p int, ks []int) float64 {
+	row := c.emb[(p%(len(c.emb)/32))*32:]
+	var s0, s1, s2, s3 float64
+	for i := 0; i < 32; i += 4 {
+		v := float64(w%7) + float64(i)
+		s0 += row[i] * v
+		s1 += row[i+1] * v
+		s2 += row[i+2] * v
+		s3 += row[i+3] * v
+	}
+	return 1 + 1e-6*(s0+s1+s2+s3) + 0.01*float64(len(ks)) + 0.1*float64(p%3)
+}
+
+func (c *costPred) EstimateSeconds(w, p int, ks []int) float64 { return c.score(w, p, ks) }
+func (c *costPred) BoundSeconds(w, p int, ks []int, eps float64) float64 {
+	return c.score(w, p, ks) * 1.5
+}
+
+func (c *costPred) EstimateSecondsBatch(qs []Query) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = c.EstimateSeconds(q.Workload, q.Platform, q.Interferers)
+	}
+	return out
+}
+
+func (c *costPred) BoundSecondsBatch(qs []Query, eps float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = c.BoundSeconds(q.Workload, q.Platform, q.Interferers, eps)
+	}
+	return out
+}
+
+func (c *costPred) ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut []float64) {
+	for i, q := range qs {
+		meanOut[i] = c.EstimateSeconds(q.Workload, q.Platform, q.Interferers)
+		boundOut[i] = c.BoundSeconds(q.Workload, q.Platform, q.Interferers, eps)
+	}
+}
+
+// benchWaveLockHold measures how long PlaceAll holds the scheduler lock
+// per acquisition while placing 256-job waves — the exact quantity that
+// bounds a concurrent Complete's wait. Chunk-boundary timestamps come
+// from the chunkGap hook, so the measurement needs no cross-goroutine
+// scheduling (which a 1-vCPU runner would quantize to the Go preemption
+// interval and drown the signal).
+func benchWaveLockHold(b *testing.B, chunk int) {
+	b.Helper()
+	s, err := New(Config{
+		NumPlatforms:  24,
+		MaxColocation: 12,
+		WaveChunk:     chunk,
+	}, MeanBoundPolicy{Eps: 0.1}, newCostPred(24))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	wave := make([]Job, 256)
+	for i := range wave {
+		wave[i] = Job{Workload: rng.Intn(40), Deadline: 1e9}
+	}
+	var holds []time.Duration
+	var lockStart time.Time
+	// chunkGap runs between lock holds: close the previous hold, open the
+	// next. The final chunk's hold closes after PlaceAll returns.
+	s.chunkGap = func() {
+		now := time.Now()
+		holds = append(holds, now.Sub(lockStart))
+		lockStart = now
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lockStart = time.Now()
+		as := s.PlaceAll(wave)
+		holds = append(holds, time.Since(lockStart))
+		b.StopTimer()
+		for _, a := range as {
+			if a.Placed() {
+				if err := s.Complete(a.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if len(holds) == 0 {
+		b.Fatal("no lock holds measured")
+	}
+	sort.Slice(holds, func(i, j int) bool { return holds[i] < holds[j] })
+	b.ReportMetric(float64(holds[len(holds)/2].Nanoseconds()), "p50-lock-hold-ns")
+	b.ReportMetric(float64(holds[len(holds)*99/100].Nanoseconds()), "p99-lock-hold-ns")
+	b.ReportMetric(float64(holds[len(holds)-1].Nanoseconds()), "max-lock-hold-ns")
+}
+
+// BenchmarkWaveLockHold256Unchunked: the whole 256-job wave under one
+// lock hold — a concurrent Complete waits out the entire wave.
+func BenchmarkWaveLockHold256Unchunked(b *testing.B) { benchWaveLockHold(b, -1) }
+
+// BenchmarkWaveLockHold256Chunk16: the lock is released every 16 jobs —
+// a concurrent Complete waits at most one chunk's scoring.
+func BenchmarkWaveLockHold256Chunk16(b *testing.B) { benchWaveLockHold(b, 16) }
+
+// BenchmarkWaveLockHold256Chunk64 is the default chunking.
+func BenchmarkWaveLockHold256Chunk64(b *testing.B) { benchWaveLockHold(b, 64) }

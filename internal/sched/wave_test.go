@@ -1,0 +1,426 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fusedFake extends the scalar-looping batchPred with the fused two-head
+// call, again looping the scalar predictor so fused, batch, and scalar
+// scoring are bitwise-identical — isolating the scheduler's decision logic
+// from predictor float reassociation.
+type fusedFake struct {
+	*batchPred
+	fusedCalls atomic.Int64
+}
+
+func (f *fusedFake) ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut []float64) {
+	f.fusedCalls.Add(1)
+	for i, q := range qs {
+		meanOut[i] = f.EstimateSeconds(q.Workload, q.Platform, q.Interferers)
+		boundOut[i] = f.BoundSeconds(q.Workload, q.Platform, q.Interferers, eps)
+	}
+}
+
+var _ FusedPredictor = (*fusedFake)(nil)
+
+// Dual-head policies must make identical decisions on all three scoring
+// paths: scalar ScoreDual (DisableBatch), two-pass batch
+// (EstimateSecondsBatch + BoundSecondsBatch), and the fused one-pass
+// ScoreSecondsBatch — across strategies, completions, and waves.
+func TestDualPolicyDecisionIdentical(t *testing.T) {
+	policies := []Policy{MeanBoundPolicy{Eps: 0.1}, PaddedBoundPolicy{Eps: 0.2, Factor: 1.3}}
+	strategies := []Strategy{LeastLoaded{}, BestFit{}, UtilizationAware{}}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(300 + seed))
+		nP := 3 + rng.Intn(6)
+		base := make([]float64, nP)
+		for i := range base {
+			base[i] = 0.5 + 2*rng.Float64()
+		}
+		pol := policies[rng.Intn(len(policies))]
+		strat := strategies[rng.Intn(len(strategies))]
+		cfg := Config{NumPlatforms: nP, MaxColocation: 1 + rng.Intn(3), MaxInFlight: 4 + rng.Intn(8), Strategy: strat}
+		scalarCfg := cfg
+		scalarCfg.DisableBatch = true
+		fused := &fusedFake{batchPred: &batchPred{Predictor: variedPred{base}}}
+		sf := mustNew(t, cfg, pol, fused)
+		sb := mustNew(t, cfg, pol, &batchPred{Predictor: variedPred{base}})
+		ss := mustNew(t, scalarCfg, pol, &batchPred{Predictor: variedPred{base}})
+		if !sf.Fused() || sb.Fused() || ss.Batched() {
+			t.Fatal("fused/batch/scalar wiring wrong")
+		}
+		var live []JobID
+		for i := 0; i < 50; i++ {
+			if len(live) > 0 && rng.Float64() < 0.3 {
+				id := live[rng.Intn(len(live))]
+				errF, errB, errS := sf.Complete(id), sb.Complete(id), ss.Complete(id)
+				if (errF == nil) != (errS == nil) || (errB == nil) != (errS == nil) {
+					t.Fatalf("seed %d: complete disagreement on id %d", seed, id)
+				}
+				if errF == nil {
+					for j, l := range live {
+						if l == id {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+				}
+				continue
+			}
+			if rng.Float64() < 0.3 {
+				// A small wave instead of a single placement.
+				n := 2 + rng.Intn(4)
+				jobs := make([]Job, n)
+				for j := range jobs {
+					jobs[j] = Job{Workload: rng.Intn(20), Deadline: 0.3 + 6*rng.Float64()}
+				}
+				wf, wb, ws := sf.PlaceAll(jobs), sb.PlaceAll(jobs), ss.PlaceAll(jobs)
+				for j := range jobs {
+					if !sameAssignment(wf[j], ws[j]) || !sameAssignment(wb[j], ws[j]) {
+						t.Fatalf("seed %d wave job %d: fused %+v batch %+v scalar %+v (policy %s, strategy %s)",
+							seed, j, wf[j], wb[j], ws[j], pol.Name(), strat.Name())
+					}
+					if wf[j].Placed() {
+						live = append(live, wf[j].ID)
+					}
+				}
+				continue
+			}
+			job := Job{Workload: rng.Intn(20), Deadline: 0.3 + 6*rng.Float64()}
+			af, ab, as := sf.Place(job), sb.Place(job), ss.Place(job)
+			if !sameAssignment(af, as) || !sameAssignment(ab, as) {
+				t.Fatalf("seed %d job %d: fused %+v batch %+v scalar %+v (policy %s, strategy %s)",
+					seed, i, af, ab, as, pol.Name(), strat.Name())
+			}
+			if af.Placed() {
+				live = append(live, af.ID)
+			}
+		}
+		if fused.fusedCalls.Load() == 0 {
+			t.Fatalf("seed %d: fused path never engaged", seed)
+		}
+	}
+}
+
+// A dual policy's Budget must be the feasibility facet (the bound), never
+// the ranking mean, and BestFit must rank on the mean.
+func TestDualPolicyBudgetIsBound(t *testing.T) {
+	pred := &fusedFake{batchPred: &batchPred{Predictor: variedPred{base: []float64{1, 1}}}}
+	s := mustNew(t, Config{NumPlatforms: 2, Strategy: BestFit{}}, MeanBoundPolicy{Eps: 0.1}, pred)
+	job := Job{Workload: 0, Deadline: 50}
+	a := s.Place(job)
+	if !a.Placed() {
+		t.Fatal("unplaced")
+	}
+	vp := variedPred{base: []float64{1, 1}}
+	wantBound := vp.BoundSeconds(job.Workload, a.Platform, nil, 0.1)
+	if a.Budget != wantBound {
+		t.Fatalf("budget %v, want the bound %v", a.Budget, wantBound)
+	}
+}
+
+// Chunked PlaceAll must be decision-identical to the unchunked wave when no
+// concurrent events interleave, for every chunk size, including across
+// completions between waves.
+func TestChunkedPlaceAllMatchesUnchunked(t *testing.T) {
+	for _, chunk := range []int{1, 2, 5, 64} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(700 + seed))
+			nP := 4 + rng.Intn(5)
+			base := make([]float64, nP)
+			for i := range base {
+				base[i] = 0.5 + 2*rng.Float64()
+			}
+			cfg := Config{NumPlatforms: nP, MaxColocation: 2, MaxInFlight: 2 * nP, WaveChunk: chunk}
+			uncfg := cfg
+			uncfg.WaveChunk = -1
+			sc := mustNew(t, cfg, MeanBoundPolicy{Eps: 0.1}, &fusedFake{batchPred: &batchPred{Predictor: variedPred{base}}})
+			su := mustNew(t, uncfg, MeanBoundPolicy{Eps: 0.1}, &fusedFake{batchPred: &batchPred{Predictor: variedPred{base}}})
+			for wave := 0; wave < 3; wave++ {
+				jobs := make([]Job, 5+rng.Intn(20))
+				for i := range jobs {
+					jobs[i] = Job{Workload: rng.Intn(15), Deadline: 0.3 + 6*rng.Float64()}
+				}
+				ac, au := sc.PlaceAll(jobs), su.PlaceAll(jobs)
+				var placed []JobID
+				for i := range jobs {
+					if !sameAssignment(ac[i], au[i]) {
+						t.Fatalf("chunk %d seed %d wave %d job %d: chunked %+v != unchunked %+v",
+							chunk, seed, wave, i, ac[i], au[i])
+					}
+					if ac[i].Placed() {
+						placed = append(placed, ac[i].ID)
+					}
+				}
+				// Free roughly half the slots before the next wave.
+				for i, id := range placed {
+					if i%2 == 0 {
+						continue
+					}
+					if err := sc.Complete(id); err != nil {
+						t.Fatal(err)
+					}
+					if err := su.Complete(id); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// A completion landing between chunks must be visible to the rest of the
+// wave: with the single platform full at wave start, the unchunked wave
+// places nothing, while the chunked wave places the job scored after the
+// mid-wave completion freed the slot. Deterministic via the chunk-boundary
+// hook.
+func TestChunkedWaveMidWaveComplete(t *testing.T) {
+	pred := &batchPred{Predictor: variedPred{base: []float64{1}}}
+	wave := []Job{{Workload: 1, Deadline: 100}, {Workload: 2, Deadline: 100}}
+
+	// Unchunked control: the resident occupies the only slot for the whole
+	// wave; both jobs are unplaced.
+	su := mustNew(t, Config{NumPlatforms: 1, MaxColocation: 1, WaveChunk: -1}, MeanPolicy{}, pred)
+	r := su.Place(Job{Workload: 0, Deadline: 100})
+	if !r.Placed() {
+		t.Fatal("resident unplaced")
+	}
+	// A completion concurrent with an unchunked wave can only land before
+	// or after the whole wave; mid-wave there is no window. (Complete here
+	// runs after the wave to show the wave itself saw a full platform.)
+	au := su.PlaceAll(wave)
+	if au[0].Placed() || au[1].Placed() {
+		t.Fatalf("unchunked wave placed through a full platform: %+v", au)
+	}
+
+	// Chunked: the hook completes the resident between chunk 1 and chunk 2;
+	// job B's chunk pre-scores against the freed platform.
+	sc := mustNew(t, Config{NumPlatforms: 1, MaxColocation: 1, WaveChunk: 1}, MeanPolicy{}, pred)
+	r = sc.Place(Job{Workload: 0, Deadline: 100})
+	if !r.Placed() {
+		t.Fatal("resident unplaced")
+	}
+	gaps := 0
+	sc.chunkGap = func() {
+		gaps++
+		if err := sc.Complete(r.ID); err != nil {
+			t.Errorf("mid-wave complete: %v", err)
+		}
+	}
+	ac := sc.PlaceAll(wave)
+	if gaps != 1 {
+		t.Fatalf("expected one chunk gap, got %d", gaps)
+	}
+	if ac[0].Placed() {
+		t.Fatalf("job A placed while the platform was full: %+v", ac[0])
+	}
+	if !ac[1].Placed() {
+		t.Fatalf("job B not placed after the mid-wave completion: %+v", ac[1])
+	}
+	if got := sc.Residents(0); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("residents after mid-wave interleave: %v", got)
+	}
+}
+
+// Concurrent Complete/Place calls racing a long chunked wave must keep the
+// bookkeeping consistent and drain cleanly. Run under -race.
+func TestConcurrentCompleteDuringChunkedWave(t *testing.T) {
+	pred := &fusedFake{batchPred: &batchPred{Predictor: variedPred{base: []float64{1, 1.2, 0.8, 1.5}}}}
+	s := mustNew(t, Config{NumPlatforms: 4, MaxColocation: 8, WaveChunk: 4}, MeanBoundPolicy{Eps: 0.1}, pred)
+
+	wave := make([]Job, 64)
+	for i := range wave {
+		wave[i] = Job{Workload: i % 10, Deadline: 1000}
+	}
+	stop := make(chan struct{})
+	var pump sync.WaitGroup
+	pump.Add(1)
+	go func() {
+		defer pump.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			as := s.PlaceAll(wave)
+			for _, a := range as {
+				if a.Placed() {
+					if err := s.Complete(a.ID); err != nil {
+						t.Errorf("pump complete: %v", err)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			var mine []JobID
+			for i := 0; i < 200; i++ {
+				if len(mine) > 0 && rng.Float64() < 0.5 {
+					id := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := s.Complete(id); err != nil {
+						t.Errorf("worker %d complete: %v", g, err)
+						return
+					}
+					continue
+				}
+				a := s.Place(Job{Workload: rng.Intn(10), Deadline: 1000})
+				if a.Placed() {
+					mine = append(mine, a.ID)
+				}
+			}
+			for _, id := range mine {
+				if err := s.Complete(id); err != nil {
+					t.Errorf("worker %d drain: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	pump.Wait()
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("in-flight after drain: %d", got)
+	}
+	total := 0
+	for p := 0; p < 4; p++ {
+		total += len(s.Residents(p))
+	}
+	if total != 0 {
+		t.Fatalf("residents left after drain: %d", total)
+	}
+}
+
+// Failed placements with RetryLimit set must re-enter after completions
+// instead of dropping, conserve job accounting, and report the retry
+// success rate.
+func TestStreamRetryQueue(t *testing.T) {
+	run := func(retryLimit int) StreamResult {
+		pred := &batchPred{Predictor: variedPred{base: []float64{1}}}
+		// One slot total: under rate 5 with ~1s runtimes most arrivals find
+		// the platform busy.
+		s := mustNew(t, Config{NumPlatforms: 1, MaxColocation: 1}, MeanPolicy{}, pred)
+		oracle := oracleFunc(func(w, p int, ks []int) float64 { return 0.9 })
+		source := func(rng *rand.Rand, i int) Job {
+			return Job{Workload: i % 5, Deadline: 100}
+		}
+		res, err := Stream(StreamConfig{Jobs: 40, ArrivalRate: 5, RetryLimit: retryLimit},
+			s, oracle, source, nil, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Arrived != 40 {
+			t.Fatalf("arrived %d", res.Arrived)
+		}
+		if res.Placed+res.Unplaced+res.Rejected != res.Arrived {
+			t.Fatalf("job conservation broken: %+v", res)
+		}
+		if res.Completed != res.Placed {
+			t.Fatalf("placed %d completed %d", res.Placed, res.Completed)
+		}
+		if s.InFlight() != 0 {
+			t.Fatalf("in-flight after stream: %d", s.InFlight())
+		}
+		return res
+	}
+	without := run(0)
+	if without.RetryQueued != 0 || without.Retries != 0 || without.RetryPlaced != 0 {
+		t.Fatalf("retry counters without retry: %+v", without)
+	}
+	if without.Unplaced == 0 {
+		t.Fatal("degenerate setup: nothing unplaced without retries")
+	}
+	with := run(5)
+	if with.RetryQueued == 0 || with.Retries == 0 {
+		t.Fatalf("retry queue never engaged: %+v", with)
+	}
+	if with.RetryPlaced == 0 {
+		t.Fatalf("no retried job ever placed: %+v", with)
+	}
+	if with.Placed <= without.Placed {
+		t.Fatalf("retries placed %d jobs, no better than %d without", with.Placed, without.Placed)
+	}
+	if want := float64(with.RetryPlaced) / float64(with.RetryQueued); with.RetryRate != want {
+		t.Fatalf("retry rate %v, want %v", with.RetryRate, want)
+	}
+}
+
+// The time trigger must flush buffered measurements on its own, without
+// the count trigger, and cooperate with it when both are armed.
+func TestStreamFeedbackInterval(t *testing.T) {
+	newSched := func() *Scheduler {
+		pred := &batchPred{Predictor: variedPred{base: []float64{1, 1.2, 0.8}}}
+		return mustNew(t, Config{NumPlatforms: 3, MaxColocation: 2}, MeanPolicy{}, pred)
+	}
+	oracle := oracleFunc(func(w, p int, ks []int) float64 { return 0.4 + 0.1*float64(w%3) })
+	source := func(rng *rand.Rand, i int) Job { return Job{Workload: i % 9, Deadline: 100} }
+
+	// Time trigger only: FeedbackEvery 0 used to disable feedback outright.
+	obs := &feedbackObserver{}
+	res, err := Stream(StreamConfig{Jobs: 60, ArrivalRate: 4, FeedbackInterval: 2},
+		newSched(), oracle, source, obs, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observed == 0 {
+		t.Fatalf("time-based feedback never flushed: %+v", res)
+	}
+	if len(obs.ms) != res.Observed {
+		t.Fatalf("observer saw %d, result says %d", len(obs.ms), res.Observed)
+	}
+	if res.Observed == res.Completed {
+		// ~15 sim-seconds of completions flushed every 2: several flushes,
+		// but the tail after the last flush stays buffered.
+		t.Logf("note: all completions happened to flush (%d)", res.Observed)
+	}
+
+	// Both triggers: at least as many measurements flushed as with the
+	// count trigger alone.
+	obsBoth := &feedbackObserver{}
+	resBoth, err := Stream(StreamConfig{Jobs: 60, ArrivalRate: 4, FeedbackEvery: 25, FeedbackInterval: 2},
+		newSched(), oracle, source, obsBoth, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsCount := &feedbackObserver{}
+	resCount, err := Stream(StreamConfig{Jobs: 60, ArrivalRate: 4, FeedbackEvery: 25},
+		newSched(), oracle, source, obsCount, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBoth.Observed < resCount.Observed {
+		t.Fatalf("combined triggers flushed %d < count-only %d", resBoth.Observed, resCount.Observed)
+	}
+}
+
+// The new mixed-head policy names parse; bad eps is rejected.
+func TestParseDualPolicies(t *testing.T) {
+	for _, n := range []string{"mean-bound", "padded-bound"} {
+		pol, err := ParsePolicy(n, 0.1, 1.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := pol.(DualPolicy); !ok {
+			t.Fatalf("%s is not a DualPolicy", n)
+		}
+		if _, err := ParsePolicy(n, 0, 1.3); err == nil {
+			t.Fatalf("%s accepted eps 0", n)
+		}
+		if _, err := ParsePolicy(n, math.NaN(), 1.3); err == nil {
+			t.Fatalf("%s accepted NaN eps", n)
+		}
+	}
+}

@@ -3,10 +3,12 @@ package serve
 import (
 	"context"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	pitot "repro"
+	"repro/internal/sched"
 )
 
 // benchQueries builds a serving-shaped workload: every query is an
@@ -69,4 +71,127 @@ func BenchmarkMicroBatchedEstimate(b *testing.B) {
 	b.StopTimer()
 	perQuery := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(1e9/perQuery, "queries/s")
+}
+
+// BenchmarkPlaceSingleJob drives concurrent single-job /place traffic
+// through the placement engine, direct (every call its own lock-serialized
+// wave) versus through the accumulation window (concurrent calls fused
+// into one wave whose platform folds are shared). One op = one placed-and-
+// completed job.
+func BenchmarkPlaceSingleJob(b *testing.B) {
+	pred, ds := testPredictor(b)
+	for _, mode := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{"direct", 0},
+		{"window", 200 * time.Microsecond},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			s := New(pred, Config{})
+			defer s.Close()
+			if err := s.EnablePlacement(PlacementConfig{
+				Policy: "mean-bound", Eps: 0.1, MaxColocation: 64,
+				Window: mode.window, MaxWave: 64,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			// Three permanent residents per platform: candidate scoring
+			// pays the full interference fold a loaded cluster sees —
+			// the shared work wave fusion amortizes.
+			for i := 0; i < 3*ds.NumPlatforms(); i++ {
+				if a := s.Placer().Place(sched.Job{Workload: i % ds.NumWorkloads(), Deadline: 1e9}); !a.Placed() {
+					b.Fatalf("resident %d unplaced", i)
+				}
+			}
+			var seq atomic.Int64
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					w := int(seq.Add(1)) % ds.NumWorkloads()
+					as, err := s.PlaceJobs([]sched.Job{{Workload: w, Deadline: 1e9}})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if as[0].Placed() {
+						if err := s.Placer().Complete(as[0].ID); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+		})
+	}
+}
+
+// BenchmarkPlaceWaveFusion quantifies what the accumulation window buys
+// per fused wave, independent of goroutine scheduling: sixteen jobs
+// placed as sixteen single-job waves (each paying its own lock
+// acquisition and per-platform interference folds) versus one fused
+// 16-job wave (one platform-major pre-score, folds shared across the
+// wave). One benchmark op is one placed-and-completed job in both
+// variants.
+func BenchmarkPlaceWaveFusion(b *testing.B) {
+	pred, ds := testPredictor(b)
+	const waveSize = 16
+	for _, mode := range []string{"serial-1x16", "fused-16"} {
+		b.Run(mode, func(b *testing.B) {
+			s := New(pred, Config{})
+			defer s.Close()
+			if err := s.EnablePlacement(PlacementConfig{
+				Policy: "mean-bound", Eps: 0.1, MaxColocation: 64,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 3*ds.NumPlatforms(); i++ {
+				if a := s.Placer().Place(sched.Job{Workload: i % ds.NumWorkloads(), Deadline: 1e9}); !a.Placed() {
+					b.Fatalf("resident %d unplaced", i)
+				}
+			}
+			wave := make([]sched.Job, waveSize)
+			for i := range wave {
+				wave[i] = sched.Job{Workload: i % ds.NumWorkloads(), Deadline: 1e9}
+			}
+			complete := func(as []sched.Assignment) {
+				for _, a := range as {
+					if a.Placed() {
+						if err := s.Placer().Complete(a.ID); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ResetTimer()
+			for n := 0; n < b.N; n += waveSize {
+				if mode == "fused-16" {
+					as, err := s.PlaceJobs(wave)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					complete(as)
+					b.StartTimer()
+				} else {
+					var as []sched.Assignment
+					for _, j := range wave {
+						a, err := s.PlaceJobs([]sched.Job{j})
+						if err != nil {
+							b.Fatal(err)
+						}
+						as = append(as, a...)
+					}
+					b.StopTimer()
+					complete(as)
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "placements/s")
+		})
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	pitot "repro"
 )
 
 // counter is a cache-line-friendly alias for the hot-path counters.
@@ -33,15 +35,70 @@ type metrics struct {
 	inlineFlushes  counter
 
 	// Placement lifecycle (populated only when EnablePlacement ran).
+	// placeWaves/placeWaveJobs count fused accumulation-window waves and
+	// the single-job calls they absorbed; placeInline counts single-job
+	// calls served on the caller's goroutine because nothing was in
+	// flight to fuse with.
 	placed          counter
 	placeUnplaced   counter
 	placeRejected   counter
 	completed       counter
 	completeUnknown counter
+	placeWaves      counter
+	placeWaveJobs   counter
+	placeInline     counter
 
 	perSnap   sync.Map // uint64 (snapshot version) -> *snapCounters
 	snapCount counter  // approximate entry count, drives pruning
 	pruneMu   sync.Mutex
+
+	// calVersion[p] is the snapshot version published by the most recent
+	// successful Observe that carried a measurement for platform p — the
+	// platform's calibration watermark. The current version minus the
+	// watermark is how many snapshots the platform's serving bounds lag
+	// its freshest measurements (per-platform staleness gauge). Guarded
+	// by calMu; Observe is far off the hot path.
+	calMu      sync.Mutex
+	calVersion map[int]uint64
+}
+
+// noteCalibrated advances the calibration watermarks of every platform
+// appearing in obs to the given snapshot version.
+func (m *metrics) noteCalibrated(obs []pitot.Observation, version uint64) {
+	m.calMu.Lock()
+	defer m.calMu.Unlock()
+	if m.calVersion == nil {
+		m.calVersion = make(map[int]uint64)
+	}
+	for _, o := range obs {
+		if v, ok := m.calVersion[o.Platform]; !ok || version > v {
+			m.calVersion[o.Platform] = version
+		}
+	}
+}
+
+// calibrationLag returns, for each platform index, how many snapshot
+// versions its calibration watermark lags the current version. Platforms
+// that never received an Observe lag the full version history: their
+// bounds still rest on the initial training calibration.
+func (m *metrics) calibrationLag(platforms int, current uint64) []uint64 {
+	m.calMu.Lock()
+	defer m.calMu.Unlock()
+	lag := make([]uint64, platforms)
+	for p := range lag {
+		v, ok := m.calVersion[p]
+		if !ok || v > current {
+			// Unobserved (or racing a not-yet-visible publish): lag is the
+			// whole history, resp. zero.
+			if ok {
+				continue
+			}
+			lag[p] = current
+			continue
+		}
+		lag[p] = current - v
+	}
+	return lag
 }
 
 type snapCounters struct {
@@ -128,6 +185,13 @@ type Metrics struct {
 	PlaceRejected   int64 `json:"place_rejected,omitempty"`
 	Completed       int64 `json:"completed,omitempty"`
 	CompleteUnknown int64 `json:"complete_unknown,omitempty"`
+	// PlaceWaves counts fused accumulation-window waves, PlaceWaveJobs
+	// the single-job /place calls they absorbed, and PlaceInline the
+	// single-job calls served inline because nothing was in flight. All
+	// zero unless PlacementConfig.Window is set.
+	PlaceWaves    int64 `json:"place_waves,omitempty"`
+	PlaceWaveJobs int64 `json:"place_wave_jobs,omitempty"`
+	PlaceInline   int64 `json:"place_inline,omitempty"`
 
 	// PerSnapshot is ordered by snapshot version; only the newest
 	// maxSnapshotRetention versions are retained.
@@ -153,6 +217,9 @@ func (s *Server) Metrics() Metrics {
 		PlaceRejected:   m.placeRejected.Load(),
 		Completed:       m.completed.Load(),
 		CompleteUnknown: m.completeUnknown.Load(),
+		PlaceWaves:      m.placeWaves.Load(),
+		PlaceWaveJobs:   m.placeWaveJobs.Load(),
+		PlaceInline:     m.placeInline.Load(),
 	}
 	m.perSnap.Range(func(k, v any) bool {
 		sc := v.(*snapCounters)
@@ -172,4 +239,15 @@ func (s *Server) Metrics() Metrics {
 		return out.PerSnapshot[i].Version < out.PerSnapshot[j].Version
 	})
 	return out
+}
+
+// PlatformCalibrationLag returns, per platform index, how many snapshot
+// versions the platform's serving calibration lags its freshest observed
+// measurements — 0 for a platform whose measurements are folded into the
+// currently published snapshot, the full version count for one never
+// observed since startup. This is the data behind the Prometheus
+// pitot_platform_calibration_lag gauge.
+func (s *Server) PlatformCalibrationLag() []uint64 {
+	info := s.Info()
+	return s.metrics.calibrationLag(info.Platforms, info.Version)
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"math"
+	"time"
 
 	pitot "repro"
 	"repro/internal/sched"
@@ -18,7 +19,9 @@ type PlacementConfig struct {
 	MaxColocation int
 	// MaxInFlight bounds admission; 0 = platform capacity only.
 	MaxInFlight int
-	// Policy is "bound" (default), "mean", or "padded".
+	// Policy is "bound" (default), "mean", "padded", or the mixed-head
+	// "mean-bound" / "padded-bound" (rank on (padded) mean, feasibility on
+	// the conformal bound, scored in one fused pass).
 	Policy string
 	// Eps is the bound policy's per-job miss budget (default 0.1).
 	Eps float64
@@ -26,13 +29,45 @@ type PlacementConfig struct {
 	PadFactor float64
 	// Strategy is "least-loaded" (default), "best-fit", or "utilization".
 	Strategy string
+	// WaveChunk bounds jobs placed per scheduler-lock hold (see
+	// sched.Config.WaveChunk); 0 = default.
+	WaveChunk int
+	// Window accumulates concurrent single-job PlaceJobs calls for up to
+	// this long and places them as one wave — like the prediction
+	// micro-batcher, it converts lock-serialized single placements into
+	// wave-scored ones (the platform interference fold is shared across
+	// the fused wave). 0 disables fusion: every call places directly. A
+	// lone call never waits: with nothing in flight it places inline.
+	Window time.Duration
+	// MaxWave caps a fused wave (default 64).
+	MaxWave int
+}
+
+// placeReq is one queued single-job placement awaiting wave fusion.
+type placeReq struct {
+	job   sched.Job
+	reply chan placeReply
+}
+
+type placeReply struct {
+	a   sched.Assignment
+	err error
 }
 
 // backendPredictor adapts the serving Backend to sched.BatchPredictor:
 // placement scoring goes straight to the vectorized batch calls (already a
 // batch — micro-batching single calls would only add hand-offs), with
-// errors mapped to +Inf per the scheduler's infeasibility convention.
+// errors mapped to +Inf per the scheduler's infeasibility convention. When
+// the backend exposes the fused two-head pass (ScorerBackend; the Pitot
+// facade does), the adapter forwards it so mixed mean/bound policies score
+// whole waves in one pass.
 type backendPredictor struct{ be Backend }
+
+// ScorerBackend is the optional fused two-head surface of a Backend.
+// *pitot.Predictor implements it.
+type ScorerBackend interface {
+	ScoreSecondsBatch(qs []pitot.Query, eps float64, meanOut, boundOut []float64)
+}
 
 func (b backendPredictor) EstimateSeconds(w, pl int, interferers []int) float64 {
 	return b.be.Estimate(w, pl, interferers)
@@ -61,6 +96,17 @@ func (b backendPredictor) BoundSecondsBatch(qs []pitot.Query, eps float64) []flo
 	return out
 }
 
+// fusedBackendPredictor additionally satisfies sched.FusedPredictor; it is
+// used when the backend implements ScorerBackend.
+type fusedBackendPredictor struct {
+	backendPredictor
+	sb ScorerBackend
+}
+
+func (b fusedBackendPredictor) ScoreSecondsBatch(qs []pitot.Query, eps float64, meanOut, boundOut []float64) {
+	b.sb.ScoreSecondsBatch(qs, eps, meanOut, boundOut)
+}
+
 // EnablePlacement constructs the placement engine. Must be called before
 // the handler serves /place; not safe to call concurrently with requests.
 func (s *Server) EnablePlacement(pc PlacementConfig) error {
@@ -73,8 +119,9 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 	if pc.Eps == 0 {
 		pc.Eps = 0.1
 	}
-	if pc.Policy == "bound" && !s.be.Info().Bounds {
-		return fmt.Errorf("serve: bound placement policy needs a quantile model (train with bounds)")
+	needsBounds := pc.Policy == "bound" || pc.Policy == "mean-bound" || pc.Policy == "padded-bound"
+	if needsBounds && !s.be.Info().Bounds {
+		return fmt.Errorf("serve: %s placement policy needs a quantile model (train with bounds)", pc.Policy)
 	}
 	pol, err := sched.ParsePolicy(pc.Policy, pc.Eps, pc.PadFactor)
 	if err != nil {
@@ -84,18 +131,32 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 	if err != nil {
 		return err
 	}
+	var pred sched.Predictor = backendPredictor{s.be}
+	if sb, ok := s.be.(ScorerBackend); ok {
+		pred = fusedBackendPredictor{backendPredictor{s.be}, sb}
+	}
 	placer, err := sched.New(sched.Config{
 		NumPlatforms:  pc.Platforms,
 		MaxColocation: pc.MaxColocation,
 		MaxInFlight:   pc.MaxInFlight,
 		Strategy:      strat,
-	}, pol, backendPredictor{s.be})
+		WaveChunk:     pc.WaveChunk,
+	}, pol, pred)
 	if err != nil {
 		return err
 	}
 	s.placer = placer
 	s.placementPolicy = pol.Name()
 	s.placementStrategy = strat.Name()
+	if pc.Window > 0 {
+		maxWave := pc.MaxWave
+		if maxWave <= 0 {
+			maxWave = 64
+		}
+		s.placeQueue = make(chan *placeReq, 4*maxWave)
+		s.placeDone = make(chan struct{})
+		go s.collectPlacements(pc.Window, maxWave)
+	}
 	return nil
 }
 
@@ -103,12 +164,145 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 func (s *Server) Placer() *sched.Scheduler { return s.placer }
 
 // PlaceJobs places a wave of jobs through the placement engine, updating
-// the serving metrics.
+// the serving metrics. Multi-job calls are already waves and place
+// directly; a single-job call joins the accumulation window (when
+// configured) so concurrent callers fuse into one scheduler wave, unless
+// the pipeline is idle — then it places inline with zero added latency.
 func (s *Server) PlaceJobs(jobs []sched.Job) ([]sched.Assignment, error) {
 	if s.placer == nil {
 		return nil, ErrPlacementDisabled
 	}
+	if len(jobs) != 1 || s.placeQueue == nil {
+		return s.placeDirect(jobs), nil
+	}
+	// Inline fast path: nothing queued, nothing accumulating in the
+	// collector, and no wave in flight — fusing has nothing to fuse with,
+	// so place on the caller's goroutine. placePending matters: without
+	// it, a request waiting out an open window (already moved into the
+	// collector's private batch) would be invisible here, and later
+	// arrivals would jump ahead inline instead of joining its wave.
+	if len(s.placeQueue) == 0 && s.placeInFlight.Load() == 0 && s.placePending.Load() == 0 {
+		s.metrics.placeInline.Add(1)
+		return s.placeDirect(jobs), nil
+	}
+	r := &placeReq{job: jobs[0], reply: make(chan placeReply, 1)}
+	s.placePending.Add(1)
+	select {
+	case s.placeQueue <- r:
+	case <-s.closing:
+		s.placePending.Add(-1)
+		return nil, ErrClosed
+	default:
+		// Queue full: shed to the direct path rather than rejecting — the
+		// scheduler's own admission control is the intended backpressure.
+		s.placePending.Add(-1)
+		return s.placeDirect(jobs), nil
+	}
+	select {
+	case rep := <-r.reply:
+		if rep.err != nil {
+			return nil, rep.err
+		}
+		return []sched.Assignment{rep.a}, nil
+	case <-s.placeDone:
+		// Close raced our enqueue; prefer a reply if the final wave
+		// carried it.
+		select {
+		case rep := <-r.reply:
+			if rep.err != nil {
+				return nil, rep.err
+			}
+			return []sched.Assignment{rep.a}, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// placeDirect runs one wave on the caller's goroutine.
+func (s *Server) placeDirect(jobs []sched.Job) []sched.Assignment {
+	s.placeInFlight.Add(1)
 	as := s.placer.PlaceAll(jobs)
+	s.placeInFlight.Add(-1)
+	s.recordAssignments(as)
+	return as
+}
+
+// collectPlacements is the /place accumulation loop: the first queued job
+// opens a window; everything arriving within it (capped at maxWave) is
+// placed as one wave and fanned back out.
+func (s *Server) collectPlacements(window time.Duration, maxWave int) {
+	defer close(s.placeDone)
+	var batch []*placeReq
+	timer := time.NewTimer(window)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerLive := false
+	stopTimer := func() {
+		if timerLive && !timer.Stop() {
+			<-timer.C
+		}
+		timerLive = false
+	}
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		// Hand the batch's pending count over to the in-flight count
+		// before clearing it, so there is no window where the inline fast
+		// path sees neither.
+		s.placeInFlight.Add(1)
+		s.placePending.Add(int64(-len(batch)))
+		jobs := make([]sched.Job, len(batch))
+		for i, r := range batch {
+			jobs[i] = r.job
+		}
+		as := s.placer.PlaceAll(jobs)
+		s.recordAssignments(as)
+		s.metrics.placeWaves.Add(1)
+		s.metrics.placeWaveJobs.Add(int64(len(batch)))
+		for i, r := range batch {
+			r.reply <- placeReply{a: as[i]}
+		}
+		batch = batch[:0]
+		s.placeInFlight.Add(-1)
+	}
+	for {
+		select {
+		case r := <-s.placeQueue:
+			batch = append(batch, r)
+			if len(batch) >= maxWave {
+				stopTimer()
+				flush()
+				continue
+			}
+			if !timerLive {
+				timer.Reset(window)
+				timerLive = true
+			}
+		case <-timer.C:
+			timerLive = false
+			flush()
+		case <-s.closing:
+			stopTimer()
+			// Final wave for everything accumulated, then fail what is
+			// still queued.
+			for {
+				select {
+				case r := <-s.placeQueue:
+					batch = append(batch, r)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// recordAssignments updates the placement lifecycle counters for one wave.
+func (s *Server) recordAssignments(as []sched.Assignment) {
 	for _, a := range as {
 		switch {
 		case a.Rejected:
@@ -119,7 +313,6 @@ func (s *Server) PlaceJobs(jobs []sched.Job) ([]sched.Assignment, error) {
 			s.metrics.placed.Add(1)
 		}
 	}
-	return as, nil
 }
 
 // CompleteJobs retires placed jobs, freeing their colocation slots; the

@@ -33,8 +33,19 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		c("pitot_place_rejected_total", "Jobs rejected by placement admission control.", m.PlaceRejected)
 		c("pitot_completed_total", "Placed jobs retired via /complete.", m.Completed)
 		c("pitot_complete_unknown_total", "Completion calls for unknown or already-retired jobs.", m.CompleteUnknown)
+		c("pitot_place_waves_total", "Fused /place accumulation-window waves.", m.PlaceWaves)
+		c("pitot_place_wave_jobs_total", "Single-job /place calls absorbed into fused waves.", m.PlaceWaveJobs)
+		c("pitot_place_inline_total", "Single-job /place calls served inline (nothing in flight to fuse with).", m.PlaceInline)
 		fmt.Fprintf(&b, "# HELP pitot_place_in_flight Placed jobs not yet completed.\n# TYPE pitot_place_in_flight gauge\npitot_place_in_flight %d\n",
 			s.placer.InFlight())
+	}
+
+	// Per-platform calibration staleness: how many snapshot versions each
+	// platform's serving bounds lag the freshest measurements observed for
+	// it (never-observed platforms lag the whole version history).
+	fmt.Fprintf(&b, "# HELP pitot_platform_calibration_lag Snapshot versions the platform's calibration lags its freshest observed measurements.\n# TYPE pitot_platform_calibration_lag gauge\n")
+	for p, lag := range s.PlatformCalibrationLag() {
+		fmt.Fprintf(&b, "pitot_platform_calibration_lag{platform=\"%d\"} %d\n", p, lag)
 	}
 
 	fmt.Fprintf(&b, "# HELP pitot_snapshot_version Currently published model snapshot version.\n# TYPE pitot_snapshot_version gauge\npitot_snapshot_version %d\n", info.Version)

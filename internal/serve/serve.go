@@ -132,6 +132,21 @@ type Server struct {
 	placer            *sched.Scheduler
 	placementPolicy   string
 	placementStrategy string
+
+	// placeQueue/placeDone drive the optional /place accumulation window
+	// (PlacementConfig.Window): concurrent single-job placements are fused
+	// into one wave so the scheduler pre-scores them together — one
+	// platform-major interference fold per platform per wave instead of
+	// per call. placeInFlight counts waves currently placing (fused and
+	// direct); placePending counts single-job calls submitted to the
+	// batcher and not yet flushed (the collector moves them into its
+	// private batch immediately, so the queue length alone cannot tell an
+	// open accumulation window from an idle pipeline). The inline fast
+	// path reads both.
+	placeQueue    chan *placeReq
+	placeDone     chan struct{}
+	placeInFlight atomic.Int64
+	placePending  atomic.Int64
 }
 
 // New starts a server over the backend.
@@ -156,6 +171,9 @@ func New(be Backend, cfg Config) *Server {
 func (s *Server) Close() {
 	s.closed.Do(func() { close(s.closing) })
 	<-s.collectorDone
+	if s.placeDone != nil {
+		<-s.placeDone
+	}
 	s.flushes.Wait()
 }
 
@@ -180,14 +198,18 @@ func (s *Server) Bound(ctx context.Context, q pitot.Query, eps float64) (float64
 
 // Observe forwards measurements to the backend. The backend serializes
 // writers internally and never blocks concurrent reads, so Observe needs
-// no batching: its latency is the fine-tune itself.
+// no batching: its latency is the fine-tune itself. Successful calls
+// advance each touched platform's calibration watermark, the basis of the
+// per-platform staleness gauge in /metrics.
 func (s *Server) Observe(obs []pitot.Observation) error {
 	s.metrics.observes.Add(1)
 	err := s.be.Observe(obs)
 	if err != nil {
 		s.metrics.observeErrors.Add(1)
+		return err
 	}
-	return err
+	s.metrics.noteCalibrated(obs, s.be.Info().Version)
+	return nil
 }
 
 // Info exposes the backend's current snapshot metadata.

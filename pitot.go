@@ -266,6 +266,45 @@ func (p *Predictor) BoundBatch(qs []Query, eps float64) ([]float64, error) {
 	return out, nil
 }
 
+// ScoreBatch returns, for every query, both predictor heads in one fused
+// pass: the expected runtime (as EstimateBatch) and the conformal (1−eps)
+// budget (as BoundBatch). The two models share one platform-major span
+// traversal — each platform's interference term is folded once per model
+// per span instead of once per pass, the conformal offset is hoisted per
+// span, and one worker fan-out serves both heads — so mixed mean/bound
+// scheduling policies pay roughly one pass instead of two. Outputs are
+// bitwise-identical to calling EstimateBatch and BoundBatch separately.
+// Requires Options.EnableBounds; the whole batch is served from one
+// snapshot. Lock-free and safe from any number of goroutines.
+func (p *Predictor) ScoreBatch(qs []Query, eps float64) (mean, bound []float64, err error) {
+	mean = make([]float64, len(qs))
+	bound = make([]float64, len(qs))
+	if err := p.scoreInto(qs, eps, mean, bound); err != nil {
+		return nil, nil, err
+	}
+	return mean, bound, nil
+}
+
+// scoreInto is ScoreBatch into caller-owned buffers.
+func (p *Predictor) scoreInto(qs []Query, eps float64, mean, bound []float64) error {
+	s := p.snap.Load()
+	if s.quant == nil {
+		return fmt.Errorf("pitot: bounds not enabled; train with Options.EnableBounds")
+	}
+	b, err := s.bounder(eps)
+	if err != nil {
+		return err
+	}
+	core.PredictFusedBatch(s.mean, s.quant, qs, b.Head, func(degree int) float64 {
+		off, ok := b.Offsets[degree]
+		if !ok {
+			off = b.MaxOffset
+		}
+		return off
+	}, mean, bound)
+	return nil
+}
+
 // Bound returns a runtime budget in seconds that is sufficient with
 // probability at least 1−eps (paper Eq. 10), using conformalized quantile
 // regression with per-degree calibration pools and optimal head selection.
@@ -357,10 +396,11 @@ func (p *Predictor) InterferenceNorm(platform int) float64 {
 	return p.snap.Load().mean.InterferenceNorm(platform)
 }
 
-// The facade is the orchestration engine's batch-scoring predictor and its
-// online-feedback sink.
+// The facade is the orchestration engine's batch-scoring predictor (fused
+// two-head variant included) and its online-feedback sink.
 var (
 	_ sched.BatchPredictor = (*Predictor)(nil)
+	_ sched.FusedPredictor = (*Predictor)(nil)
 	_ sched.Observer       = (*Predictor)(nil)
 )
 
@@ -399,6 +439,19 @@ func (p *Predictor) BoundSecondsBatch(qs []Query, eps float64) []float64 {
 		}
 	}
 	return out
+}
+
+// ScoreSecondsBatch is ScoreBatch under the sched.FusedPredictor name:
+// both heads of the whole wave in one pass, with errors (bounds not
+// enabled, bad eps) mapped to +Inf bounds and plain EstimateBatch means,
+// matching the scheduler's infeasibility convention.
+func (p *Predictor) ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut []float64) {
+	if err := p.scoreInto(qs, eps, meanOut, boundOut); err != nil {
+		copy(meanOut, p.EstimateBatch(qs))
+		for i := range boundOut {
+			boundOut[i] = math.Inf(1)
+		}
+	}
 }
 
 // ObserveSeconds is the orchestration feedback bridge: measured runtimes
