@@ -9,13 +9,27 @@
 // (Observe), demonstrating the closed predict → place → measure → observe
 // loop of the paper's motivating application (§1, §6).
 //
+// With -chaos, a seeded failure injector cycles platforms (or correlated
+// failure groups) down and back up on exponential MTTF/MTTR clocks:
+// failing a platform orphans its resident jobs into a high-priority
+// reschedule queue, completions feed a per-platform circuit breaker that
+// quarantines platforms whose observed miss rate crosses a threshold, and
+// a failure scorecard reports orphan-reschedule latency, the miss rate
+// during failure windows, and breaker trip/recovery counts. Job
+// conservation (arrived == completed + shed, nothing lost or duplicated)
+// is checked per trial and fatal on violation.
+//
 // Usage:
 //
 //	schedsim [-seed 1] [-jobs 200] [-eps 0.1] [-steps 1200]
 //	         [-policy all] [-strategy least-loaded]
 //	         [-arrival-rate 2] [-trials 4]
 //	         [-colocation 4] [-max-inflight 0] [-chunk 0]
-//	         [-retry-limit 3]
+//	         [-retry-limit 3] [-retry-backoff 0] [-retry-backoff-max 0]
+//	         [-chaos] [-mttf 60] [-mttr 8] [-chaos-groups "0,1;2,3"]
+//	         [-chaos-degrade 0.25] [-chaos-seed 0] [-degraded-penalty 0]
+//	         [-breaker-threshold 0] [-breaker-window 20]
+//	         [-breaker-probation 3] [-breaker-cooldown 30] [-require-trip]
 //	         [-feedback] [-feedback-every 25] [-feedback-interval 0]
 //
 // Flags:
@@ -29,6 +43,25 @@
 //	                   negative = whole wave)
 //	-retry-limit       re-queue failed placements for up to N retries after
 //	                   subsequent completions (0 drops them immediately)
+//	-retry-backoff     space retries with capped exponential backoff and
+//	                   seeded jitter (simulated seconds; 0 = retry on the
+//	                   next completion); -retry-backoff-max caps the delay
+//	-chaos             enable the failure injector (with -mttf/-mttr means)
+//	-chaos-groups      correlated failure domains, ";"-separated platform
+//	                   lists (e.g. "0,1;2,3"); empty = independent platforms
+//	-chaos-degrade     probability a failure degrades (flaky) instead of
+//	                   downing the platform
+//	-chaos-seed        injector seed (0 derives from -seed); per-trial
+//	                   offsets keep trials independent
+//	-degraded-penalty  feasibility-score multiplier on degraded platforms
+//	                   (0 = default 1.25)
+//	-breaker-threshold quarantine a platform when its windowed miss rate
+//	                   reaches this (0 disables automatic trips)
+//	-breaker-cooldown  re-admit a tripped platform half-open after this
+//	                   many simulated seconds
+//	-require-trip      exit nonzero unless the replay demonstrated at least
+//	                   one breaker trip and one half-open re-admission
+//	                   (CI chaos smoke)
 //	-feedback          additionally run the bound policy with online feedback
 //	                   and report its miss rate after the Observe updates
 //	-feedback-every    flush measured runtimes to Observe every N completions
@@ -42,6 +75,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	pitot "repro"
@@ -57,6 +91,37 @@ type oracle struct {
 
 func (o *oracle) TrueSeconds(w, p int, ks []int) float64 {
 	return o.c.MeasureSeconds(o.rng, w, p, ks)
+}
+
+// parseGroups parses the -chaos-groups syntax: ";"-separated groups of
+// ","-separated platform indices, e.g. "0,1;2,3". Empty means nil
+// (independent per-platform failures).
+func parseGroups(s string, platforms int) ([][]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var groups [][]int
+	for _, gs := range strings.Split(s, ";") {
+		gs = strings.TrimSpace(gs)
+		if gs == "" {
+			continue
+		}
+		var g []int
+		for _, ps := range strings.Split(gs, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(ps))
+			if err != nil {
+				return nil, fmt.Errorf("chaos-groups: bad platform index %q: %v", ps, err)
+			}
+			if p < 0 || p >= platforms {
+				return nil, fmt.Errorf("chaos-groups: platform %d out of range [0,%d)", p, platforms)
+			}
+			g = append(g, p)
+		}
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return groups, nil
 }
 
 func main() {
@@ -75,6 +140,20 @@ func main() {
 		maxInFlight = flag.Int("max-inflight", 0, "admission bound on in-flight jobs (0 = capacity only)")
 		chunk       = flag.Int("chunk", 0, "jobs placed per scheduler-lock hold (0 = default, negative = whole wave)")
 		retryLimit  = flag.Int("retry-limit", 3, "retry failed placements after later completions, up to N attempts each (0 = drop)")
+		retryBO     = flag.Float64("retry-backoff", 0, "base retry backoff in simulated seconds, doubled per attempt with seeded jitter (0 = retry on next completion)")
+		retryBOMax  = flag.Float64("retry-backoff-max", 0, "cap on the exponential retry backoff (0 = uncapped)")
+		chaosOn     = flag.Bool("chaos", false, "enable the seeded platform-failure injector")
+		mttf        = flag.Float64("mttf", 60, "mean simulated seconds between a failure group's repair and next failure")
+		mttr        = flag.Float64("mttr", 8, "mean simulated seconds from failure to repair")
+		chaosGroups = flag.String("chaos-groups", "", `correlated failure domains as ";"-separated platform lists, e.g. "0,1;2,3" (empty = independent platforms)`)
+		chaosDeg    = flag.Float64("chaos-degrade", 0.25, "probability a failure degrades (flaky) instead of downing the platform")
+		chaosSeed   = flag.Int64("chaos-seed", 0, "failure injector seed (0 = derive from -seed)")
+		degPenalty  = flag.Float64("degraded-penalty", 0, "feasibility-score multiplier on degraded platforms (0 = default 1.25)")
+		brThreshold = flag.Float64("breaker-threshold", 0, "quarantine a platform when its windowed miss rate reaches this (0 = off)")
+		brWindow    = flag.Int("breaker-window", 20, "outcomes tracked per platform for the breaker")
+		brProbation = flag.Int("breaker-probation", 3, "consecutive on-deadline completions to close a half-open platform")
+		brCooldown  = flag.Float64("breaker-cooldown", 30, "simulated seconds before a tripped platform re-admits half-open")
+		requireTrip = flag.Bool("require-trip", false, "exit nonzero unless >=1 breaker trip and >=1 half-open re-admission occurred (CI smoke)")
 		feedback    = flag.Bool("feedback", false, "run the bound policy with online Observe feedback and compare")
 		fbEvery     = flag.Int("feedback-every", 25, "feed measurements back every N completions")
 		fbInterval  = flag.Float64("feedback-interval", 0, "also flush after this many simulated seconds since the last flush (0 = off)")
@@ -126,15 +205,33 @@ func main() {
 		}
 	}
 
-	scfg := sched.StreamConfig{Jobs: *jobs, ArrivalRate: *arrivalRate, RetryLimit: *retryLimit}
+	groups, err := parseGroups(*chaosGroups, ds.NumPlatforms())
+	if err != nil {
+		log.Fatal(err)
+	}
+	injectorSeed := *chaosSeed
+	if injectorSeed == 0 {
+		injectorSeed = *seed + 17
+	}
+	scfg := sched.StreamConfig{
+		Jobs: *jobs, ArrivalRate: *arrivalRate, RetryLimit: *retryLimit,
+		RetryBackoff: *retryBO, RetryBackoffMax: *retryBOMax,
+		BreakerCooldown: *brCooldown,
+	}
 	runTrial := func(pol sched.Policy, obs sched.Observer, fbEvery int, fbInterval float64) func(tr int) (sched.StreamResult, error) {
 		return func(tr int) (sched.StreamResult, error) {
 			s, err := sched.New(sched.Config{
-				NumPlatforms:  ds.NumPlatforms(),
-				MaxColocation: *coloc,
-				MaxInFlight:   *maxInFlight,
-				WaveChunk:     *chunk,
-				Strategy:      strategy,
+				NumPlatforms:    ds.NumPlatforms(),
+				MaxColocation:   *coloc,
+				MaxInFlight:     *maxInFlight,
+				WaveChunk:       *chunk,
+				Strategy:        strategy,
+				DegradedPenalty: *degPenalty,
+				Breaker: sched.BreakerConfig{
+					Window:    *brWindow,
+					Threshold: *brThreshold,
+					Probation: *brProbation,
+				},
 			}, pol, pred)
 			if err != nil {
 				return sched.StreamResult{}, err
@@ -142,24 +239,57 @@ func main() {
 			cfg := scfg
 			cfg.FeedbackEvery = fbEvery
 			cfg.FeedbackInterval = fbInterval
+			if *chaosOn {
+				cfg.Chaos = &sched.ChaosConfig{
+					MTTF: *mttf, MTTR: *mttr, Groups: groups,
+					DegradeProb: *chaosDeg,
+					Seed:        injectorSeed + int64(tr)*7919,
+				}
+			}
 			stream := streams[tr]
 			source := func(_ *rand.Rand, i int) sched.Job { return stream[i] }
 			orc := &oracle{cluster, rand.New(rand.NewSource(*seed + 99 + int64(tr)*509))}
-			return sched.Stream(cfg, s, orc, source, obs, rand.New(rand.NewSource(*seed+31+int64(tr)*271)))
+			res, err := sched.Stream(cfg, s, orc, source, obs, rand.New(rand.NewSource(*seed+31+int64(tr)*271)))
+			if err != nil {
+				return res, err
+			}
+			// Job conservation: every arrival ends exactly once, every
+			// placement completes or is orphaned. A violation means the
+			// failure path lost or duplicated work.
+			if res.Arrived != res.Completed+res.Unplaced+res.Rejected {
+				return res, fmt.Errorf("job conservation violated (trial %d, %s): arrived %d != completed %d + unplaced %d + rejected %d",
+					tr, pol.Name(), res.Arrived, res.Completed, res.Unplaced, res.Rejected)
+			}
+			if res.Placed != res.Completed+res.Orphaned {
+				return res, fmt.Errorf("placement conservation violated (trial %d, %s): placed %d != completed %d + orphaned %d",
+					tr, pol.Name(), res.Placed, res.Completed, res.Orphaned)
+			}
+			return res, nil
 		}
 	}
 
-	fmt.Printf("streaming %d jobs/trial x %d trials at rate %.1f/s on %d platforms (strategy %s, retry-limit %d); bound targets <=%.0f%% misses\n\n",
+	fmt.Printf("streaming %d jobs/trial x %d trials at rate %.1f/s on %d platforms (strategy %s, retry-limit %d); bound targets <=%.0f%% misses\n",
 		*jobs, *trials, *arrivalRate, ds.NumPlatforms(), strategy.Name(), *retryLimit, 100**eps)
+	if *chaosOn {
+		domain := "independent platforms"
+		if len(groups) > 0 {
+			domain = fmt.Sprintf("%d correlated groups", len(groups))
+		}
+		fmt.Printf("chaos: mttf %.0fs, mttr %.0fs, %s, degrade-prob %.2f, breaker threshold %.2f/window %d, cooldown %.0fs\n",
+			*mttf, *mttr, domain, *chaosDeg, *brThreshold, *brWindow, *brCooldown)
+	}
+	fmt.Println()
 	fmt.Printf("%-24s %8s %9s %9s %10s %9s %8s %9s\n",
 		"policy", "placed", "unplaced", "rejected", "miss-rate", "headroom", "retried", "retry-ok")
 	sweep := map[string]sched.StreamResult{}
+	var aggs []sched.StreamResult
 	for _, pol := range policies {
 		_, agg, err := sched.StreamTrials(*trials, true, runTrial(pol, nil, 0, 0))
 		if err != nil {
 			log.Fatal(err)
 		}
 		sweep[agg.Policy] = agg
+		aggs = append(aggs, agg)
 		retryOK := "-"
 		if agg.RetryQueued > 0 {
 			retryOK = fmt.Sprintf("%.1f%%", 100*agg.RetryRate)
@@ -168,10 +298,39 @@ func main() {
 			agg.Policy, agg.Placed, agg.Unplaced, agg.Rejected, 100*agg.MissRate, 100*agg.AvgHeadroom,
 			agg.RetryQueued, retryOK)
 	}
-	fmt.Println("\nmiss-rate: fraction of placed jobs whose true runtime exceeded the deadline")
+	fmt.Println("\nmiss-rate: fraction of completed jobs whose true runtime exceeded the deadline")
 	fmt.Println("headroom:  mean unused fraction of the deadline (high = overprovisioned)")
 	fmt.Println("retried:   jobs that entered the deferral queue after a failed placement;")
 	fmt.Println("retry-ok:  share of them eventually placed by a retry (the retry success rate)")
+
+	if *chaosOn {
+		fmt.Println("\n-- failure scorecard (all trials) --")
+		fmt.Printf("%-24s %6s %6s %8s %8s %9s %9s %6s %9s %7s %8s\n",
+			"policy", "fails", "degr", "orphaned", "orph-ok", "orph-lat", "fw-miss", "trips", "readmits", "closes", "lost")
+		var totalTrips, totalReadmits int
+		for _, agg := range aggs {
+			orphLat := "-"
+			if agg.OrphanReplaced > 0 {
+				orphLat = fmt.Sprintf("%.2fs", agg.OrphanLatencyMean)
+			}
+			fwMiss := "-"
+			if agg.FailWindowPlaced > 0 {
+				fwMiss = fmt.Sprintf("%.1f%%", 100*agg.FailWindowMissRate)
+			}
+			fmt.Printf("%-24s %6d %6d %8d %8d %9s %9s %6d %9d %7d %8d\n",
+				agg.Policy, agg.Failures, agg.Degrades, agg.Orphaned, agg.OrphanReplaced,
+				orphLat, fwMiss, agg.BreakerTrips, agg.BreakerReadmits, agg.BreakerCloses, agg.OrphanLost)
+			totalTrips += agg.BreakerTrips
+			totalReadmits += agg.BreakerReadmits
+		}
+		fmt.Println("\norph-ok:  orphans re-placed on a surviving platform; orph-lat: mean sim-seconds to re-place")
+		fmt.Println("fw-miss:  miss rate of jobs placed while >=1 platform was impaired")
+		fmt.Println("trips/readmits/closes: breaker quarantines, half-open re-admissions, probations closed healthy")
+		if *requireTrip && (totalTrips < 1 || totalReadmits < 1) {
+			log.Fatalf("require-trip: breaker demonstration failed (trips %d, readmits %d) — want >=1 of each",
+				totalTrips, totalReadmits)
+		}
+	}
 
 	if *feedback {
 		switch {

@@ -14,6 +14,14 @@
 // -window of each other (up to -max-batch) are fused into one vectorized
 // EstimateBatch/BoundBatch pass over the model. Admission is bounded by
 // -max-queue; excess load fails fast with HTTP 503.
+//
+// With -place, the orchestration surface also exposes a failure
+// lifecycle: POST /fail marks a platform down (orphaned residents are
+// re-placed on survivors) or degraded, POST /recover re-admits it, and a
+// deadline-miss circuit breaker (-place-breaker-threshold) quarantines
+// platforms whose observed miss rate over -place-breaker-window
+// completions crosses the threshold. Degraded platforms stay placeable
+// but their scores are padded by -place-degraded-penalty.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"time"
 
 	pitot "repro"
+	"repro/internal/sched"
 	"repro/internal/serve"
 )
 
@@ -59,6 +68,11 @@ func main() {
 		placeWindow   = flag.Duration("place-window", 200*time.Microsecond, "fuse concurrent single-job /place calls arriving within this window into one wave (0 disables)")
 		placeMaxWave  = flag.Int("place-max-wave", 64, "cap on a fused /place wave")
 		placeChunk    = flag.Int("place-chunk", 0, "jobs placed per scheduler-lock hold (0 = default, negative = whole wave)")
+
+		placePenalty     = flag.Float64("place-degraded-penalty", 0, "score multiplier applied to degraded platforms (0 = default 1.25)")
+		breakerThreshold = flag.Float64("place-breaker-threshold", 0, "quarantine a platform when its windowed deadline-miss rate crosses this fraction (0 disables the breaker)")
+		breakerWindow    = flag.Int("place-breaker-window", 0, "completions per platform in the breaker's miss-rate window (0 = default 20)")
+		breakerProbation = flag.Int("place-breaker-probation", 0, "consecutive on-deadline completions to close a half-open platform (0 = default)")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -134,6 +148,13 @@ func main() {
 			Window:        *placeWindow,
 			MaxWave:       *placeMaxWave,
 			WaveChunk:     *placeChunk,
+
+			DegradedPenalty: *placePenalty,
+			Breaker: sched.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Window:    *breakerWindow,
+				Probation: *breakerProbation,
+			},
 		})
 		if err != nil {
 			srv.Close()

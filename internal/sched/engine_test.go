@@ -197,7 +197,7 @@ func TestCompleteFreesSlot(t *testing.T) {
 	if len(res) != 2 || res[0] != 1 || res[1] != 2 {
 		t.Fatalf("residents after completion: %v", res)
 	}
-	if err := s.Complete(a1.ID); err != ErrUnknownJob {
+	if err := s.Complete(a1.ID); err != ErrJobCompleted {
 		t.Fatalf("double complete: %v", err)
 	}
 	if err := s.Complete(9999); err != ErrUnknownJob {

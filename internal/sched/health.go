@@ -1,0 +1,365 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HealthState is a platform's position in the failure lifecycle. Healthy
+// and Degraded platforms accept placements (Degraded ones with a
+// bound-padding penalty, Config.DegradedPenalty); Quarantined and Down
+// platforms are excluded from every candidate set. The transitions are
+// driven by the scheduler's failure events:
+//
+//	Fail     → Down         (residents orphaned)
+//	Degrade  → Degraded     (flaky but alive; residents stay)
+//	Recover  → half-open probation (from Down/Quarantined) or Healthy
+//	           (from Degraded)
+//	breaker  → Quarantined  (observed miss rate over the window crossed
+//	           the threshold, or a miss during probation)
+type HealthState uint8
+
+const (
+	// Healthy platforms take placements at full capacity, unpenalized.
+	Healthy HealthState = iota
+	// Degraded platforms take placements with the feasibility score
+	// inflated by Config.DegradedPenalty — a flaky platform has to clear
+	// the deadline with padding to spare. Half-open probation is a
+	// Degraded state with a colocation cap of one trial job.
+	Degraded
+	// Quarantined platforms are excluded from placement: the circuit
+	// breaker tripped (or an operator quarantined them). Residents keep
+	// running; completions are still accepted.
+	Quarantined
+	// Down platforms failed: their residents were orphaned and the
+	// platform takes no placements until recovered.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (h HealthState) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Quarantined:
+		return "quarantined"
+	case Down:
+		return "down"
+	}
+	return fmt.Sprintf("health(%d)", uint8(h))
+}
+
+// Placeable reports whether a platform in this state may receive jobs.
+func (h HealthState) Placeable() bool { return h == Healthy || h == Degraded }
+
+// ErrPlatformOutOfRange is returned by the failure-event methods for a
+// platform index outside [0, NumPlatforms).
+var ErrPlatformOutOfRange = errors.New("sched: platform index out of range")
+
+// ErrPlatformUnavailable is returned by Degrade for a platform that is
+// Down or Quarantined (recover it first).
+var ErrPlatformUnavailable = errors.New("sched: platform unavailable")
+
+// Orphan is one resident lost to a platform failure: the job's retired ID
+// (Complete on it returns ErrJobCompleted) and the Job itself, so callers
+// can funnel it back into placement as high-priority rescheduling work.
+type Orphan struct {
+	ID  JobID
+	Job Job
+}
+
+// BreakerConfig tunes the per-platform circuit breaker: a sliding window
+// of observed outcomes (reported via CompleteOutcome) trips the platform
+// into Quarantined when the window miss rate crosses Threshold. Recover
+// re-admits the platform half-open: one trial job at a time, with
+// Probation consecutive on-deadline completions required to close back to
+// Healthy, and any miss during probation re-tripping the quarantine.
+type BreakerConfig struct {
+	// Window is the number of recent outcomes tracked per platform
+	// (default 20).
+	Window int
+	// Threshold trips the breaker when misses/outcomes over the window
+	// reaches it (with at least MinSamples outcomes). 0 disables
+	// automatic trips; probation semantics still apply after Recover.
+	Threshold float64
+	// MinSamples is the minimum outcomes in the window before a trip is
+	// considered (default Window/2, at least 1).
+	MinSamples int
+	// Probation is the number of consecutive on-deadline completions a
+	// half-open platform needs to close back to Healthy (default 3).
+	Probation int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = c.Window / 2
+		if c.MinSamples < 1 {
+			c.MinSamples = 1
+		}
+	}
+	if c.Probation <= 0 {
+		c.Probation = 3
+	}
+	return c
+}
+
+// platformHealth is one platform's failure-lifecycle state, guarded by the
+// scheduler mutex. The outcome ring is allocated lazily on first use.
+type platformHealth struct {
+	state     HealthState
+	probation bool // half-open: state==Degraded, colocation capped at 1
+	probLeft  int  // consecutive successes still needed to close
+
+	outcomes     []bool // ring of recent outcomes, true = missed deadline
+	next, filled int
+	misses       int
+}
+
+// FailureStats counts the scheduler's failure-lifecycle events since
+// construction.
+type FailureStats struct {
+	// Fails/Degrades/Recovers count applied failure events (no-ops —
+	// failing a Down platform, recovering a Healthy one — are excluded).
+	Fails    uint64
+	Degrades uint64
+	Recovers uint64
+	// Orphaned counts residents displaced by Fail.
+	Orphaned uint64
+	// Trips counts quarantine entries: breaker threshold crossings plus
+	// re-trips from a miss during probation. Readmissions counts half-open
+	// entries (Recover on a Down/Quarantined platform); Closes counts
+	// probations completing back to Healthy.
+	Trips        uint64
+	Readmissions uint64
+	Closes       uint64
+}
+
+func (s *Scheduler) checkPlatform(p int) error {
+	if p < 0 || p >= s.cfg.NumPlatforms {
+		return fmt.Errorf("%w: %d not in [0,%d)", ErrPlatformOutOfRange, p, s.cfg.NumPlatforms)
+	}
+	return nil
+}
+
+// Fail marks platform p Down and orphans its residents: every resident
+// job's ID is retired (Complete returns ErrJobCompleted) and returned with
+// its Job so the caller can reschedule it — the job-conservation contract
+// is that each orphan is returned exactly once and nothing else about the
+// cluster changes. Failing an already-Down platform is a no-op.
+func (s *Scheduler) Fail(p int) ([]Orphan, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkPlatform(p); err != nil {
+		return nil, err
+	}
+	h := &s.healths[p]
+	if h.state == Down {
+		return nil, nil
+	}
+	h.state = Down
+	h.probation = false
+	h.resetWindow()
+	s.stats.Fails++
+	rs := s.residents[p]
+	if len(rs) == 0 {
+		return nil, nil
+	}
+	orphans := make([]Orphan, len(rs))
+	for i, r := range rs {
+		orphans[i] = Orphan{ID: r.id, Job: r.job}
+		delete(s.platformOf, r.id)
+	}
+	s.residents[p] = rs[:0]
+	s.stats.Orphaned += uint64(len(orphans))
+	return orphans, nil
+}
+
+// Degrade marks platform p Degraded: it keeps its residents and keeps
+// accepting placements, but every candidate score is padded by
+// Config.DegradedPenalty and strategies prefer healthy platforms at equal
+// rank. Degrading a Down or Quarantined platform is an error (recover it
+// first); degrading a Degraded platform is a no-op.
+func (s *Scheduler) Degrade(p int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkPlatform(p); err != nil {
+		return err
+	}
+	h := &s.healths[p]
+	switch h.state {
+	case Down, Quarantined:
+		return fmt.Errorf("%w: platform %d is %s", ErrPlatformUnavailable, p, h.state)
+	case Healthy:
+		h.state = Degraded
+		s.stats.Degrades++
+	case Degraded:
+		if h.probation {
+			// An explicit Degrade during probation converts the half-open
+			// trial into a plain degraded platform (full capacity, padded).
+			h.probation = false
+			s.stats.Degrades++
+		}
+	}
+	return nil
+}
+
+// Recover advances platform p toward Healthy: a Down or Quarantined
+// platform re-enters half-open probation (Degraded, colocation capped at
+// one trial job, Probation consecutive successes to close); a Degraded
+// platform closes to Healthy. Recovering a Healthy platform is a no-op.
+func (s *Scheduler) Recover(p int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.checkPlatform(p); err != nil {
+		return err
+	}
+	h := &s.healths[p]
+	switch h.state {
+	case Down, Quarantined:
+		h.state = Degraded
+		h.probation = true
+		h.probLeft = s.breaker.Probation
+		h.resetWindow()
+		s.stats.Recovers++
+		s.stats.Readmissions++
+	case Degraded:
+		h.state = Healthy
+		if h.probation {
+			s.stats.Closes++
+		}
+		h.probation = false
+		h.resetWindow()
+		s.stats.Recovers++
+	}
+	return nil
+}
+
+// Health returns platform p's current state (Healthy for out-of-range
+// indices; validate with the event methods).
+func (s *Scheduler) Health(p int) HealthState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p < 0 || p >= len(s.healths) {
+		return Healthy
+	}
+	return s.healths[p].state
+}
+
+// HealthSnapshot returns a copy of every platform's health state.
+func (s *Scheduler) HealthSnapshot() []HealthState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]HealthState, len(s.healths))
+	for p := range s.healths {
+		out[p] = s.healths[p].state
+	}
+	return out
+}
+
+// Impaired returns the number of platforms not currently Healthy.
+func (s *Scheduler) Impaired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for p := range s.healths {
+		if s.healths[p].state != Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// FailureStats returns the failure-lifecycle counters.
+func (s *Scheduler) FailureStats() FailureStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// CompleteOutcome is Complete plus an outcome report for the circuit
+// breaker: miss records whether the execution overran its deadline on the
+// platform it ran on. The returned tripped flag reports whether this
+// outcome tripped the platform into quarantine (threshold crossing, or a
+// miss during probation) — callers drive re-admission from it.
+func (s *Scheduler) CompleteOutcome(id JobID, miss bool) (tripped bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.completeLocked(id)
+	if err != nil {
+		return false, err
+	}
+	return s.noteOutcomeLocked(p, miss), nil
+}
+
+// noteOutcomeLocked feeds one observed execution outcome into platform p's
+// breaker window and probation state, returning whether it tripped the
+// platform into quarantine.
+func (s *Scheduler) noteOutcomeLocked(p int, miss bool) bool {
+	h := &s.healths[p]
+	if h.state == Down || h.state == Quarantined {
+		// Stragglers completing on a failed/quarantined platform carry no
+		// signal about its future admission.
+		return false
+	}
+	if h.probation {
+		if miss {
+			h.state = Quarantined
+			h.probation = false
+			h.resetWindow()
+			s.stats.Trips++
+			return true
+		}
+		h.probLeft--
+		if h.probLeft <= 0 {
+			h.state = Healthy
+			h.probation = false
+			h.resetWindow()
+			s.stats.Closes++
+		}
+		return false
+	}
+	if s.breaker.Threshold <= 0 {
+		return false
+	}
+	if h.outcomes == nil {
+		h.outcomes = make([]bool, s.breaker.Window)
+	}
+	if h.filled == len(h.outcomes) {
+		if h.outcomes[h.next] {
+			h.misses--
+		}
+	} else {
+		h.filled++
+	}
+	h.outcomes[h.next] = miss
+	if miss {
+		h.misses++
+	}
+	h.next = (h.next + 1) % len(h.outcomes)
+	if h.filled >= s.breaker.MinSamples &&
+		float64(h.misses) >= s.breaker.Threshold*float64(h.filled) {
+		h.state = Quarantined
+		h.resetWindow()
+		s.stats.Trips++
+		return true
+	}
+	return false
+}
+
+func (h *platformHealth) resetWindow() {
+	h.next, h.filled, h.misses = 0, 0, 0
+}
+
+// colocCapLocked is platform p's effective colocation cap: one trial job
+// during half-open probation, Config.MaxColocation otherwise.
+func (s *Scheduler) colocCapLocked(p int) int {
+	if s.healths[p].probation {
+		return 1
+	}
+	return s.cfg.MaxColocation
+}

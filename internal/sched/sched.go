@@ -103,9 +103,28 @@ type Observer interface {
 	ObserveSeconds(ms []Measurement) error
 }
 
-// ErrUnknownJob is returned by Complete for an ID that was never placed or
-// has already completed.
-var ErrUnknownJob = errors.New("sched: unknown or already-completed job")
+// ErrUnknownJob is returned by Complete for an ID the scheduler never
+// issued.
+var ErrUnknownJob = errors.New("sched: unknown job")
+
+// ErrJobCompleted is returned by Complete for an ID that was placed but is
+// no longer in flight: it already completed, or was orphaned by a platform
+// failure. Distinct from ErrUnknownJob so callers can treat duplicates and
+// stale completions differently from outright bogus IDs.
+var ErrJobCompleted = errors.New("sched: job already completed")
+
+// Unplaced-assignment reasons (Assignment.Reason).
+const (
+	// ReasonAdmission: admission control refused the job (MaxInFlight).
+	ReasonAdmission = "admission"
+	// ReasonNoHealthy: no platform was healthy enough to consider — the
+	// placeable set (Healthy + Degraded) was empty.
+	ReasonNoHealthy = "no-healthy-platform"
+	// ReasonCapacity: placeable platforms exist but every one was full.
+	ReasonCapacity = "capacity"
+	// ReasonInfeasible: candidates were scored but none met the deadline.
+	ReasonInfeasible = "infeasible"
+)
 
 // Assignment is the result of placing one job.
 type Assignment struct {
@@ -124,6 +143,9 @@ type Assignment struct {
 	// Rejected marks an admission-control refusal (cluster at MaxInFlight),
 	// as opposed to an infeasible job no platform can serve in time.
 	Rejected bool
+	// Reason explains an unplaced assignment (one of the Reason*
+	// constants); empty when the job was placed.
+	Reason string
 }
 
 // Placed reports whether the job found a platform.
@@ -156,4 +178,14 @@ type Config struct {
 	// predictor support batching — the reference path batch scoring must
 	// be decision-identical to (used by tests and benchmarks).
 	DisableBatch bool
+	// DegradedPenalty multiplies the feasibility score of candidates on
+	// Degraded platforms: a flaky platform must clear the deadline with
+	// padding to spare before it wins a placement. Must be ≥ 1; 0 means
+	// the default (1.25). Applied identically on the scalar, batch, and
+	// fused scoring paths, so it preserves their decision identity.
+	DegradedPenalty float64
+	// Breaker tunes the per-platform circuit breaker fed by
+	// CompleteOutcome; the zero value gets defaults (window 20, automatic
+	// trips disabled until Threshold is set).
+	Breaker BreakerConfig
 }

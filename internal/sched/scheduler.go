@@ -6,11 +6,12 @@ import (
 	"sync"
 )
 
-// placedJob is one resident of a platform: the job's identity plus its
-// workload index (several jobs may run the same workload).
+// placedJob is one resident of a platform: the job's identity plus the
+// job itself, kept whole so a platform failure can orphan its residents
+// back into the retry path with deadlines intact.
 type placedJob struct {
-	id       JobID
-	workload int
+	id  JobID
+	job Job
 }
 
 // Scheduler assigns jobs to platforms with a policy and tracks the live
@@ -41,10 +42,18 @@ type Scheduler struct {
 	// hold in PlaceAll.
 	chunk int
 
+	// degradedPenalty multiplies the feasibility score of candidates on
+	// Degraded platforms (resolved Config.DegradedPenalty, ≥ 1); breaker is
+	// the resolved circuit-breaker tuning.
+	degradedPenalty float64
+	breaker         BreakerConfig
+
 	mu         sync.Mutex
 	residents  [][]placedJob
 	platformOf map[JobID]int
 	nextID     JobID
+	healths    []platformHealth
+	stats      FailureStats
 
 	// scratch is the wave path's reusable working set (guarded by mu):
 	// steady-state PlaceAll waves allocate only resident snapshots and the
@@ -60,6 +69,11 @@ type Scheduler struct {
 // large enough to amortize the wave pre-score, small enough that a
 // concurrent Complete waits microseconds, not a whole 256-job wave.
 const defaultWaveChunk = 64
+
+// defaultDegradedPenalty inflates the feasibility score on Degraded
+// platforms when Config.DegradedPenalty is 0: a degraded platform must
+// clear the deadline with 25% headroom to win a placement.
+const defaultDegradedPenalty = 1.25
 
 // waveScratch holds PlaceAll's per-wave buffers for reuse across waves.
 // The *Rank twins carry the ranking facet of dual policies; they are left
@@ -124,14 +138,24 @@ func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
 	if chunk == 0 {
 		chunk = defaultWaveChunk
 	}
+	penalty := cfg.DegradedPenalty
+	if penalty == 0 {
+		penalty = defaultDegradedPenalty
+	}
+	if penalty < 1 {
+		return nil, fmt.Errorf("sched: DegradedPenalty %v < 1", penalty)
+	}
 	s := &Scheduler{
-		cfg:        cfg,
-		policy:     policy,
-		strategy:   cfg.Strategy,
-		pred:       pred,
-		chunk:      chunk,
-		residents:  make([][]placedJob, cfg.NumPlatforms),
-		platformOf: make(map[JobID]int),
+		cfg:             cfg,
+		policy:          policy,
+		strategy:        cfg.Strategy,
+		pred:            pred,
+		chunk:           chunk,
+		degradedPenalty: penalty,
+		breaker:         cfg.Breaker.withDefaults(),
+		residents:       make([][]placedJob, cfg.NumPlatforms),
+		platformOf:      make(map[JobID]int),
+		healths:         make([]platformHealth, cfg.NumPlatforms),
 	}
 	if dp, ok := policy.(DualPolicy); ok {
 		s.dpolicy = dp
@@ -185,7 +209,7 @@ func (s *Scheduler) residentWorkloadsLocked(p int) []int {
 	}
 	ks := make([]int, len(rs))
 	for i, r := range rs {
-		ks[i] = r.workload
+		ks[i] = r.job.Workload
 	}
 	return ks
 }
@@ -203,21 +227,31 @@ func (s *Scheduler) Place(job Job) Assignment {
 
 func (s *Scheduler) placeLocked(job Job) Assignment {
 	if s.cfg.MaxInFlight > 0 && len(s.platformOf) >= s.cfg.MaxInFlight {
-		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true}
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true, Reason: ReasonAdmission}
 	}
-	// Candidate set: platforms with a free colocation slot, each scored
-	// under a fresh resident snapshot (the snapshot may escape into the
-	// returned Assignment; the candidate/query buffers are scratch, reused
-	// across calls under the mutex).
+	// Candidate set: placeable platforms with a free colocation slot, each
+	// scored under a fresh resident snapshot (the snapshot may escape into
+	// the returned Assignment; the candidate/query buffers are scratch,
+	// reused across calls under the mutex). Down/Quarantined platforms are
+	// never candidates; half-open platforms take one trial job.
 	sc := &s.scratch
 	sc.reserve(s.cfg.NumPlatforms, 1)
 	cands := sc.cands[:0]
 	snaps := sc.snaps[:0]
+	placeable := 0
 	for p := 0; p < s.cfg.NumPlatforms; p++ {
-		if len(s.residents[p])+1 > s.cfg.MaxColocation {
+		if !s.healths[p].state.Placeable() {
 			continue
 		}
-		cands = append(cands, Candidate{Platform: p, Load: len(s.residents[p])})
+		placeable++
+		if len(s.residents[p])+1 > s.colocCapLocked(p) {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Platform: p,
+			Load:     len(s.residents[p]),
+			Degraded: s.healths[p].state == Degraded,
+		})
 		snaps = append(snaps, s.residentWorkloadsLocked(p))
 	}
 	switch {
@@ -249,14 +283,34 @@ func (s *Scheduler) placeLocked(job Job) Assignment {
 			cands[i].Score, cands[i].Rank = v, v
 		}
 	}
-	return s.commitBest(job, cands, snaps)
+	s.padDegraded(cands)
+	return s.commitBest(job, cands, snaps, placeable)
+}
+
+// padDegraded inflates the feasibility score of candidates on Degraded
+// platforms by the configured penalty — the same float operation on every
+// scoring path (scalar, batch, fused), so degraded padding preserves the
+// paths' decision identity. Only the feasibility facet is padded: Rank
+// keeps the raw prediction, because strategies interpret it as runtime
+// (LeastLoaded keeps fast platforms free, BestFit packs tight) and a
+// padded rank would make degraded platforms look slower — and therefore
+// *more* attractive — to both. The preference for healthy platforms is
+// the strategies' explicit Degraded tie-break instead.
+func (s *Scheduler) padDegraded(cands []Candidate) {
+	for i := range cands {
+		if cands[i].Degraded {
+			cands[i].Score *= s.degradedPenalty
+		}
+	}
 }
 
 // commitBest selects the strategy-best feasible candidate and commits the
 // placement. Feasibility is judged on Candidate.Score; the strategy orders
 // by Candidate.Rank. snaps[i] is the resident snapshot cands[i] was scored
-// under.
-func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int) Assignment {
+// under; placeable is how many platforms were healthy enough to be
+// considered at all, distinguishing a shrunken healthy set from a full or
+// infeasible one in the unplaced Reason.
+func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int, placeable int) Assignment {
 	bestIdx := -1
 	for i, c := range cands {
 		if math.IsNaN(c.Score) || math.IsInf(c.Score, 1) || c.Score > job.Deadline {
@@ -267,12 +321,19 @@ func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int) Assign
 		}
 	}
 	if bestIdx < 0 {
-		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1)}
+		reason := ReasonInfeasible
+		switch {
+		case placeable == 0:
+			reason = ReasonNoHealthy
+		case len(cands) == 0:
+			reason = ReasonCapacity
+		}
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: reason}
 	}
 	best := cands[bestIdx]
 	s.nextID++
 	id := s.nextID
-	s.residents[best.Platform] = append(s.residents[best.Platform], placedJob{id: id, workload: job.Workload})
+	s.residents[best.Platform] = append(s.residents[best.Platform], placedJob{id: id, job: job})
 	s.platformOf[id] = best.Platform
 	return Assignment{
 		ID:          id,
@@ -285,22 +346,35 @@ func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int) Assign
 
 // Complete frees the colocation slot of a placed job; residents change
 // over time, so later placements see the vacancy. Returns ErrUnknownJob
-// for IDs never placed or already completed. Under a concurrent chunked
-// PlaceAll, Complete waits at most one chunk's scoring, never the whole
-// wave.
+// for IDs never issued and ErrJobCompleted for IDs already retired
+// (completed earlier, or orphaned by a platform failure) — both typed, so
+// callers can tell a caller bug from a benign duplicate without the
+// scheduler silently corrupting slot accounting. Under a concurrent
+// chunked PlaceAll, Complete waits at most one chunk's scoring, never the
+// whole wave.
 func (s *Scheduler) Complete(id JobID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, err := s.completeLocked(id)
+	return err
+}
+
+// completeLocked retires id and frees its slot, returning the platform it
+// ran on.
+func (s *Scheduler) completeLocked(id JobID) (int, error) {
 	p, ok := s.platformOf[id]
 	if !ok {
-		return ErrUnknownJob
+		if id > 0 && id <= s.nextID {
+			return -1, ErrJobCompleted
+		}
+		return -1, ErrUnknownJob
 	}
 	delete(s.platformOf, id)
 	rs := s.residents[p]
 	for i := range rs {
 		if rs[i].id == id {
 			s.residents[p] = append(rs[:i], rs[i+1:]...)
-			return nil
+			return p, nil
 		}
 	}
 	// platformOf and residents are updated together under the lock; a
@@ -364,12 +438,19 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 	// Chunk pre-score against the chunk-start state, one batched call.
 	// Queries are built platform-major, so pre[] maps back to (p, j) by
 	// walking the platforms in the same order — no index bookkeeping.
+	// Health is fixed for the chunk: Fail/Degrade/Recover take the same
+	// mutex, so they land between chunks, never mid-chunk.
 	qs := sc.qs[:0]
 	snap := sc.snap[:nP]
 	prescored := sc.prescored[:nP]
+	placeable := 0
 	for p := 0; p < nP; p++ {
 		snap[p], prescored[p] = nil, false
-		if len(s.residents[p]) >= s.cfg.MaxColocation {
+		if !s.healths[p].state.Placeable() {
+			continue // down/quarantined: never a candidate this chunk
+		}
+		placeable++
+		if len(s.residents[p]) >= s.colocCapLocked(p) {
 			continue // full at chunk start; can only stay full mid-chunk
 		}
 		snap[p], prescored[p] = s.residentWorkloadsLocked(p), true
@@ -408,18 +489,22 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 	rescoreRank := sc.rescoreRank[:0]
 	for j, job := range jobs {
 		if s.cfg.MaxInFlight > 0 && len(s.platformOf) >= s.cfg.MaxInFlight {
-			out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true}
+			out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true, Reason: ReasonAdmission}
 			continue
 		}
 		cands, snaps = cands[:0], snaps[:0]
 		for p := 0; p < nP; p++ {
-			if len(s.residents[p])+1 > s.cfg.MaxColocation {
+			if !s.healths[p].state.Placeable() {
+				continue
+			}
+			if len(s.residents[p])+1 > s.colocCapLocked(p) {
 				continue
 			}
 			c := Candidate{
 				Platform: p,
 				Load:     len(s.residents[p]),
 				Score:    scoreAt[p*nJ+j],
+				Degraded: s.healths[p].state == Degraded,
 			}
 			if dual {
 				c.Rank = rankAt[p*nJ+j]
@@ -429,7 +514,8 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 			cands = append(cands, c)
 			snaps = append(snaps, snap[p])
 		}
-		out[j] = s.commitBest(job, cands, snaps)
+		s.padDegraded(cands)
+		out[j] = s.commitBest(job, cands, snaps, placeable)
 		p := out[j].Platform
 		if p < 0 || j+1 == nJ {
 			continue
@@ -439,7 +525,7 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 		// (per model).
 		ks := s.residentWorkloadsLocked(p)
 		snap[p] = ks
-		if len(s.residents[p]) >= s.cfg.MaxColocation {
+		if len(s.residents[p]) >= s.colocCapLocked(p) {
 			continue // full now; remaining jobs exclude it by the cap check
 		}
 		rescoreQ = rescoreQ[:0]

@@ -14,6 +14,10 @@ type Candidate struct {
 	Score    float64
 	Rank     float64
 	Load     int
+	// Degraded marks a candidate on a Degraded platform: its Score was
+	// padded by Config.DegradedPenalty, and the built-in strategies prefer
+	// healthy platforms when their primary criterion ties.
+	Degraded bool
 }
 
 // Strategy selects among feasible candidates. Better reports whether a
@@ -39,6 +43,9 @@ func (LeastLoaded) Better(job Job, a, b Candidate) bool {
 	if a.Load != b.Load {
 		return a.Load < b.Load
 	}
+	if a.Degraded != b.Degraded {
+		return !a.Degraded
+	}
 	return a.Rank > b.Rank
 }
 
@@ -59,6 +66,9 @@ func (BestFit) Better(job Job, a, b Candidate) bool {
 	if ha != hb {
 		return ha < hb
 	}
+	if a.Degraded != b.Degraded {
+		return !a.Degraded
+	}
 	return a.Load < b.Load
 }
 
@@ -76,6 +86,9 @@ func (UtilizationAware) Better(job Job, a, b Candidate) bool {
 	ua, ub := a.Rank*float64(a.Load+1), b.Rank*float64(b.Load+1)
 	if ua != ub {
 		return ua < ub
+	}
+	if a.Degraded != b.Degraded {
+		return !a.Degraded
 	}
 	return a.Load < b.Load
 }

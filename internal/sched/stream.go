@@ -33,8 +33,50 @@ type StreamConfig struct {
 	// rejection or no feasible platform) instead of dropping it: after
 	// the next completion frees capacity, queued jobs are retried in FIFO
 	// order, up to this many retry attempts each. 0 drops failed jobs
-	// immediately (no retry queue).
+	// immediately (no retry queue) — except orphans of a platform
+	// failure, which always get one rescheduling attempt.
 	RetryLimit int
+	// RetryBackoff spaces retry attempts with capped exponential backoff
+	// instead of retrying on the next completion: the k-th retry of a job
+	// waits RetryBackoff·2^(k−1) simulated seconds (capped at
+	// RetryBackoffMax), jittered by a uniform factor in [0.5, 1.5) drawn
+	// from the stream rng — deterministic per seed, but staggered, so a
+	// recovering cluster is not thundering-herded by every deferred job
+	// at once. 0 keeps the completion-triggered FIFO behavior.
+	RetryBackoff    float64
+	RetryBackoffMax float64
+	// BreakerCooldown re-admits a breaker-quarantined platform half-open
+	// after this much simulated time. 0 leaves tripped platforms
+	// quarantined until a chaos recovery (or forever).
+	BreakerCooldown float64
+	// Chaos enables the seeded failure injector; nil runs a failure-free
+	// replay (bit-identical to streams before the failure model existed).
+	Chaos *ChaosConfig
+}
+
+// ChaosConfig is the stream's deterministic failure injector: each failure
+// group (a set of platforms sharing a fault domain — a rack, a power
+// domain) cycles down and up with exponential times, MTTF mean time to
+// failure and MTTR mean time to repair. Every draw comes from a dedicated
+// rng seeded with Seed, so chaos never perturbs the arrival/job stream:
+// the same replay with chaos off places the same jobs at the same times.
+type ChaosConfig struct {
+	// MTTF is each group's mean (simulated) seconds between repair and the
+	// next failure. Chaos is off unless MTTF > 0.
+	MTTF float64
+	// MTTR is the group's mean seconds from failure to repair; default
+	// MTTF/10.
+	MTTR float64
+	// Groups are the correlated failure domains; every platform in a
+	// group fails and recovers together. Nil means every platform is its
+	// own group (independent failures).
+	Groups [][]int
+	// DegradeProb is the chance a failing platform goes flaky (Degraded:
+	// residents keep running, placements get the penalty) instead of
+	// hard-Down (residents orphaned).
+	DegradeProb float64
+	// Seed seeds the injector's private rng.
+	Seed int64
 }
 
 // StreamResult aggregates one streaming replay (or several, via
@@ -43,18 +85,26 @@ type StreamResult struct {
 	Policy   string
 	Strategy string
 	Arrived  int
+	// Placed counts placement commits, including re-placements of orphaned
+	// jobs — under chaos one arrival can be placed more than once. Every
+	// arrival ends in exactly one of Completed/Unplaced/Rejected, and
+	// every placement in Completed or Orphaned:
+	//
+	//	Arrived == Completed + Unplaced + Rejected
+	//	Placed  == Completed + Orphaned   (nothing lost, nothing duplicated)
 	Placed   int
 	Unplaced int
 	// Rejected counts admission-control refusals (cluster at MaxInFlight).
 	Rejected  int
 	Completed int
-	// Missed counts placed jobs whose true runtime exceeded the deadline;
-	// MissRate is Missed/Placed — the per-execution quantity the bound
-	// policy's eps controls.
+	// Missed counts completions whose true runtime exceeded the deadline;
+	// MissRate is Missed/Completed — the per-execution quantity the bound
+	// policy's eps controls. (Identical to the historical Missed/Placed on
+	// failure-free replays, where every placement completes.)
 	Missed   int
 	MissRate float64
-	// AvgHeadroom is the mean (deadline−runtime)/deadline over placed jobs
-	// with finite positive deadlines.
+	// AvgHeadroom is the mean (deadline−runtime)/deadline over completed
+	// jobs with finite positive deadlines.
 	AvgHeadroom float64
 	headroomSum float64
 	headroomN   int
@@ -71,15 +121,46 @@ type StreamResult struct {
 	// RetryPlaced counts the subset eventually placed by a retry.
 	// RetryRate is RetryPlaced/RetryQueued — the fraction of would-be
 	// drops the deferral queue saved. All zero when RetryLimit is 0.
+	// Orphan rescheduling is tracked separately (Orphan* fields).
 	RetryQueued int
 	Retries     int
 	RetryPlaced int
 	RetryRate   float64
+
+	// Failure-lifecycle scorecard; all zero on failure-free replays.
+	// Failures/Degrades/Recovers count applied scheduler failure events;
+	// Orphaned counts residents displaced by platform failures,
+	// OrphanReplaced the subset re-placed on a surviving platform, and
+	// OrphanLost the subset dropped (also counted in Unplaced/Rejected, so
+	// arrival conservation still balances). OrphanLatencyMean/Max measure
+	// simulated seconds from orphaning to re-placement.
+	Failures       int
+	Degrades       int
+	Recovers       int
+	Orphaned       int
+	OrphanReplaced int
+	OrphanLost     int
+	orphanLatSum   float64
+
+	OrphanLatencyMean float64
+	OrphanLatencyMax  float64
+	// BreakerTrips/Readmits/Closes count circuit-breaker quarantine
+	// entries, half-open re-admissions, and probations closed back to
+	// Healthy.
+	BreakerTrips    int
+	BreakerReadmits int
+	BreakerCloses   int
+	// FailWindowPlaced/Missed restrict to completions of jobs placed
+	// while at least one platform was impaired (not Healthy) — the
+	// during-failure miss rate the failure model is judged on.
+	FailWindowPlaced   int
+	FailWindowMissed   int
+	FailWindowMissRate float64
 }
 
 func (r *StreamResult) finalize() {
-	if r.Placed > 0 {
-		r.MissRate = float64(r.Missed) / float64(r.Placed)
+	if r.Completed > 0 {
+		r.MissRate = float64(r.Missed) / float64(r.Completed)
 	}
 	if r.headroomN > 0 {
 		r.AvgHeadroom = r.headroomSum / float64(r.headroomN)
@@ -90,24 +171,49 @@ func (r *StreamResult) finalize() {
 	if r.RetryQueued > 0 {
 		r.RetryRate = float64(r.RetryPlaced) / float64(r.RetryQueued)
 	}
+	if r.OrphanReplaced > 0 {
+		r.OrphanLatencyMean = r.orphanLatSum / float64(r.OrphanReplaced)
+	}
+	if r.FailWindowPlaced > 0 {
+		r.FailWindowMissRate = float64(r.FailWindowMissed) / float64(r.FailWindowPlaced)
+	}
 }
 
 // JobSource generates the i-th arriving job of a trial.
 type JobSource func(rng *rand.Rand, i int) Job
 
-// event is one entry of the simulation clock: a job arrival or a placed
-// job's completion.
+// eventKind discriminates the simulation clock's entries.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evComplete
+	evFail    // chaos: a failure group goes down/flaky
+	evRecover // chaos: a failure group comes back
+	evRetry   // a backoff deadline passed; deferred jobs may be eligible
+	evReadmit // breaker cooldown expired; re-admit a quarantined platform
+)
+
+// event is one entry of the simulation clock.
 type event struct {
-	t   float64
-	seq int // tie-break: deterministic order for simultaneous events
-	// arrival
-	arrival bool
-	jobIdx  int
-	// completion (miss/post accounting happens at placement time, when the
-	// runtime is drawn; the completion event only frees the slot and
-	// carries the measurement for feedback)
-	id JobID
-	m  Measurement
+	t    float64
+	seq  int // tie-break: deterministic order for simultaneous events
+	kind eventKind
+	// evArrival
+	jobIdx int
+	// evComplete: the runtime was drawn at placement time (so the rng
+	// stream is placement-ordered), but all miss/headroom accounting
+	// happens when the completion lands — an orphaned execution never
+	// completes and must not count.
+	id         JobID
+	m          Measurement
+	deadline   float64
+	post       bool // placed after the first feedback update
+	failWindow bool // placed while ≥1 platform was impaired
+	// evFail/evRecover
+	group int
+	// evReadmit
+	platform int
 }
 
 type eventHeap []event
@@ -123,12 +229,16 @@ func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
-// retryEntry is one deferred job in the stream's retry queue: a job whose
-// placement failed, waiting for the next completion to free capacity.
+// retryEntry is one deferred job: a failed placement waiting in the retry
+// queue, or an orphan of a platform failure waiting in the (higher
+// priority) orphan queue.
 type retryEntry struct {
-	job      Job
-	tries    int  // placement attempts made so far (the arrival counts)
-	rejected bool // last failure was an admission rejection, not infeasibility
+	job        Job
+	tries      int  // placement attempts made so far (an arrival counts; an orphaning does not)
+	rejected   bool // last failure was an admission rejection, not infeasibility
+	orphan     bool
+	orphanedAt float64 // orphaning time (orphan-reschedule latency baseline)
+	notBefore  float64 // backoff: earliest time the next attempt may run
 }
 
 // Stream runs one event-driven replay: jobs arrive with exponential
@@ -138,8 +248,16 @@ type retryEntry struct {
 // measured runtimes are flushed to the Observer in batches — after which
 // the predictor serves updated estimates and recalibrated bounds to
 // subsequent placements. With RetryLimit > 0, failed placements re-enter
-// after the next completion instead of being dropped, modeling a real
-// orchestrator's deferral queue. Deterministic given rng.
+// after the next completion (or after a backoff delay, with RetryBackoff)
+// instead of being dropped, modeling a real orchestrator's deferral queue.
+//
+// With Chaos configured, platforms fail and recover on a seeded schedule:
+// failing a platform orphans its resident jobs into the high-priority
+// orphan queue (served before ordinary retries), completions feed the
+// circuit breaker via CompleteOutcome, and tripped platforms re-admit
+// half-open after BreakerCooldown. Job conservation holds throughout —
+// Arrived == Completed + Unplaced + Rejected and Placed == Completed +
+// Orphaned. Deterministic given rng and ChaosConfig.Seed.
 func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs Observer, rng *rand.Rand) (StreamResult, error) {
 	res := StreamResult{Policy: s.policy.Name(), Strategy: s.strategy.Name()}
 	if cfg.Jobs <= 0 {
@@ -150,22 +268,50 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 		rate = 1
 	}
 	feedback := obs != nil && (cfg.FeedbackEvery > 0 || cfg.FeedbackInterval > 0)
+	chaos := cfg.Chaos
+	if chaos != nil && chaos.MTTF <= 0 {
+		chaos = nil
+	}
 	var (
-		h         eventHeap
-		seq       int
-		pending   []Measurement
-		post      bool // at least one feedback update has been absorbed
-		lastFlush float64
-		retryQ    []retryEntry
+		h          eventHeap
+		seq        int
+		pending    []Measurement
+		post       bool // at least one feedback update has been absorbed
+		lastFlush  float64
+		retryQ     []retryEntry
+		orphanQ    []retryEntry
+		orphanDead map[JobID]struct{} // orphaned IDs whose stale completion events must be ignored
+		remaining  = cfg.Jobs         // arrivals without a terminal outcome yet
+		chaosRng   *rand.Rand
+		groups     [][]int
+		mttr       float64
 	)
 	push := func(e event) {
 		e.seq = seq
 		seq++
 		heap.Push(&h, e)
 	}
-	// attempt places one job at simulated time t, recording miss/headroom
-	// accounting and scheduling the departure on success. Shared by fresh
-	// arrivals and retries.
+	if chaos != nil {
+		chaosRng = rand.New(rand.NewSource(chaos.Seed))
+		orphanDead = make(map[JobID]struct{})
+		mttr = chaos.MTTR
+		if mttr <= 0 {
+			mttr = chaos.MTTF / 10
+		}
+		groups = chaos.Groups
+		if len(groups) == 0 {
+			groups = make([][]int, s.cfg.NumPlatforms)
+			for p := range groups {
+				groups[p] = []int{p}
+			}
+		}
+		for g := range groups {
+			push(event{kind: evFail, t: chaosRng.ExpFloat64() * chaos.MTTF, group: g})
+		}
+	}
+	// attempt places one job at simulated time t, drawing its true runtime
+	// and scheduling the completion (which carries the accounting) on
+	// success. Shared by fresh arrivals, retries, and orphan rescheduling.
 	attempt := func(t float64, job Job) (placed, rejected bool) {
 		a := s.Place(job)
 		if a.Rejected {
@@ -176,24 +322,12 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 		}
 		res.Placed++
 		rt := oracle.TrueSeconds(job.Workload, a.Platform, a.Interferers)
-		finite := !math.IsNaN(job.Deadline) && !math.IsInf(job.Deadline, 0) && job.Deadline > 0
-		miss := rt > job.Deadline
-		if miss {
-			res.Missed++
-		}
-		if finite {
-			res.headroomSum += (job.Deadline - rt) / job.Deadline
-			res.headroomN++
-		}
-		if post {
-			res.PostPlaced++
-			if miss {
-				res.PostMissed++
-			}
-		}
 		push(event{
-			t: t + rt, id: a.ID,
-			m: Measurement{Workload: job.Workload, Platform: a.Platform, Interferers: a.Interferers, Seconds: rt},
+			kind: evComplete, t: t + rt, id: a.ID,
+			deadline:   job.Deadline,
+			post:       post,
+			failWindow: chaos != nil && s.Impaired() > 0,
+			m:          Measurement{Workload: job.Workload, Platform: a.Platform, Interferers: a.Interferers, Seconds: rt},
 		})
 		return true, false
 	}
@@ -205,75 +339,207 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 		} else {
 			res.Unplaced++
 		}
+		if e.orphan {
+			res.OrphanLost++
+		}
+		remaining--
 	}
 	// fail re-queues a failed placement attempt, or drops it once the
-	// retry budget is spent.
-	fail := func(e retryEntry, rejected bool) {
+	// retry budget is spent. Orphans always get at least one rescheduling
+	// attempt, even with no retry queue configured.
+	fail := func(t float64, e retryEntry, rejected bool) {
 		e.rejected = rejected
-		if cfg.RetryLimit > 0 && e.tries <= cfg.RetryLimit {
-			if e.tries == 1 {
-				res.RetryQueued++
-			}
-			retryQ = append(retryQ, e)
+		budget := cfg.RetryLimit
+		if e.orphan && budget == 0 {
+			budget = 1
+		}
+		if budget <= 0 || e.tries > budget {
+			drop(e)
 			return
 		}
-		drop(e)
+		if e.tries == 1 && !e.orphan {
+			res.RetryQueued++
+		}
+		e.notBefore = t
+		if cfg.RetryBackoff > 0 && e.tries >= 1 {
+			d := cfg.RetryBackoff * math.Pow(2, float64(e.tries-1))
+			if cfg.RetryBackoffMax > 0 && d > cfg.RetryBackoffMax {
+				d = cfg.RetryBackoffMax
+			}
+			d *= 0.5 + rng.Float64()
+			e.notBefore = t + d
+			push(event{kind: evRetry, t: e.notBefore})
+		}
+		if e.orphan {
+			orphanQ = append(orphanQ, e)
+		} else {
+			retryQ = append(retryQ, e)
+		}
 	}
-	push(event{t: rng.ExpFloat64() / rate, arrival: true, jobIdx: 0})
-	for h.Len() > 0 {
+	// tryRetries re-attempts every eligible deferred job, orphans first:
+	// rescheduling work displaced by a failure outranks jobs the cluster
+	// merely had no room for. Entries still inside their backoff window
+	// stay queued.
+	tryRetries := func(t float64) {
+		for _, qp := range []*[]retryEntry{&orphanQ, &retryQ} {
+			waiting := *qp
+			if len(waiting) == 0 {
+				continue
+			}
+			*qp = nil
+			for _, re := range waiting {
+				if re.notBefore > t {
+					*qp = append(*qp, re)
+					continue
+				}
+				if !re.orphan {
+					res.Retries++
+				}
+				placed, rejected := attempt(t, re.job)
+				if placed {
+					if re.orphan {
+						res.OrphanReplaced++
+						lat := t - re.orphanedAt
+						res.orphanLatSum += lat
+						if lat > res.OrphanLatencyMax {
+							res.OrphanLatencyMax = lat
+						}
+					} else {
+						res.RetryPlaced++
+					}
+					continue
+				}
+				re.tries++
+				fail(t, re, rejected)
+			}
+		}
+	}
+	push(event{kind: evArrival, t: rng.ExpFloat64() / rate, jobIdx: 0})
+	for h.Len() > 0 && remaining > 0 {
 		e := heap.Pop(&h).(event)
-		if e.arrival {
+		switch e.kind {
+		case evArrival:
 			if e.jobIdx+1 < cfg.Jobs {
-				push(event{t: e.t + rng.ExpFloat64()/rate, arrival: true, jobIdx: e.jobIdx + 1})
+				push(event{kind: evArrival, t: e.t + rng.ExpFloat64()/rate, jobIdx: e.jobIdx + 1})
 			}
 			job := source(rng, e.jobIdx)
 			res.Arrived++
 			if placed, rejected := attempt(e.t, job); !placed {
-				fail(retryEntry{job: job, tries: 1}, rejected)
+				fail(e.t, retryEntry{job: job, tries: 1}, rejected)
 			}
-			continue
-		}
-		if err := s.Complete(e.id); err != nil {
-			return res, fmt.Errorf("sched: stream completion: %w", err)
-		}
-		res.Completed++
-		if feedback {
-			pending = append(pending, e.m)
-			flushNow := (cfg.FeedbackEvery > 0 && len(pending) >= cfg.FeedbackEvery) ||
-				(cfg.FeedbackInterval > 0 && e.t-lastFlush >= cfg.FeedbackInterval)
-			if flushNow {
-				if err := obs.ObserveSeconds(pending); err != nil {
-					return res, fmt.Errorf("sched: stream feedback: %w", err)
+		case evComplete:
+			if _, dead := orphanDead[e.id]; dead {
+				// The platform died under this execution: the job was
+				// orphaned into the reschedule path, and this stale
+				// completion must neither free a slot nor feed back a
+				// measurement that never finished.
+				delete(orphanDead, e.id)
+				continue
+			}
+			miss := e.m.Seconds > e.deadline
+			tripped, err := s.CompleteOutcome(e.id, miss)
+			if err != nil {
+				return res, fmt.Errorf("sched: stream completion: %w", err)
+			}
+			res.Completed++
+			remaining--
+			if miss {
+				res.Missed++
+			}
+			if !math.IsNaN(e.deadline) && !math.IsInf(e.deadline, 0) && e.deadline > 0 {
+				res.headroomSum += (e.deadline - e.m.Seconds) / e.deadline
+				res.headroomN++
+			}
+			if e.post {
+				res.PostPlaced++
+				if miss {
+					res.PostMissed++
 				}
-				res.Observed += len(pending)
-				pending = nil
-				post = true
-				lastFlush = e.t
 			}
-		}
-		// The completion freed capacity: retry every deferred job once, in
-		// FIFO order. Entries that fail again re-queue (up to RetryLimit
-		// attempts each) and wait for the next completion.
-		if len(retryQ) > 0 {
-			waiting := retryQ
-			retryQ = nil
-			for _, re := range waiting {
-				res.Retries++
-				placed, rejected := attempt(e.t, re.job)
-				if placed {
-					res.RetryPlaced++
+			if e.failWindow {
+				res.FailWindowPlaced++
+				if miss {
+					res.FailWindowMissed++
+				}
+			}
+			if tripped && cfg.BreakerCooldown > 0 {
+				push(event{kind: evReadmit, t: e.t + cfg.BreakerCooldown, platform: e.m.Platform})
+			}
+			if feedback {
+				pending = append(pending, e.m)
+				flushNow := (cfg.FeedbackEvery > 0 && len(pending) >= cfg.FeedbackEvery) ||
+					(cfg.FeedbackInterval > 0 && e.t-lastFlush >= cfg.FeedbackInterval)
+				if flushNow {
+					if err := obs.ObserveSeconds(pending); err != nil {
+						return res, fmt.Errorf("sched: stream feedback: %w", err)
+					}
+					res.Observed += len(pending)
+					pending = nil
+					post = true
+					lastFlush = e.t
+				}
+			}
+			// The completion freed capacity: retry deferred jobs.
+			tryRetries(e.t)
+		case evFail:
+			for _, p := range groups[e.group] {
+				if s.Health(p) == Down {
 					continue
 				}
-				re.tries++
-				fail(re, rejected)
+				if chaos.DegradeProb > 0 && chaosRng.Float64() < chaos.DegradeProb {
+					// Flaky, not dead: residents keep running, placements
+					// pay the degraded penalty. Quarantined platforms
+					// cannot degrade; leave them to the recovery event.
+					_ = s.Degrade(p)
+					continue
+				}
+				orphans, _ := s.Fail(p)
+				for _, o := range orphans {
+					orphanDead[o.ID] = struct{}{}
+					res.Orphaned++
+					orphanQ = append(orphanQ, retryEntry{
+						job: o.Job, orphan: true, orphanedAt: e.t, notBefore: e.t,
+					})
+				}
 			}
+			push(event{kind: evRecover, t: e.t + chaosRng.ExpFloat64()*mttr, group: e.group})
+			// Reschedule orphans immediately on the surviving platforms.
+			tryRetries(e.t)
+		case evRecover:
+			for _, p := range groups[e.group] {
+				if s.Health(p) != Healthy {
+					_ = s.Recover(p)
+				}
+			}
+			push(event{kind: evFail, t: e.t + chaosRng.ExpFloat64()*chaos.MTTF, group: e.group})
+			tryRetries(e.t)
+		case evRetry:
+			tryRetries(e.t)
+		case evReadmit:
+			// Half-open re-admission after the breaker cooldown — unless a
+			// chaos recovery already re-admitted the platform.
+			if s.Health(e.platform) == Quarantined {
+				_ = s.Recover(e.platform)
+			}
+			tryRetries(e.t)
 		}
 	}
-	// Jobs still deferred when the event queue drained (no completion left
-	// to retry after) are dropped with their last failure mode.
+	// Jobs still deferred when the replay ended (no completion or backoff
+	// deadline left to retry after) are dropped with their last failure
+	// mode.
+	for _, re := range orphanQ {
+		drop(re)
+	}
 	for _, re := range retryQ {
 		drop(re)
 	}
+	st := s.FailureStats()
+	res.Failures = int(st.Fails)
+	res.Degrades = int(st.Degrades)
+	res.Recovers = int(st.Recovers)
+	res.BreakerTrips = int(st.Trips)
+	res.BreakerReadmits = int(st.Readmissions)
+	res.BreakerCloses = int(st.Closes)
 	res.finalize()
 	return res, nil
 }
@@ -333,6 +599,21 @@ func AggregateStream(rs []StreamResult) StreamResult {
 		agg.RetryQueued += r.RetryQueued
 		agg.Retries += r.Retries
 		agg.RetryPlaced += r.RetryPlaced
+		agg.Failures += r.Failures
+		agg.Degrades += r.Degrades
+		agg.Recovers += r.Recovers
+		agg.Orphaned += r.Orphaned
+		agg.OrphanReplaced += r.OrphanReplaced
+		agg.OrphanLost += r.OrphanLost
+		agg.orphanLatSum += r.orphanLatSum
+		if r.OrphanLatencyMax > agg.OrphanLatencyMax {
+			agg.OrphanLatencyMax = r.OrphanLatencyMax
+		}
+		agg.BreakerTrips += r.BreakerTrips
+		agg.BreakerReadmits += r.BreakerReadmits
+		agg.BreakerCloses += r.BreakerCloses
+		agg.FailWindowPlaced += r.FailWindowPlaced
+		agg.FailWindowMissed += r.FailWindowMissed
 	}
 	agg.finalize()
 	return agg

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestHTTPFailureLifecycle drives the failure-lifecycle admin surface over
+// HTTP: /fail orphans a platform's residents and re-places them on
+// survivors, /complete flags the orphaned IDs as stale with a 409,
+// /recover walks the platform back through half-open to healthy, and the
+// whole lifecycle shows up in /metrics.
+func TestHTTPFailureLifecycle(t *testing.T) {
+	pred, ds := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	if err := s.EnablePlacement(PlacementConfig{
+		Policy: "bound", Eps: 0.1, MaxColocation: 2, Strategy: "least-loaded",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	client := ts.Client()
+
+	// A wave that spreads across platforms.
+	var jobs []JobSpec
+	for w := 0; w < 6; w++ {
+		b, err := pred.Bound(w, w%ds.NumPlatforms(), nil, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, JobSpec{Workload: w, Deadline: b * 5})
+	}
+	var placeResp PlaceResponse
+	code, raw := postJSON(t, client, ts.URL+"/place", PlaceRequest{Jobs: jobs}, &placeResp)
+	if code != http.StatusOK || placeResp.Placed != len(jobs) {
+		t.Fatalf("/place: %d %s", code, raw)
+	}
+	target := placeResp.Assignments[0].Platform
+	var onTarget []uint64
+	for _, a := range placeResp.Assignments {
+		if a.Platform == target {
+			onTarget = append(onTarget, a.ID)
+		}
+	}
+
+	// Fail the platform: its residents are orphaned and re-placed on
+	// survivors.
+	var failResp FailResponse
+	code, raw = postJSON(t, client, ts.URL+"/fail", FailRequest{Platform: target}, &failResp)
+	if code != http.StatusOK {
+		t.Fatalf("/fail: %d %s", code, raw)
+	}
+	if failResp.State != "down" || failResp.Orphaned != len(onTarget) {
+		t.Fatalf("fail response %+v, want state=down orphaned=%d", failResp, len(onTarget))
+	}
+	var survivors []uint64
+	for i, a := range failResp.Reassigned {
+		if !a.Placed {
+			t.Fatalf("orphan %d not re-placed: %+v (%s)", i, a, raw)
+		}
+		if a.Platform == target {
+			t.Fatalf("orphan %d re-placed on the failed platform: %+v", i, a)
+		}
+		survivors = append(survivors, a.ID)
+	}
+
+	// Failing a down platform is a no-op; degrading it is a conflict.
+	var refail FailResponse
+	if code, raw = postJSON(t, client, ts.URL+"/fail", FailRequest{Platform: target}, &refail); code != http.StatusOK || refail.Orphaned != 0 {
+		t.Fatalf("re-fail: %d %s", code, raw)
+	}
+	if code, _ = postJSON(t, client, ts.URL+"/fail", FailRequest{Platform: target, Degrade: true}, nil); code != http.StatusConflict {
+		t.Fatalf("degrade down platform: %d", code)
+	}
+	if code, _ = postJSON(t, client, ts.URL+"/fail", FailRequest{Platform: 99}, nil); code != http.StatusBadRequest {
+		t.Fatalf("fail out-of-range platform: %d", code)
+	}
+
+	// The orphaned IDs are stale (retired), not unknown: completing the
+	// original wave flags them with a 409 while the untouched IDs and the
+	// re-placed orphans retire normally.
+	var all []uint64
+	for _, a := range placeResp.Assignments {
+		all = append(all, a.ID)
+	}
+	all = append(all, survivors...)
+	var compResp CompleteResponse
+	code, raw = postJSON(t, client, ts.URL+"/complete", CompleteRequest{IDs: all}, &compResp)
+	if code != http.StatusConflict {
+		t.Fatalf("/complete with orphaned ids: %d %s", code, raw)
+	}
+	if compResp.Completed != len(all)-len(onTarget) || len(compResp.Stale) != len(onTarget) || len(compResp.Unknown) != 0 {
+		t.Fatalf("complete response %+v, want %d completed and %d stale", compResp, len(all)-len(onTarget), len(onTarget))
+	}
+	if got := s.Placer().InFlight(); got != 0 {
+		t.Fatalf("in-flight after completing everything: %d", got)
+	}
+
+	// Recover: down → half-open (degraded), → healthy.
+	var recResp RecoverResponse
+	code, raw = postJSON(t, client, ts.URL+"/recover", RecoverRequest{Platform: target}, &recResp)
+	if code != http.StatusOK || recResp.State != "degraded" {
+		t.Fatalf("/recover: %d %s", code, raw)
+	}
+	code, raw = postJSON(t, client, ts.URL+"/recover", RecoverRequest{Platform: target}, &recResp)
+	if code != http.StatusOK || recResp.State != "healthy" {
+		t.Fatalf("second /recover: %d %s", code, raw)
+	}
+
+	// The lifecycle is visible in both metric surfaces.
+	m := s.Metrics()
+	if m.FailEvents != 2 || m.Orphaned != int64(len(onTarget)) ||
+		m.OrphanReplaced != int64(len(onTarget)) || m.OrphanLost != 0 ||
+		m.CompleteStale != int64(len(onTarget)) || m.RecoverEvents != 2 {
+		t.Fatalf("metrics %+v", m)
+	}
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"pitot_fail_events_total 2",
+		"pitot_recover_events_total 2",
+		"pitot_orphan_lost_total 0",
+		"pitot_platform_health{platform=\"0\"} 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestHTTPAllPlatformsDownSheds: with every platform failed, /place sheds
+// jobs with the no-healthy-platform reason (still a 200 — shedding is a
+// per-job outcome, not a request error) and the shed counter moves.
+func TestHTTPAllPlatformsDownSheds(t *testing.T) {
+	pred, ds := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	if err := s.EnablePlacement(PlacementConfig{Policy: "mean"}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	client := ts.Client()
+
+	for p := 0; p < ds.NumPlatforms(); p++ {
+		if code, raw := postJSON(t, client, ts.URL+"/fail", FailRequest{Platform: p}, nil); code != http.StatusOK {
+			t.Fatalf("fail platform %d: %d %s", p, code, raw)
+		}
+	}
+	for _, h := range s.PlatformHealth() {
+		if h != sched.Down {
+			t.Fatalf("health snapshot: %v", s.PlatformHealth())
+		}
+	}
+	var placeResp PlaceResponse
+	code, raw := postJSON(t, client, ts.URL+"/place",
+		PlaceRequest{Jobs: []JobSpec{{Workload: 0, Deadline: 100}}}, &placeResp)
+	if code != http.StatusOK || placeResp.Placed != 0 {
+		t.Fatalf("/place with cluster down: %d %s", code, raw)
+	}
+	if a := placeResp.Assignments[0]; a.Placed || a.Rejected || a.Reason != sched.ReasonNoHealthy {
+		t.Fatalf("shed assignment %+v", a)
+	}
+	if m := s.Metrics(); m.PlaceNoHealthy != 1 {
+		t.Fatalf("PlaceNoHealthy = %d", m.PlaceNoHealthy)
+	}
+}
+
+// TestHTTPBreakerTripsFromCompleteOutcomes: deadline-miss reports on
+// /complete trip the circuit breaker, quarantining the platform; /recover
+// re-admits it half-open and a clean trial completion closes it.
+func TestHTTPBreakerTripsFromCompleteOutcomes(t *testing.T) {
+	pred, _ := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	// A one-platform cluster concentrates every outcome on platform 0.
+	if err := s.EnablePlacement(PlacementConfig{
+		Policy: "mean", Platforms: 1, MaxColocation: 8,
+		Breaker: sched.BreakerConfig{Window: 4, Threshold: 0.5, MinSamples: 2, Probation: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	client := ts.Client()
+
+	place := func(n int) []uint64 {
+		t.Helper()
+		var jobs []JobSpec
+		for w := 0; w < n; w++ {
+			jobs = append(jobs, JobSpec{Workload: w, Deadline: 1e6})
+		}
+		var resp PlaceResponse
+		code, raw := postJSON(t, client, ts.URL+"/place", PlaceRequest{Jobs: jobs}, &resp)
+		if code != http.StatusOK || resp.Placed != n {
+			t.Fatalf("/place: %d %s", code, raw)
+		}
+		ids := make([]uint64, n)
+		for i, a := range resp.Assignments {
+			ids[i] = a.ID
+		}
+		return ids
+	}
+
+	// Two misses in a window of two trips the breaker.
+	ids := place(2)
+	var compResp CompleteResponse
+	code, raw := postJSON(t, client, ts.URL+"/complete",
+		CompleteRequest{IDs: ids, Missed: ids}, &compResp)
+	if code != http.StatusOK || compResp.Completed != 2 {
+		t.Fatalf("/complete with misses: %d %s", code, raw)
+	}
+	if h := s.PlatformHealth(); h[0] != sched.Quarantined {
+		t.Fatalf("health after misses: %v", h)
+	}
+	if m := s.Metrics(); m.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d", m.BreakerTrips)
+	}
+	// Quarantined: placements shed.
+	var shed PlaceResponse
+	code, raw = postJSON(t, client, ts.URL+"/place",
+		PlaceRequest{Jobs: []JobSpec{{Workload: 0, Deadline: 1e6}}}, &shed)
+	if code != http.StatusOK || shed.Placed != 0 || shed.Assignments[0].Reason != sched.ReasonNoHealthy {
+		t.Fatalf("place on quarantined cluster: %d %s", code, raw)
+	}
+
+	// Half-open re-admission, then one on-deadline completion closes.
+	var recResp RecoverResponse
+	if code, raw = postJSON(t, client, ts.URL+"/recover", RecoverRequest{Platform: 0}, &recResp); code != http.StatusOK || recResp.State != "degraded" {
+		t.Fatalf("/recover: %d %s", code, raw)
+	}
+	trial := place(1)
+	if code, raw = postJSON(t, client, ts.URL+"/complete", CompleteRequest{IDs: trial}, &compResp); code != http.StatusOK {
+		t.Fatalf("trial completion: %d %s", code, raw)
+	}
+	if h := s.PlatformHealth(); h[0] != sched.Healthy {
+		t.Fatalf("health after probation closes: %v", h)
+	}
+	m := s.Metrics()
+	if m.BreakerReadmits != 1 || m.BreakerCloses != 1 {
+		t.Fatalf("breaker metrics %+v", m)
+	}
+	if len(m.PlatformHealth) != 1 || m.PlatformHealth[0] != "healthy" {
+		t.Fatalf("PlatformHealth JSON %v", m.PlatformHealth)
+	}
+}

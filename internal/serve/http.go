@@ -61,8 +61,10 @@ type PlaceRequest struct {
 
 // AssignmentJSON is one placement decision in the /place reply. Platform
 // is -1 when the job was not placed; Rejected distinguishes admission
-// refusal (cluster at capacity) from infeasibility. Budget is omitted for
-// unplaced jobs (it would be +Inf, which JSON cannot carry).
+// refusal (cluster at capacity) from infeasibility, and Reason spells out
+// why an unplaced job was shed ("admission", "no-healthy-platform",
+// "capacity", "infeasible"). Budget is omitted for unplaced jobs (it
+// would be +Inf, which JSON cannot carry).
 type AssignmentJSON struct {
 	ID       uint64  `json:"id,omitempty"`
 	Workload int     `json:"workload"`
@@ -71,6 +73,23 @@ type AssignmentJSON struct {
 	Budget   float64 `json:"budget,omitempty"`
 	Placed   bool    `json:"placed"`
 	Rejected bool    `json:"rejected,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+func toAssignmentJSON(a sched.Assignment) AssignmentJSON {
+	aj := AssignmentJSON{
+		ID:       uint64(a.ID),
+		Workload: a.Job.Workload,
+		Deadline: a.Job.Deadline,
+		Platform: a.Platform,
+		Placed:   a.Placed(),
+		Rejected: a.Rejected,
+		Reason:   a.Reason,
+	}
+	if a.Placed() {
+		aj.Budget = a.Budget
+	}
+	return aj
 }
 
 // PlaceResponse is the JSON reply of POST /place. Version is the model
@@ -83,15 +102,54 @@ type PlaceResponse struct {
 
 // CompleteRequest is the JSON body of POST /complete: job IDs (from
 // /place) whose executions finished, freeing their colocation slots.
+// Missed optionally lists the subset of IDs whose executions overran
+// their deadline — the outcome signal the platform circuit breaker trips
+// on.
 type CompleteRequest struct {
-	IDs []uint64 `json:"ids"`
+	IDs    []uint64 `json:"ids"`
+	Missed []uint64 `json:"missed,omitempty"`
 }
 
 // CompleteResponse is the JSON reply of POST /complete. Unknown lists IDs
-// that were never placed or had already completed.
+// the scheduler never issued; Stale lists IDs already retired (double
+// completions, or jobs orphaned by a platform failure). Any entry in
+// either makes the reply a 409 — the valid IDs still complete.
 type CompleteResponse struct {
 	Completed int      `json:"completed"`
 	Unknown   []uint64 `json:"unknown,omitempty"`
+	Stale     []uint64 `json:"stale,omitempty"`
+}
+
+// FailRequest is the JSON body of POST /fail: the platform to fail hard
+// (orphaning and re-placing its residents) or, with Degrade set, to mark
+// flaky (residents keep running; placements pay the degraded penalty).
+type FailRequest struct {
+	Platform int  `json:"platform"`
+	Degrade  bool `json:"degrade,omitempty"`
+}
+
+// FailResponse is the JSON reply of POST /fail. For a hard failure,
+// Reassigned reports where each orphaned resident landed (in eviction
+// order); orphans with no surviving feasible platform are shed with their
+// reason.
+type FailResponse struct {
+	Platform   int              `json:"platform"`
+	State      string           `json:"state"`
+	Orphaned   int              `json:"orphaned"`
+	Reassigned []AssignmentJSON `json:"reassigned,omitempty"`
+}
+
+// RecoverRequest is the JSON body of POST /recover.
+type RecoverRequest struct {
+	Platform int `json:"platform"`
+}
+
+// RecoverResponse is the JSON reply of POST /recover: the platform's
+// post-recovery state — "degraded" (half-open probation) when it was down
+// or quarantined, "healthy" when it was degraded.
+type RecoverResponse struct {
+	Platform int    `json:"platform"`
+	State    string `json:"state"`
 }
 
 // HealthResponse is the JSON reply of /healthz.
@@ -116,6 +174,8 @@ type errorResponse struct {
 //	POST /observe   — feed measurements; publishes a new model snapshot
 //	POST /place     — place a wave of deadline jobs (requires EnablePlacement)
 //	POST /complete  — retire placed jobs, freeing colocation slots
+//	POST /fail      — admin: fail a platform hard (orphans re-placed) or degrade it
+//	POST /recover   — admin: re-admit a failed/quarantined platform (half-open)
 //	GET  /healthz   — liveness, snapshot info, and serving metrics
 //	GET  /metrics   — Prometheus plain-text exposition of the same counters
 func NewHandler(s *Server) http.Handler {
@@ -129,6 +189,8 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/observe", s.handleObserve)
 	mux.HandleFunc("/place", s.handlePlace)
 	mux.HandleFunc("/complete", s.handleComplete)
+	mux.HandleFunc("/fail", s.handleFail)
+	mux.HandleFunc("/recover", s.handleRecover)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -276,19 +338,10 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := PlaceResponse{Assignments: make([]AssignmentJSON, len(as)), Version: s.Info().Version}
 	for i, a := range as {
-		aj := AssignmentJSON{
-			ID:       uint64(a.ID),
-			Workload: a.Job.Workload,
-			Deadline: a.Job.Deadline,
-			Platform: a.Platform,
-			Placed:   a.Placed(),
-			Rejected: a.Rejected,
-		}
+		resp.Assignments[i] = toAssignmentJSON(a)
 		if a.Placed() {
-			aj.Budget = a.Budget
 			resp.Placed++
 		}
-		resp.Assignments[i] = aj
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -315,20 +368,114 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	for i, id := range req.IDs {
 		ids[i] = sched.JobID(id)
 	}
-	ok, err := s.CompleteJobs(ids)
+	var missed []bool
+	if len(req.Missed) > 0 {
+		missedSet := make(map[uint64]struct{}, len(req.Missed))
+		for _, id := range req.Missed {
+			missedSet[id] = struct{}{}
+		}
+		missed = make([]bool, len(ids))
+		for i, id := range req.IDs {
+			_, missed[i] = missedSet[id]
+		}
+	}
+	completed, unknown, stale, err := s.CompleteJobs(ids, missed)
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	resp := CompleteResponse{}
-	for i, o := range ok {
-		if o {
-			resp.Completed++
-		} else {
-			resp.Unknown = append(resp.Unknown, req.IDs[i])
+	resp := CompleteResponse{Completed: completed}
+	for _, id := range unknown {
+		resp.Unknown = append(resp.Unknown, uint64(id))
+	}
+	for _, id := range stale {
+		resp.Stale = append(resp.Stale, uint64(id))
+	}
+	// Bad IDs are a client-side bookkeeping error: flag the batch with a
+	// 409 (the valid completions in it still took effect).
+	status := http.StatusOK
+	if len(resp.Unknown) > 0 || len(resp.Stale) > 0 {
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, resp)
+}
+
+// failStatus maps scheduler failure-event errors onto HTTP statuses.
+func failStatus(err error) int {
+	switch {
+	case errors.Is(err, sched.ErrPlatformOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, sched.ErrPlatformUnavailable):
+		return http.StatusConflict
+	case errors.Is(err, ErrPlacementDisabled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.placer == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrPlacementDisabled)
+		return
+	}
+	var req FailRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.Degrade {
+		if err := s.DegradePlatform(req.Platform); err != nil {
+			writeError(w, failStatus(err), err)
+			return
 		}
+		writeJSON(w, http.StatusOK, FailResponse{
+			Platform: req.Platform,
+			State:    s.placer.Health(req.Platform).String(),
+		})
+		return
+	}
+	as, err := s.FailPlatform(req.Platform)
+	if err != nil {
+		writeError(w, failStatus(err), err)
+		return
+	}
+	resp := FailResponse{
+		Platform: req.Platform,
+		State:    s.placer.Health(req.Platform).String(),
+		Orphaned: len(as),
+	}
+	for _, a := range as {
+		resp.Reassigned = append(resp.Reassigned, toAssignmentJSON(a))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if s.placer == nil {
+		writeError(w, http.StatusServiceUnavailable, ErrPlacementDisabled)
+		return
+	}
+	var req RecoverRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if err := s.RecoverPlatform(req.Platform); err != nil {
+		writeError(w, failStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RecoverResponse{
+		Platform: req.Platform,
+		State:    s.placer.Health(req.Platform).String(),
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -58,7 +58,10 @@ func postJSON(t *testing.T, client *http.Client, url string, body any, out any) 
 	defer resp.Body.Close()
 	var raw bytes.Buffer
 	raw.ReadFrom(resp.Body)
-	if out != nil && resp.StatusCode == http.StatusOK {
+	// Every endpoint answers JSON on every status (error replies are
+	// {"error": ...}), so decode whenever the caller wants a payload —
+	// partial-success replies like /complete's 409 carry real fields.
+	if out != nil && raw.Len() > 0 {
 		if err := json.Unmarshal(raw.Bytes(), out); err != nil {
 			t.Fatalf("decode %q: %v", raw.String(), err)
 		}

@@ -44,9 +44,21 @@ type metrics struct {
 	placeRejected   counter
 	completed       counter
 	completeUnknown counter
+	completeStale   counter
 	placeWaves      counter
 	placeWaveJobs   counter
 	placeInline     counter
+
+	// Failure lifecycle: admin fail/degrade/recover events, residents
+	// orphaned by failures and whether their re-placement succeeded, and
+	// waves shed because the placeable set was empty.
+	failEvents     counter
+	degradeEvents  counter
+	recoverEvents  counter
+	orphaned       counter
+	orphanReplaced counter
+	orphanLost     counter
+	placeNoHealthy counter
 
 	perSnap   sync.Map // uint64 (snapshot version) -> *snapCounters
 	snapCount counter  // approximate entry count, drives pruning
@@ -185,6 +197,26 @@ type Metrics struct {
 	PlaceRejected   int64 `json:"place_rejected,omitempty"`
 	Completed       int64 `json:"completed,omitempty"`
 	CompleteUnknown int64 `json:"complete_unknown,omitempty"`
+	// CompleteStale counts completion calls for IDs already retired —
+	// double completions and stale completions of orphaned jobs.
+	CompleteStale int64 `json:"complete_stale,omitempty"`
+	// Failure-lifecycle counters: /fail and /recover admin events, the
+	// residents they orphaned (split by re-placement outcome), breaker
+	// trips/re-admissions/closes, and placements shed because no healthy
+	// platform remained. All zero unless placement is enabled.
+	FailEvents      int64  `json:"fail_events,omitempty"`
+	DegradeEvents   int64  `json:"degrade_events,omitempty"`
+	RecoverEvents   int64  `json:"recover_events,omitempty"`
+	Orphaned        int64  `json:"orphaned,omitempty"`
+	OrphanReplaced  int64  `json:"orphan_replaced,omitempty"`
+	OrphanLost      int64  `json:"orphan_lost,omitempty"`
+	PlaceNoHealthy  int64  `json:"place_no_healthy,omitempty"`
+	BreakerTrips    uint64 `json:"breaker_trips,omitempty"`
+	BreakerReadmits uint64 `json:"breaker_readmits,omitempty"`
+	BreakerCloses   uint64 `json:"breaker_closes,omitempty"`
+	// PlatformHealth[p] names platform p's health state; nil unless
+	// placement is enabled.
+	PlatformHealth []string `json:"platform_health,omitempty"`
 	// PlaceWaves counts fused accumulation-window waves, PlaceWaveJobs
 	// the single-job /place calls they absorbed, and PlaceInline the
 	// single-job calls served inline because nothing was in flight. All
@@ -217,9 +249,28 @@ func (s *Server) Metrics() Metrics {
 		PlaceRejected:   m.placeRejected.Load(),
 		Completed:       m.completed.Load(),
 		CompleteUnknown: m.completeUnknown.Load(),
+		CompleteStale:   m.completeStale.Load(),
 		PlaceWaves:      m.placeWaves.Load(),
 		PlaceWaveJobs:   m.placeWaveJobs.Load(),
 		PlaceInline:     m.placeInline.Load(),
+		FailEvents:      m.failEvents.Load(),
+		DegradeEvents:   m.degradeEvents.Load(),
+		RecoverEvents:   m.recoverEvents.Load(),
+		Orphaned:        m.orphaned.Load(),
+		OrphanReplaced:  m.orphanReplaced.Load(),
+		OrphanLost:      m.orphanLost.Load(),
+		PlaceNoHealthy:  m.placeNoHealthy.Load(),
+	}
+	if s.placer != nil {
+		st := s.placer.FailureStats()
+		out.BreakerTrips = st.Trips
+		out.BreakerReadmits = st.Readmissions
+		out.BreakerCloses = st.Closes
+		hs := s.placer.HealthSnapshot()
+		out.PlatformHealth = make([]string, len(hs))
+		for p, h := range hs {
+			out.PlatformHealth[p] = h.String()
+		}
 	}
 	m.perSnap.Range(func(k, v any) bool {
 		sc := v.(*snapCounters)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -41,6 +42,12 @@ type PlacementConfig struct {
 	Window time.Duration
 	// MaxWave caps a fused wave (default 64).
 	MaxWave int
+	// DegradedPenalty multiplies the feasibility score on Degraded
+	// platforms (see sched.Config.DegradedPenalty); 0 = default (1.25).
+	DegradedPenalty float64
+	// Breaker tunes the per-platform circuit breaker fed by /complete
+	// outcome reports; the zero value disables automatic trips.
+	Breaker sched.BreakerConfig
 }
 
 // placeReq is one queued single-job placement awaiting wave fusion.
@@ -136,11 +143,13 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 		pred = fusedBackendPredictor{backendPredictor{s.be}, sb}
 	}
 	placer, err := sched.New(sched.Config{
-		NumPlatforms:  pc.Platforms,
-		MaxColocation: pc.MaxColocation,
-		MaxInFlight:   pc.MaxInFlight,
-		Strategy:      strat,
-		WaveChunk:     pc.WaveChunk,
+		NumPlatforms:    pc.Platforms,
+		MaxColocation:   pc.MaxColocation,
+		MaxInFlight:     pc.MaxInFlight,
+		Strategy:        strat,
+		WaveChunk:       pc.WaveChunk,
+		DegradedPenalty: pc.DegradedPenalty,
+		Breaker:         pc.Breaker,
 	}, pol, pred)
 	if err != nil {
 		return err
@@ -309,26 +318,106 @@ func (s *Server) recordAssignments(as []sched.Assignment) {
 			s.metrics.placeRejected.Add(1)
 		case !a.Placed():
 			s.metrics.placeUnplaced.Add(1)
+			if a.Reason == sched.ReasonNoHealthy {
+				s.metrics.placeNoHealthy.Add(1)
+			}
 		default:
 			s.metrics.placed.Add(1)
 		}
 	}
 }
 
-// CompleteJobs retires placed jobs, freeing their colocation slots; the
-// returned slice flags per-ID success.
-func (s *Server) CompleteJobs(ids []sched.JobID) ([]bool, error) {
+// CompleteJobs retires placed jobs, freeing their colocation slots and —
+// when missed is non-nil (same length as ids) — feeding each execution's
+// deadline outcome to the platform circuit breaker. IDs the scheduler
+// never issued come back in unknown; IDs already retired (double
+// completions, or jobs orphaned by a platform failure) come back in
+// stale. Valid IDs complete even when the same request carries bad ones.
+func (s *Server) CompleteJobs(ids []sched.JobID, missed []bool) (completed int, unknown, stale []sched.JobID, err error) {
 	if s.placer == nil {
-		return nil, ErrPlacementDisabled
+		return 0, nil, nil, ErrPlacementDisabled
 	}
-	ok := make([]bool, len(ids))
 	for i, id := range ids {
-		if err := s.placer.Complete(id); err == nil {
-			ok[i] = true
+		miss := missed != nil && missed[i]
+		_, cerr := s.placer.CompleteOutcome(id, miss)
+		switch {
+		case cerr == nil:
+			completed++
 			s.metrics.completed.Add(1)
-		} else {
+		case errors.Is(cerr, sched.ErrJobCompleted):
+			stale = append(stale, id)
+			s.metrics.completeStale.Add(1)
+		default:
+			unknown = append(unknown, id)
 			s.metrics.completeUnknown.Add(1)
 		}
 	}
-	return ok, nil
+	return completed, unknown, stale, nil
+}
+
+// FailPlatform marks a platform Down, orphans its resident jobs, and
+// immediately re-places the orphans on the surviving platforms as one
+// high-priority wave. The returned assignments (one per orphan, in
+// eviction order) report where each orphan landed — or why it could not
+// be re-placed; unplaced orphans are shed, not retried.
+func (s *Server) FailPlatform(p int) ([]sched.Assignment, error) {
+	if s.placer == nil {
+		return nil, ErrPlacementDisabled
+	}
+	orphans, err := s.placer.Fail(p)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.failEvents.Add(1)
+	if len(orphans) == 0 {
+		return nil, nil
+	}
+	s.metrics.orphaned.Add(int64(len(orphans)))
+	jobs := make([]sched.Job, len(orphans))
+	for i, o := range orphans {
+		jobs[i] = o.Job
+	}
+	as := s.placeDirect(jobs)
+	for _, a := range as {
+		if a.Placed() {
+			s.metrics.orphanReplaced.Add(1)
+		} else {
+			s.metrics.orphanLost.Add(1)
+		}
+	}
+	return as, nil
+}
+
+// DegradePlatform marks a platform Degraded (placements pay the penalty).
+func (s *Server) DegradePlatform(p int) error {
+	if s.placer == nil {
+		return ErrPlacementDisabled
+	}
+	if err := s.placer.Degrade(p); err != nil {
+		return err
+	}
+	s.metrics.degradeEvents.Add(1)
+	return nil
+}
+
+// RecoverPlatform advances a platform toward Healthy (half-open from
+// Down/Quarantined, closed from Degraded).
+func (s *Server) RecoverPlatform(p int) error {
+	if s.placer == nil {
+		return ErrPlacementDisabled
+	}
+	if err := s.placer.Recover(p); err != nil {
+		return err
+	}
+	s.metrics.recoverEvents.Add(1)
+	return nil
+}
+
+// PlatformHealth returns every platform's health state, nil when
+// placement is disabled.
+func (s *Server) PlatformHealth() []sched.HealthState {
+	if s.placer == nil {
+		return nil
+	}
+	return s.placer.HealthSnapshot()
 }

@@ -73,12 +73,13 @@ func TestHTTPPlaceEndToEnd(t *testing.T) {
 		t.Fatalf("tight-deadline assignment misreported: %+v", a)
 	}
 
-	// Complete the wave, plus one unknown ID.
+	// Complete the wave, plus one unknown ID: the bad ID flags the batch
+	// with a 409 while the valid completions still take effect.
 	var compResp CompleteResponse
 	code, raw = postJSON(t, client, ts.URL+"/complete",
 		CompleteRequest{IDs: append(append([]uint64{}, ids...), 99999)}, &compResp)
-	if code != http.StatusOK {
-		t.Fatalf("/complete: %d %s", code, raw)
+	if code != http.StatusConflict {
+		t.Fatalf("/complete with unknown id: %d %s", code, raw)
 	}
 	if compResp.Completed != len(ids) || len(compResp.Unknown) != 1 || compResp.Unknown[0] != 99999 {
 		t.Fatalf("complete response %+v", compResp)

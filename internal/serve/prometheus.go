@@ -32,12 +32,28 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		c("pitot_place_unplaced_total", "Jobs with no feasible platform.", m.PlaceUnplaced)
 		c("pitot_place_rejected_total", "Jobs rejected by placement admission control.", m.PlaceRejected)
 		c("pitot_completed_total", "Placed jobs retired via /complete.", m.Completed)
-		c("pitot_complete_unknown_total", "Completion calls for unknown or already-retired jobs.", m.CompleteUnknown)
+		c("pitot_complete_unknown_total", "Completion calls for IDs the scheduler never issued.", m.CompleteUnknown)
+		c("pitot_complete_stale_total", "Completion calls for already-retired jobs (duplicates or orphans).", m.CompleteStale)
 		c("pitot_place_waves_total", "Fused /place accumulation-window waves.", m.PlaceWaves)
 		c("pitot_place_wave_jobs_total", "Single-job /place calls absorbed into fused waves.", m.PlaceWaveJobs)
 		c("pitot_place_inline_total", "Single-job /place calls served inline (nothing in flight to fuse with).", m.PlaceInline)
+		c("pitot_fail_events_total", "Platform failures injected via /fail.", m.FailEvents)
+		c("pitot_degrade_events_total", "Platform degradations injected via /fail.", m.DegradeEvents)
+		c("pitot_recover_events_total", "Platform recoveries via /recover.", m.RecoverEvents)
+		c("pitot_orphaned_total", "Resident jobs orphaned by platform failures.", m.Orphaned)
+		c("pitot_orphan_replaced_total", "Orphaned jobs re-placed on a surviving platform.", m.OrphanReplaced)
+		c("pitot_orphan_lost_total", "Orphaned jobs shed (no surviving platform could take them).", m.OrphanLost)
+		c("pitot_place_no_healthy_total", "Jobs shed because no healthy platform remained.", m.PlaceNoHealthy)
+		c("pitot_breaker_trips_total", "Circuit-breaker quarantine trips.", int64(m.BreakerTrips))
+		c("pitot_breaker_readmits_total", "Half-open re-admissions of quarantined platforms.", int64(m.BreakerReadmits))
+		c("pitot_breaker_closes_total", "Probations closed back to healthy.", int64(m.BreakerCloses))
 		fmt.Fprintf(&b, "# HELP pitot_place_in_flight Placed jobs not yet completed.\n# TYPE pitot_place_in_flight gauge\npitot_place_in_flight %d\n",
 			s.placer.InFlight())
+		// 0=healthy 1=degraded 2=quarantined 3=down, matching sched.HealthState.
+		fmt.Fprintf(&b, "# HELP pitot_platform_health Platform health state (0=healthy 1=degraded 2=quarantined 3=down).\n# TYPE pitot_platform_health gauge\n")
+		for p, h := range s.placer.HealthSnapshot() {
+			fmt.Fprintf(&b, "pitot_platform_health{platform=\"%d\"} %d\n", p, h)
+		}
 	}
 
 	// Per-platform calibration staleness: how many snapshot versions each

@@ -23,8 +23,15 @@
 // read state lives in an immutable snapshot behind an atomic pointer, so
 // Estimate/EstimateBatch/Bound/BoundBatch are lock-free, and Observe
 // fine-tunes a private copy of the model before publishing a new snapshot
-// (readers never see a half-updated model). See DESIGN.md for the snapshot
-// architecture and EXPERIMENTS.md for the paper-reproduction results.
+// (readers never see a half-updated model).
+//
+// The predictor also backs the failure-aware orchestration stack
+// (internal/sched, internal/serve): it implements the scheduler-facing
+// batch, fused two-head, and feedback surfaces, so placement policies
+// score candidate platforms — skipping failed ones and padding degraded
+// ones — directly against the live model snapshot. See DESIGN.md for the
+// snapshot and failure-model architecture and EXPERIMENTS.md for the
+// paper-reproduction results.
 package pitot
 
 import (
