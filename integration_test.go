@@ -336,7 +336,12 @@ func TestObserveSecondsFeedbackBridge(t *testing.T) {
 	if _, err := pred.Bound(0, 0, nil, 0.1); err != nil {
 		t.Fatalf("bound after feedback: %v", err)
 	}
-	if err := pred.ObserveSeconds(nil); err == nil {
-		t.Fatal("accepted empty measurement batch")
+	// Empty flushes (timer-driven with nothing pending) are a no-op, not
+	// an error, and must not publish a new snapshot.
+	if err := pred.ObserveSeconds(nil); err != nil {
+		t.Fatalf("empty measurement batch: %v", err)
+	}
+	if got := pred.Info().Version; got != after.Version {
+		t.Fatalf("empty batch published snapshot: v%d -> v%d", after.Version, got)
 	}
 }

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the fast-kernel design space: the per-span dot
+// strategies and the exp sweep, isolated from span detection and model
+// plumbing. The span shape matches the 24-platform scheduler scan (40
+// workloads per span, rank 32).
+
+const benchSpanQueries = 40
+
+func benchDotData() (wM, wQ []float64, peffM, peffQ []float64, idx []int) {
+	rng := rand.New(rand.NewSource(7))
+	wM = make([]float64, benchSpanQueries*32)
+	wQ = make([]float64, benchSpanQueries*32)
+	for i := range wM {
+		wM[i] = rng.NormFloat64()
+		wQ[i] = rng.NormFloat64()
+	}
+	peffM = make([]float64, 32)
+	peffQ = make([]float64, 32)
+	for i := range peffM {
+		peffM[i] = rng.NormFloat64()
+		peffQ[i] = rng.NormFloat64()
+	}
+	idx = rng.Perm(benchSpanQueries)
+	return
+}
+
+var benchSink float64
+
+// blocked4MulDots is the no-FMA variant of the blocked-four loop: plain
+// mul+add chains, platform vectors loaded once per block of four queries.
+func blocked4MulDots(wM, wQ, peffM, peffQ []float64, idx []int, mOut, uOut []float64) {
+	peffM, peffQ = peffM[:32], peffQ[:32]
+	i := 0
+	for ; i+4 <= len(idx); i += 4 {
+		a0 := wM[idx[i]*32:][:32]
+		a1 := wM[idx[i+1]*32:][:32]
+		a2 := wM[idx[i+2]*32:][:32]
+		a3 := wM[idx[i+3]*32:][:32]
+		c0 := wQ[idx[i]*32:][:32]
+		c1 := wQ[idx[i+1]*32:][:32]
+		c2 := wQ[idx[i+2]*32:][:32]
+		c3 := wQ[idx[i+3]*32:][:32]
+		var m0, m1, m2, m3, u0, u1, u2, u3 float64
+		for e := 0; e < 32; e++ {
+			pm, pq := peffM[e], peffQ[e]
+			m0 += a0[e] * pm
+			m1 += a1[e] * pm
+			m2 += a2[e] * pm
+			m3 += a3[e] * pm
+			u0 += c0[e] * pq
+			u1 += c1[e] * pq
+			u2 += c2[e] * pq
+			u3 += c3[e] * pq
+		}
+		mOut[i], mOut[i+1], mOut[i+2], mOut[i+3] = m0, m1, m2, m3
+		uOut[i], uOut[i+1], uOut[i+2], uOut[i+3] = u0, u1, u2, u3
+	}
+	for ; i < len(idx); i++ {
+		m, u := dot32Pair(wM[idx[i]*32:], peffM, wQ[idx[i]*32:], peffQ)
+		mOut[i], uOut[i] = m, u
+	}
+}
+
+// blocked4FMADots is the math.FMA variant of the same loop.
+func blocked4FMADots(wM, wQ, peffM, peffQ []float64, idx []int, mOut, uOut []float64) {
+	peffM, peffQ = peffM[:32], peffQ[:32]
+	i := 0
+	for ; i+4 <= len(idx); i += 4 {
+		a0 := wM[idx[i]*32:][:32]
+		a1 := wM[idx[i+1]*32:][:32]
+		a2 := wM[idx[i+2]*32:][:32]
+		a3 := wM[idx[i+3]*32:][:32]
+		c0 := wQ[idx[i]*32:][:32]
+		c1 := wQ[idx[i+1]*32:][:32]
+		c2 := wQ[idx[i+2]*32:][:32]
+		c3 := wQ[idx[i+3]*32:][:32]
+		var m0, m1, m2, m3, u0, u1, u2, u3 float64
+		for e := 0; e < 32; e++ {
+			pm, pq := peffM[e], peffQ[e]
+			m0 = math.FMA(a0[e], pm, m0)
+			m1 = math.FMA(a1[e], pm, m1)
+			m2 = math.FMA(a2[e], pm, m2)
+			m3 = math.FMA(a3[e], pm, m3)
+			u0 = math.FMA(c0[e], pq, u0)
+			u1 = math.FMA(c1[e], pq, u1)
+			u2 = math.FMA(c2[e], pq, u2)
+			u3 = math.FMA(c3[e], pq, u3)
+		}
+		mOut[i], mOut[i+1], mOut[i+2], mOut[i+3] = m0, m1, m2, m3
+		uOut[i], uOut[i+1], uOut[i+2], uOut[i+3] = u0, u1, u2, u3
+	}
+	for ; i < len(idx); i++ {
+		m, u := dot32Pair(wM[idx[i]*32:], peffM, wQ[idx[i]*32:], peffQ)
+		mOut[i], uOut[i] = m, u
+	}
+}
+
+// pairDots is the exact kernel's per-query eight-chain pair dot.
+func pairDots(wM, wQ, peffM, peffQ []float64, idx []int, mOut, uOut []float64) {
+	for i, w := range idx {
+		m, u := dot32Pair(wM[w*32:], peffM, wQ[w*32:], peffQ)
+		mOut[i], uOut[i] = m, u
+	}
+}
+
+func BenchmarkSpanDotStrategies(b *testing.B) {
+	wM, wQ, peffM, peffQ, idx := benchDotData()
+	mOut := make([]float64, benchSpanQueries)
+	uOut := make([]float64, benchSpanQueries)
+	run := func(f func(wM, wQ, peffM, peffQ []float64, idx []int, mOut, uOut []float64)) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f(wM, wQ, peffM, peffQ, idx, mOut, uOut)
+				benchSink = mOut[0] + uOut[0]
+			}
+			b.ReportMetric(float64(benchSpanQueries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		}
+	}
+	b.Run("pair-exact", run(pairDots))
+	b.Run("blocked4-mul", run(blocked4MulDots))
+	b.Run("blocked4-fma", run(blocked4FMADots))
+	if useFastVec {
+		qs := make([]Query, len(idx))
+		for i, w := range idx {
+			qs[i] = Query{Workload: w}
+		}
+		b.Run("avx2-span", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for j := range mOut {
+					mOut[j], uOut[j] = 0, 0
+				}
+				dotSpanAVX2(&wM[0], 32, &qs[0], len(qs), &peffM[0], &mOut[0])
+				dotSpanAVX2(&wQ[0], 32, &qs[0], len(qs), &peffQ[0], &uOut[0])
+				benchSink = mOut[0] + uOut[0]
+			}
+			b.ReportMetric(float64(benchSpanQueries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		})
+	}
+}
+
+func BenchmarkExpStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 960)
+	out := make([]float64, 960)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 3
+	}
+	b.Run("math-exp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, x := range xs {
+				out[j] = math.Exp(x)
+			}
+			benchSink = out[0]
+		}
+	})
+	b.Run("exp-fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, x := range xs {
+				out[j] = ExpFast(x)
+			}
+			benchSink = out[0]
+		}
+	})
+	b.Run("exp-span", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(out, xs)
+			expSpan(out)
+			benchSink = out[0]
+		}
+	})
+}

@@ -83,6 +83,15 @@ func PredictFusedBatch(mean, quant *Model, qs []Query, quantHead int, boundOffse
 			boundSec[i] = math.Exp(boundSec[i] + off)
 		}
 	}
+	runFusedSpans(mean, qs, rM, rQ, runSpan)
+}
+
+// runFusedSpans drives runSpan over every (platform, interferer set) span
+// of qs with the fused path's worker fan-out and per-worker effective
+// platform scratch. Shared by the exact (PredictFusedBatch) and fast
+// (PredictFusedBatchFast) kernels: both see identical span boundaries and
+// scratch discipline, so the two paths differ only in per-span arithmetic.
+func runFusedSpans(mean *Model, qs []Query, rM, rQ int, runSpan func(sp qspan, peffM, peffQ []float64)) {
 	if workers := mean.workers(); workers > 1 {
 		spans := detectSpans(qs)
 		if workers > len(spans) {

@@ -81,8 +81,11 @@ type FusedPredictor interface {
 	// ScoreSecondsBatch fills meanOut[i] with the expected runtime and
 	// boundOut[i] with the 1−eps budget (+Inf where no valid bound exists)
 	// of qs[i]. len(meanOut) == len(boundOut) == len(qs). The values must
-	// match what EstimateSecondsBatch and BoundSecondsBatch would return
-	// for the same queries.
+	// agree with what EstimateSecondsBatch and BoundSecondsBatch would
+	// return for the same queries — exactly by default, or within the
+	// implementation's documented relative-error tolerance when it runs an
+	// approximate scoring mode (the Pitot facade's fast scoring keeps
+	// every score within core.FastScoreMaxRelErr).
 	ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut []float64)
 }
 

@@ -38,9 +38,12 @@ type StreamConfig struct {
 	RetryLimit int
 	// RetryBackoff spaces retry attempts with capped exponential backoff
 	// instead of retrying on the next completion: the k-th retry of a job
-	// waits RetryBackoff·2^(k−1) simulated seconds (capped at
-	// RetryBackoffMax), jittered by a uniform factor in [0.5, 1.5) drawn
-	// from the stream rng — deterministic per seed, but staggered, so a
+	// waits RetryBackoff·2^(k−1) simulated seconds, capped at
+	// RetryBackoffMax — or, when RetryBackoffMax is 0, at the default
+	// defaultBackoffCapFactor·RetryBackoff, so a high retry limit cannot
+	// silently push a deferral past the replay horizon and strand the job.
+	// The delay is jittered by a uniform factor in [0.5, 1.5) drawn from
+	// the stream rng — deterministic per seed, but staggered, so a
 	// recovering cluster is not thundering-herded by every deferred job
 	// at once. 0 keeps the completion-triggered FIFO behavior.
 	RetryBackoff    float64
@@ -177,6 +180,30 @@ func (r *StreamResult) finalize() {
 	if r.FailWindowPlaced > 0 {
 		r.FailWindowMissRate = float64(r.FailWindowMissed) / float64(r.FailWindowPlaced)
 	}
+}
+
+// defaultBackoffCapFactor caps the retry backoff exponential at
+// 2^6 = 64× the base delay when RetryBackoffMax is unset: six doublings
+// of spacing is past the point where further backoff helps a simulated
+// cluster drain, and an explicit cap keeps notBefore within reach of the
+// replay horizon regardless of RetryLimit.
+const defaultBackoffCapFactor = 64
+
+// backoffDelay returns the jittered exponential delay inserted before a
+// job's tries-th placement attempt re-enters the queue. The uncapped
+// exponential was a stranding bug: with RetryBackoffMax unset, a job on
+// its 30th retry would be deferred 2^29 backoff units — far past any
+// horizon — and silently dropped at stream end.
+func (cfg StreamConfig) backoffDelay(tries int, rng *rand.Rand) float64 {
+	d := cfg.RetryBackoff * math.Pow(2, float64(tries-1))
+	lim := cfg.RetryBackoffMax
+	if lim <= 0 {
+		lim = cfg.RetryBackoff * defaultBackoffCapFactor
+	}
+	if d > lim {
+		d = lim
+	}
+	return d * (0.5 + rng.Float64())
 }
 
 // JobSource generates the i-th arriving job of a trial.
@@ -362,12 +389,7 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 		}
 		e.notBefore = t
 		if cfg.RetryBackoff > 0 && e.tries >= 1 {
-			d := cfg.RetryBackoff * math.Pow(2, float64(e.tries-1))
-			if cfg.RetryBackoffMax > 0 && d > cfg.RetryBackoffMax {
-				d = cfg.RetryBackoffMax
-			}
-			d *= 0.5 + rng.Float64()
-			e.notBefore = t + d
+			e.notBefore = t + cfg.backoffDelay(e.tries, rng)
 			push(event{kind: evRetry, t: e.notBefore})
 		}
 		if e.orphan {

@@ -152,7 +152,10 @@ type RecoverResponse struct {
 	State    string `json:"state"`
 }
 
-// HealthResponse is the JSON reply of /healthz.
+// HealthResponse is the JSON reply of /healthz. FastScoring reports the
+// scoring mode of the published snapshot: true when scores come from the
+// approximate fast kernel (within its documented error bound), false for
+// the exact bitwise path.
 type HealthResponse struct {
 	OK           bool    `json:"ok"`
 	Version      uint64  `json:"version"`
@@ -160,6 +163,7 @@ type HealthResponse struct {
 	Workloads    int     `json:"workloads"`
 	Platforms    int     `json:"platforms"`
 	Bounds       bool    `json:"bounds"`
+	FastScoring  bool    `json:"fast_scoring"`
 	Metrics      Metrics `json:"metrics"`
 }
 
@@ -501,6 +505,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workloads:    info.Workloads,
 		Platforms:    info.Platforms,
 		Bounds:       info.Bounds,
+		FastScoring:  info.FastScoring,
 		Metrics:      s.Metrics(),
 	})
 }

@@ -48,6 +48,11 @@ type metrics struct {
 	placeWaves      counter
 	placeWaveJobs   counter
 	placeInline     counter
+	// placeShed counts single-job calls that found the accumulation queue
+	// full and fell back to the direct path — overload traffic that fused
+	// waves never see, so it must be accounted separately or /place volume
+	// is under-reported exactly when the server is busiest.
+	placeShed counter
 
 	// Failure lifecycle: admin fail/degrade/recover events, residents
 	// orphaned by failures and whether their re-placement succeeded, and
@@ -218,12 +223,15 @@ type Metrics struct {
 	// placement is enabled.
 	PlatformHealth []string `json:"platform_health,omitempty"`
 	// PlaceWaves counts fused accumulation-window waves, PlaceWaveJobs
-	// the single-job /place calls they absorbed, and PlaceInline the
-	// single-job calls served inline because nothing was in flight. All
-	// zero unless PlacementConfig.Window is set.
+	// the single-job /place calls they absorbed, PlaceInline the
+	// single-job calls served inline because nothing was in flight, and
+	// PlaceShed the single-job calls shed to the direct path because the
+	// accumulation queue was full (overload). All zero unless
+	// PlacementConfig.Window is set.
 	PlaceWaves    int64 `json:"place_waves,omitempty"`
 	PlaceWaveJobs int64 `json:"place_wave_jobs,omitempty"`
 	PlaceInline   int64 `json:"place_inline,omitempty"`
+	PlaceShed     int64 `json:"place_shed,omitempty"`
 
 	// PerSnapshot is ordered by snapshot version; only the newest
 	// maxSnapshotRetention versions are retained.
@@ -253,6 +261,7 @@ func (s *Server) Metrics() Metrics {
 		PlaceWaves:      m.placeWaves.Load(),
 		PlaceWaveJobs:   m.placeWaveJobs.Load(),
 		PlaceInline:     m.placeInline.Load(),
+		PlaceShed:       m.placeShed.Load(),
 		FailEvents:      m.failEvents.Load(),
 		DegradeEvents:   m.degradeEvents.Load(),
 		RecoverEvents:   m.recoverEvents.Load(),

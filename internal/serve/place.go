@@ -204,6 +204,10 @@ func (s *Server) PlaceJobs(jobs []sched.Job) ([]sched.Assignment, error) {
 	default:
 		// Queue full: shed to the direct path rather than rejecting — the
 		// scheduler's own admission control is the intended backpressure.
+		// Counted separately: shed placements bypass the wave accounting
+		// (placeWaves/placeWaveJobs), so without this the busiest traffic
+		// would vanish from the /place fusion metrics.
+		s.metrics.placeShed.Add(1)
 		s.placePending.Add(-1)
 		return s.placeDirect(jobs), nil
 	}

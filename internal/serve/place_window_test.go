@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -71,6 +72,80 @@ func TestPlaceWindowFusesConcurrentCalls(t *testing.T) {
 	}
 	if m.Placed != 6 {
 		t.Fatalf("placed %d, want 6", m.Placed)
+	}
+}
+
+// A single-job call arriving with the accumulation queue full must shed to
+// the direct path — placed, not rejected — and be counted in PlaceShed so
+// overload traffic doesn't silently vanish from the fusion metrics.
+// Deterministic via the backend gate: the inline first placement blocks
+// mid-score holding the scheduler, the collector blocks flushing behind
+// it (MaxWave 1 → queue capacity 4), four more calls fill the queue, and
+// the next one finds it full.
+func TestPlaceWindowQueueFullSheds(t *testing.T) {
+	be := newFakeBackend()
+	s := New(be, Config{})
+	defer s.Close()
+	if err := s.EnablePlacement(PlacementConfig{
+		Policy: "mean", Window: time.Hour, MaxWave: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	be.gate = make(chan struct{})
+
+	errUnplaced := errors.New("assignment not placed")
+	results := make(chan error, 7)
+	placeOne := func(w int) {
+		as, err := s.PlaceJobs([]sched.Job{{Workload: w, Deadline: 1e9}})
+		if err == nil && (len(as) != 1 || !as[0].Placed()) {
+			err = errUnplaced
+		}
+		results <- err
+	}
+	// Inline placement blocks on the gate, holding the scheduler.
+	go placeOne(0)
+	waitFor(t, "gated inline placement to start", be.flushInFlight)
+	// The collector drains exactly one job and blocks flushing it (the
+	// scheduler is held); with MaxWave 1 it cannot batch further.
+	go placeOne(1)
+	waitFor(t, "collector flush to start", func() bool { return s.placeInFlight.Load() >= 2 })
+	// Fill the queue to capacity while the collector is stuck.
+	for w := 2; w <= 5; w++ {
+		go placeOne(w)
+	}
+	waitFor(t, "queue to fill", func() bool { return len(s.placeQueue) == cap(s.placeQueue) })
+	// Queue full: this call must shed to the direct path. Poll the raw
+	// counter — Metrics() reads scheduler stats under the scheduler lock,
+	// which the gated placement is holding.
+	go placeOne(6)
+	waitFor(t, "shed placement", func() bool { return s.metrics.placeShed.Load() == 1 })
+
+	close(be.gate)
+	for i := 0; i < 7; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.PlaceShed != 1 {
+		t.Fatalf("shed %d, want 1", m.PlaceShed)
+	}
+	if m.Placed != 7 {
+		t.Fatalf("placed %d, want 7", m.Placed)
+	}
+	if m.PlaceInline != 1 {
+		t.Fatalf("inline %d, want 1", m.PlaceInline)
+	}
+	// Shed placements bypass the wave counters by design.
+	if m.PlaceWaves != 5 || m.PlaceWaveJobs != 5 {
+		t.Fatalf("waves %d / jobs %d, want 5 / 5", m.PlaceWaves, m.PlaceWaveJobs)
+	}
+	var sb strings.Builder
+	if err := s.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "pitot_place_shed_total 1") {
+		t.Fatal("pitot_place_shed_total missing from the Prometheus exposition")
 	}
 }
 

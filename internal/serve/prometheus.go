@@ -37,6 +37,7 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		c("pitot_place_waves_total", "Fused /place accumulation-window waves.", m.PlaceWaves)
 		c("pitot_place_wave_jobs_total", "Single-job /place calls absorbed into fused waves.", m.PlaceWaveJobs)
 		c("pitot_place_inline_total", "Single-job /place calls served inline (nothing in flight to fuse with).", m.PlaceInline)
+		c("pitot_place_shed_total", "Single-job /place calls shed to the direct path (accumulation queue full).", m.PlaceShed)
 		c("pitot_fail_events_total", "Platform failures injected via /fail.", m.FailEvents)
 		c("pitot_degrade_events_total", "Platform degradations injected via /fail.", m.DegradeEvents)
 		c("pitot_recover_events_total", "Platform recoveries via /recover.", m.RecoverEvents)
@@ -64,6 +65,11 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&b, "pitot_platform_calibration_lag{platform=\"%d\"} %d\n", p, lag)
 	}
 
+	fast := 0
+	if info.FastScoring {
+		fast = 1
+	}
+	fmt.Fprintf(&b, "# HELP pitot_fast_scoring Whether the published snapshot scores with the approximate fast kernel (1) or the exact kernel (0).\n# TYPE pitot_fast_scoring gauge\npitot_fast_scoring %d\n", fast)
 	fmt.Fprintf(&b, "# HELP pitot_snapshot_version Currently published model snapshot version.\n# TYPE pitot_snapshot_version gauge\npitot_snapshot_version %d\n", info.Version)
 	fmt.Fprintf(&b, "# HELP pitot_snapshot_observations Dataset size of the published snapshot.\n# TYPE pitot_snapshot_observations gauge\npitot_snapshot_observations %d\n", info.Observations)
 

@@ -105,6 +105,13 @@ type snapshot struct {
 	quant   *core.Model // nil unless Options.EnableBounds
 	split   dataset.Split
 	version uint64
+	// fast selects the approximate fused scoring kernel
+	// (core.PredictFusedBatchFast) for this snapshot's ScoreBatch/
+	// ScoreSecondsBatch. Carried on the snapshot — not read from mutable
+	// config — so a concurrent SetFastScoring never mixes kernels inside
+	// one batch: every reader scores its whole batch with the kernel of
+	// the snapshot it loaded.
+	fast bool
 
 	// bounders holds the per-eps conformal calibrations for this snapshot.
 	// Reads are a single atomic load; a cache miss calibrates off to the
@@ -113,8 +120,8 @@ type snapshot struct {
 	bounders atomic.Pointer[map[float64]*conformal.Bounder]
 }
 
-func newSnapshot(ds *dataset.Dataset, mean, quant *core.Model, split dataset.Split, version uint64) *snapshot {
-	s := &snapshot{ds: ds, mean: mean, quant: quant, split: split, version: version}
+func newSnapshot(ds *dataset.Dataset, mean, quant *core.Model, split dataset.Split, version uint64, fast bool) *snapshot {
+	s := &snapshot{ds: ds, mean: mean, quant: quant, split: split, version: version, fast: fast}
 	empty := map[float64]*conformal.Bounder{}
 	s.bounders.Store(&empty)
 	return s
@@ -224,7 +231,7 @@ func Train(ds *Dataset, opts Options) (*Predictor, error) {
 			return nil, err
 		}
 	}
-	return newPredictor(newSnapshot(ds, mean, quant, split, 0)), nil
+	return newPredictor(newSnapshot(ds, mean, quant, split, 0, cfg.FastScoring)), nil
 }
 
 // Estimate returns the predicted runtime in seconds of workload w on
@@ -280,21 +287,27 @@ func (p *Predictor) BoundBatch(qs []Query, eps float64) ([]float64, error) {
 // per span instead of once per pass, the conformal offset is hoisted per
 // span, and one worker fan-out serves both heads — so mixed mean/bound
 // scheduling policies pay roughly one pass instead of two. Outputs are
-// bitwise-identical to calling EstimateBatch and BoundBatch separately.
+// bitwise-identical to calling EstimateBatch and BoundBatch separately —
+// unless fast scoring is on (ModelConfig.FastScoring at training time, or
+// SetFastScoring), which trades bitwise identity for the approximate
+// kernel: every score then stays within core.FastScoreMaxRelErr relative
+// of the exact result (core.FastF32MaxRelErr for the mean head under
+// ModelConfig.FastScoringF32). The scoring mode is part of the snapshot,
+// so one batch is never served by a mix of kernels.
 // Requires Options.EnableBounds; the whole batch is served from one
 // snapshot. Lock-free and safe from any number of goroutines.
 func (p *Predictor) ScoreBatch(qs []Query, eps float64) (mean, bound []float64, err error) {
 	mean = make([]float64, len(qs))
 	bound = make([]float64, len(qs))
-	if err := p.scoreInto(qs, eps, mean, bound); err != nil {
+	if err := p.snap.Load().scoreInto(qs, eps, mean, bound); err != nil {
 		return nil, nil, err
 	}
 	return mean, bound, nil
 }
 
-// scoreInto is ScoreBatch into caller-owned buffers.
-func (p *Predictor) scoreInto(qs []Query, eps float64, mean, bound []float64) error {
-	s := p.snap.Load()
+// scoreInto is ScoreBatch into caller-owned buffers, pinned to one
+// snapshot (and therefore to one scoring kernel).
+func (s *snapshot) scoreInto(qs []Query, eps float64, mean, bound []float64) error {
 	if s.quant == nil {
 		return fmt.Errorf("pitot: bounds not enabled; train with Options.EnableBounds")
 	}
@@ -302,7 +315,11 @@ func (p *Predictor) scoreInto(qs []Query, eps float64, mean, bound []float64) er
 	if err != nil {
 		return err
 	}
-	core.PredictFusedBatch(s.mean, s.quant, qs, b.Head, func(degree int) float64 {
+	kernel := core.PredictFusedBatch
+	if s.fast {
+		kernel = core.PredictFusedBatchFast
+	}
+	kernel(s.mean, s.quant, qs, b.Head, func(degree int) float64 {
 		off, ok := b.Offsets[degree]
 		if !ok {
 			off = b.MaxOffset
@@ -310,6 +327,28 @@ func (p *Predictor) scoreInto(qs []Query, eps float64, mean, bound []float64) er
 		return off
 	}, mean, bound)
 	return nil
+}
+
+// SetFastScoring toggles the approximate fused scoring kernel at runtime
+// by publishing a new snapshot that shares the current models, dataset,
+// and conformal calibrations but scores with the requested kernel. Safe
+// under concurrent readers and Observe: readers mid-batch finish on the
+// kernel of the snapshot they loaded — no batch mixes kernels — and the
+// mode survives subsequent Observe updates. The toggle is runtime-only:
+// SaveModel persists the trained ModelConfig.FastScoring flag, not this
+// override. See ScoreBatch for the accuracy contract.
+func (p *Predictor) SetFastScoring(enabled bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := p.snap.Load()
+	if cur.fast == enabled {
+		return
+	}
+	next := newSnapshot(cur.ds, cur.mean, cur.quant, cur.split, cur.version, enabled)
+	// Calibrations are immutable per (snapshot lineage, eps); carry them
+	// over instead of recalibrating.
+	next.bounders.Store(cur.bounders.Load())
+	p.snap.Store(next)
 }
 
 // Bound returns a runtime budget in seconds that is sufficient with
@@ -358,6 +397,9 @@ type Info struct {
 	Platforms    int
 	// Bounds reports whether the quantile model is present (Bound works).
 	Bounds bool
+	// FastScoring reports whether the snapshot scores with the approximate
+	// fused kernel (ModelConfig.FastScoring or SetFastScoring).
+	FastScoring bool
 }
 
 // Info returns metadata about the currently published snapshot. Lock-free.
@@ -369,6 +411,7 @@ func (p *Predictor) Info() Info {
 		Workloads:    s.ds.NumWorkloads(),
 		Platforms:    s.ds.NumPlatforms(),
 		Bounds:       s.quant != nil,
+		FastScoring:  s.fast,
 	}
 }
 
@@ -434,9 +477,12 @@ func (p *Predictor) EstimateSecondsBatch(qs []Query) []float64 {
 	return p.EstimateBatch(qs)
 }
 
-// BoundSecondsBatch is BoundBatch with errors mapped to +Inf per query
-// (every candidate infeasible), matching sched.BatchPredictor. The whole
-// batch shares one conformal calibration fetch and one model snapshot.
+// BoundSecondsBatch is BoundBatch with errors mapped to +Inf, matching
+// sched.BatchPredictor's infeasibility convention. The errors BoundBatch
+// can return — bounds not enabled, or a calibration failure for eps — are
+// batch-level conditions, not per-query ones, so a failure marks the
+// entire batch infeasible: every query comes back +Inf. The whole batch
+// shares one conformal calibration fetch and one model snapshot.
 func (p *Predictor) BoundSecondsBatch(qs []Query, eps float64) []float64 {
 	out, err := p.BoundBatch(qs, eps)
 	if err != nil {
@@ -450,11 +496,15 @@ func (p *Predictor) BoundSecondsBatch(qs []Query, eps float64) []float64 {
 
 // ScoreSecondsBatch is ScoreBatch under the sched.FusedPredictor name:
 // both heads of the whole wave in one pass, with errors (bounds not
-// enabled, bad eps) mapped to +Inf bounds and plain EstimateBatch means,
-// matching the scheduler's infeasibility convention.
+// enabled, bad eps) mapped to +Inf bounds and plain mean estimates,
+// matching the scheduler's infeasibility convention. The fallback fills
+// the caller's buffers in place from the same snapshot that failed the
+// fused pass — no allocation, and no chance of the means coming from a
+// newer snapshot than the error did.
 func (p *Predictor) ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut []float64) {
-	if err := p.scoreInto(qs, eps, meanOut, boundOut); err != nil {
-		copy(meanOut, p.EstimateBatch(qs))
+	s := p.snap.Load()
+	if err := s.scoreInto(qs, eps, meanOut, boundOut); err != nil {
+		s.mean.PredictSecondsBatch(qs, 0, meanOut)
 		for i := range boundOut {
 			boundOut[i] = math.Inf(1)
 		}
@@ -465,10 +515,12 @@ func (p *Predictor) ScoreSecondsBatch(qs []Query, eps float64, meanOut, boundOut
 // reported by the simulator or a live orchestrator (sched.Measurement) are
 // converted to dataset observations and absorbed via Observe, fine-tuning
 // the models and folding the measurements into the conformal calibration
-// pool of the next snapshot. Implements sched.Observer.
+// pool of the next snapshot. An empty slice is a no-op returning nil, so
+// timer-driven feedback flushes that fire with nothing buffered don't
+// surface spurious failures. Implements sched.Observer.
 func (p *Predictor) ObserveSeconds(ms []sched.Measurement) error {
 	if len(ms) == 0 {
-		return fmt.Errorf("pitot: no measurements")
+		return nil
 	}
 	obs := make([]Observation, len(ms))
 	for i, m := range ms {
@@ -542,7 +594,7 @@ func (p *Predictor) Observe(obs []Observation) error {
 	split.Cal = append(split.Cal, cur.split.Cal...)
 	split.Cal = append(split.Cal, newIdx...)
 
-	p.snap.Store(newSnapshot(ds, mean, quant, split, cur.version+1))
+	p.snap.Store(newSnapshot(ds, mean, quant, split, cur.version+1, cur.fast))
 	return nil
 }
 
@@ -645,5 +697,8 @@ func LoadPredictor(ds *Dataset, meanR, quantR io.Reader) (*Predictor, error) {
 			return nil, err
 		}
 	}
-	return newPredictor(newSnapshot(ds, mean, quant, pf.Split, 0)), nil
+	// The fast-scoring flag rides in the persisted model config, so a
+	// predictor trained with ModelConfig.FastScoring reloads in fast mode
+	// (streams written before the flag existed load with it off).
+	return newPredictor(newSnapshot(ds, mean, quant, pf.Split, 0, mean.Cfg.FastScoring)), nil
 }
