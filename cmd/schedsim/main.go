@@ -19,11 +19,21 @@
 // conservation (arrived == completed + shed, nothing lost or duplicated)
 // is checked per trial and fatal on violation.
 //
+// With -replicas N, the streaming simulation is replaced by the replica
+// scaling bench: for each point on the doubling curve 1,2,...,N, that many
+// scheduler replicas place jobs concurrently against one shared
+// snapshot-isolated slot store, in both sharded (platforms partitioned
+// across replicas) and shared-pool (every replica sees every platform,
+// conflicts resolved by optimistic commit/retry) modes. The curve —
+// aggregate throughput, speedup, conflict-retry rate, sheds — is printed
+// and optionally written as JSON with -bench-json; -require-conflict-max
+// turns the shared-pool conflict rate into a CI gate.
+//
 // Usage:
 //
 //	schedsim [-seed 1] [-jobs 200] [-eps 0.1] [-steps 1200]
 //	         [-policy all] [-strategy least-loaded]
-//	         [-arrival-rate 2] [-trials 4]
+//	         [-arrival-rate 2] [-trials 4] [-cluster-devices 8]
 //	         [-colocation 4] [-max-inflight 0] [-chunk 0]
 //	         [-retry-limit 3] [-retry-backoff 0] [-retry-backoff-max 0]
 //	         [-chaos] [-mttf 60] [-mttr 8] [-chaos-groups "0,1;2,3"]
@@ -31,6 +41,9 @@
 //	         [-breaker-threshold 0] [-breaker-window 20]
 //	         [-breaker-probation 3] [-breaker-cooldown 30] [-require-trip]
 //	         [-feedback] [-feedback-every 25] [-feedback-interval 0]
+//	         [-replicas 0] [-shards 0] [-replica-wave 8] [-replica-reps 3]
+//	         [-bench-json curve.json] [-require-conflict-max 0]
+//	         [-cpuprofile prof.out]
 //
 // Flags:
 //
@@ -68,6 +81,19 @@
 //	-feedback-interval also flush whenever this many simulated seconds
 //	                   passed since the last flush (0 = count trigger only),
 //	                   amortizing Observe cost on sparse completion streams
+//	-replicas          switch to the replica scaling bench with this many
+//	                   max replicas (0 = normal streaming simulation)
+//	-shards            platform shards: 0 = auto (one per replica, plus a
+//	                   shared-pool curve), 1 = shared pool only
+//	-replica-wave      jobs each replica places per wave (completing the
+//	                   wave before the next bounds in-flight)
+//	-replica-reps      timed repetitions per scaling point; best reported
+//	-cluster-devices   device types in the synthetic cluster (scan cost per
+//	                   placement grows with the ~10 platforms per device)
+//	-bench-json        write the scaling curve to this file as JSON
+//	-require-conflict-max  exit nonzero when the shared-pool conflict-retry
+//	                   rate exceeds this fraction (CI gate; 0 = off)
+//	-cpuprofile        write a pprof CPU profile of the run
 package main
 
 import (
@@ -75,6 +101,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -82,6 +110,81 @@ import (
 	"repro/internal/sched"
 	"repro/internal/wasmcluster"
 )
+
+// validateFlags rejects nonsensical flag combinations up front with a
+// usage error (exit 2) instead of a mid-run panic or a silently absurd
+// simulation.
+func validateFlags(
+	jobs int, eps float64, steps int, arrivalRate float64, trials, coloc, maxInFlight int,
+	retryLimit int, retryBO, retryBOMax float64,
+	chaosOn bool, mttf, mttr, chaosDeg float64, requireTrip bool,
+	brThreshold float64, brWindow, brProbation int, brCooldown float64,
+	feedback bool, fbEvery int, fbInterval float64,
+	replicas, shards, replicaWave, replicaReps int, reqConflictMax float64,
+	clusterDevices int,
+) error {
+	switch {
+	case jobs < 1:
+		return fmt.Errorf("-jobs must be >= 1 (got %d)", jobs)
+	case eps <= 0 || eps >= 1:
+		return fmt.Errorf("-eps must be in (0,1) (got %g)", eps)
+	case steps < 1:
+		return fmt.Errorf("-steps must be >= 1 (got %d)", steps)
+	case arrivalRate <= 0:
+		return fmt.Errorf("-arrival-rate must be > 0 (got %g)", arrivalRate)
+	case trials < 1:
+		return fmt.Errorf("-trials must be >= 1 (got %d)", trials)
+	case coloc < 1:
+		return fmt.Errorf("-colocation must be >= 1 (got %d)", coloc)
+	case maxInFlight < 0:
+		return fmt.Errorf("-max-inflight must be >= 0 (got %d)", maxInFlight)
+	case retryLimit < 0:
+		return fmt.Errorf("-retry-limit must be >= 0 (got %d)", retryLimit)
+	case retryBO < 0:
+		return fmt.Errorf("-retry-backoff must be >= 0 (got %g)", retryBO)
+	case retryBOMax < 0:
+		return fmt.Errorf("-retry-backoff-max must be >= 0 (got %g)", retryBOMax)
+	case retryBOMax > 0 && retryBOMax < retryBO:
+		return fmt.Errorf("-retry-backoff-max (%g) must be >= -retry-backoff (%g)", retryBOMax, retryBO)
+	case chaosOn && mttf <= 0:
+		return fmt.Errorf("-chaos needs -mttf > 0 (got %g)", mttf)
+	case chaosOn && mttr <= 0:
+		return fmt.Errorf("-chaos needs -mttr > 0 (got %g)", mttr)
+	case chaosDeg < 0 || chaosDeg > 1:
+		return fmt.Errorf("-chaos-degrade must be in [0,1] (got %g)", chaosDeg)
+	case requireTrip && !chaosOn:
+		return fmt.Errorf("-require-trip needs -chaos (no failures means no breaker trips)")
+	case brThreshold < 0 || brThreshold >= 1:
+		return fmt.Errorf("-breaker-threshold must be in [0,1) (got %g)", brThreshold)
+	case brWindow < 1:
+		return fmt.Errorf("-breaker-window must be >= 1 (got %d)", brWindow)
+	case brProbation < 0:
+		return fmt.Errorf("-breaker-probation must be >= 0 (got %d)", brProbation)
+	case brCooldown < 0:
+		return fmt.Errorf("-breaker-cooldown must be >= 0 (got %g)", brCooldown)
+	case feedback && fbEvery < 1:
+		return fmt.Errorf("-feedback needs -feedback-every >= 1 (got %d)", fbEvery)
+	case fbInterval < 0:
+		return fmt.Errorf("-feedback-interval must be >= 0 (got %g)", fbInterval)
+	case replicas < 0:
+		return fmt.Errorf("-replicas must be >= 0 (got %d)", replicas)
+	case shards < 0:
+		return fmt.Errorf("-shards must be >= 0 (got %d)", shards)
+	case shards > 0 && replicas == 0:
+		return fmt.Errorf("-shards needs -replicas > 0")
+	case replicaWave < 1:
+		return fmt.Errorf("-replica-wave must be >= 1 (got %d)", replicaWave)
+	case replicaReps < 1:
+		return fmt.Errorf("-replica-reps must be >= 1 (got %d)", replicaReps)
+	case reqConflictMax < 0 || reqConflictMax > 1:
+		return fmt.Errorf("-require-conflict-max must be in [0,1] (got %g)", reqConflictMax)
+	case reqConflictMax > 0 && replicas == 0:
+		return fmt.Errorf("-require-conflict-max needs -replicas > 0")
+	case clusterDevices < 1 || clusterDevices > 24:
+		return fmt.Errorf("-cluster-devices must be in [1,24] (got %d)", clusterDevices)
+	}
+	return nil
+}
 
 // oracle adapts the ground-truth cluster to sched.Oracle.
 type oracle struct {
@@ -158,11 +261,42 @@ func main() {
 		feedback    = flag.Bool("feedback", false, "run the bound policy with online Observe feedback and compare")
 		fbEvery     = flag.Int("feedback-every", 25, "feed measurements back every N completions")
 		fbInterval  = flag.Float64("feedback-interval", 0, "also flush after this many simulated seconds since the last flush (0 = off)")
+
+		replicas       = flag.Int("replicas", 0, "replica scaling bench: max scheduler replicas over one shared slot store (0 = normal streaming mode)")
+		shards         = flag.Int("shards", 0, "platform shards across replicas (0 = auto, one shard per replica; 1 = shared pool)")
+		replicaWave    = flag.Int("replica-wave", 8, "jobs per wave in the replica bench (each replica completes its wave before the next)")
+		replicaReps    = flag.Int("replica-reps", 3, "timed repetitions per scaling point; the best is reported")
+		benchJSON      = flag.String("bench-json", "", "write the replica scaling curve to this JSON file")
+		reqConflictMax = flag.Float64("require-conflict-max", 0, "exit nonzero when the shared-pool conflict-retry rate exceeds this fraction (0 = no gate)")
+		clusterDevs    = flag.Int("cluster-devices", 8, "device types in the synthetic cluster, 10 platforms each (max 24)")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+	if err := validateFlags(
+		*jobs, *eps, *steps, *arrivalRate, *trials, *coloc, *maxInFlight,
+		*retryLimit, *retryBO, *retryBOMax,
+		*chaosOn, *mttf, *mttr, *chaosDeg, *requireTrip,
+		*brThreshold, *brWindow, *brProbation, *brCooldown,
+		*feedback, *fbEvery, *fbInterval,
+		*replicas, *shards, *replicaWave, *replicaReps, *reqConflictMax,
+		*clusterDevs,
+	); err != nil {
+		fmt.Fprintf(flag.CommandLine.Output(), "schedsim: %v\n(run with -h for usage)\n", err)
+		os.Exit(2)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cluster := wasmcluster.New(wasmcluster.Config{
-		Seed: *seed, NumWorkloads: 40, MaxDevices: 8, SetsPerDegree: 25,
+		Seed: *seed, NumWorkloads: 40, MaxDevices: *clusterDevs, SetsPerDegree: 25,
 	})
 	ds := cluster.Generate()
 	cfg := pitot.DefaultModelConfig(*seed)
@@ -177,6 +311,21 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if *replicas > 0 {
+		err := runReplicaBench(replicaBenchConfig{
+			Cluster: ds, Pred: pred, Strategy: strategy,
+			Seed: *seed, Jobs: *jobs, Eps: *eps,
+			Coloc: *coloc, Chunk: *chunk,
+			MaxReplicas: *replicas, Shards: *shards, Wave: *replicaWave, Reps: *replicaReps,
+			JSONPath: *benchJSON, ConflictMax: *reqConflictMax,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	var policies []sched.Policy
 	names := *policyFlag
 	if names == "all" {

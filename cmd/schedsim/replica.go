@@ -1,0 +1,315 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	pitot "repro"
+	"repro/internal/dataset"
+	"repro/internal/sched"
+)
+
+// replicaBenchConfig drives the -replicas scaling bench: for each point R
+// on the doubling curve 1,2,4,...,MaxReplicas, R scheduler replicas place
+// Jobs jobs each (in waves of Wave, completing every wave before the next)
+// against one shared slot store, and the aggregate placement throughput,
+// conflict-retry rate, and shed count are recorded.
+type replicaBenchConfig struct {
+	Cluster  *dataset.Dataset
+	Pred     *pitot.Predictor
+	Strategy sched.Strategy
+
+	Seed  int64
+	Jobs  int // per replica, so total work scales with R
+	Eps   float64
+	Coloc int
+	Chunk int
+
+	MaxReplicas int
+	Shards      int // 0 = auto (one shard per replica), 1 = shared pool
+	Wave        int
+	Reps        int // timed repetitions per point; the best is reported
+
+	JSONPath    string
+	ConflictMax float64 // gate on the shared-pool conflict rate; 0 = off
+}
+
+// benchPoint is one row of the scaling curve.
+type benchPoint struct {
+	Replicas int     `json:"replicas"`
+	Shards   int     `json:"shards"`
+	Jobs     int     `json:"jobs"`
+	Placed   int     `json:"placed"`
+	Unplaced int     `json:"unplaced"`
+	Rejected int     `json:"rejected"`
+	Seconds  float64 `json:"seconds"`
+	// Throughput is placements per wall-clock second; Speedup is relative
+	// to the 1-replica point of the same sharding mode.
+	Throughput float64 `json:"throughput_jobs_per_sec"`
+	Speedup    float64 `json:"speedup"`
+	// ModeledSpeedup is R x (commits / reserve attempts): the scaling the
+	// commit protocol itself permits, independent of how many cores the
+	// host can actually run the replicas on.
+	ModeledSpeedup float64 `json:"modeled_speedup"`
+	ConflictRate   float64 `json:"conflict_rate"`
+	ConflictShed   uint64  `json:"conflict_shed"`
+	Rebalances     uint64  `json:"rebalances"`
+}
+
+type benchReport struct {
+	Bench      string       `json:"bench"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Platforms  int          `json:"platforms"`
+	JobsPerRep int          `json:"jobs_per_replica"`
+	Wave       int          `json:"wave"`
+	Sharded    []benchPoint `json:"sharded"`
+	SharedPool []benchPoint `json:"shared_pool"`
+}
+
+// scalingPoints is the doubling curve 1,2,4,... capped at max (always
+// ending exactly at max).
+func scalingPoints(max int) []int {
+	var pts []int
+	for r := 1; r < max; r *= 2 {
+		pts = append(pts, r)
+	}
+	return append(pts, max)
+}
+
+// runPoint measures one scaling point: nRep goroutines, each driving its
+// own replica with jobs/wave-sized waves and completing every wave before
+// the next (bounded in-flight, so admission never dominates the signal).
+// Conservation is checked fatally, mirroring the streaming simulator.
+func runPoint(cfg replicaBenchConfig, nRep, nShards int) (benchPoint, error) {
+	rs, err := sched.NewReplicaSet(sched.Config{
+		NumPlatforms:  cfg.Cluster.NumPlatforms(),
+		MaxColocation: cfg.Coloc,
+		WaveChunk:     cfg.Chunk,
+		Strategy:      cfg.Strategy,
+	}, sched.ReplicaConfig{Replicas: nRep, Shards: nShards}, sched.BoundPolicy{Eps: cfg.Eps}, cfg.Pred)
+	if err != nil {
+		return benchPoint{}, err
+	}
+
+	// Pre-generate every replica's job stream so generation cost stays
+	// outside the timed region. Deadlines are generous multiples of the
+	// estimate: the bench measures commit throughput, not feasibility.
+	streams := make([][]sched.Job, nRep)
+	for ri := range streams {
+		jrng := rand.New(rand.NewSource(cfg.Seed + 1000*int64(nRep) + int64(ri)*8123))
+		streams[ri] = make([]sched.Job, cfg.Jobs)
+		for i := range streams[ri] {
+			w := jrng.Intn(cfg.Cluster.NumWorkloads())
+			p := jrng.Intn(cfg.Cluster.NumPlatforms())
+			streams[ri][i] = sched.Job{
+				Workload: w,
+				Deadline: cfg.Pred.Estimate(w, p, nil) * (2 + 2*jrng.Float64()),
+			}
+		}
+	}
+
+	// Collect garbage left over from prior points so one run's allocation
+	// debt is not paid inside another's timed region (what testing.B does
+	// between benchmark runs).
+	runtime.GC()
+
+	var placed, unplaced, rejected, completed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ri := 0; ri < nRep; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			rep := rs.Replica(ri)
+			stream := streams[ri]
+			ids := make([]sched.JobID, 0, cfg.Wave)
+			for off := 0; off < len(stream); off += cfg.Wave {
+				end := off + cfg.Wave
+				if end > len(stream) {
+					end = len(stream)
+				}
+				ids = ids[:0]
+				for _, a := range rep.PlaceAll(stream[off:end]) {
+					switch {
+					case a.Rejected:
+						rejected.Add(1)
+					case !a.Placed():
+						unplaced.Add(1)
+					default:
+						placed.Add(1)
+						ids = append(ids, a.ID)
+					}
+				}
+				for _, id := range ids {
+					if err := rs.Complete(id); err == nil {
+						completed.Add(1)
+					}
+				}
+			}
+		}(ri)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	arrived := int64(nRep * cfg.Jobs)
+	if got := placed.Load() + unplaced.Load() + rejected.Load(); got != arrived {
+		return benchPoint{}, fmt.Errorf("job conservation violated (R=%d S=%d): placed %d + unplaced %d + rejected %d != arrived %d",
+			nRep, nShards, placed.Load(), unplaced.Load(), rejected.Load(), arrived)
+	}
+	if completed.Load() != placed.Load() {
+		return benchPoint{}, fmt.Errorf("placement conservation violated (R=%d S=%d): completed %d != placed %d",
+			nRep, nShards, completed.Load(), placed.Load())
+	}
+	if inf := rs.InFlight(); inf != 0 {
+		return benchPoint{}, fmt.Errorf("in-flight not drained (R=%d S=%d): %d", nRep, nShards, inf)
+	}
+
+	cs := rs.ConflictStats()
+	pt := benchPoint{
+		Replicas: nRep,
+		Shards:   rs.NumShards(),
+		Jobs:     int(arrived),
+		Placed:   int(placed.Load()),
+		Unplaced: int(unplaced.Load()),
+		Rejected: int(rejected.Load()),
+		Seconds:  elapsed,
+	}
+	if elapsed > 0 {
+		pt.Throughput = float64(placed.Load()) / elapsed
+	}
+	if cs.Attempts > 0 {
+		pt.ConflictRate = float64(cs.Conflicts) / float64(cs.Attempts)
+		pt.ModeledSpeedup = float64(nRep) * float64(cs.Attempts-cs.Conflicts) / float64(cs.Attempts)
+	} else {
+		pt.ModeledSpeedup = float64(nRep)
+	}
+	pt.ConflictShed = cs.Shed
+	pt.Rebalances = cs.Rebalances
+	return pt, nil
+}
+
+// runCurve measures the full scaling curve for one sharding mode and fills
+// in speedups relative to its own 1-replica baseline. Each point runs Reps
+// times and reports the best repetition — the standard defense against GC
+// and frequency-scaling noise on a shared host.
+func runCurve(cfg replicaBenchConfig, nShards int, label string) ([]benchPoint, error) {
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	var pts []benchPoint
+	var base float64
+	for _, r := range scalingPoints(cfg.MaxReplicas) {
+		pt, err := runPoint(cfg, r, nShards)
+		if err != nil {
+			return nil, err
+		}
+		for rep := 1; rep < reps; rep++ {
+			again, err := runPoint(cfg, r, nShards)
+			if err != nil {
+				return nil, err
+			}
+			if again.Throughput > pt.Throughput {
+				pt = again
+			}
+		}
+		if r == 1 {
+			base = pt.Throughput
+		}
+		if base > 0 {
+			pt.Speedup = pt.Throughput / base
+		}
+		pts = append(pts, pt)
+		fmt.Printf("%-12s %8d %7d %9d %9.2fs %11.0f %8.2fx %9.2fx %9.2f%% %6d %6d\n",
+			label, r, pt.Shards, pt.Placed, pt.Seconds, pt.Throughput,
+			pt.Speedup, pt.ModeledSpeedup, 100*pt.ConflictRate, pt.ConflictShed, pt.Rebalances)
+	}
+	return pts, nil
+}
+
+// runReplicaBench runs the replica scaling bench and optionally writes the
+// curve as JSON and gates on the shared-pool conflict rate.
+func runReplicaBench(cfg replicaBenchConfig) error {
+	fmt.Printf("replica scaling bench: %d jobs/replica in waves of %d on %d platforms (gomaxprocs %d)\n",
+		cfg.Jobs, cfg.Wave, cfg.Cluster.NumPlatforms(), runtime.GOMAXPROCS(0))
+	fmt.Printf("%-12s %8s %7s %9s %10s %11s %8s %9s %10s %6s %6s\n",
+		"mode", "replicas", "shards", "placed", "wall", "jobs/s", "speedup", "modeled", "conflicts", "shed", "rebal")
+
+	report := benchReport{
+		Bench:      "replica_scaling",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Platforms:  cfg.Cluster.NumPlatforms(),
+		JobsPerRep: cfg.Jobs,
+		Wave:       cfg.Wave,
+	}
+	// Warm-up: one discarded single-replica run so the 1-replica baseline
+	// is not penalized with cold caches and lazy allocations.
+	warm := cfg
+	if warm.Jobs > 200 {
+		warm.Jobs = 200
+	}
+	if _, err := runPoint(warm, 1, 1); err != nil {
+		return err
+	}
+	var err error
+	switch {
+	case cfg.Shards == 0:
+		// Default: both modes. Sharded shows the candidate-scan scaling
+		// (real wall-clock speedup even on one core), shared-pool exercises
+		// the conflict machinery every CI run.
+		if report.Sharded, err = runCurve(cfg, 0, "sharded"); err != nil {
+			return err
+		}
+		if report.SharedPool, err = runCurve(cfg, 1, "shared-pool"); err != nil {
+			return err
+		}
+	case cfg.Shards == 1:
+		if report.SharedPool, err = runCurve(cfg, 1, "shared-pool"); err != nil {
+			return err
+		}
+	default:
+		if report.Sharded, err = runCurve(cfg, cfg.Shards, "sharded"); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nspeedup:   aggregate placement throughput relative to 1 replica (same mode)")
+	fmt.Println("modeled:   R x commit success rate — the protocol-limited scaling, core-count aside")
+	fmt.Println("conflicts: optimistic reservations that lost the commit race and retried")
+
+	if cfg.JSONPath != "" {
+		f, err := os.Create(cfg.JSONPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", cfg.JSONPath)
+	}
+
+	if cfg.ConflictMax > 0 {
+		pts := report.SharedPool
+		if len(pts) == 0 {
+			pts = report.Sharded
+		}
+		for _, pt := range pts {
+			if pt.ConflictRate > cfg.ConflictMax {
+				return fmt.Errorf("require-conflict-max: conflict rate %.2f%% at %d replicas exceeds the %.2f%% ceiling",
+					100*pt.ConflictRate, pt.Replicas, 100*cfg.ConflictMax)
+			}
+		}
+	}
+	return nil
+}

@@ -108,9 +108,12 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 	return c
 }
 
-// platformHealth is one platform's failure-lifecycle state, guarded by the
-// scheduler mutex. The outcome ring is allocated lazily on first use.
-type platformHealth struct {
+// healthCore is one platform's failure-lifecycle state plus its breaker
+// window. It is the transition logic shared by the mutex-guarded scheduler
+// (platformHealth) and the lock-free slot store (platformSlots): both arms
+// drive the identical state machine, they differ only in how mutations are
+// published. The outcome ring is allocated lazily on first use.
+type healthCore struct {
 	state     HealthState
 	probation bool // half-open: state==Degraded, colocation capped at 1
 	probLeft  int  // consecutive successes still needed to close
@@ -118,6 +121,113 @@ type platformHealth struct {
 	outcomes     []bool // ring of recent outcomes, true = missed deadline
 	next, filled int
 	misses       int
+}
+
+// platformHealth is one platform's failure-lifecycle state, guarded by the
+// scheduler mutex.
+type platformHealth struct {
+	healthCore
+}
+
+// fail transitions to Down, reporting false when already Down (a no-op).
+func (h *healthCore) fail() bool {
+	if h.state == Down {
+		return false
+	}
+	h.state = Down
+	h.probation = false
+	h.resetWindow()
+	return true
+}
+
+// degrade marks the platform Degraded. Applied is false for the no-op
+// (already plainly Degraded); an explicit Degrade during probation converts
+// the half-open trial into a plain degraded platform (full capacity,
+// padded). Callers must reject Down/Quarantined platforms first.
+func (h *healthCore) degrade() (applied bool) {
+	switch h.state {
+	case Healthy:
+		h.state = Degraded
+		return true
+	case Degraded:
+		if h.probation {
+			h.probation = false
+			return true
+		}
+	}
+	return false
+}
+
+// recover advances toward Healthy: Down/Quarantined re-enter half-open
+// probation (readmitted), Degraded closes to Healthy (closedProbation when
+// it was a half-open trial). Callers skip the Healthy no-op.
+func (h *healthCore) recover(probation int) (readmitted, closedProbation bool) {
+	switch h.state {
+	case Down, Quarantined:
+		h.state = Degraded
+		h.probation = true
+		h.probLeft = probation
+		h.resetWindow()
+		return true, false
+	case Degraded:
+		closedProbation = h.probation
+		h.state = Healthy
+		h.probation = false
+		h.resetWindow()
+	}
+	return false, closedProbation
+}
+
+// noteOutcome feeds one observed execution outcome through the probation
+// and breaker-window state, reporting a quarantine trip (threshold
+// crossing, or a miss during probation) or a probation closing healthy.
+func (h *healthCore) noteOutcome(miss bool, br BreakerConfig) (tripped, closed bool) {
+	if h.state == Down || h.state == Quarantined {
+		// Stragglers completing on a failed/quarantined platform carry no
+		// signal about its future admission.
+		return false, false
+	}
+	if h.probation {
+		if miss {
+			h.state = Quarantined
+			h.probation = false
+			h.resetWindow()
+			return true, false
+		}
+		h.probLeft--
+		if h.probLeft <= 0 {
+			h.state = Healthy
+			h.probation = false
+			h.resetWindow()
+			return false, true
+		}
+		return false, false
+	}
+	if br.Threshold <= 0 {
+		return false, false
+	}
+	if h.outcomes == nil {
+		h.outcomes = make([]bool, br.Window)
+	}
+	if h.filled == len(h.outcomes) {
+		if h.outcomes[h.next] {
+			h.misses--
+		}
+	} else {
+		h.filled++
+	}
+	h.outcomes[h.next] = miss
+	if miss {
+		h.misses++
+	}
+	h.next = (h.next + 1) % len(h.outcomes)
+	if h.filled >= br.MinSamples &&
+		float64(h.misses) >= br.Threshold*float64(h.filled) {
+		h.state = Quarantined
+		h.resetWindow()
+		return true, false
+	}
+	return false, false
 }
 
 // FailureStats counts the scheduler's failure-lifecycle events since
@@ -158,12 +268,9 @@ func (s *Scheduler) Fail(p int) ([]Orphan, error) {
 		return nil, err
 	}
 	h := &s.healths[p]
-	if h.state == Down {
+	if !h.fail() {
 		return nil, nil
 	}
-	h.state = Down
-	h.probation = false
-	h.resetWindow()
 	s.stats.Fails++
 	rs := s.residents[p]
 	if len(rs) == 0 {
@@ -191,19 +298,11 @@ func (s *Scheduler) Degrade(p int) error {
 		return err
 	}
 	h := &s.healths[p]
-	switch h.state {
-	case Down, Quarantined:
+	if h.state == Down || h.state == Quarantined {
 		return fmt.Errorf("%w: platform %d is %s", ErrPlatformUnavailable, p, h.state)
-	case Healthy:
-		h.state = Degraded
+	}
+	if h.degrade() {
 		s.stats.Degrades++
-	case Degraded:
-		if h.probation {
-			// An explicit Degrade during probation converts the half-open
-			// trial into a plain degraded platform (full capacity, padded).
-			h.probation = false
-			s.stats.Degrades++
-		}
 	}
 	return nil
 }
@@ -219,22 +318,16 @@ func (s *Scheduler) Recover(p int) error {
 		return err
 	}
 	h := &s.healths[p]
-	switch h.state {
-	case Down, Quarantined:
-		h.state = Degraded
-		h.probation = true
-		h.probLeft = s.breaker.Probation
-		h.resetWindow()
-		s.stats.Recovers++
+	if h.state == Healthy {
+		return nil
+	}
+	readmitted, closed := h.recover(s.breaker.Probation)
+	s.stats.Recovers++
+	if readmitted {
 		s.stats.Readmissions++
-	case Degraded:
-		h.state = Healthy
-		if h.probation {
-			s.stats.Closes++
-		}
-		h.probation = false
-		h.resetWindow()
-		s.stats.Recovers++
+	}
+	if closed {
+		s.stats.Closes++
 	}
 	return nil
 }
@@ -300,58 +393,17 @@ func (s *Scheduler) CompleteOutcome(id JobID, miss bool) (tripped bool, err erro
 // breaker window and probation state, returning whether it tripped the
 // platform into quarantine.
 func (s *Scheduler) noteOutcomeLocked(p int, miss bool) bool {
-	h := &s.healths[p]
-	if h.state == Down || h.state == Quarantined {
-		// Stragglers completing on a failed/quarantined platform carry no
-		// signal about its future admission.
-		return false
-	}
-	if h.probation {
-		if miss {
-			h.state = Quarantined
-			h.probation = false
-			h.resetWindow()
-			s.stats.Trips++
-			return true
-		}
-		h.probLeft--
-		if h.probLeft <= 0 {
-			h.state = Healthy
-			h.probation = false
-			h.resetWindow()
-			s.stats.Closes++
-		}
-		return false
-	}
-	if s.breaker.Threshold <= 0 {
-		return false
-	}
-	if h.outcomes == nil {
-		h.outcomes = make([]bool, s.breaker.Window)
-	}
-	if h.filled == len(h.outcomes) {
-		if h.outcomes[h.next] {
-			h.misses--
-		}
-	} else {
-		h.filled++
-	}
-	h.outcomes[h.next] = miss
-	if miss {
-		h.misses++
-	}
-	h.next = (h.next + 1) % len(h.outcomes)
-	if h.filled >= s.breaker.MinSamples &&
-		float64(h.misses) >= s.breaker.Threshold*float64(h.filled) {
-		h.state = Quarantined
-		h.resetWindow()
+	tripped, closed := s.healths[p].noteOutcome(miss, s.breaker)
+	if tripped {
 		s.stats.Trips++
-		return true
 	}
-	return false
+	if closed {
+		s.stats.Closes++
+	}
+	return tripped
 }
 
-func (h *platformHealth) resetWindow() {
+func (h *healthCore) resetWindow() {
 	h.next, h.filled, h.misses = 0, 0, 0
 }
 

@@ -1,0 +1,383 @@
+package sched
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// platformView is a replica's local snapshot of one platform: the version
+// it scored against plus everything placement needs (resident workloads,
+// load, effective cap, health). Views refresh at chunk start, after the
+// replica's own commits, and on reserve conflicts — never mid-selection,
+// so a chunk's decisions are a pure function of its snapshots.
+type platformView struct {
+	ver       uint64
+	ks        []int
+	load      int
+	cap       int
+	placeable bool
+	degraded  bool
+}
+
+// Replica is one scheduler frontend of a ReplicaSet: it scores waves
+// against a private snapshot of the shared SlotStore and commits each
+// placement with an optimistic slot reservation. A version conflict at
+// commit (another replica placed, a completion landed, a health event
+// fired) refreshes the platform's view, re-scores the affected column, and
+// retries selection with bounded backoff, up to MaxCommitRetries before the
+// job is shed with ReasonConflict.
+//
+// With one replica and no concurrent store mutations, placements are
+// bitwise identical to Scheduler.PlaceAll: the snapshot/pre-score/select/
+// dirty-re-score sequence is the same algorithm over the same shared
+// selection helpers, and conflict paths never execute.
+//
+// A Replica is safe for concurrent use; concurrent PlaceAll calls on the
+// same replica serialize on its private mutex (use distinct replicas for
+// parallel placement).
+type Replica struct {
+	set *ReplicaSet
+	idx int
+
+	mu      sync.Mutex
+	views   []platformView // indexed by platform
+	slotOf  []int          // platform -> shard slot for the current chunk
+	scratch waveScratch
+
+	commits   atomic.Uint64
+	conflicts atomic.Uint64
+	shed      atomic.Uint64
+
+	// chunkGap, when non-nil, runs between chunk placements (test hook,
+	// mirroring Scheduler.chunkGap).
+	chunkGap func()
+}
+
+// PlaceAll places a wave of jobs in arrival order through this replica,
+// chunked like Scheduler.PlaceAll: each chunk snapshots the replica's
+// shard, pre-scores platform-major in one batched call, and commits
+// per-job reservations against those snapshots.
+func (r *Replica) PlaceAll(jobs []Job) []Assignment {
+	out := make([]Assignment, len(jobs))
+	chunk := r.set.chunk
+	if chunk < 0 || chunk > len(jobs) {
+		chunk = len(jobs)
+	}
+	for lo := 0; lo < len(jobs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		r.mu.Lock()
+		r.placeChunk(jobs[lo:hi], out[lo:hi])
+		r.mu.Unlock()
+		r.set.noteChunk()
+		if r.chunkGap != nil && hi < len(jobs) {
+			r.chunkGap()
+		}
+	}
+	return out
+}
+
+// Place assigns one job through this replica.
+func (r *Replica) Place(job Job) Assignment {
+	return r.PlaceAll([]Job{job})[0]
+}
+
+// refreshView rebuilds platform p's view from the store's current state.
+func (r *Replica) refreshView(p int) {
+	st := r.set.store.load(p)
+	r.views[p] = platformView{
+		ver:       st.version,
+		ks:        st.workloads(),
+		load:      len(st.residents),
+		cap:       st.colocCap(r.set.store.maxColocation),
+		placeable: st.state.Placeable(),
+		degraded:  st.state == Degraded,
+	}
+}
+
+// adoptCommit updates platform p's view from the state a successful
+// reservation returned: the committed resident set is exactly what the
+// chunk's remaining jobs must be scored against (the scheduler's
+// residentWorkloadsLocked-after-commit refresh).
+func (r *Replica) adoptCommit(p int, st *platformSlots) {
+	r.views[p] = platformView{
+		ver:       st.version,
+		ks:        st.workloads(),
+		load:      len(st.residents),
+		cap:       st.colocCap(r.set.store.maxColocation),
+		placeable: st.state.Placeable(),
+		degraded:  st.state == Degraded,
+	}
+}
+
+// placeChunk places one chunk of jobs under the replica mutex, filling
+// out[i] for jobs[i]. The structure mirrors Scheduler.placeWaveLocked with
+// the shard's view snapshots standing in for the locked cluster state.
+func (r *Replica) placeChunk(jobs []Job, out []Assignment) {
+	set := r.set
+	shard := set.shardFor(r.idx)
+	if r.views == nil {
+		r.views = make([]platformView, set.cfg.NumPlatforms)
+		r.slotOf = make([]int, set.cfg.NumPlatforms)
+	}
+	for si, p := range shard {
+		r.refreshView(p)
+		r.slotOf[p] = si
+	}
+	if set.bpred == nil {
+		for i, j := range jobs {
+			out[i] = r.placeOne(j, shard)
+		}
+		return
+	}
+
+	dual := set.dpolicy != nil
+	nS, nJ := len(shard), len(jobs)
+	sc := &r.scratch
+	sc.reserve(nS, nJ)
+
+	// Chunk pre-score against the snapshot state, one batched call, queries
+	// platform-major in ascending platform order (shards are kept sorted) —
+	// the same query sequence the scheduler would issue over this platform
+	// set, so scores are bitwise identical.
+	qs := sc.qs[:0]
+	prescored := sc.prescored[:nS]
+	for si, p := range shard {
+		v := &r.views[p]
+		prescored[si] = false
+		if !v.placeable || v.load >= v.cap {
+			continue
+		}
+		prescored[si] = true
+		for j := range jobs {
+			qs = append(qs, Query{Workload: jobs[j].Workload, Platform: p, Interferers: v.ks})
+		}
+	}
+	pre := sc.pre[:len(qs)]
+	preRank := sc.preRank[:len(qs)]
+	if dual {
+		set.dpolicy.ScoreDualBatch(set.bpred, qs, pre, preRank)
+	} else {
+		set.bpolicy.ScoreBatch(set.bpred, qs, pre)
+	}
+	scoreAt := sc.scoreAt[:nS*nJ]
+	rankAt := sc.rankAt[:nS*nJ]
+	next := 0
+	for si := 0; si < nS; si++ {
+		if !prescored[si] {
+			for j := 0; j < nJ; j++ {
+				scoreAt[si*nJ+j] = math.NaN()
+			}
+			continue
+		}
+		copy(scoreAt[si*nJ:(si+1)*nJ], pre[next:next+nJ])
+		if dual {
+			copy(rankAt[si*nJ:(si+1)*nJ], preRank[next:next+nJ])
+		}
+		next += nJ
+	}
+
+	cands := sc.cands[:0]
+	snaps := sc.snaps[:0]
+	for j, job := range jobs {
+		if set.store.maxInFlight > 0 && set.store.InFlight() >= set.store.maxInFlight {
+			out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true, Reason: ReasonAdmission}
+			continue
+		}
+		retries := 0
+		for {
+			cands, snaps = cands[:0], snaps[:0]
+			placeable := 0
+			for si, p := range shard {
+				v := &r.views[p]
+				if !v.placeable {
+					continue
+				}
+				placeable++
+				if v.load+1 > v.cap {
+					continue
+				}
+				c := Candidate{
+					Platform: p,
+					Load:     v.load,
+					Score:    scoreAt[si*nJ+j],
+					Degraded: v.degraded,
+				}
+				if dual {
+					c.Rank = rankAt[si*nJ+j]
+				} else {
+					c.Rank = c.Score
+				}
+				cands = append(cands, c)
+				snaps = append(snaps, v.ks)
+			}
+			padDegradedCands(cands, set.degradedPenalty)
+			bi := bestCandidate(set.strategy, job, cands)
+			if bi < 0 {
+				out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: unplacedReason(placeable, len(cands))}
+				break
+			}
+			p := cands[bi].Platform
+			id, st, status := set.store.reserve(p, r.views[p].ver, job)
+			if status == reserveOK {
+				r.commits.Add(1)
+				out[j] = Assignment{
+					ID:          id,
+					Job:         job,
+					Platform:    p,
+					Budget:      cands[bi].Score,
+					Interferers: snaps[bi],
+				}
+				r.adoptCommit(p, st)
+				if j+1 < nJ && r.views[p].load < r.views[p].cap {
+					r.rescoreColumn(p, jobs, j+1, scoreAt, rankAt)
+				}
+				break
+			}
+			if status == reserveAdmission {
+				out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true, Reason: ReasonAdmission}
+				break
+			}
+			// Conflict: our snapshot of p went stale. Refresh from the state
+			// the store returned, re-score p's remaining column, and retry
+			// the selection — the refreshed view may demote p or crown a
+			// different winner.
+			r.conflicts.Add(1)
+			retries++
+			if retries > set.maxRetries {
+				r.shed.Add(1)
+				out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: ReasonConflict}
+				break
+			}
+			set.backoff(retries)
+			r.adoptCommit(p, st)
+			if r.views[p].placeable && r.views[p].load < r.views[p].cap {
+				r.rescoreColumn(p, jobs, j, scoreAt, rankAt)
+			} else {
+				si := r.slotOf[p]
+				for jj := j; jj < nJ; jj++ {
+					scoreAt[si*nJ+jj] = math.NaN()
+				}
+			}
+		}
+	}
+}
+
+// rescoreColumn re-scores platform p for jobs[from:] against the view's
+// refreshed residents in one batched span, updating the chunk's score
+// table — the scheduler's dirty-platform re-score.
+func (r *Replica) rescoreColumn(p int, jobs []Job, from int, scoreAt, rankAt []float64) {
+	set := r.set
+	dual := set.dpolicy != nil
+	nJ := len(jobs)
+	si := r.slotOf[p]
+	ks := r.views[p].ks
+	sc := &r.scratch
+	rescoreQ := sc.rescoreQ[:0]
+	for j := from; j < nJ; j++ {
+		rescoreQ = append(rescoreQ, Query{Workload: jobs[j].Workload, Platform: p, Interferers: ks})
+	}
+	rescore := sc.rescore[:len(rescoreQ)]
+	if dual {
+		rescoreRank := sc.rescoreRank[:len(rescoreQ)]
+		set.dpolicy.ScoreDualBatch(set.bpred, rescoreQ, rescore, rescoreRank)
+		for i, j := 0, from; j < nJ; i, j = i+1, j+1 {
+			scoreAt[si*nJ+j] = rescore[i]
+			rankAt[si*nJ+j] = rescoreRank[i]
+		}
+		return
+	}
+	set.bpolicy.ScoreBatch(set.bpred, rescoreQ, rescore)
+	for i, j := 0, from; j < nJ; i, j = i+1, j+1 {
+		scoreAt[si*nJ+j] = rescore[i]
+	}
+}
+
+// placeOne is the scalar-scoring arm (no BatchPredictor, or batching
+// disabled), mirroring Scheduler.placeLocked per job with the reserve loop
+// on top. Each retry re-scores the refreshed candidate set in full.
+func (r *Replica) placeOne(job Job, shard []int) Assignment {
+	set := r.set
+	if set.store.maxInFlight > 0 && set.store.InFlight() >= set.store.maxInFlight {
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true, Reason: ReasonAdmission}
+	}
+	sc := &r.scratch
+	sc.reserve(len(shard), 1)
+	retries := 0
+	for {
+		cands := sc.cands[:0]
+		snaps := sc.snaps[:0]
+		placeable := 0
+		for _, p := range shard {
+			v := &r.views[p]
+			if !v.placeable {
+				continue
+			}
+			placeable++
+			if v.load+1 > v.cap {
+				continue
+			}
+			cands = append(cands, Candidate{Platform: p, Load: v.load, Degraded: v.degraded})
+			snaps = append(snaps, v.ks)
+		}
+		if set.dpolicy != nil {
+			for i, c := range cands {
+				cands[i].Score, cands[i].Rank = set.dpolicy.ScoreDual(set.pred, job, c.Platform, snaps[i])
+			}
+		} else {
+			for i, c := range cands {
+				v := set.policy.Score(set.pred, job, c.Platform, snaps[i])
+				cands[i].Score, cands[i].Rank = v, v
+			}
+		}
+		padDegradedCands(cands, set.degradedPenalty)
+		bi := bestCandidate(set.strategy, job, cands)
+		if bi < 0 {
+			return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: unplacedReason(placeable, len(cands))}
+		}
+		p := cands[bi].Platform
+		id, st, status := set.store.reserve(p, r.views[p].ver, job)
+		switch status {
+		case reserveOK:
+			r.commits.Add(1)
+			r.adoptCommit(p, st)
+			return Assignment{
+				ID:          id,
+				Job:         job,
+				Platform:    p,
+				Budget:      cands[bi].Score,
+				Interferers: snaps[bi],
+			}
+		case reserveAdmission:
+			return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Rejected: true, Reason: ReasonAdmission}
+		}
+		r.conflicts.Add(1)
+		retries++
+		if retries > set.maxRetries {
+			r.shed.Add(1)
+			return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: ReasonConflict}
+		}
+		set.backoff(retries)
+		r.adoptCommit(p, st)
+	}
+}
+
+// backoff spaces the k-th consecutive reserve retry: yield-only when no
+// base delay is configured, capped exponential otherwise. Bounded by
+// design — the caller sheds the job after MaxCommitRetries.
+func (rs *ReplicaSet) backoff(k int) {
+	if rs.commitBackoff <= 0 {
+		runtime.Gosched()
+		return
+	}
+	d := rs.commitBackoff << uint(k-1)
+	if d > rs.commitBackoffMax || d <= 0 {
+		d = rs.commitBackoffMax
+	}
+	time.Sleep(d)
+}

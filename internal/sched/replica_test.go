@@ -1,0 +1,490 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustNewReplicaSet(t *testing.T, cfg Config, rc ReplicaConfig, pol Policy, pred Predictor) *ReplicaSet {
+	t.Helper()
+	rs, err := NewReplicaSet(cfg, rc, pol, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// The PR 8 decision-identity pin: a 1-replica ReplicaSet over the shared
+// slot store is bitwise decision-identical to the plain Scheduler — same
+// platforms, budgets, job IDs, rejection reasons, health transitions, and
+// Complete errors — across fused, batch, and scalar scoring, random waves,
+// completions, and the whole failure lifecycle. The commit protocol must
+// provably add no behavior at N=1.
+func TestReplicaIdentitySingleReplica(t *testing.T) {
+	policies := []Policy{MeanPolicy{}, BoundPolicy{Eps: 0.1}, MeanBoundPolicy{Eps: 0.1}, PaddedBoundPolicy{Eps: 0.2, Factor: 1.3}}
+	strategies := []Strategy{LeastLoaded{}, BestFit{}, UtilizationAware{}}
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(800 + seed))
+		nP := 3 + rng.Intn(6)
+		base := make([]float64, nP)
+		for i := range base {
+			base[i] = 0.5 + 2*rng.Float64()
+		}
+		pol := policies[rng.Intn(len(policies))]
+		strat := strategies[rng.Intn(len(strategies))]
+		cfg := Config{
+			NumPlatforms:  nP,
+			MaxColocation: 1 + rng.Intn(3),
+			MaxInFlight:   4 + rng.Intn(10),
+			WaveChunk:     []int{0, 1, 2, 3, -1}[rng.Intn(5)],
+			Strategy:      strat,
+			Breaker:       BreakerConfig{Threshold: 0.5, Window: 4, Probation: 2},
+		}
+		scalar := rng.Float64() < 0.33
+		cfg.DisableBatch = scalar
+		var sPred, rPred Predictor
+		if rng.Float64() < 0.5 {
+			sPred = &fusedFake{batchPred: &batchPred{Predictor: variedPred{base}}}
+			rPred = &fusedFake{batchPred: &batchPred{Predictor: variedPred{base}}}
+		} else {
+			sPred = &batchPred{Predictor: variedPred{base}}
+			rPred = &batchPred{Predictor: variedPred{base}}
+		}
+		s := mustNew(t, cfg, pol, sPred)
+		rs := mustNewReplicaSet(t, cfg, ReplicaConfig{Replicas: 1, Shards: 1}, pol, rPred)
+		if s.Batched() != rs.Batched() || s.Fused() != rs.Fused() {
+			t.Fatalf("seed %d: scoring-path wiring differs: scheduler batched=%v fused=%v, replica batched=%v fused=%v",
+				seed, s.Batched(), s.Fused(), rs.Batched(), rs.Fused())
+		}
+		var live []JobID
+		for i := 0; i < 70; i++ {
+			switch op := rng.Float64(); {
+			case len(live) > 0 && op < 0.25:
+				id := live[rng.Intn(len(live))]
+				miss := rng.Float64() < 0.4
+				tS, errS := s.CompleteOutcome(id, miss)
+				tR, errR := rs.CompleteOutcome(id, miss)
+				if (errS == nil) != (errR == nil) || tS != tR {
+					t.Fatalf("seed %d: CompleteOutcome(%d) disagreement: (%v,%v) vs (%v,%v)", seed, id, tS, errS, tR, errR)
+				}
+				if errS == nil {
+					for j, l := range live {
+						if l == id {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+				}
+			case op < 0.32:
+				p := rng.Intn(nP)
+				oS, errS := s.Fail(p)
+				oR, errR := rs.Fail(p)
+				if (errS == nil) != (errR == nil) || len(oS) != len(oR) {
+					t.Fatalf("seed %d: Fail(%d) disagreement: %v/%v vs %v/%v", seed, p, oS, errS, oR, errR)
+				}
+				for j := range oS {
+					if oS[j] != oR[j] {
+						t.Fatalf("seed %d: Fail(%d) orphan %d differs: %+v vs %+v", seed, p, j, oS[j], oR[j])
+					}
+					for k, l := range live {
+						if l == oS[j].ID {
+							live = append(live[:k], live[k+1:]...)
+							break
+						}
+					}
+				}
+			case op < 0.38:
+				p := rng.Intn(nP)
+				errS, errR := s.Degrade(p), rs.Degrade(p)
+				if (errS == nil) != (errR == nil) {
+					t.Fatalf("seed %d: Degrade(%d): %v vs %v", seed, p, errS, errR)
+				}
+			case op < 0.46:
+				p := rng.Intn(nP)
+				errS, errR := s.Recover(p), rs.Recover(p)
+				if (errS == nil) != (errR == nil) {
+					t.Fatalf("seed %d: Recover(%d): %v vs %v", seed, p, errS, errR)
+				}
+			default:
+				n := 1 + rng.Intn(6)
+				jobs := make([]Job, n)
+				for j := range jobs {
+					jobs[j] = Job{Workload: rng.Intn(20), Deadline: 0.3 + 6*rng.Float64()}
+				}
+				wS, wR := s.PlaceAll(jobs), rs.PlaceAll(jobs)
+				for j := range jobs {
+					if !sameAssignment(wS[j], wR[j]) || wS[j].Reason != wR[j].Reason {
+						t.Fatalf("seed %d wave job %d: scheduler %+v vs replica %+v (policy %s, strategy %s, chunk %d, scalar %v)",
+							seed, j, wS[j], wR[j], pol.Name(), strat.Name(), cfg.WaveChunk, scalar)
+					}
+					if wS[j].Placed() {
+						live = append(live, wS[j].ID)
+					}
+				}
+			}
+			if gotS, gotR := s.InFlight(), rs.InFlight(); gotS != gotR {
+				t.Fatalf("seed %d step %d: InFlight %d vs %d", seed, i, gotS, gotR)
+			}
+		}
+		hS, hR := s.HealthSnapshot(), rs.HealthSnapshot()
+		for p := range hS {
+			if hS[p] != hR[p] {
+				t.Fatalf("seed %d: health of platform %d: %s vs %s", seed, p, hS[p], hR[p])
+			}
+		}
+		if fS, fR := s.FailureStats(), rs.FailureStats(); fS != fR {
+			t.Fatalf("seed %d: failure stats differ: %+v vs %+v", seed, fS, fR)
+		}
+		if cs := rs.ConflictStats(); cs.Conflicts != 0 || cs.Shed != 0 {
+			t.Fatalf("seed %d: single uncontended replica saw conflicts: %+v", seed, cs)
+		}
+	}
+}
+
+// Conflict-retry conservation under the race detector: concurrent replicas
+// placing into overlapping shards (a single shared pool maximizes
+// contention), racing completers, and a platform failer must never
+// double-commit a slot and never lose a job — every arrival ends exactly
+// once as completed, unplaced (including conflict-shed), or rejected, and
+// every placement completes or is orphaned.
+func TestReplicaConservationConcurrent(t *testing.T) {
+	const (
+		nP       = 6
+		coloc    = 2
+		replicas = 4
+		perRep   = 120
+		wave     = 5
+	)
+	base := make([]float64, nP)
+	for i := range base {
+		base[i] = 0.5 + 0.3*float64(i)
+	}
+	rs := mustNewReplicaSet(t,
+		Config{NumPlatforms: nP, MaxColocation: coloc, WaveChunk: 2},
+		ReplicaConfig{Replicas: replicas, Shards: 1, MaxCommitRetries: 4},
+		BoundPolicy{Eps: 0.1},
+		&fusedFake{batchPred: &batchPred{Predictor: variedPred{base}}})
+
+	var (
+		placed, unplaced, rejected, shed atomic.Int64
+		completed, orphaned              atomic.Int64
+		seen                             sync.Map // JobID -> struct{} (double-commit detector)
+		wg                               sync.WaitGroup
+		stop                             = make(chan struct{})
+	)
+	// Live slot invariant sampler: no published platform state may ever
+	// exceed the colocation cap.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for p := 0; p < nP; p++ {
+				if n := len(rs.Residents(p)); n > coloc {
+					t.Errorf("platform %d oversubscribed: %d residents > cap %d", p, n, coloc)
+					return
+				}
+			}
+		}
+	}()
+	for ri := 0; ri < replicas; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			rep := rs.Replica(ri)
+			rng := rand.New(rand.NewSource(int64(1000 + ri)))
+			var mine []JobID
+			for i := 0; i < perRep; i += wave {
+				jobs := make([]Job, wave)
+				for j := range jobs {
+					jobs[j] = Job{Workload: rng.Intn(20), Deadline: 1e9}
+				}
+				for _, a := range rep.PlaceAll(jobs) {
+					switch {
+					case a.Rejected:
+						rejected.Add(1)
+					case !a.Placed():
+						unplaced.Add(1)
+						if a.Reason == ReasonConflict {
+							shed.Add(1)
+						}
+					default:
+						if _, dup := seen.LoadOrStore(a.ID, struct{}{}); dup {
+							t.Errorf("job ID %d committed twice", a.ID)
+						}
+						placed.Add(1)
+						mine = append(mine, a.ID)
+					}
+				}
+				// Complete our own backlog so slots churn under the other
+				// replicas' snapshots.
+				for len(mine) > wave {
+					id := mine[0]
+					mine = mine[1:]
+					if err := rs.Complete(id); err == nil {
+						completed.Add(1)
+					}
+				}
+			}
+			for _, id := range mine {
+				if err := rs.Complete(id); err == nil {
+					completed.Add(1)
+				}
+			}
+		}(ri)
+	}
+	// Failure churn: one platform cycles Down and back half-open/healthy
+	// while the replicas place into it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			orphans, err := rs.Fail(2)
+			if err != nil {
+				t.Errorf("Fail: %v", err)
+				return
+			}
+			orphaned.Add(int64(len(orphans)))
+			if err := rs.Recover(2); err != nil {
+				t.Errorf("Recover: %v", err)
+				return
+			}
+			if err := rs.Recover(2); err != nil { // probation -> healthy
+				t.Errorf("Recover: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-samplerDone
+
+	arrived := int64(replicas * perRep)
+	if got := placed.Load() + unplaced.Load() + rejected.Load(); got != arrived {
+		t.Fatalf("arrival conservation violated: placed %d + unplaced %d + rejected %d = %d, want %d",
+			placed.Load(), unplaced.Load(), rejected.Load(), got, arrived)
+	}
+	if got := completed.Load() + orphaned.Load(); got != placed.Load() {
+		t.Fatalf("placement conservation violated: completed %d + orphaned %d = %d, want placed %d",
+			completed.Load(), orphaned.Load(), got, placed.Load())
+	}
+	if rs.InFlight() != 0 {
+		t.Fatalf("in-flight not drained: %d", rs.InFlight())
+	}
+	for p := 0; p < nP; p++ {
+		if n := len(rs.Residents(p)); n != 0 {
+			t.Fatalf("platform %d still holds %d residents after drain", p, n)
+		}
+	}
+	cs := rs.ConflictStats()
+	if cs.Attempts < uint64(placed.Load()) {
+		t.Fatalf("attempts %d < commits %d", cs.Attempts, placed.Load())
+	}
+	t.Logf("attempts %d conflicts %d (%.2f%%) shed %d", cs.Attempts, cs.Conflicts,
+		100*float64(cs.Conflicts)/float64(cs.Attempts), cs.Shed)
+}
+
+// A deterministic conflict: the reserveGap hook commits a competing job
+// into the chosen platform between the version check and the CAS, so the
+// replica's first reservation must lose, count one conflict, refresh, and
+// succeed on retry.
+func TestReplicaConflictRetryDeterministic(t *testing.T) {
+	base := []float64{1, 2, 3}
+	rs := mustNewReplicaSet(t,
+		Config{NumPlatforms: 3, MaxColocation: 4},
+		ReplicaConfig{Replicas: 1, Shards: 1},
+		MeanPolicy{},
+		&batchPred{Predictor: variedPred{base}})
+	st := rs.Store()
+	fired := false
+	st.reserveGap = func(p int) {
+		if fired {
+			return
+		}
+		fired = true
+		st.reserveGap = nil // the nested reserve must not recurse
+		if _, _, status := st.reserve(p, st.load(p).version, Job{Workload: 7, Deadline: 1e9}); status != reserveOK {
+			t.Fatalf("competing reserve failed: %v", status)
+		}
+		st.reserveGap = func(int) {}
+	}
+	a := rs.Place(Job{Workload: 1, Deadline: 1e9})
+	if !a.Placed() {
+		t.Fatalf("job not placed after conflict retry: %+v", a)
+	}
+	cs := rs.ConflictStats()
+	if cs.Conflicts != 1 {
+		t.Fatalf("want exactly 1 conflict, got %+v", cs)
+	}
+	if rs.InFlight() != 2 {
+		t.Fatalf("want 2 in flight (competitor + retried job), got %d", rs.InFlight())
+	}
+}
+
+// Exhausting MaxCommitRetries sheds the job with ReasonConflict, keeping
+// arrival accounting intact.
+func TestReplicaConflictShed(t *testing.T) {
+	base := []float64{1, 2}
+	rs := mustNewReplicaSet(t,
+		Config{NumPlatforms: 2, MaxColocation: 2},
+		ReplicaConfig{Replicas: 1, Shards: 1, MaxCommitRetries: 3},
+		MeanPolicy{},
+		&batchPred{Predictor: variedPred{base}})
+	st := rs.Store()
+	st.reserveGap = func(p int) {
+		// Sabotage every attempt: bump the platform version underneath the
+		// in-flight reservation via a health wobble.
+		cur := st.load(p)
+		next := cur.clone()
+		st.plats[p].Store(next)
+	}
+	a := rs.Place(Job{Workload: 1, Deadline: 1e9})
+	if a.Placed() || a.Reason != ReasonConflict {
+		t.Fatalf("want conflict shed, got %+v", a)
+	}
+	cs := rs.ConflictStats()
+	if cs.Shed != 1 || cs.Conflicts < 3 {
+		t.Fatalf("conflict accounting: %+v", cs)
+	}
+	if rs.InFlight() != 0 {
+		t.Fatalf("shed job leaked in-flight: %d", rs.InFlight())
+	}
+}
+
+// Rebalance must keep the shard map a partition of the platforms and move
+// load off the hot shard: with all residents piled on shard 0's platforms,
+// a rebalance spreads them across shards.
+func TestReplicaRebalance(t *testing.T) {
+	base := make([]float64, 8)
+	for i := range base {
+		base[i] = 1 + float64(i)
+	}
+	rs := mustNewReplicaSet(t,
+		Config{NumPlatforms: 8, MaxColocation: 4},
+		ReplicaConfig{Replicas: 2, Shards: 2},
+		MeanPolicy{},
+		&batchPred{Predictor: variedPred{base}})
+	// Load platforms 0 and 2 (both shard 0 under the initial p%2 split).
+	st := rs.Store()
+	for i := 0; i < 4; i++ {
+		for _, p := range []int{0, 2} {
+			if _, _, status := st.reserve(p, st.load(p).version, Job{Workload: i, Deadline: 1e9}); status != reserveOK {
+				t.Fatalf("seed reserve on %d failed", p)
+			}
+		}
+	}
+	if skew := rs.shardSkew(); skew < 1.9 {
+		t.Fatalf("setup: expected hot shard, skew %.2f", skew)
+	}
+	rs.Rebalance()
+	m := rs.shards.Load()
+	seen := make(map[int]bool)
+	for _, shard := range m.shards {
+		for i, p := range shard {
+			if seen[p] {
+				t.Fatalf("platform %d in two shards after rebalance", p)
+			}
+			seen[p] = true
+			if i > 0 && shard[i-1] >= p {
+				t.Fatalf("shard not sorted: %v", shard)
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("rebalance dropped platforms: %d of 8 assigned", len(seen))
+	}
+	if skew := rs.shardSkew(); skew > 1.01 {
+		t.Fatalf("rebalance left skew %.2f", skew)
+	}
+	if cs := rs.ConflictStats(); cs.Rebalances != 1 {
+		t.Fatalf("rebalance count: %+v", cs)
+	}
+}
+
+// The slot store's exactly-once retirement contract under the race
+// detector: Fail racing Complete on the same residents must retire every
+// job exactly once — as a completion or an orphan, never both, never
+// neither.
+func TestSlotStoreFailCompleteRaces(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		st, err := NewSlotStore(Config{NumPlatforms: 1, MaxColocation: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []JobID
+		for i := 0; i < 8; i++ {
+			id, _, status := st.reserve(0, st.load(0).version+uint64(0), Job{Workload: i, Deadline: 1})
+			if status != reserveOK {
+				// Versions advance as we commit; refresh and retry once.
+				id, _, status = st.reserve(0, st.load(0).version, Job{Workload: i, Deadline: 1})
+				if status != reserveOK {
+					t.Fatalf("seed reserve %d: %v", i, status)
+				}
+			}
+			ids = append(ids, id)
+		}
+		var completedN, orphanedN atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, id := range ids {
+				if err := st.Complete(id); err == nil {
+					completedN.Add(1)
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			orphans, err := st.Fail(0)
+			if err != nil {
+				t.Errorf("Fail: %v", err)
+				return
+			}
+			orphanedN.Add(int64(len(orphans)))
+		}()
+		wg.Wait()
+		if got := completedN.Load() + orphanedN.Load(); got != int64(len(ids)) {
+			t.Fatalf("round %d: retired %d jobs (completed %d + orphaned %d), want %d",
+				round, got, completedN.Load(), orphanedN.Load(), len(ids))
+		}
+		if st.InFlight() != 0 {
+			t.Fatalf("round %d: in-flight %d after drain", round, st.InFlight())
+		}
+	}
+}
+
+// Sharded replicas with disjoint shards place only into their own
+// platforms, and the round-robin router spreads waves across replicas.
+func TestReplicaSharding(t *testing.T) {
+	base := make([]float64, 6)
+	for i := range base {
+		base[i] = 1 + float64(i)
+	}
+	rs := mustNewReplicaSet(t,
+		Config{NumPlatforms: 6, MaxColocation: 4},
+		ReplicaConfig{Replicas: 2}, // Shards 0 = one shard per replica
+		MeanPolicy{},
+		&batchPred{Predictor: variedPred{base}})
+	if rs.NumShards() != 2 {
+		t.Fatalf("want 2 shards, got %d", rs.NumShards())
+	}
+	for i := 0; i < 2; i++ {
+		rep := rs.Replica(i)
+		for j := 0; j < 6; j++ {
+			a := rep.Place(Job{Workload: j, Deadline: 1e9})
+			if !a.Placed() {
+				t.Fatalf("replica %d job %d unplaced: %+v", i, j, a)
+			}
+			if a.Platform%2 != i {
+				t.Fatalf("replica %d placed onto platform %d outside its shard", i, a.Platform)
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplicaConfig tunes a ReplicaSet: how many scheduler replicas share the
+// slot store, how platforms shard across them, and the optimistic commit
+// protocol's retry budget.
+type ReplicaConfig struct {
+	// Replicas is the number of scheduler frontends (default 1).
+	Replicas int
+	// Shards partitions the platforms: replica i places into shard
+	// i % Shards. 0 shards one partition per replica (disjoint platform
+	// sets, minimal commit contention); 1 is a single shared pool (every
+	// replica sees every platform, conflicts resolved optimistically);
+	// values above the platform count are clamped.
+	Shards int
+	// MaxCommitRetries bounds consecutive reserve conflicts per job before
+	// it is shed with ReasonConflict (default 8).
+	MaxCommitRetries int
+	// CommitBackoff is the base delay between reserve retries, doubled per
+	// consecutive conflict up to CommitBackoffMax (default 1ms when a base
+	// is set). 0 yields the processor instead of sleeping.
+	CommitBackoff    time.Duration
+	CommitBackoffMax time.Duration
+	// RebalanceEvery checks shard balance every N placed chunks and
+	// rebalances when the hottest shard's resident load exceeds
+	// RebalanceSkew times the mean (default skew 1.5). 0 disables
+	// automatic rebalancing; Rebalance can still be called directly.
+	RebalanceEvery int
+	RebalanceSkew  float64
+}
+
+// shardMap is an immutable platform partition: shards[i] is a sorted
+// platform list. Replicas read it at chunk start, so a rebalance takes
+// effect at the next chunk boundary; transiently overlapping placements
+// during the handoff are resolved by the commit protocol like any other
+// conflict.
+type shardMap struct {
+	shards [][]int
+}
+
+// ConflictStats counts the optimistic commit protocol's outcomes across a
+// ReplicaSet's lifetime.
+type ConflictStats struct {
+	// Attempts is the number of slot reservations tried; Conflicts how
+	// many were refused because the scored snapshot had gone stale (the
+	// conflict-retry rate is Conflicts/Attempts).
+	Attempts  uint64
+	Conflicts uint64
+	// Shed counts jobs unplaced with ReasonConflict after exhausting
+	// MaxCommitRetries.
+	Shed uint64
+	// Rebalances counts shard-map rewrites (skew-triggered or explicit).
+	Rebalances uint64
+}
+
+// ReplicaStats is one replica's share of the commit traffic.
+type ReplicaStats struct {
+	Commits   uint64
+	Conflicts uint64
+	Shed      uint64
+}
+
+// ReplicaSet runs N scheduler replicas over one shared SlotStore and one
+// shared predictor: each replica scores waves optimistically against its
+// snapshot of the store and commits placements with compare-and-swap slot
+// reservations, so placements from many frontends proceed without a global
+// scheduler lock. Platforms are sharded across replicas (ReplicaConfig.
+// Shards); shards that run hot are rebalanced by resident load.
+//
+// The lifecycle surface (Complete, Fail, Degrade, Recover, health and
+// stats accessors) matches Scheduler's, so callers can hold either behind
+// one interface. PlaceAll routes each wave to a replica round-robin;
+// drivers that own their parallelism (one goroutine per frontend) should
+// take Replica handles and call PlaceAll on them directly.
+type ReplicaSet struct {
+	cfg      Config
+	policy   Policy
+	strategy Strategy
+	pred     Predictor
+	bpred    BatchPredictor
+	bpolicy  BatchPolicy
+	dpolicy  DualPolicy
+
+	chunk            int
+	degradedPenalty  float64
+	maxRetries       int
+	commitBackoff    time.Duration
+	commitBackoffMax time.Duration
+	rebalanceEvery   int
+	rebalanceSkew    float64
+
+	store    *SlotStore
+	replicas []*Replica
+	shards   atomic.Pointer[shardMap]
+
+	router     atomic.Uint64
+	chunkCount atomic.Uint64
+	rebalances atomic.Uint64
+	rebalanceM sync.Mutex
+}
+
+// NewReplicaSet builds rc.Replicas schedulers over one shared slot store.
+// cfg carries the cluster shape and scoring configuration exactly as for
+// New; batched and fused scoring engage under the same conditions.
+func NewReplicaSet(cfg Config, rc ReplicaConfig, policy Policy, pred Predictor) (*ReplicaSet, error) {
+	if rc.Replicas == 0 {
+		rc.Replicas = 1
+	}
+	if rc.Replicas < 0 {
+		return nil, fmt.Errorf("sched: negative Replicas")
+	}
+	if rc.Shards < 0 {
+		return nil, fmt.Errorf("sched: negative Shards")
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = LeastLoaded{}
+	}
+	chunk := cfg.WaveChunk
+	if chunk == 0 {
+		chunk = defaultWaveChunk
+	}
+	penalty := cfg.DegradedPenalty
+	if penalty == 0 {
+		penalty = defaultDegradedPenalty
+	}
+	if penalty < 1 {
+		return nil, fmt.Errorf("sched: DegradedPenalty %v < 1", penalty)
+	}
+	if rc.MaxCommitRetries <= 0 {
+		rc.MaxCommitRetries = 8
+	}
+	if rc.CommitBackoff > 0 && rc.CommitBackoffMax <= 0 {
+		rc.CommitBackoffMax = time.Millisecond
+	}
+	if rc.CommitBackoffMax < rc.CommitBackoff {
+		rc.CommitBackoffMax = rc.CommitBackoff
+	}
+	if rc.RebalanceSkew <= 1 {
+		rc.RebalanceSkew = 1.5
+	}
+	store, err := NewSlotStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ReplicaSet{
+		cfg:              cfg,
+		policy:           policy,
+		strategy:         cfg.Strategy,
+		pred:             pred,
+		chunk:            chunk,
+		degradedPenalty:  penalty,
+		maxRetries:       rc.MaxCommitRetries,
+		commitBackoff:    rc.CommitBackoff,
+		commitBackoffMax: rc.CommitBackoffMax,
+		rebalanceEvery:   rc.RebalanceEvery,
+		rebalanceSkew:    rc.RebalanceSkew,
+		store:            store,
+	}
+	if dp, ok := policy.(DualPolicy); ok {
+		rs.dpolicy = dp
+	}
+	if !cfg.DisableBatch {
+		bp, okP := pred.(BatchPredictor)
+		bpol, okPol := policy.(BatchPolicy)
+		if okP && okPol {
+			rs.bpred, rs.bpolicy = bp, bpol
+		}
+	}
+	nShards := rc.Shards
+	if nShards == 0 {
+		nShards = rc.Replicas
+	}
+	if nShards > cfg.NumPlatforms {
+		nShards = cfg.NumPlatforms
+	}
+	shards := make([][]int, nShards)
+	for p := 0; p < cfg.NumPlatforms; p++ {
+		shards[p%nShards] = append(shards[p%nShards], p)
+	}
+	rs.shards.Store(&shardMap{shards: shards})
+	rs.replicas = make([]*Replica, rc.Replicas)
+	for i := range rs.replicas {
+		rs.replicas[i] = &Replica{set: rs, idx: i}
+	}
+	return rs, nil
+}
+
+// shardFor returns the sorted platform list replica i currently places
+// into.
+func (rs *ReplicaSet) shardFor(i int) []int {
+	m := rs.shards.Load()
+	return m.shards[i%len(m.shards)]
+}
+
+// NumReplicas returns the replica count.
+func (rs *ReplicaSet) NumReplicas() int { return len(rs.replicas) }
+
+// NumShards returns the current shard count.
+func (rs *ReplicaSet) NumShards() int { return len(rs.shards.Load().shards) }
+
+// Replica returns frontend i, for drivers that pin work to replicas.
+func (rs *ReplicaSet) Replica(i int) *Replica { return rs.replicas[i] }
+
+// Batched reports whether placements score through the batched predictor
+// path (Scheduler.Batched).
+func (rs *ReplicaSet) Batched() bool { return rs.bpred != nil }
+
+// Fused reports whether both policy facets score through one fused
+// two-head pass (Scheduler.Fused).
+func (rs *ReplicaSet) Fused() bool {
+	if rs.bpred == nil || rs.dpolicy == nil {
+		return false
+	}
+	_, ok := rs.bpred.(FusedPredictor)
+	return ok
+}
+
+// PlaceAll places a wave through the next replica round-robin. With one
+// replica this is exactly Scheduler.PlaceAll over the shared store.
+func (rs *ReplicaSet) PlaceAll(jobs []Job) []Assignment {
+	r := rs.replicas[(rs.router.Add(1)-1)%uint64(len(rs.replicas))]
+	return r.PlaceAll(jobs)
+}
+
+// Place assigns one job through the next replica round-robin.
+func (rs *ReplicaSet) Place(job Job) Assignment {
+	return rs.PlaceAll([]Job{job})[0]
+}
+
+// noteChunk ticks the auto-rebalance cadence after each placed chunk.
+func (rs *ReplicaSet) noteChunk() {
+	if rs.rebalanceEvery <= 0 || rs.NumShards() < 2 {
+		return
+	}
+	if rs.chunkCount.Add(1)%uint64(rs.rebalanceEvery) != 0 {
+		return
+	}
+	if rs.shardSkew() > rs.rebalanceSkew {
+		rs.Rebalance()
+	}
+}
+
+// shardSkew is the hottest shard's resident load over the mean shard load
+// (1 when perfectly balanced; +Inf-free: 0 loads give skew 0).
+func (rs *ReplicaSet) shardSkew() float64 {
+	m := rs.shards.Load()
+	total, max := 0, 0
+	for _, shard := range m.shards {
+		load := 0
+		for _, p := range shard {
+			load += rs.store.Load(p)
+		}
+		total += load
+		if load > max {
+			max = load
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(m.shards))
+	return float64(max) / mean
+}
+
+// Rebalance rewrites the shard map by current resident load: platforms are
+// assigned greedily, heaviest first, to the lightest shard (deterministic
+// tie-breaks on index), then each shard is sorted so replica scoring order
+// stays ascending. Replicas pick the new map up at their next chunk;
+// placements that straddle the swap are protected by the commit protocol.
+func (rs *ReplicaSet) Rebalance() {
+	rs.rebalanceM.Lock()
+	defer rs.rebalanceM.Unlock()
+	nShards := rs.NumShards()
+	type platLoad struct{ p, load int }
+	pls := make([]platLoad, rs.cfg.NumPlatforms)
+	for p := range pls {
+		pls[p] = platLoad{p: p, load: rs.store.Load(p)}
+	}
+	sort.Slice(pls, func(i, j int) bool {
+		if pls[i].load != pls[j].load {
+			return pls[i].load > pls[j].load
+		}
+		return pls[i].p < pls[j].p
+	})
+	shards := make([][]int, nShards)
+	loads := make([]int, nShards)
+	for _, pl := range pls {
+		li := 0
+		for s := 1; s < nShards; s++ {
+			if loads[s] < loads[li] {
+				li = s
+			}
+		}
+		shards[li] = append(shards[li], pl.p)
+		loads[li] += pl.load
+	}
+	for _, shard := range shards {
+		sort.Ints(shard)
+	}
+	rs.shards.Store(&shardMap{shards: shards})
+	rs.rebalances.Add(1)
+}
+
+// ConflictStats returns the commit protocol's counters.
+func (rs *ReplicaSet) ConflictStats() ConflictStats {
+	return ConflictStats{
+		Attempts:   rs.store.reserveAttempts.Load(),
+		Conflicts:  rs.store.reserveConflictsCnt.Load(),
+		Shed:       rs.sumShed(),
+		Rebalances: rs.rebalances.Load(),
+	}
+}
+
+func (rs *ReplicaSet) sumShed() uint64 {
+	var n uint64
+	for _, r := range rs.replicas {
+		n += r.shed.Load()
+	}
+	return n
+}
+
+// ReplicaStats returns per-replica commit traffic, indexed by replica.
+func (rs *ReplicaSet) ReplicaStats() []ReplicaStats {
+	out := make([]ReplicaStats, len(rs.replicas))
+	for i, r := range rs.replicas {
+		out[i] = ReplicaStats{
+			Commits:   r.commits.Load(),
+			Conflicts: r.conflicts.Load(),
+			Shed:      r.shed.Load(),
+		}
+	}
+	return out
+}
+
+// Store returns the shared slot store (shared-state introspection).
+func (rs *ReplicaSet) Store() *SlotStore { return rs.store }
+
+// Lifecycle surface, delegated to the shared store so every replica and
+// external caller sees one cluster.
+
+// Complete frees the colocation slot of a placed job.
+func (rs *ReplicaSet) Complete(id JobID) error { return rs.store.Complete(id) }
+
+// CompleteOutcome is Complete plus a breaker outcome report.
+func (rs *ReplicaSet) CompleteOutcome(id JobID, miss bool) (bool, error) {
+	return rs.store.CompleteOutcome(id, miss)
+}
+
+// Fail marks a platform Down, orphaning its residents exactly once.
+func (rs *ReplicaSet) Fail(p int) ([]Orphan, error) { return rs.store.Fail(p) }
+
+// Degrade marks a platform Degraded.
+func (rs *ReplicaSet) Degrade(p int) error { return rs.store.Degrade(p) }
+
+// Recover advances a platform toward Healthy.
+func (rs *ReplicaSet) Recover(p int) error { return rs.store.Recover(p) }
+
+// Health returns a platform's current state.
+func (rs *ReplicaSet) Health(p int) HealthState { return rs.store.Health(p) }
+
+// HealthSnapshot returns a copy of every platform's health state.
+func (rs *ReplicaSet) HealthSnapshot() []HealthState { return rs.store.HealthSnapshot() }
+
+// Impaired returns the number of platforms not currently Healthy.
+func (rs *ReplicaSet) Impaired() int { return rs.store.Impaired() }
+
+// FailureStats returns the failure-lifecycle counters.
+func (rs *ReplicaSet) FailureStats() FailureStats { return rs.store.FailureStats() }
+
+// InFlight returns the number of placed jobs that have not completed.
+func (rs *ReplicaSet) InFlight() int { return rs.store.InFlight() }
+
+// Residents returns a copy of the workloads currently placed on platform
+// p.
+func (rs *ReplicaSet) Residents(p int) []int { return rs.store.Residents(p) }

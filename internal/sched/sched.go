@@ -127,6 +127,10 @@ const (
 	ReasonCapacity = "capacity"
 	// ReasonInfeasible: candidates were scored but none met the deadline.
 	ReasonInfeasible = "infeasible"
+	// ReasonConflict: a replicated placement lost the optimistic commit
+	// race (slot reservations kept hitting versions newer than the scored
+	// snapshot) more than ReplicaConfig.MaxCommitRetries times and was shed.
+	ReasonConflict = "commit-conflict"
 )
 
 // Assignment is the result of placing one job.

@@ -297,11 +297,49 @@ func (s *Scheduler) placeLocked(job Job) Assignment {
 // *more* attractive — to both. The preference for healthy platforms is
 // the strategies' explicit Degraded tie-break instead.
 func (s *Scheduler) padDegraded(cands []Candidate) {
+	padDegradedCands(cands, s.degradedPenalty)
+}
+
+// padDegradedCands is the padding shared by the locked scheduler and the
+// replicated placement path (Replica), so both arms apply the identical
+// float operation.
+func padDegradedCands(cands []Candidate, penalty float64) {
 	for i := range cands {
 		if cands[i].Degraded {
-			cands[i].Score *= s.degradedPenalty
+			cands[i].Score *= penalty
 		}
 	}
+}
+
+// bestCandidate returns the index of the strategy-best feasible candidate:
+// NaN scores (unplaceable), +Inf scores (no valid bound), and scores past
+// the deadline are infeasible; the strategy orders the rest by Rank. -1
+// when nothing is feasible. Shared by commitBest and the replicated
+// placement path so a replica's selection is bitwise the scheduler's.
+func bestCandidate(strategy Strategy, job Job, cands []Candidate) int {
+	bestIdx := -1
+	for i, c := range cands {
+		if math.IsNaN(c.Score) || math.IsInf(c.Score, 1) || c.Score > job.Deadline {
+			continue
+		}
+		if bestIdx < 0 || strategy.Better(job, c, cands[bestIdx]) {
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+// unplacedReason explains a failed selection: placeable is how many
+// platforms were healthy enough to consider, nCands how many had a free
+// slot and were scored.
+func unplacedReason(placeable, nCands int) string {
+	switch {
+	case placeable == 0:
+		return ReasonNoHealthy
+	case nCands == 0:
+		return ReasonCapacity
+	}
+	return ReasonInfeasible
 }
 
 // commitBest selects the strategy-best feasible candidate and commits the
@@ -311,24 +349,9 @@ func (s *Scheduler) padDegraded(cands []Candidate) {
 // considered at all, distinguishing a shrunken healthy set from a full or
 // infeasible one in the unplaced Reason.
 func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int, placeable int) Assignment {
-	bestIdx := -1
-	for i, c := range cands {
-		if math.IsNaN(c.Score) || math.IsInf(c.Score, 1) || c.Score > job.Deadline {
-			continue
-		}
-		if bestIdx < 0 || s.strategy.Better(job, c, cands[bestIdx]) {
-			bestIdx = i
-		}
-	}
+	bestIdx := bestCandidate(s.strategy, job, cands)
 	if bestIdx < 0 {
-		reason := ReasonInfeasible
-		switch {
-		case placeable == 0:
-			reason = ReasonNoHealthy
-		case len(cands) == 0:
-			reason = ReasonCapacity
-		}
-		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: reason}
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: unplacedReason(placeable, len(cands))}
 	}
 	best := cands[bestIdx]
 	s.nextID++

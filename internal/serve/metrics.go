@@ -233,6 +233,16 @@ type Metrics struct {
 	PlaceInline   int64 `json:"place_inline,omitempty"`
 	PlaceShed     int64 `json:"place_shed,omitempty"`
 
+	// Replicated-placement counters (PlacementConfig.Replicas > 1):
+	// scheduler replicas serving /place, optimistic slot reservations
+	// attempted, reservations that lost the commit race, jobs shed after
+	// exhausting their conflict-retry budget, and shard-map rebalances.
+	PlaceReplicas     int    `json:"place_replicas,omitempty"`
+	ReserveAttempts   uint64 `json:"reserve_attempts,omitempty"`
+	ReserveConflicts  uint64 `json:"reserve_conflicts,omitempty"`
+	PlaceConflictShed uint64 `json:"place_conflict_shed,omitempty"`
+	PlaceRebalances   uint64 `json:"place_rebalances,omitempty"`
+
 	// PerSnapshot is ordered by snapshot version; only the newest
 	// maxSnapshotRetention versions are retained.
 	PerSnapshot []SnapshotMetrics `json:"per_snapshot,omitempty"`
@@ -279,6 +289,14 @@ func (s *Server) Metrics() Metrics {
 		out.PlatformHealth = make([]string, len(hs))
 		for p, h := range hs {
 			out.PlatformHealth[p] = h.String()
+		}
+		if cr, ok := s.placer.(conflictReporter); ok {
+			cs := cr.ConflictStats()
+			out.PlaceReplicas = cr.NumReplicas()
+			out.ReserveAttempts = cs.Attempts
+			out.ReserveConflicts = cs.Conflicts
+			out.PlaceConflictShed = cs.Shed
+			out.PlaceRebalances = cs.Rebalances
 		}
 	}
 	m.perSnap.Range(func(k, v any) bool {

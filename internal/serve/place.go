@@ -48,6 +48,44 @@ type PlacementConfig struct {
 	// Breaker tunes the per-platform circuit breaker fed by /complete
 	// outcome reports; the zero value disables automatic trips.
 	Breaker sched.BreakerConfig
+	// Replicas runs N scheduler replicas over one shared snapshot-isolated
+	// slot store instead of a single mutex-serialized scheduler: /place
+	// requests round-robin across replicas, which commit optimistically and
+	// retry on conflict. 0 or 1 keeps the plain scheduler.
+	Replicas int
+	// Shards partitions platforms across replicas (see
+	// sched.ReplicaConfig.Shards). The serving default (0) is one shared
+	// pool — every HTTP client's job must be placeable on any platform no
+	// matter which replica handles it; set >1 only when callers accept
+	// shard-local placement.
+	Shards int
+}
+
+// Placer is the placement engine behind /place — either a
+// *sched.Scheduler (Replicas <= 1) or a *sched.ReplicaSet. Both make
+// identical decisions for a serial request stream; the replica set adds
+// optimistic concurrency for parallel frontends.
+type Placer interface {
+	Place(job sched.Job) sched.Assignment
+	PlaceAll(jobs []sched.Job) []sched.Assignment
+	Complete(id sched.JobID) error
+	CompleteOutcome(id sched.JobID, miss bool) (bool, error)
+	Fail(p int) ([]sched.Orphan, error)
+	Degrade(p int) error
+	Recover(p int) error
+	Health(p int) sched.HealthState
+	HealthSnapshot() []sched.HealthState
+	FailureStats() sched.FailureStats
+	InFlight() int
+	Batched() bool
+	Fused() bool
+}
+
+// conflictReporter is the optional replica-mode stats surface of a Placer;
+// *sched.ReplicaSet implements it.
+type conflictReporter interface {
+	ConflictStats() sched.ConflictStats
+	NumReplicas() int
 }
 
 // placeReq is one queued single-job placement awaiting wave fusion.
@@ -142,7 +180,7 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 	if sb, ok := s.be.(ScorerBackend); ok {
 		pred = fusedBackendPredictor{backendPredictor{s.be}, sb}
 	}
-	placer, err := sched.New(sched.Config{
+	cfg := sched.Config{
 		NumPlatforms:    pc.Platforms,
 		MaxColocation:   pc.MaxColocation,
 		MaxInFlight:     pc.MaxInFlight,
@@ -150,11 +188,27 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 		WaveChunk:       pc.WaveChunk,
 		DegradedPenalty: pc.DegradedPenalty,
 		Breaker:         pc.Breaker,
-	}, pol, pred)
-	if err != nil {
-		return err
 	}
-	s.placer = placer
+	if pc.Replicas > 1 {
+		shards := pc.Shards
+		if shards == 0 {
+			shards = 1 // shared pool: any replica can place anywhere
+		}
+		rs, err := sched.NewReplicaSet(cfg, sched.ReplicaConfig{
+			Replicas: pc.Replicas,
+			Shards:   shards,
+		}, pol, pred)
+		if err != nil {
+			return err
+		}
+		s.placer = rs
+	} else {
+		placer, err := sched.New(cfg, pol, pred)
+		if err != nil {
+			return err
+		}
+		s.placer = placer
+	}
 	s.placementPolicy = pol.Name()
 	s.placementStrategy = strat.Name()
 	if pc.Window > 0 {
@@ -170,7 +224,7 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 }
 
 // Placer returns the placement engine, nil unless EnablePlacement ran.
-func (s *Server) Placer() *sched.Scheduler { return s.placer }
+func (s *Server) Placer() Placer { return s.placer }
 
 // PlaceJobs places a wave of jobs through the placement engine, updating
 // the serving metrics. Multi-job calls are already waves and place

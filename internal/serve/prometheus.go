@@ -48,6 +48,14 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		c("pitot_breaker_trips_total", "Circuit-breaker quarantine trips.", int64(m.BreakerTrips))
 		c("pitot_breaker_readmits_total", "Half-open re-admissions of quarantined platforms.", int64(m.BreakerReadmits))
 		c("pitot_breaker_closes_total", "Probations closed back to healthy.", int64(m.BreakerCloses))
+		if m.PlaceReplicas > 0 {
+			c("pitot_place_reserve_attempts_total", "Optimistic slot reservations attempted by scheduler replicas.", int64(m.ReserveAttempts))
+			c("pitot_place_conflicts_total", "Slot reservations that lost the optimistic commit race.", int64(m.ReserveConflicts))
+			c("pitot_place_conflict_shed_total", "Jobs shed after exhausting their conflict-retry budget.", int64(m.PlaceConflictShed))
+			c("pitot_place_rebalances_total", "Shard-map rebalances triggered by load skew.", int64(m.PlaceRebalances))
+			fmt.Fprintf(&b, "# HELP pitot_place_replicas Scheduler replicas serving /place.\n# TYPE pitot_place_replicas gauge\npitot_place_replicas %d\n",
+				m.PlaceReplicas)
+		}
 		fmt.Fprintf(&b, "# HELP pitot_place_in_flight Placed jobs not yet completed.\n# TYPE pitot_place_in_flight gauge\npitot_place_in_flight %d\n",
 			s.placer.InFlight())
 		// 0=healthy 1=degraded 2=quarantined 3=down, matching sched.HealthState.

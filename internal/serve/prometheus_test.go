@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// parseExposition validates Prometheus text exposition format 0.0.4
+// structure: every sample's metric name is declared by a # HELP and a
+// # TYPE (HELP first) before its first sample, declarations are unique,
+// and a metric's samples are contiguous — no samples after another
+// metric's declarations begin. Returns the set of sampled metric names.
+func parseExposition(t *testing.T, body string) map[string]int {
+	t.Helper()
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	samples := map[string]int{}
+	current := "" // metric family whose sample block is open
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || help == "" {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if helped[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, kind := fields[0], fields[1]
+			if kind != "counter" && kind != "gauge" {
+				t.Fatalf("line %d: unexpected type %q for %s", ln+1, kind, name)
+			}
+			if !helped[name] {
+				t.Fatalf("line %d: TYPE for %s precedes its HELP", ln+1, name)
+			}
+			if _, dup := typed[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			typed[name] = kind
+			current = name
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			// Sample: name{labels} value — strip the label set if present.
+			nameEnd := strings.IndexAny(line, "{ ")
+			if nameEnd < 0 {
+				t.Fatalf("line %d: malformed sample %q", ln+1, line)
+			}
+			name := line[:nameEnd]
+			if !strings.HasPrefix(name, "pitot_") {
+				t.Fatalf("line %d: metric %s outside the pitot_ namespace", ln+1, name)
+			}
+			if _, ok := typed[name]; !ok {
+				t.Fatalf("line %d: sample for %s has no preceding # TYPE", ln+1, name)
+			}
+			if name != current {
+				t.Fatalf("line %d: sample for %s outside its contiguous block (current family %s)", ln+1, name, current)
+			}
+			valStart := strings.LastIndexByte(line, ' ')
+			if _, err := strconv.ParseFloat(line[valStart+1:], 64); err != nil {
+				t.Fatalf("line %d: unparseable value in %q: %v", ln+1, line, err)
+			}
+			samples[name]++
+		}
+	}
+	// A declared family with zero samples is legal (per-version series
+	// before any traffic), so only structural violations fail above.
+	return samples
+}
+
+// TestPrometheusExpositionWellFormed audits the full /metrics surface with
+// every gated series enabled: replicated placement (conflict counters +
+// replica gauge), lifecycle counters, breaker counters, and per-platform
+// gauges must all carry # HELP and # TYPE and parse as exposition format.
+func TestPrometheusExpositionWellFormed(t *testing.T) {
+	pred, ds := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	if err := s.EnablePlacement(PlacementConfig{
+		Policy: "bound", Eps: 0.1, MaxColocation: 2, Replicas: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exercise the gated paths so counters are live, not just declared:
+	// place a wave, complete part of it, fail and recover a platform.
+	var jobs []sched.Job
+	for w := 0; w < 4; w++ {
+		b, err := pred.Bound(w, w%ds.NumPlatforms(), nil, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, sched.Job{Workload: w, Deadline: b * 3})
+	}
+	as, err := s.PlaceJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) > 0 && as[0].Placed() {
+		if _, _, _, err := s.CompleteJobs([]sched.JobID{as[0].ID}, []bool{false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.FailPlatform(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecoverPlatform(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+
+	for _, want := range []string{
+		"pitot_requests_total",
+		"pitot_placed_total",
+		"pitot_completed_total",
+		"pitot_fail_events_total",
+		"pitot_breaker_trips_total",
+		"pitot_place_reserve_attempts_total",
+		"pitot_place_conflicts_total",
+		"pitot_place_conflict_shed_total",
+		"pitot_place_rebalances_total",
+		"pitot_place_replicas",
+		"pitot_place_in_flight",
+		"pitot_platform_health",
+		"pitot_platform_calibration_lag",
+		"pitot_snapshot_version",
+	} {
+		if samples[want] == 0 {
+			t.Errorf("series %s missing from exposition", want)
+		}
+	}
+	if samples["pitot_platform_health"] != ds.NumPlatforms() {
+		t.Errorf("pitot_platform_health has %d samples, want one per platform (%d)",
+			samples["pitot_platform_health"], ds.NumPlatforms())
+	}
+}
+
+// TestPrometheusExpositionWithoutPlacement pins the ungated surface: with
+// placement disabled no pitot_place*/pitot_platform_health series leak,
+// and the format still parses.
+func TestPrometheusExpositionWithoutPlacement(t *testing.T) {
+	pred, _ := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	var b strings.Builder
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	for name := range samples {
+		if strings.HasPrefix(name, "pitot_place") || name == "pitot_platform_health" {
+			t.Errorf("placement-gated series %s leaked with placement disabled", name)
+		}
+	}
+	if samples["pitot_requests_total"] == 0 {
+		t.Error("pitot_requests_total missing")
+	}
+}

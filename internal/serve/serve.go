@@ -31,7 +31,6 @@ import (
 	"time"
 
 	pitot "repro"
-	"repro/internal/sched"
 )
 
 // Backend is the predictor surface the server batches over. *pitot.Predictor
@@ -128,8 +127,9 @@ type Server struct {
 
 	// placer is the optional orchestration engine behind /place; nil until
 	// EnablePlacement. Its decisions read the same lock-free snapshot the
-	// prediction paths serve.
-	placer            *sched.Scheduler
+	// prediction paths serve. A single scheduler by default, a
+	// sched.ReplicaSet when PlacementConfig.Replicas > 1.
+	placer            Placer
 	placementPolicy   string
 	placementStrategy string
 
