@@ -43,6 +43,7 @@
 //	         [-feedback] [-feedback-every 25] [-feedback-interval 0]
 //	         [-replicas 0] [-shards 0] [-replica-wave 8] [-replica-reps 3]
 //	         [-bench-json curve.json] [-require-conflict-max 0]
+//	         [-trace-out trace.json] [-scorecard-json scorecard.json]
 //	         [-cpuprofile prof.out]
 //
 // Flags:
@@ -93,6 +94,13 @@
 //	-bench-json        write the scaling curve to this file as JSON
 //	-require-conflict-max  exit nonzero when the shared-pool conflict-retry
 //	                   rate exceeds this fraction (CI gate; 0 = off)
+//	-trace-out         attach a flight recorder to the first policy's first
+//	                   trial and dump it as Chrome trace-event JSON (open in
+//	                   chrome://tracing or Perfetto); the artifact is
+//	                   re-read and its placement lifecycle checked for
+//	                   conservation before exit
+//	-scorecard-json    write the per-trial failure/retry/miss scorecard of
+//	                   every swept policy to this file as JSON
 //	-cpuprofile        write a pprof CPU profile of the run
 package main
 
@@ -107,6 +115,7 @@ import (
 	"strings"
 
 	pitot "repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/wasmcluster"
 )
@@ -121,7 +130,7 @@ func validateFlags(
 	brThreshold float64, brWindow, brProbation int, brCooldown float64,
 	feedback bool, fbEvery int, fbInterval float64,
 	replicas, shards, replicaWave, replicaReps int, reqConflictMax float64,
-	clusterDevices int,
+	clusterDevices int, traceOut, scorecardJSON string,
 ) error {
 	switch {
 	case jobs < 1:
@@ -182,6 +191,10 @@ func validateFlags(
 		return fmt.Errorf("-require-conflict-max needs -replicas > 0")
 	case clusterDevices < 1 || clusterDevices > 24:
 		return fmt.Errorf("-cluster-devices must be in [1,24] (got %d)", clusterDevices)
+	case traceOut != "" && replicas > 0:
+		return fmt.Errorf("-trace-out records the streaming simulation; it cannot combine with the -replicas bench")
+	case scorecardJSON != "" && replicas > 0:
+		return fmt.Errorf("-scorecard-json reports streaming trials; use -bench-json for the -replicas bench")
 	}
 	return nil
 }
@@ -269,6 +282,8 @@ func main() {
 		benchJSON      = flag.String("bench-json", "", "write the replica scaling curve to this JSON file")
 		reqConflictMax = flag.Float64("require-conflict-max", 0, "exit nonzero when the shared-pool conflict-retry rate exceeds this fraction (0 = no gate)")
 		clusterDevs    = flag.Int("cluster-devices", 8, "device types in the synthetic cluster, 10 platforms each (max 24)")
+		traceOut       = flag.String("trace-out", "", "dump the first policy's first trial as Chrome trace-event JSON to this file (self-validated)")
+		scorecardJSON  = flag.String("scorecard-json", "", "write the per-trial failure/retry/miss scorecard to this JSON file")
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -279,7 +294,7 @@ func main() {
 		*brThreshold, *brWindow, *brProbation, *brCooldown,
 		*feedback, *fbEvery, *fbInterval,
 		*replicas, *shards, *replicaWave, *replicaReps, *reqConflictMax,
-		*clusterDevs,
+		*clusterDevs, *traceOut, *scorecardJSON,
 	); err != nil {
 		fmt.Fprintf(flag.CommandLine.Output(), "schedsim: %v\n(run with -h for usage)\n", err)
 		os.Exit(2)
@@ -369,7 +384,10 @@ func main() {
 		RetryBackoff: *retryBO, RetryBackoffMax: *retryBOMax,
 		BreakerCooldown: *brCooldown,
 	}
-	runTrial := func(pol sched.Policy, obs sched.Observer, fbEvery int, fbInterval float64) func(tr int) (sched.StreamResult, error) {
+	// rec, when non-nil, is attached to trial 0 only: one trial's complete
+	// event stream beats fragments of several interleaved ones, and the
+	// parallel trials would otherwise share (and overflow) the ring.
+	runTrial := func(pol sched.Policy, observer sched.Observer, fbEvery int, fbInterval float64, rec *obs.Recorder) func(tr int) (sched.StreamResult, error) {
 		return func(tr int) (sched.StreamResult, error) {
 			s, err := sched.New(sched.Config{
 				NumPlatforms:    ds.NumPlatforms(),
@@ -390,6 +408,9 @@ func main() {
 			cfg := scfg
 			cfg.FeedbackEvery = fbEvery
 			cfg.FeedbackInterval = fbInterval
+			if tr == 0 {
+				cfg.Recorder = rec
+			}
 			if *chaosOn {
 				cfg.Chaos = &sched.ChaosConfig{
 					MTTF: *mttf, MTTR: *mttr, Groups: groups,
@@ -400,7 +421,7 @@ func main() {
 			stream := streams[tr]
 			source := func(_ *rand.Rand, i int) sched.Job { return stream[i] }
 			orc := &oracle{cluster, rand.New(rand.NewSource(*seed + 99 + int64(tr)*509))}
-			res, err := sched.Stream(cfg, s, orc, source, obs, rand.New(rand.NewSource(*seed+31+int64(tr)*271)))
+			res, err := sched.Stream(cfg, s, orc, source, observer, rand.New(rand.NewSource(*seed+31+int64(tr)*271)))
 			if err != nil {
 				return res, err
 			}
@@ -432,12 +453,31 @@ func main() {
 	fmt.Println()
 	fmt.Printf("%-24s %8s %9s %9s %10s %9s %8s %9s\n",
 		"policy", "placed", "unplaced", "rejected", "miss-rate", "headroom", "retried", "retry-ok")
+	var recorder *obs.Recorder
+	if *traceOut != "" {
+		// Sized to hold a full trial: each arrival records an enqueue plus a
+		// handful of score/place/complete/retry events, so 16x jobs leaves
+		// slack for chaos-heavy replays (overflow downgrades validation, it
+		// does not fail the run).
+		recorder = obs.NewRecorder(*jobs*16 + 4096)
+	}
+	var card *scorecard
+	if *scorecardJSON != "" {
+		card = newScorecard(*seed, *jobs, *trials, ds.NumPlatforms(), strategy.Name(), *eps, *chaosOn)
+	}
 	sweep := map[string]sched.StreamResult{}
 	var aggs []sched.StreamResult
-	for _, pol := range policies {
-		_, agg, err := sched.StreamTrials(*trials, true, runTrial(pol, nil, 0, 0))
+	for i, pol := range policies {
+		rec := recorder
+		if i > 0 {
+			rec = nil // trace the first policy only: one coherent timeline
+		}
+		results, agg, err := sched.StreamTrials(*trials, true, runTrial(pol, nil, 0, 0, rec))
 		if err != nil {
 			log.Fatal(err)
+		}
+		if card != nil {
+			card.add(agg.Policy, agg, results)
 		}
 		sweep[agg.Policy] = agg
 		aggs = append(aggs, agg)
@@ -453,6 +493,18 @@ func main() {
 	fmt.Println("headroom:  mean unused fraction of the deadline (high = overprovisioned)")
 	fmt.Println("retried:   jobs that entered the deferral queue after a failed placement;")
 	fmt.Println("retry-ok:  share of them eventually placed by a retry (the retry success rate)")
+
+	if card != nil {
+		if err := card.write(*scorecardJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nscorecard: %d policies x %d trials -> %s\n", len(card.Policies), *trials, *scorecardJSON)
+	}
+	if recorder != nil {
+		if err := writeTrace(*traceOut, recorder); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *chaosOn {
 		fmt.Println("\n-- failure scorecard (all trials) --")
@@ -497,7 +549,7 @@ func main() {
 		// its aggregate when the sweep already ran the bound policy.
 		without, ok := sweep[bound.Name()]
 		if !ok {
-			_, without, err = sched.StreamTrials(*trials, true, runTrial(bound, nil, 0, 0))
+			_, without, err = sched.StreamTrials(*trials, true, runTrial(bound, nil, 0, 0, nil))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -505,7 +557,7 @@ func main() {
 		v0 := pred.Version()
 		// Feedback trials run sequentially: Observe mutates the shared
 		// predictor, so this arm is one continually-learning deployment.
-		_, with, err := sched.StreamTrials(*trials, false, runTrial(bound, pred, *fbEvery, *fbInterval))
+		_, with, err := sched.StreamTrials(*trials, false, runTrial(bound, pred, *fbEvery, *fbInterval, nil))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -22,6 +22,11 @@
 // platforms whose observed miss rate over -place-breaker-window
 // completions crosses the threshold. Degraded platforms stay placeable
 // but their scores are padded by -place-degraded-penalty.
+//
+// Observability: GET /metrics exposes latency histograms alongside the
+// counters, GET /debug/trace?job=ID replays a placed job's lifecycle from
+// the flight recorder (-trace-depth sizes its ring), and -pprof mounts the
+// standard net/http/pprof handlers under /debug/pprof/.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +45,12 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 )
+
+// buildVersion stamps /healthz and the pitot_build_info metric; inject a
+// real version with:
+//
+//	go build -ldflags "-X main.buildVersion=$(git describe --always)" ./cmd/serve
+var buildVersion = "dev"
 
 func main() {
 	log.SetFlags(0)
@@ -58,6 +70,8 @@ func main() {
 		window    = flag.Duration("window", 100*time.Microsecond, "micro-batch window")
 		maxBatch  = flag.Int("max-batch", 256, "flush a batch at this many pending requests")
 		maxQueue  = flag.Int("max-queue", 4096, "admission queue bound (excess requests get 503)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceDep  = flag.Int("trace-depth", 0, "flight-recorder ring capacity behind /debug/trace (0 = default 4096, negative disables tracing)")
 
 		place         = flag.Bool("place", false, "enable the /place and /complete orchestration endpoints")
 		placePolicy   = flag.String("place-policy", "bound", "placement policy: bound, mean, padded, mean-bound, or padded-bound")
@@ -152,9 +166,10 @@ func main() {
 	log.Printf("predictor ready: snapshot v%d, bounds=%v, fast=%v", info.Version, info.Bounds, info.FastScoring)
 
 	srv := serve.New(pred, serve.Config{
-		MaxBatch: *maxBatch,
-		Window:   *window,
-		MaxQueue: *maxQueue,
+		MaxBatch:     *maxBatch,
+		Window:       *window,
+		MaxQueue:     *maxQueue,
+		BuildVersion: buildVersion,
 	})
 	if *place {
 		err := srv.EnablePlacement(serve.PlacementConfig{
@@ -169,6 +184,7 @@ func main() {
 			WaveChunk:     *placeChunk,
 			Replicas:      *placeReplicas,
 			Shards:        *placeShards,
+			TraceDepth:    *traceDep,
 
 			DegradedPenalty: *placePenalty,
 			Breaker: sched.BreakerConfig{
@@ -185,10 +201,25 @@ func main() {
 			*placePolicy, *placeStrategy, info.Platforms)
 	}
 
+	handler := serve.NewHandler(srv)
+	if *pprofOn {
+		// Explicit mux instead of importing pprof for its DefaultServeMux
+		// side effect: profiling stays opt-in and off the default surface.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Print("pprof enabled under /debug/pprof/")
+	}
+
 	// Graceful shutdown: stop accepting, drain in-flight HTTP requests,
 	// then drain the micro-batcher. log.Fatal skips defers, so the
 	// teardown is explicit.
-	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(srv)}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -203,8 +234,8 @@ func main() {
 		}
 	}()
 
-	log.Printf("listening on %s (window=%v max-batch=%d max-queue=%d)",
-		*addr, *window, *maxBatch, *maxQueue)
+	log.Printf("listening on %s (build=%s window=%v max-batch=%d max-queue=%d)",
+		*addr, buildVersion, *window, *maxBatch, *maxQueue)
 	err = httpSrv.ListenAndServe()
 	if err != nil && err != http.ErrServerClosed {
 		srv.Close()

@@ -1,0 +1,158 @@
+// Package obs is a zero-dependency observability core: lock-free
+// log-bucketed latency histograms with Prometheus text exposition, and a
+// bounded per-job flight recorder of typed lifecycle events. Every entry
+// point is nil-safe so call sites can thread a possibly-nil handle through
+// hot paths: the disabled path is a single nil check, no allocation, no
+// time syscall.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-ladder latency/size histogram safe for concurrent
+// Observe from any number of goroutines. Buckets are stored non-cumulative
+// (one atomic add per observation); the cumulative Prometheus view is
+// computed at exposition time. A nil *Histogram ignores observations.
+type Histogram struct {
+	name  string
+	help  string
+	upper []float64 // ascending upper bounds; +Inf is implicit
+
+	buckets []atomic.Uint64 // len(upper)+1; last slot is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum (CAS loop)
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. The +Inf bucket is implicit. Panics on an empty or non-ascending
+// ladder — ladders are compile-time constants, not user input.
+func NewHistogram(name, help string, upper []float64) *Histogram {
+	if len(upper) == 0 {
+		panic("obs: empty bucket ladder")
+	}
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic("obs: bucket ladder not ascending")
+		}
+	}
+	ladder := make([]float64, len(upper))
+	copy(ladder, upper)
+	return &Histogram{
+		name:    name,
+		help:    help,
+		upper:   ladder,
+		buckets: make([]atomic.Uint64, len(ladder)+1),
+	}
+}
+
+// LatencyBuckets is a log2 ladder from 1µs to ~8.4s (24 buckets + Inf),
+// wide enough to span sub-chunk lock holds and multi-second Observe
+// flushes with ~2x relative resolution.
+func LatencyBuckets() []float64 {
+	b := make([]float64, 24)
+	v := 1e-6
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// SizeBuckets is a power-of-two count ladder 1..4096 for wave-size
+// distributions.
+func SizeBuckets() []float64 {
+	b := make([]float64, 13)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}
+
+// Observe records one value. Nil-safe; NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Binary search for the first upper bound >= v; the ladder is short
+	// (<=24) so this is a handful of well-predicted branches.
+	lo, hi := 0, len(h.upper)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.upper[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed seconds since start. Nil-safe, but the
+// caller should guard the time.Now() that produced start when the
+// histogram may be nil — see the instrumentation pattern in internal/sched.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Name returns the metric family name.
+func (h *Histogram) Name() string { return h.name }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// WritePrometheus emits the family in Prometheus text exposition format
+// 0.0.4: HELP, TYPE, cumulative _bucket samples (including +Inf), _sum,
+// _count. Concurrent observations may land mid-write; the emitted buckets
+// are still monotone because each bucket is read once, low to high, and
+// the +Inf bucket is the running total of the values actually read.
+func (h *Histogram) WritePrometheus(w io.Writer) {
+	if h == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatBound(ub), cum)
+	}
+	cum += h.buckets[len(h.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, cum)
+}
+
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

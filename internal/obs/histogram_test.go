@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram("x_seconds", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 106.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	h.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP x_seconds help",
+		"# TYPE x_seconds histogram",
+		`x_seconds_bucket{le="1"} 2`, // 0.5 and the boundary value 1
+		`x_seconds_bucket{le="2"} 3`,
+		`x_seconds_bucket{le="4"} 4`,
+		`x_seconds_bucket{le="+Inf"} 5`,
+		"x_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram not empty")
+	}
+	var b strings.Builder
+	h.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatal("nil histogram wrote exposition")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("y_seconds", "help", LatencyBuckets())
+	const goroutines, per = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1e-6 * float64(1+(g*per+i)%1000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+}
+
+func TestLadders(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		ladder []float64
+	}{{"latency", LatencyBuckets()}, {"size", SizeBuckets()}} {
+		if len(tc.ladder) == 0 {
+			t.Fatalf("%s ladder empty", tc.name)
+		}
+		for i := 1; i < len(tc.ladder); i++ {
+			if tc.ladder[i] <= tc.ladder[i-1] {
+				t.Fatalf("%s ladder not ascending at %d", tc.name, i)
+			}
+		}
+	}
+	lat := LatencyBuckets()
+	if lat[0] != 1e-6 || lat[len(lat)-1] < 8 {
+		t.Fatalf("latency ladder range wrong: [%g, %g]", lat[0], lat[len(lat)-1])
+	}
+}
+
+// TestDisabledObsZeroAlloc pins the disabled path: observing into a nil
+// histogram and recording into a nil recorder must not allocate.
+func TestDisabledObsZeroAlloc(t *testing.T) {
+	var h *Histogram
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(1.5)
+		r.Record(Event{Kind: EvPlace, Job: 7, Platform: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledObsZeroAlloc pins the enabled steady state: a live histogram
+// observation and a live ring record are also allocation-free.
+func TestEnabledObsZeroAlloc(t *testing.T) {
+	h := NewHistogram("z_seconds", "help", LatencyBuckets())
+	r := NewRecorder(128)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(1.5e-3)
+		r.Record(Event{Kind: EvPlace, Job: 7, Platform: 3})
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled path allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("b_seconds", "help", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}

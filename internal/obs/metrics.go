@@ -1,0 +1,32 @@
+package obs
+
+// SchedMetrics bundles the placement-path histogram families so one
+// pointer threads through sched.Config. A nil *SchedMetrics (or any nil
+// member) disables recording at that site with a single branch.
+type SchedMetrics struct {
+	// ScoreBatch is the latency of one batched predictor scoring call
+	// (seconds).
+	ScoreBatch *Histogram
+	// WavePlace is the end-to-end latency of one PlaceAll wave (seconds).
+	WavePlace *Histogram
+	// ChunkHold is the scheduler-lock hold time of one wave chunk
+	// (seconds), lock-acquired to lock-released.
+	ChunkHold *Histogram
+	// WaveSize is the distribution of PlaceAll wave sizes (jobs).
+	WaveSize *Histogram
+}
+
+// NewSchedMetrics builds the placement histogram set with the given family
+// name prefix (e.g. "pitot_place_").
+func NewSchedMetrics(prefix string) *SchedMetrics {
+	return &SchedMetrics{
+		ScoreBatch: NewHistogram(prefix+"score_batch_seconds",
+			"Latency of one batched predictor scoring call.", LatencyBuckets()),
+		WavePlace: NewHistogram(prefix+"wave_seconds",
+			"End-to-end latency of one placement wave.", LatencyBuckets()),
+		ChunkHold: NewHistogram(prefix+"chunk_hold_seconds",
+			"Scheduler lock hold time per wave chunk.", LatencyBuckets()),
+		WaveSize: NewHistogram(prefix+"wave_jobs",
+			"Distribution of placement wave sizes.", SizeBuckets()),
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: EvPlace})
+	if r.Len() != 0 || r.Total() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+	if r.Events() != nil || r.JobTrace(1) != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}
+
+func TestRecorderOverwriteOldest(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 6; i++ {
+		r.Record(Event{Kind: EvEnqueue, Job: uint64(i)})
+	}
+	if r.Total() != 6 || r.Len() != 4 || r.Dropped() != 2 {
+		t.Fatalf("total=%d len=%d dropped=%d", r.Total(), r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Job != uint64(i+3) {
+			t.Fatalf("event %d job = %d, want %d (oldest overwritten)", i, e.Job, i+3)
+		}
+		if i > 0 && (evs[i].Seq <= evs[i-1].Seq || evs[i].T < evs[i-1].T) {
+			t.Fatal("events not in chronological order")
+		}
+	}
+}
+
+func TestRecorderJobTraceAndRecent(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(Event{Kind: EvEnqueue, Job: 1})
+	r.Record(Event{Kind: EvEnqueue, Job: 2})
+	r.Record(Event{Kind: EvPlace, Job: 1, Platform: 3})
+	r.Record(Event{Kind: EvComplete, Job: 1, Platform: 3})
+	tr := r.JobTrace(1)
+	if len(tr) != 3 || tr[0].Kind != EvEnqueue || tr[1].Kind != EvPlace || tr[2].Kind != EvComplete {
+		t.Fatalf("job trace wrong: %+v", tr)
+	}
+	rc := r.Recent(2)
+	if len(rc) != 2 || rc[1].Kind != EvComplete {
+		t.Fatalf("recent wrong: %+v", rc)
+	}
+	if got := r.Recent(100); len(got) != 4 {
+		t.Fatalf("recent(100) len = %d", len(got))
+	}
+}
+
+func TestRecorderDefaultCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if len(r.ring) != DefaultTraceDepth {
+		t.Fatalf("default capacity = %d", len(r.ring))
+	}
+}
+
+// TestRecorderConcurrent hammers Record from many goroutines while readers
+// snapshot; run under -race this pins the locking protocol.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(256)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(Event{Kind: EvPlace, Job: uint64(g), Platform: int32(i % 4)})
+				if i%100 == 0 {
+					r.JobTrace(uint64(g))
+					r.Recent(16)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != goroutines*per {
+		t.Fatalf("total = %d, want %d", r.Total(), goroutines*per)
+	}
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatal("sequence numbers not dense")
+		}
+	}
+}
+
+func TestReasonRoundTrip(t *testing.T) {
+	for _, s := range []string{"admission", "no-healthy-platform", "capacity", "infeasible", "commit-conflict"} {
+		if got := ParseReason(s).String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	}
+	if ParseReason("bogus") != ReasonNone || ParseReason("") != ReasonNone {
+		t.Fatal("unknown reason not ReasonNone")
+	}
+}
+
+func TestChromeTraceSpans(t *testing.T) {
+	evs := []Event{
+		{Kind: EvEnqueue, Job: 1, T: 0},
+		{Kind: EvPlace, Job: 1, ID: 9, Platform: 2, Version: 5, T: 1000},
+		{Kind: EvConflict, Job: 2, Platform: 1, N: 3, T: 1500},
+		{Kind: EvComplete, Job: 1, Platform: 2, T: 4000},
+		{Kind: EvShed, Job: 2, Reason: ReasonConflict, T: 5000},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var tr ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace output not valid JSON: %v", err)
+	}
+	var spans, sheds int
+	for _, e := range tr.TraceEvents {
+		switch {
+		case e.Ph == "X":
+			spans++
+			if e.Name != "run@p2" || e.TID != 1 || e.Dur <= 0 {
+				t.Fatalf("bad span: %+v", e)
+			}
+		case e.Name == "shed/commit-conflict":
+			sheds++
+		}
+	}
+	if spans != 1 || sheds != 1 {
+		t.Fatalf("spans=%d sheds=%d", spans, sheds)
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one entry in Chrome trace-event format (the JSON consumed
+// by chrome://tracing and Perfetto). Instant events use Ph "i"; spans use
+// Ph "X" with Dur. TS and Dur are microseconds.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace file object.
+type ChromeTrace struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// BuildChromeTrace converts recorder events into a Chrome trace: every
+// event becomes a thread-scoped instant on tid = Job, and each
+// place→(complete|orphan) pair on the same tracking key additionally
+// becomes an "X" span named run@p<platform> so a job's residency reads as
+// a bar in the timeline.
+func BuildChromeTrace(events []Event) ChromeTrace {
+	out := make([]TraceEvent, 0, len(events)+len(events)/4)
+	// Open residency per tracking key: place time + platform.
+	type open struct {
+		ts       float64
+		platform int32
+	}
+	opens := make(map[uint64]open)
+	for _, e := range events {
+		ts := float64(e.T.Microseconds())
+		name := e.Kind.String()
+		if e.Kind == EvShed && e.Reason != ReasonNone {
+			name = "shed/" + e.Reason.String()
+		}
+		args := map[string]any{}
+		if e.Platform >= 0 {
+			args["platform"] = e.Platform
+		}
+		if e.Version != 0 {
+			args["snapshot_version"] = e.Version
+		}
+		if e.ID != 0 {
+			args["id"] = e.ID
+		}
+		if e.N != 0 {
+			args["n"] = e.N
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		out = append(out, TraceEvent{
+			Name: name, Ph: "i", TS: ts, PID: 1, TID: e.Job, S: "t", Args: args,
+		})
+		switch e.Kind {
+		case EvPlace:
+			opens[e.Job] = open{ts: ts, platform: e.Platform}
+		case EvComplete, EvOrphan:
+			if o, ok := opens[e.Job]; ok {
+				delete(opens, e.Job)
+				out = append(out, TraceEvent{
+					Name: fmt.Sprintf("run@p%d", o.platform),
+					Ph:   "X", TS: o.ts, Dur: ts - o.ts, PID: 1, TID: e.Job,
+				})
+			}
+		}
+	}
+	return ChromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"}
+}
+
+// WriteChromeTrace serializes events as an indented Chrome trace file.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChromeTrace(events))
+}

@@ -3,6 +3,8 @@ package sched
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // HealthState is a platform's position in the failure lifecycle. Healthy
@@ -280,6 +282,10 @@ func (s *Scheduler) Fail(p int) ([]Orphan, error) {
 	for i, r := range rs {
 		orphans[i] = Orphan{ID: r.id, Job: r.job}
 		delete(s.platformOf, r.id)
+		if s.rec != nil {
+			s.rec.Record(obs.Event{Kind: obs.EvOrphan, Job: uint64(r.id), ID: uint64(r.id),
+				Platform: int32(p)})
+		}
 	}
 	s.residents[p] = rs[:0]
 	s.stats.Orphaned += uint64(len(orphans))
@@ -325,6 +331,9 @@ func (s *Scheduler) Recover(p int) error {
 	s.stats.Recovers++
 	if readmitted {
 		s.stats.Readmissions++
+		if s.rec != nil {
+			s.rec.Record(obs.Event{Kind: obs.EvReadmit, Platform: int32(p)})
+		}
 	}
 	if closed {
 		s.stats.Closes++

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // platformView is a replica's local snapshot of one platform: the version
@@ -61,6 +63,14 @@ type Replica struct {
 // shard, pre-scores platform-major in one batched call, and commits
 // per-job reservations against those snapshots.
 func (r *Replica) PlaceAll(jobs []Job) []Assignment {
+	// Same per-site observability guards as Scheduler.PlaceAll: the
+	// disabled path never calls time.Now.
+	met := r.set.met
+	var waveStart time.Time
+	if met != nil {
+		waveStart = time.Now()
+		met.WaveSize.Observe(float64(len(jobs)))
+	}
 	out := make([]Assignment, len(jobs))
 	chunk := r.set.chunk
 	if chunk < 0 || chunk > len(jobs) {
@@ -72,12 +82,22 @@ func (r *Replica) PlaceAll(jobs []Job) []Assignment {
 			hi = len(jobs)
 		}
 		r.mu.Lock()
+		var holdStart time.Time
+		if met != nil {
+			holdStart = time.Now()
+		}
 		r.placeChunk(jobs[lo:hi], out[lo:hi])
+		if met != nil {
+			met.ChunkHold.ObserveSince(holdStart)
+		}
 		r.mu.Unlock()
 		r.set.noteChunk()
 		if r.chunkGap != nil && hi < len(jobs) {
 			r.chunkGap()
 		}
+	}
+	if met != nil {
+		met.WavePlace.ObserveSince(waveStart)
 	}
 	return out
 }
@@ -160,10 +180,21 @@ func (r *Replica) placeChunk(jobs []Job, out []Assignment) {
 	}
 	pre := sc.pre[:len(qs)]
 	preRank := sc.preRank[:len(qs)]
+	var scoreStart time.Time
+	if set.met != nil {
+		scoreStart = time.Now()
+	}
 	if dual {
 		set.dpolicy.ScoreDualBatch(set.bpred, qs, pre, preRank)
 	} else {
 		set.bpolicy.ScoreBatch(set.bpred, qs, pre)
+	}
+	if set.met != nil {
+		set.met.ScoreBatch.ObserveSince(scoreStart)
+	}
+	if set.rec != nil {
+		set.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
+			Version: set.snapVersion()})
 	}
 	scoreAt := sc.scoreAt[:nS*nJ]
 	rankAt := sc.rankAt[:nS*nJ]
@@ -226,6 +257,10 @@ func (r *Replica) placeChunk(jobs []Job, out []Assignment) {
 			id, st, status := set.store.reserve(p, r.views[p].ver, job)
 			if status == reserveOK {
 				r.commits.Add(1)
+				if set.rec != nil {
+					set.rec.Record(obs.Event{Kind: obs.EvPlace, Job: uint64(id), ID: uint64(id),
+						Platform: int32(p), Version: set.snapVersion()})
+				}
 				out[j] = Assignment{
 					ID:          id,
 					Job:         job,
@@ -249,8 +284,16 @@ func (r *Replica) placeChunk(jobs []Job, out []Assignment) {
 			// different winner.
 			r.conflicts.Add(1)
 			retries++
+			if set.rec != nil {
+				set.rec.Record(obs.Event{Kind: obs.EvConflict, Platform: int32(p),
+					N: int32(retries), Version: set.snapVersion()})
+			}
 			if retries > set.maxRetries {
 				r.shed.Add(1)
+				if set.rec != nil {
+					set.rec.Record(obs.Event{Kind: obs.EvShed, Reason: obs.ReasonConflict,
+						Platform: int32(p), N: int32(retries), Version: set.snapVersion()})
+				}
 				out[j] = Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: ReasonConflict}
 				break
 			}
@@ -345,6 +388,10 @@ func (r *Replica) placeOne(job Job, shard []int) Assignment {
 		switch status {
 		case reserveOK:
 			r.commits.Add(1)
+			if set.rec != nil {
+				set.rec.Record(obs.Event{Kind: obs.EvPlace, Job: uint64(id), ID: uint64(id),
+					Platform: int32(p), Version: set.snapVersion()})
+			}
 			r.adoptCommit(p, st)
 			return Assignment{
 				ID:          id,
@@ -358,8 +405,16 @@ func (r *Replica) placeOne(job Job, shard []int) Assignment {
 		}
 		r.conflicts.Add(1)
 		retries++
+		if set.rec != nil {
+			set.rec.Record(obs.Event{Kind: obs.EvConflict, Platform: int32(p),
+				N: int32(retries), Version: set.snapVersion()})
+		}
 		if retries > set.maxRetries {
 			r.shed.Add(1)
+			if set.rec != nil {
+				set.rec.Record(obs.Event{Kind: obs.EvShed, Reason: obs.ReasonConflict,
+					Platform: int32(p), N: int32(retries), Version: set.snapVersion()})
+			}
 			return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: ReasonConflict}
 		}
 		set.backoff(retries)

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ReplicaConfig tunes a ReplicaSet: how many scheduler replicas share the
@@ -104,6 +106,22 @@ type ReplicaSet struct {
 	chunkCount atomic.Uint64
 	rebalances atomic.Uint64
 	rebalanceM sync.Mutex
+
+	// met/rec/ver mirror the Scheduler's observability hooks: nil-safe
+	// histograms and flight recorder (Config.Metrics / Config.Recorder)
+	// plus the predictor's snapshot version for event stamping.
+	met *obs.SchedMetrics
+	rec *obs.Recorder
+	ver func() uint64
+}
+
+// snapVersion returns the predictor's current snapshot version, or 0 when
+// the predictor does not expose one. Only called on recording paths.
+func (rs *ReplicaSet) snapVersion() uint64 {
+	if rs.ver == nil {
+		return 0
+	}
+	return rs.ver()
 }
 
 // NewReplicaSet builds rc.Replicas schedulers over one shared slot store.
@@ -162,6 +180,11 @@ func NewReplicaSet(cfg Config, rc ReplicaConfig, policy Policy, pred Predictor) 
 		rebalanceEvery:   rc.RebalanceEvery,
 		rebalanceSkew:    rc.RebalanceSkew,
 		store:            store,
+		met:              cfg.Metrics,
+		rec:              cfg.Recorder,
+	}
+	if v, ok := pred.(snapshotVersioner); ok {
+		rs.ver = v.Version
 	}
 	if dp, ok := policy.(DualPolicy); ok {
 		rs.dpolicy = dp

@@ -26,6 +26,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Query identifies one (workload, platform, interferers) prediction — the
@@ -195,4 +196,14 @@ type Config struct {
 	// CompleteOutcome; the zero value gets defaults (window 20, automatic
 	// trips disabled until Threshold is set).
 	Breaker BreakerConfig
+	// Metrics, when non-nil, receives latency and size observations from
+	// the placement hot paths (score-batch latency, wave latency, per-chunk
+	// lock hold, wave size). Nil disables recording: every site is a single
+	// nil check, no allocation, no time syscall.
+	Metrics *obs.SchedMetrics
+	// Recorder, when non-nil, receives typed lifecycle events (place,
+	// complete, shed, orphan, …) keyed by JobID — the flight recorder
+	// behind /debug/trace. Nil disables with the same zero-cost contract
+	// as Metrics.
+	Recorder *obs.Recorder
 }

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // placedJob is one resident of a platform: the job's identity plus the
@@ -63,6 +66,28 @@ type Scheduler struct {
 	// chunkGap, when non-nil, runs between chunk lock holds of PlaceAll
 	// (test hook: deterministic mid-wave interleaving).
 	chunkGap func()
+
+	// met/rec are the optional observability hooks (Config.Metrics /
+	// Config.Recorder); both nil-safe, both off the decision path. ver
+	// reads the predictor's snapshot version for event stamping when the
+	// predictor exposes one.
+	met *obs.SchedMetrics
+	rec *obs.Recorder
+	ver func() uint64
+}
+
+// snapshotVersioner is the optional predictor facet exposing a snapshot
+// version; flight-recorder events are stamped with it so a trace ties each
+// decision to the model state that made it.
+type snapshotVersioner interface{ Version() uint64 }
+
+// snapVersion returns the predictor's current snapshot version, or 0 when
+// the predictor does not expose one. Only called on recording paths.
+func (s *Scheduler) snapVersion() uint64 {
+	if s.ver == nil {
+		return 0
+	}
+	return s.ver()
 }
 
 // defaultWaveChunk bounds a PlaceAll lock hold when Config.WaveChunk is 0:
@@ -156,6 +181,11 @@ func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
 		residents:       make([][]placedJob, cfg.NumPlatforms),
 		platformOf:      make(map[JobID]int),
 		healths:         make([]platformHealth, cfg.NumPlatforms),
+		met:             cfg.Metrics,
+		rec:             cfg.Recorder,
+	}
+	if v, ok := pred.(snapshotVersioner); ok {
+		s.ver = v.Version
 	}
 	if dp, ok := policy.(DualPolicy); ok {
 		s.dpolicy = dp
@@ -351,13 +381,22 @@ func unplacedReason(placeable, nCands int) string {
 func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int, placeable int) Assignment {
 	bestIdx := bestCandidate(s.strategy, job, cands)
 	if bestIdx < 0 {
-		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: unplacedReason(placeable, len(cands))}
+		reason := unplacedReason(placeable, len(cands))
+		if s.rec != nil {
+			s.rec.Record(obs.Event{Kind: obs.EvShed, Reason: obs.ParseReason(reason),
+				Platform: -1, Version: s.snapVersion()})
+		}
+		return Assignment{Job: job, Platform: -1, Budget: math.Inf(1), Reason: reason}
 	}
 	best := cands[bestIdx]
 	s.nextID++
 	id := s.nextID
 	s.residents[best.Platform] = append(s.residents[best.Platform], placedJob{id: id, job: job})
 	s.platformOf[id] = best.Platform
+	if s.rec != nil {
+		s.rec.Record(obs.Event{Kind: obs.EvPlace, Job: uint64(id), ID: uint64(id),
+			Platform: int32(best.Platform), Version: s.snapVersion()})
+	}
 	return Assignment{
 		ID:          id,
 		Job:         job,
@@ -397,6 +436,10 @@ func (s *Scheduler) completeLocked(id JobID) (int, error) {
 	for i := range rs {
 		if rs[i].id == id {
 			s.residents[p] = append(rs[:i], rs[i+1:]...)
+			if s.rec != nil {
+				s.rec.Record(obs.Event{Kind: obs.EvComplete, Job: uint64(id), ID: uint64(id),
+					Platform: int32(p)})
+			}
 			return p, nil
 		}
 	}
@@ -424,6 +467,13 @@ func (s *Scheduler) completeLocked(id JobID) (int, error) {
 // policies fill both the feasibility and ranking facets from the same
 // pass (one fused call when the predictor supports it).
 func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
+	// Observability is guarded per-site so the disabled path never calls
+	// time.Now: one predictable branch per chunk, zero allocations.
+	var waveStart time.Time
+	if s.met != nil {
+		waveStart = time.Now()
+		s.met.WaveSize.Observe(float64(len(jobs)))
+	}
 	out := make([]Assignment, len(jobs))
 	chunk := s.chunk
 	if chunk < 0 || chunk > len(jobs) {
@@ -435,11 +485,21 @@ func (s *Scheduler) PlaceAll(jobs []Job) []Assignment {
 			hi = len(jobs)
 		}
 		s.mu.Lock()
+		var holdStart time.Time
+		if s.met != nil {
+			holdStart = time.Now()
+		}
 		s.placeWaveLocked(jobs[lo:hi], out[lo:hi])
+		if s.met != nil {
+			s.met.ChunkHold.ObserveSince(holdStart)
+		}
 		s.mu.Unlock()
 		if s.chunkGap != nil && hi < len(jobs) {
 			s.chunkGap()
 		}
+	}
+	if s.met != nil {
+		s.met.WavePlace.ObserveSince(waveStart)
 	}
 	return out
 }
@@ -483,10 +543,21 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 	}
 	pre := sc.pre[:len(qs)]
 	preRank := sc.preRank[:len(qs)]
+	var scoreStart time.Time
+	if s.met != nil {
+		scoreStart = time.Now()
+	}
 	if dual {
 		s.dpolicy.ScoreDualBatch(s.bpred, qs, pre, preRank)
 	} else {
 		s.bpolicy.ScoreBatch(s.bpred, qs, pre)
+	}
+	if s.met != nil {
+		s.met.ScoreBatch.ObserveSince(scoreStart)
+	}
+	if s.rec != nil {
+		s.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
+			Version: s.snapVersion()})
 	}
 	scoreAt := sc.scoreAt[:nP*nJ]
 	rankAt := sc.rankAt[:nP*nJ]

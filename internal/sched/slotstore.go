@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // platformSlots is one platform's shared cluster state: its residents plus
@@ -126,6 +128,12 @@ type SlotStore struct {
 	// reserveGap, when non-nil, runs between the version check and the
 	// commit CAS (test hook: deterministic conflict interleavings).
 	reserveGap func(p int)
+
+	// rec is the optional flight recorder (Config.Recorder): the store is
+	// the single retirement of record for replicated placements, so
+	// reserve/complete/orphan/readmit events are emitted here, once,
+	// regardless of which replica drove them.
+	rec *obs.Recorder
 }
 
 // NewSlotStore builds the shared state for cfg's cluster. Only the
@@ -147,6 +155,7 @@ func NewSlotStore(cfg Config) (*SlotStore, error) {
 		maxInFlight:   cfg.MaxInFlight,
 		breaker:       cfg.Breaker.withDefaults(),
 		plats:         make([]atomic.Pointer[platformSlots], cfg.NumPlatforms),
+		rec:           cfg.Recorder,
 	}
 	for p := range st.plats {
 		st.plats[p].Store(&platformSlots{})
@@ -205,6 +214,10 @@ func (st *SlotStore) reserve(p int, expect uint64, job Job) (JobID, *platformSlo
 		return 0, st.plats[p].Load(), reserveConflict
 	}
 	st.byJob.Store(id, p)
+	if st.rec != nil {
+		st.rec.Record(obs.Event{Kind: obs.EvReserve, Job: uint64(id), ID: uint64(id),
+			Platform: int32(p)})
+	}
 	return id, next, reserveOK
 }
 
@@ -243,6 +256,10 @@ func (st *SlotStore) retire(id JobID) (int, error) {
 		}
 	}
 	st.inFlight.Add(-1)
+	if st.rec != nil {
+		st.rec.Record(obs.Event{Kind: obs.EvComplete, Job: uint64(id), ID: uint64(id),
+			Platform: int32(p)})
+	}
 	return p, nil
 }
 
@@ -310,6 +327,10 @@ func (st *SlotStore) Fail(p int) ([]Orphan, error) {
 		}
 		st.inFlight.Add(-1)
 		orphans = append(orphans, Orphan{ID: r.id, Job: r.job})
+		if st.rec != nil {
+			st.rec.Record(obs.Event{Kind: obs.EvOrphan, Job: uint64(r.id), ID: uint64(r.id),
+				Platform: int32(p)})
+		}
 	}
 	st.orphaned.Add(uint64(len(orphans)))
 	return orphans, nil
@@ -357,6 +378,9 @@ func (st *SlotStore) Recover(p int) error {
 			st.recovers.Add(1)
 			if readmitted {
 				st.readmissions.Add(1)
+				if st.rec != nil {
+					st.rec.Record(obs.Event{Kind: obs.EvReadmit, Platform: int32(p)})
+				}
 			}
 			if closed {
 				st.closes.Add(1)

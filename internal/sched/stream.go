@@ -6,6 +6,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // StreamConfig configures one streaming replay: a Poisson arrival process
@@ -55,6 +57,15 @@ type StreamConfig struct {
 	// Chaos enables the seeded failure injector; nil runs a failure-free
 	// replay (bit-identical to streams before the failure model existed).
 	Chaos *ChaosConfig
+	// Recorder, when non-nil, receives the stream's lifecycle events
+	// (enqueue, place, retry, orphan, complete, shed) keyed by the 1-based
+	// arrival index — stable across re-placements, unlike the JobID a
+	// re-placed orphan gets reissued. Event.ID carries the scheduler JobID
+	// of each placement. Independent of Config.Recorder (scheduler-keyed);
+	// attach one, not both, unless you want both key spaces in one ring.
+	// Recording never touches the stream's rng, so traced replays place
+	// identically to untraced ones.
+	Recorder *obs.Recorder
 }
 
 // ChaosConfig is the stream's deterministic failure injector: each failure
@@ -226,7 +237,8 @@ type event struct {
 	t    float64
 	seq  int // tie-break: deterministic order for simultaneous events
 	kind eventKind
-	// evArrival
+	// evArrival: the arriving job's index. evComplete: the arrival index
+	// of the completing placement (flight-recorder tracking key).
 	jobIdx int
 	// evComplete: the runtime was drawn at placement time (so the rng
 	// stream is placement-ordered), but all miss/headroom accounting
@@ -261,6 +273,7 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 // priority) orphan queue.
 type retryEntry struct {
 	job        Job
+	idx        int  // arrival index (flight-recorder tracking key)
 	tries      int  // placement attempts made so far (an arrival counts; an orphaning does not)
 	rejected   bool // last failure was an admission rejection, not infeasibility
 	orphan     bool
@@ -285,7 +298,7 @@ type retryEntry struct {
 // half-open after BreakerCooldown. Job conservation holds throughout —
 // Arrived == Completed + Unplaced + Rejected and Placed == Completed +
 // Orphaned. Deterministic given rng and ChaosConfig.Seed.
-func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs Observer, rng *rand.Rand) (StreamResult, error) {
+func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, observer Observer, rng *rand.Rand) (StreamResult, error) {
 	res := StreamResult{Policy: s.policy.Name(), Strategy: s.strategy.Name()}
 	if cfg.Jobs <= 0 {
 		return res, nil
@@ -294,7 +307,17 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 	if rate <= 0 {
 		rate = 1
 	}
-	feedback := obs != nil && (cfg.FeedbackEvery > 0 || cfg.FeedbackInterval > 0)
+	feedback := observer != nil && (cfg.FeedbackEvery > 0 || cfg.FeedbackInterval > 0)
+	// Flight recorder: events are keyed by 1-based arrival index (stable
+	// across orphan re-placements); idxOf maps a live placement's JobID
+	// back to it. Maintained only when recording — the disabled path costs
+	// one nil check per site.
+	rec := cfg.Recorder
+	var idxOf map[JobID]int
+	if rec != nil {
+		idxOf = make(map[JobID]int)
+	}
+	key := func(idx int) uint64 { return uint64(idx) + 1 }
 	chaos := cfg.Chaos
 	if chaos != nil && chaos.MTTF <= 0 {
 		chaos = nil
@@ -339,7 +362,7 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 	// attempt places one job at simulated time t, drawing its true runtime
 	// and scheduling the completion (which carries the accounting) on
 	// success. Shared by fresh arrivals, retries, and orphan rescheduling.
-	attempt := func(t float64, job Job) (placed, rejected bool) {
+	attempt := func(t float64, job Job, idx int) (placed, rejected bool) {
 		a := s.Place(job)
 		if a.Rejected {
 			return false, true
@@ -348,9 +371,14 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 			return false, false
 		}
 		res.Placed++
+		if rec != nil {
+			idxOf[a.ID] = idx
+			rec.Record(obs.Event{Kind: obs.EvPlace, Job: key(idx), ID: uint64(a.ID),
+				Platform: int32(a.Platform), Version: s.snapVersion()})
+		}
 		rt := oracle.TrueSeconds(job.Workload, a.Platform, a.Interferers)
 		push(event{
-			kind: evComplete, t: t + rt, id: a.ID,
+			kind: evComplete, t: t + rt, id: a.ID, jobIdx: idx,
 			deadline:   job.Deadline,
 			post:       post,
 			failWindow: chaos != nil && s.Impaired() > 0,
@@ -368,6 +396,14 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 		}
 		if e.orphan {
 			res.OrphanLost++
+		}
+		if rec != nil {
+			reason := obs.ReasonInfeasible
+			if e.rejected {
+				reason = obs.ReasonAdmission
+			}
+			rec.Record(obs.Event{Kind: obs.EvShed, Job: key(e.idx), Reason: reason,
+				Platform: -1, N: int32(e.tries)})
 		}
 		remaining--
 	}
@@ -416,8 +452,12 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 				}
 				if !re.orphan {
 					res.Retries++
+					if rec != nil {
+						rec.Record(obs.Event{Kind: obs.EvRetry, Job: key(re.idx),
+							Platform: -1, N: int32(re.tries)})
+					}
 				}
-				placed, rejected := attempt(t, re.job)
+				placed, rejected := attempt(t, re.job, re.idx)
 				if placed {
 					if re.orphan {
 						res.OrphanReplaced++
@@ -446,8 +486,12 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 			}
 			job := source(rng, e.jobIdx)
 			res.Arrived++
-			if placed, rejected := attempt(e.t, job); !placed {
-				fail(e.t, retryEntry{job: job, tries: 1}, rejected)
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.EvEnqueue, Job: key(e.jobIdx),
+					Platform: -1, Version: s.snapVersion()})
+			}
+			if placed, rejected := attempt(e.t, job, e.jobIdx); !placed {
+				fail(e.t, retryEntry{job: job, idx: e.jobIdx, tries: 1}, rejected)
 			}
 		case evComplete:
 			if _, dead := orphanDead[e.id]; dead {
@@ -462,6 +506,11 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 			tripped, err := s.CompleteOutcome(e.id, miss)
 			if err != nil {
 				return res, fmt.Errorf("sched: stream completion: %w", err)
+			}
+			if rec != nil {
+				delete(idxOf, e.id)
+				rec.Record(obs.Event{Kind: obs.EvComplete, Job: key(e.jobIdx),
+					ID: uint64(e.id), Platform: int32(e.m.Platform)})
 			}
 			res.Completed++
 			remaining--
@@ -492,7 +541,7 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 				flushNow := (cfg.FeedbackEvery > 0 && len(pending) >= cfg.FeedbackEvery) ||
 					(cfg.FeedbackInterval > 0 && e.t-lastFlush >= cfg.FeedbackInterval)
 				if flushNow {
-					if err := obs.ObserveSeconds(pending); err != nil {
+					if err := observer.ObserveSeconds(pending); err != nil {
 						return res, fmt.Errorf("sched: stream feedback: %w", err)
 					}
 					res.Observed += len(pending)
@@ -519,8 +568,15 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 				for _, o := range orphans {
 					orphanDead[o.ID] = struct{}{}
 					res.Orphaned++
+					idx := 0
+					if rec != nil {
+						idx = idxOf[o.ID]
+						delete(idxOf, o.ID)
+						rec.Record(obs.Event{Kind: obs.EvOrphan, Job: key(idx),
+							ID: uint64(o.ID), Platform: int32(p)})
+					}
 					orphanQ = append(orphanQ, retryEntry{
-						job: o.Job, orphan: true, orphanedAt: e.t, notBefore: e.t,
+						job: o.Job, idx: idx, orphan: true, orphanedAt: e.t, notBefore: e.t,
 					})
 				}
 			}
@@ -542,6 +598,9 @@ func Stream(cfg StreamConfig, s *Scheduler, oracle Oracle, source JobSource, obs
 			// chaos recovery already re-admitted the platform.
 			if s.Health(e.platform) == Quarantined {
 				_ = s.Recover(e.platform)
+				if rec != nil {
+					rec.Record(obs.Event{Kind: obs.EvReadmit, Platform: int32(e.platform)})
+				}
 			}
 			tryRetries(e.t)
 		}

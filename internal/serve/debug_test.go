@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) int {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestDebugTraceEndpoints drives the flight-recorder HTTP surface end to
+// end: place a wave, complete one job, fail a platform, and check that
+// /debug/trace?job= reconstructs a single job's lifecycle while
+// /debug/trace/recent returns the global tail.
+func TestDebugTraceEndpoints(t *testing.T) {
+	pred, ds := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	if err := s.EnablePlacement(PlacementConfig{Policy: "bound", Eps: 0.1, MaxColocation: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	var jobs []sched.Job
+	for w := 0; w < 4; w++ {
+		b, err := pred.Bound(w, w%ds.NumPlatforms(), nil, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, sched.Job{Workload: w, Deadline: b * 3})
+	}
+	as, err := s.PlaceJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed []sched.Assignment
+	for _, a := range as {
+		if a.Placed() {
+			placed = append(placed, a)
+		}
+	}
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+	if _, _, _, err := s.CompleteJobs([]sched.JobID{placed[0].ID}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var tr TraceResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/trace?job="+strconv.FormatUint(uint64(placed[0].ID), 10), &tr); code != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", code)
+	}
+	kinds := map[string]int{}
+	for _, e := range tr.Events {
+		if e.Job != uint64(placed[0].ID) {
+			t.Fatalf("foreign event in job trace: %+v", e)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds["place"] != 1 || kinds["complete"] != 1 {
+		t.Fatalf("job trace missing place/complete: %v", kinds)
+	}
+
+	var recent TraceResponse
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/trace/recent", &recent); code != http.StatusOK {
+		t.Fatalf("/debug/trace/recent: status %d", code)
+	}
+	if len(recent.Events) == 0 || recent.Total == 0 {
+		t.Fatalf("recent trace empty: %+v", recent)
+	}
+	for i := 1; i < len(recent.Events); i++ {
+		if recent.Events[i].Seq <= recent.Events[i-1].Seq {
+			t.Fatalf("recent events out of order at %d", i)
+		}
+	}
+
+	// Parameter validation.
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/trace", nil); code != http.StatusBadRequest {
+		t.Fatalf("missing job param: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/trace?job=frog", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad job param: status %d, want 400", code)
+	}
+	if code := getJSON(t, ts.Client(), ts.URL+"/debug/trace/recent?n=0", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad n param: status %d, want 400", code)
+	}
+}
+
+// TestDebugTraceDisabled pins the gating: without placement (or with a
+// negative TraceDepth) the endpoints answer 503, not empty traces.
+func TestDebugTraceDisabled(t *testing.T) {
+	pred, _ := testPredictor(t)
+	s := New(pred, Config{})
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+	for _, path := range []string{"/debug/trace?job=1", "/debug/trace/recent"} {
+		if code := getJSON(t, ts.Client(), ts.URL+path, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s with recorder off: status %d, want 503", path, code)
+		}
+	}
+
+	// TraceDepth < 0 disables the recorder but keeps placement (and its
+	// histograms) fully functional.
+	s2 := New(pred, Config{})
+	defer s2.Close()
+	if err := s2.EnablePlacement(PlacementConfig{Policy: "bound", Eps: 0.1, TraceDepth: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.FlightRecorder() != nil {
+		t.Fatal("recorder attached despite TraceDepth < 0")
+	}
+	if _, err := s2.PlaceJobs([]sched.Job{{Workload: 0, Deadline: 1e9}}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.schedMetrics.WavePlace.Count() == 0 {
+		t.Fatal("placement histograms dead with recorder disabled")
+	}
+}

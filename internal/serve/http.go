@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"time"
 
 	pitot "repro"
 	"repro/internal/sched"
@@ -164,7 +165,12 @@ type HealthResponse struct {
 	Platforms    int     `json:"platforms"`
 	Bounds       bool    `json:"bounds"`
 	FastScoring  bool    `json:"fast_scoring"`
-	Metrics      Metrics `json:"metrics"`
+	// UptimeSeconds is the time since the server was constructed;
+	// BuildVersion is the binary stamp injected at link time (cmd/serve
+	// builds with -ldflags "-X main.buildVersion=...", default "dev").
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	BuildVersion  string  `json:"build_version"`
+	Metrics       Metrics `json:"metrics"`
 }
 
 type errorResponse struct {
@@ -182,6 +188,8 @@ type errorResponse struct {
 //	POST /recover   — admin: re-admit a failed/quarantined platform (half-open)
 //	GET  /healthz   — liveness, snapshot info, and serving metrics
 //	GET  /metrics   — Prometheus plain-text exposition of the same counters
+//	GET  /debug/trace?job=ID    — flight-recorder events for one job
+//	GET  /debug/trace/recent    — the most recent flight-recorder events
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/estimate", func(w http.ResponseWriter, r *http.Request) {
@@ -197,6 +205,8 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/recover", s.handleRecover)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/trace/recent", s.handleTraceRecent)
 	return mux
 }
 
@@ -241,6 +251,13 @@ func (s *Server) handlePrediction(w http.ResponseWriter, r *http.Request, bound 
 		writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	// End-to-end handler latency: decode + queue wait + flush + encode.
+	h := s.hists.estimate
+	if bound {
+		h = s.hists.bound
+	}
+	start := time.Now()
+	defer h.ObserveSince(start)
 	var req EstimateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -311,6 +328,8 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ErrPlacementDisabled)
 		return
 	}
+	start := time.Now()
+	defer s.hists.place.ObserveSince(start)
 	var req PlaceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
@@ -499,13 +518,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	info := s.Info()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		OK:           true,
-		Version:      info.Version,
-		Observations: info.Observations,
-		Workloads:    info.Workloads,
-		Platforms:    info.Platforms,
-		Bounds:       info.Bounds,
-		FastScoring:  info.FastScoring,
-		Metrics:      s.Metrics(),
+		OK:            true,
+		Version:       info.Version,
+		Observations:  info.Observations,
+		Workloads:     info.Workloads,
+		Platforms:     info.Platforms,
+		Bounds:        info.Bounds,
+		FastScoring:   info.FastScoring,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		BuildVersion:  s.cfg.BuildVersion,
+		Metrics:       s.Metrics(),
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	pitot "repro"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -59,6 +60,13 @@ type PlacementConfig struct {
 	// matter which replica handles it; set >1 only when callers accept
 	// shard-local placement.
 	Shards int
+	// TraceDepth sizes the flight-recorder ring behind /debug/trace
+	// (retained lifecycle events, overwrite-oldest). 0 uses
+	// obs.DefaultTraceDepth; a negative depth disables the recorder
+	// entirely (the scheduler's record sites reduce to one nil check).
+	// The pitot_place_* latency histograms are always attached — they are
+	// lock-free atomics with no retention to size.
+	TraceDepth int
 }
 
 // Placer is the placement engine behind /place — either a
@@ -113,6 +121,11 @@ type backendPredictor struct{ be Backend }
 type ScorerBackend interface {
 	ScoreSecondsBatch(qs []pitot.Query, eps float64, meanOut, boundOut []float64)
 }
+
+// Version reports the backend's published snapshot version; the scheduler
+// stamps it onto flight-recorder events so a trace can be correlated with
+// the model snapshot that scored each decision.
+func (b backendPredictor) Version() uint64 { return b.be.Info().Version }
 
 func (b backendPredictor) EstimateSeconds(w, pl int, interferers []int) float64 {
 	return b.be.Estimate(w, pl, interferers)
@@ -180,6 +193,13 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 	if sb, ok := s.be.(ScorerBackend); ok {
 		pred = fusedBackendPredictor{backendPredictor{s.be}, sb}
 	}
+	// Observability: the placement-stack histograms are always attached
+	// (atomic counters, no retention); the flight recorder is sized by
+	// TraceDepth and skipped entirely when it is negative.
+	s.schedMetrics = obs.NewSchedMetrics("pitot_place_")
+	if pc.TraceDepth >= 0 {
+		s.recorder = obs.NewRecorder(pc.TraceDepth)
+	}
 	cfg := sched.Config{
 		NumPlatforms:    pc.Platforms,
 		MaxColocation:   pc.MaxColocation,
@@ -188,6 +208,8 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 		WaveChunk:       pc.WaveChunk,
 		DegradedPenalty: pc.DegradedPenalty,
 		Breaker:         pc.Breaker,
+		Metrics:         s.schedMetrics,
+		Recorder:        s.recorder,
 	}
 	if pc.Replicas > 1 {
 		shards := pc.Shards

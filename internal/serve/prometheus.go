@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 )
 
 // WritePrometheus renders the server's counters and snapshot gauges in the
@@ -58,6 +59,15 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "# HELP pitot_place_in_flight Placed jobs not yet completed.\n# TYPE pitot_place_in_flight gauge\npitot_place_in_flight %d\n",
 			s.placer.InFlight())
+		// Placement-stack latency histograms (attached by EnablePlacement):
+		// batched scoring, whole-wave placement, per-chunk scheduler-lock
+		// hold, and the wave-size distribution.
+		if s.schedMetrics != nil {
+			s.schedMetrics.ScoreBatch.WritePrometheus(&b)
+			s.schedMetrics.WavePlace.WritePrometheus(&b)
+			s.schedMetrics.ChunkHold.WritePrometheus(&b)
+			s.schedMetrics.WaveSize.WritePrometheus(&b)
+		}
 		// 0=healthy 1=degraded 2=quarantined 3=down, matching sched.HealthState.
 		fmt.Fprintf(&b, "# HELP pitot_platform_health Platform health state (0=healthy 1=degraded 2=quarantined 3=down).\n# TYPE pitot_platform_health gauge\n")
 		for p, h := range s.placer.HealthSnapshot() {
@@ -72,6 +82,17 @@ func (s *Server) WritePrometheus(w io.Writer) error {
 	for p, lag := range s.PlatformCalibrationLag() {
 		fmt.Fprintf(&b, "pitot_platform_calibration_lag{platform=\"%d\"} %d\n", p, lag)
 	}
+
+	// End-to-end request-latency histograms on the ungated serving surface.
+	s.hists.estimate.WritePrometheus(&b)
+	s.hists.bound.WritePrometheus(&b)
+	s.hists.place.WritePrometheus(&b)
+	s.hists.observeFlush.WritePrometheus(&b)
+
+	fmt.Fprintf(&b, "# HELP pitot_uptime_seconds Time since the server started.\n# TYPE pitot_uptime_seconds gauge\npitot_uptime_seconds %g\n",
+		time.Since(s.start).Seconds())
+	fmt.Fprintf(&b, "# HELP pitot_build_info Build metadata (constant 1; version from -ldflags).\n# TYPE pitot_build_info gauge\npitot_build_info{version=%q} 1\n",
+		s.cfg.BuildVersion)
 
 	fast := 0
 	if info.FastScoring {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	pitot "repro"
+	"repro/internal/obs"
 )
 
 // Backend is the predictor surface the server batches over. *pitot.Predictor
@@ -71,6 +72,9 @@ type Config struct {
 	// MaxQueue bounds the admission queue (default 4096). Requests beyond
 	// it fail with ErrOverloaded.
 	MaxQueue int
+	// BuildVersion stamps /healthz and the pitot_build_info metric; cmd/serve
+	// injects it via -ldflags "-X main.buildVersion=...". Empty means "dev".
+	BuildVersion string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,7 +87,30 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 4096
 	}
+	if c.BuildVersion == "" {
+		c.BuildVersion = "dev"
+	}
 	return c
+}
+
+// serveHists holds the request-latency histograms on the ungated serving
+// surface. They exist from New on (no placement required) so /metrics always
+// exposes the full latency shape of the prediction path.
+type serveHists struct {
+	estimate     *obs.Histogram // end-to-end /estimate handler latency
+	bound        *obs.Histogram // end-to-end /bound handler latency
+	place        *obs.Histogram // end-to-end /place handler latency
+	observeFlush *obs.Histogram // Observe: backend fine-tune + publish duration
+}
+
+func newServeHists() serveHists {
+	lb := obs.LatencyBuckets()
+	return serveHists{
+		estimate:     obs.NewHistogram("pitot_http_estimate_seconds", "End-to-end /estimate request latency.", lb),
+		bound:        obs.NewHistogram("pitot_http_bound_seconds", "End-to-end /bound request latency.", lb),
+		place:        obs.NewHistogram("pitot_http_place_seconds", "End-to-end /place request latency.", lb),
+		observeFlush: obs.NewHistogram("pitot_observe_flush_seconds", "Observe flush duration (fine-tune + snapshot publish).", lb),
+	}
 }
 
 // request is one queued Estimate or Bound call.
@@ -124,6 +151,18 @@ type Server struct {
 	flushes       sync.WaitGroup
 
 	metrics metrics
+	hists   serveHists
+
+	// start anchors the uptime gauge; both /healthz and /metrics report
+	// time since New.
+	start time.Time
+
+	// recorder is the placement flight recorder (nil until EnablePlacement
+	// runs with tracing on); schedMetrics are the placement-stack latency
+	// histograms exposed under pitot_place_*. Both feed /debug/trace and
+	// the gated /metrics block.
+	recorder     *obs.Recorder
+	schedMetrics *obs.SchedMetrics
 
 	// placer is the optional orchestration engine behind /place; nil until
 	// EnablePlacement. Its decisions read the same lock-free snapshot the
@@ -156,6 +195,8 @@ func New(be Backend, cfg Config) *Server {
 		cfg:           cfg.withDefaults(),
 		closing:       make(chan struct{}),
 		collectorDone: make(chan struct{}),
+		hists:         newServeHists(),
+		start:         time.Now(),
 	}
 	s.queue = make(chan *request, s.cfg.MaxQueue)
 	go s.collect()
@@ -201,14 +242,16 @@ func (s *Server) Bound(ctx context.Context, q pitot.Query, eps float64) (float64
 // no batching: its latency is the fine-tune itself. Successful calls
 // advance each touched platform's calibration watermark, the basis of the
 // per-platform staleness gauge in /metrics.
-func (s *Server) Observe(obs []pitot.Observation) error {
+func (s *Server) Observe(observations []pitot.Observation) error {
 	s.metrics.observes.Add(1)
-	err := s.be.Observe(obs)
+	start := time.Now()
+	err := s.be.Observe(observations)
+	s.hists.observeFlush.ObserveSince(start)
 	if err != nil {
 		s.metrics.observeErrors.Add(1)
 		return err
 	}
-	s.metrics.noteCalibrated(obs, s.be.Info().Version)
+	s.metrics.noteCalibrated(observations, s.be.Info().Version)
 	return nil
 }
 
