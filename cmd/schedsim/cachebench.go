@@ -1,0 +1,363 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	pitot "repro"
+	"repro/internal/dataset"
+	"repro/internal/sched"
+)
+
+// cacheBenchConfig drives the -cache-bench mode: a single scheduler places
+// identical pre-generated wave streams with the score cache off and on,
+// across a sweep of churn rates (the fraction of each wave that actually
+// lands and completes, mutating platform slot versions). Decisions are
+// asserted bitwise identical between the arms before any throughput is
+// reported, so the curve can never be bought with a behavior change.
+type cacheBenchConfig struct {
+	Cluster  *dataset.Dataset
+	Pred     *pitot.Predictor
+	Strategy sched.Strategy
+
+	Seed  int64
+	Eps   float64
+	Coloc int
+	Chunk int
+
+	Wave   int       // jobs per wave
+	Rounds int       // waves per timed run
+	Churns []float64 // fraction of each wave placed-and-completed
+	Reps   int       // timed repetitions per (churn, arm); best reported
+
+	JSONPath string
+	// HitMin gates the lowest-churn point's cache hit rate (CI smoke; 0 = off).
+	HitMin float64
+}
+
+// cacheBenchPoint is one churn rate on the cache-on vs cache-off curve.
+type cacheBenchPoint struct {
+	Churn  int `json:"churn_jobs_per_wave"`
+	Placed int `json:"placed"`
+	Scored int `json:"scored_jobs"`
+	// ChurnRate is placed-per-wave over wave size — the x axis of the
+	// hit-rate curve.
+	ChurnRate  float64 `json:"churn_rate"`
+	SecondsOff float64 `json:"seconds_off"`
+	SecondsOn  float64 `json:"seconds_on"`
+	// Placements (and scored jobs) per wall-clock second for each arm; the
+	// arms place identical streams, so Speedup is also the wall-time ratio.
+	PlaceRateOff float64 `json:"placements_per_sec_off"`
+	PlaceRateOn  float64 `json:"placements_per_sec_on"`
+	JobRateOff   float64 `json:"jobs_per_sec_off"`
+	JobRateOn    float64 `json:"jobs_per_sec_on"`
+	Speedup      float64 `json:"speedup"`
+
+	HitRate       float64 `json:"hit_rate"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+}
+
+type cacheBenchReport struct {
+	Bench      string            `json:"bench"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Platforms  int               `json:"platforms"`
+	Wave       int               `json:"wave"`
+	Rounds     int               `json:"rounds"`
+	Workloads  int               `json:"distinct_workloads"`
+	Points     []cacheBenchPoint `json:"points"`
+}
+
+// cacheWorkloadPool bounds the distinct workloads in play so cross-wave
+// reuse is realistic: production wave streams draw from a recurring job
+// catalog, not 40 fresh workloads per wave.
+const cacheWorkloadPool = 12
+
+// cacheBenchPlatforms is the steady-state cluster the curve is measured
+// on — the same 24-platform subset the package placement benchmarks use
+// (the scheduler scores a platform prefix of the trained dataset).
+const cacheBenchPlatforms = 24
+
+// benchPlatforms caps the scheduler's platform count at the standard bench
+// subset without exceeding what the dataset actually has.
+func (cfg cacheBenchConfig) benchPlatforms() int {
+	if n := cfg.Cluster.NumPlatforms(); n < cacheBenchPlatforms {
+		return n
+	}
+	return cacheBenchPlatforms
+}
+
+// cacheStreams pre-generates the wave stream for one churn point: nFeas
+// jobs per wave with generous deadlines (they place, complete, and bump
+// slot versions — the churn) and the rest with deadlines no platform can
+// meet (scored everywhere, placed nowhere). Generation stays outside the
+// timed region, and both arms replay the identical slice.
+func cacheStreams(cfg cacheBenchConfig, nFeas int) [][]sched.Job {
+	rng := rand.New(rand.NewSource(cfg.Seed + 4271))
+	waves := make([][]sched.Job, cfg.Rounds)
+	for r := range waves {
+		wave := make([]sched.Job, cfg.Wave)
+		for i := range wave {
+			w := rng.Intn(cacheWorkloadPool)
+			est := cfg.Pred.Estimate(w, rng.Intn(cfg.benchPlatforms()), nil)
+			if i < nFeas {
+				wave[i] = sched.Job{Workload: w, Deadline: est * (2 + 2*rng.Float64())}
+			} else {
+				wave[i] = sched.Job{Workload: w, Deadline: est * 1e-9}
+			}
+		}
+		waves[r] = wave
+	}
+	return waves
+}
+
+// runCacheArm replays the wave stream on a fresh scheduler and returns the
+// timed wall-clock, the placement count, and (when record is set) every
+// wave's assignments for the identity check. Placed jobs complete at the
+// end of their wave, so occupancy returns to the pre-filled baseline and
+// every wave sees the same steady state.
+func runCacheArm(cfg cacheBenchConfig, waves [][]sched.Job, cacheOn, record bool) (time.Duration, int, [][]sched.Assignment, sched.ScoreCacheStats, error) {
+	s, err := sched.New(sched.Config{
+		NumPlatforms:  cfg.benchPlatforms(),
+		MaxColocation: cfg.Coloc,
+		WaveChunk:     cfg.Chunk,
+		Strategy:      cfg.Strategy,
+		ScoreCache:    cacheOn,
+	}, sched.BoundPolicy{Eps: cfg.Eps}, cfg.Pred)
+	if err != nil {
+		return 0, 0, nil, sched.ScoreCacheStats{}, err
+	}
+
+	// Pre-fill to ~60% occupancy outside the timed region: long-lived
+	// residents give every scored column a realistic interference set.
+	fill := rand.New(rand.NewSource(cfg.Seed + 911))
+	target := cfg.benchPlatforms() * cfg.Coloc * 6 / 10
+	for placed := 0; placed < target; {
+		w := fill.Intn(cacheWorkloadPool)
+		est := cfg.Pred.Estimate(w, fill.Intn(cfg.benchPlatforms()), nil)
+		as := s.PlaceAll([]sched.Job{{Workload: w, Deadline: est * 4}})
+		if !as[0].Placed() {
+			break // capacity-shaped refusal; the fill is as deep as it gets
+		}
+		placed++
+	}
+
+	var recorded [][]sched.Assignment
+	if record {
+		recorded = make([][]sched.Assignment, 0, len(waves))
+	}
+	ids := make([]sched.JobID, 0, cfg.Wave)
+	runtime.GC()
+	placed := 0
+	start := time.Now()
+	for _, wave := range waves {
+		ids = ids[:0]
+		as := s.PlaceAll(wave)
+		for _, a := range as {
+			if a.Placed() {
+				ids = append(ids, a.ID)
+			}
+		}
+		placed += len(ids)
+		for _, id := range ids {
+			if err := s.Complete(id); err != nil {
+				return 0, 0, nil, sched.ScoreCacheStats{}, fmt.Errorf("complete(%d): %v", id, err)
+			}
+		}
+		if record {
+			recorded = append(recorded, as)
+		}
+	}
+	elapsed := time.Since(start)
+	st, _ := s.ScoreCacheStats()
+	return elapsed, placed, recorded, st, nil
+}
+
+// assertCacheIdentity compares the two arms' recorded assignment streams
+// bitwise: same platform, budget, rejection flag, and unplaced reason for
+// every job of every wave.
+func assertCacheIdentity(off, on [][]sched.Assignment) error {
+	if len(off) != len(on) {
+		return fmt.Errorf("recorded %d waves cache-off vs %d cache-on", len(off), len(on))
+	}
+	for w := range off {
+		for j := range off[w] {
+			a, b := off[w][j], on[w][j]
+			if a.Platform != b.Platform || a.Budget != b.Budget ||
+				a.Rejected != b.Rejected || a.Reason != b.Reason {
+				return fmt.Errorf("decision divergence at wave %d job %d: cache-off %+v vs cache-on %+v", w, j, a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// runCacheBench sweeps the churn rates, checks decision identity at every
+// point, and reports (and optionally gates and persists) the speedup and
+// hit-rate curve.
+func runCacheBench(cfg cacheBenchConfig) error {
+	fmt.Printf("score-cache bench: %d-job waves x %d rounds on %d platforms, %d distinct workloads (gomaxprocs %d)\n",
+		cfg.Wave, cfg.Rounds, cfg.benchPlatforms(), cacheWorkloadPool, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-8s %8s %8s %10s %10s %11s %11s %8s %9s %8s\n",
+		"churn", "placed", "scored", "off-wall", "on-wall", "off-jobs/s", "on-jobs/s", "speedup", "hit-rate", "invalid")
+
+	report := cacheBenchReport{
+		Bench:      "score_cache",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Platforms:  cfg.benchPlatforms(),
+		Wave:       cfg.Wave,
+		Rounds:     cfg.Rounds,
+		Workloads:  cacheWorkloadPool,
+	}
+	reps := cfg.Reps
+	if reps < 1 {
+		reps = 1
+	}
+
+	// Warm-up: one short discarded run per arm so lazy allocations and cold
+	// instruction caches are not charged to the first churn point.
+	warmWaves := cacheStreams(cfg, 1)
+	if len(warmWaves) > 20 {
+		warmWaves = warmWaves[:20]
+	}
+	for _, on := range []bool{false, true} {
+		if _, _, _, _, err := runCacheArm(cfg, warmWaves, on, false); err != nil {
+			return err
+		}
+	}
+
+	for _, churn := range cfg.Churns {
+		nFeas := int(math.Round(churn * float64(cfg.Wave)))
+		if nFeas < 1 {
+			nFeas = 1
+		}
+		waves := cacheStreams(cfg, nFeas)
+
+		// Identity first, untimed: the recorded comparison run also doubles
+		// as a second warm-up for this point's streams.
+		_, _, offAs, _, err := runCacheArm(cfg, waves, false, true)
+		if err != nil {
+			return err
+		}
+		_, _, onAs, _, err := runCacheArm(cfg, waves, true, true)
+		if err != nil {
+			return err
+		}
+		if err := assertCacheIdentity(offAs, onAs); err != nil {
+			return fmt.Errorf("churn %.3f: %v", churn, err)
+		}
+
+		var pt cacheBenchPoint
+		pt.Churn = nFeas
+		pt.ChurnRate = float64(nFeas) / float64(cfg.Wave)
+		pt.Scored = cfg.Wave * cfg.Rounds
+		offBest, onBest := time.Duration(math.MaxInt64), time.Duration(math.MaxInt64)
+		for rep := 0; rep < reps; rep++ {
+			off, placed, _, _, err := runCacheArm(cfg, waves, false, false)
+			if err != nil {
+				return err
+			}
+			on, placedOn, _, st, err := runCacheArm(cfg, waves, true, false)
+			if err != nil {
+				return err
+			}
+			if placed != placedOn {
+				return fmt.Errorf("churn %.3f rep %d: placed %d cache-off vs %d cache-on", churn, rep, placed, placedOn)
+			}
+			pt.Placed = placed
+			if off < offBest {
+				offBest = off
+			}
+			if on < onBest {
+				onBest = on
+				pt.Hits, pt.Misses = st.Hits, st.Misses
+				pt.Evictions, pt.Invalidations = st.Evictions, st.Invalidations
+			}
+		}
+		pt.SecondsOff = offBest.Seconds()
+		pt.SecondsOn = onBest.Seconds()
+		if pt.SecondsOff > 0 {
+			pt.PlaceRateOff = float64(pt.Placed) / pt.SecondsOff
+			pt.JobRateOff = float64(pt.Scored) / pt.SecondsOff
+		}
+		if pt.SecondsOn > 0 {
+			pt.PlaceRateOn = float64(pt.Placed) / pt.SecondsOn
+			pt.JobRateOn = float64(pt.Scored) / pt.SecondsOn
+			pt.Speedup = pt.SecondsOff / pt.SecondsOn
+		}
+		if total := pt.Hits + pt.Misses; total > 0 {
+			pt.HitRate = float64(pt.Hits) / float64(total)
+		}
+		report.Points = append(report.Points, pt)
+		fmt.Printf("%-8.3f %8d %8d %9.3fs %9.3fs %11.0f %11.0f %7.2fx %8.1f%% %8d\n",
+			pt.ChurnRate, pt.Placed, pt.Scored, pt.SecondsOff, pt.SecondsOn,
+			pt.JobRateOff, pt.JobRateOn, pt.Speedup, 100*pt.HitRate, pt.Invalidations)
+	}
+	fmt.Println("\nchurn:    fraction of each wave that places and completes (slot-version churn)")
+	fmt.Println("speedup:  cache-off wall time over cache-on, identical streams, decisions asserted identical")
+	fmt.Println("hit-rate: distinct-workload score columns served from the cross-wave cache")
+
+	if cfg.JSONPath != "" {
+		if err := writeBenchJSON(cfg.JSONPath, report); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", cfg.JSONPath)
+	}
+	if cfg.HitMin > 0 {
+		low := report.Points[0]
+		if low.HitRate < cfg.HitMin {
+			return fmt.Errorf("require-hit-min: hit rate %.1f%% at churn %.3f below the %.1f%% floor",
+				100*low.HitRate, low.ChurnRate, 100*cfg.HitMin)
+		}
+	}
+	return nil
+}
+
+// writeBenchJSON persists any bench report with the indentation the replica
+// bench established.
+func writeBenchJSON(path string, report any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseChurns parses the -cache-churns syntax: comma-separated fractions
+// in (0,1], e.g. "0.03,0.125,0.5,1".
+func parseChurns(s string) ([]float64, error) {
+	var out []float64
+	for _, cs := range strings.Split(s, ",") {
+		cs = strings.TrimSpace(cs)
+		if cs == "" {
+			continue
+		}
+		c, err := strconv.ParseFloat(cs, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cache-churns: bad fraction %q: %v", cs, err)
+		}
+		if c <= 0 || c > 1 {
+			return nil, fmt.Errorf("cache-churns: fraction %g outside (0,1]", c)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cache-churns: no fractions given")
+	}
+	return out, nil
+}

@@ -14,6 +14,9 @@ type SchedMetrics struct {
 	ChunkHold *Histogram
 	// WaveSize is the distribution of PlaceAll wave sizes (jobs).
 	WaveSize *Histogram
+	// CacheLookup is the latency of one score-cache column lookup
+	// (seconds), recorded only on the memoized wave path.
+	CacheLookup *Histogram
 }
 
 // NewSchedMetrics builds the placement histogram set with the given family
@@ -28,5 +31,7 @@ func NewSchedMetrics(prefix string) *SchedMetrics {
 			"Scheduler lock hold time per wave chunk.", LatencyBuckets()),
 		WaveSize: NewHistogram(prefix+"wave_jobs",
 			"Distribution of placement wave sizes.", SizeBuckets()),
+		CacheLookup: NewHistogram(prefix+"score_cache_lookup_seconds",
+			"Latency of one score-cache column lookup.", LatencyBuckets()),
 	}
 }

@@ -99,6 +99,10 @@ type Event struct {
 	Reason   Reason
 	Platform int32
 	N        int32
+	// Cached is, on EvScore events from the memoized wave path, how many
+	// of the chunk's distinct column scores were served from the
+	// cross-wave score cache instead of the predictor; 0 elsewhere.
+	Cached int32
 }
 
 // Recorder is a bounded ring of Events with overwrite-oldest semantics.

@@ -274,6 +274,7 @@ func (s *Scheduler) Fail(p int) ([]Orphan, error) {
 		return nil, nil
 	}
 	s.stats.Fails++
+	s.bumpSlotLocked(p)
 	rs := s.residents[p]
 	if len(rs) == 0 {
 		return nil, nil
@@ -309,6 +310,7 @@ func (s *Scheduler) Degrade(p int) error {
 	}
 	if h.degrade() {
 		s.stats.Degrades++
+		s.bumpSlotLocked(p)
 	}
 	return nil
 }
@@ -329,6 +331,7 @@ func (s *Scheduler) Recover(p int) error {
 	}
 	readmitted, closed := h.recover(s.breaker.Probation)
 	s.stats.Recovers++
+	s.bumpSlotLocked(p)
 	if readmitted {
 		s.stats.Readmissions++
 		if s.rec != nil {
@@ -408,6 +411,11 @@ func (s *Scheduler) noteOutcomeLocked(p int, miss bool) bool {
 	}
 	if closed {
 		s.stats.Closes++
+	}
+	if tripped || closed {
+		// State transitions only — plain in-window outcomes change nothing a
+		// cached score column depends on.
+		s.bumpSlotLocked(p)
 	}
 	return tripped
 }

@@ -174,43 +174,50 @@ func (r *Replica) placeChunk(jobs []Job, out []Assignment) {
 			continue
 		}
 		prescored[si] = true
+		if set.cache != nil {
+			continue // the memoized path builds per-column queries itself
+		}
 		for j := range jobs {
 			qs = append(qs, Query{Workload: jobs[j].Workload, Platform: p, Interferers: v.ks})
 		}
 	}
-	pre := sc.pre[:len(qs)]
-	preRank := sc.preRank[:len(qs)]
-	var scoreStart time.Time
-	if set.met != nil {
-		scoreStart = time.Now()
-	}
-	if dual {
-		set.dpolicy.ScoreDualBatch(set.bpred, qs, pre, preRank)
-	} else {
-		set.bpolicy.ScoreBatch(set.bpred, qs, pre)
-	}
-	if set.met != nil {
-		set.met.ScoreBatch.ObserveSince(scoreStart)
-	}
-	if set.rec != nil {
-		set.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
-			Version: set.snapVersion()})
-	}
 	scoreAt := sc.scoreAt[:nS*nJ]
 	rankAt := sc.rankAt[:nS*nJ]
-	next := 0
-	for si := 0; si < nS; si++ {
-		if !prescored[si] {
-			for j := 0; j < nJ; j++ {
-				scoreAt[si*nJ+j] = math.NaN()
-			}
-			continue
+	if set.cache != nil {
+		r.prescoreChunkCached(jobs, shard, prescored, scoreAt, rankAt, dual)
+	} else {
+		pre := sc.pre[:len(qs)]
+		preRank := sc.preRank[:len(qs)]
+		var scoreStart time.Time
+		if set.met != nil {
+			scoreStart = time.Now()
 		}
-		copy(scoreAt[si*nJ:(si+1)*nJ], pre[next:next+nJ])
 		if dual {
-			copy(rankAt[si*nJ:(si+1)*nJ], preRank[next:next+nJ])
+			set.dpolicy.ScoreDualBatch(set.bpred, qs, pre, preRank)
+		} else {
+			set.bpolicy.ScoreBatch(set.bpred, qs, pre)
 		}
-		next += nJ
+		if set.met != nil {
+			set.met.ScoreBatch.ObserveSince(scoreStart)
+		}
+		if set.rec != nil {
+			set.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
+				Version: set.snapVersion()})
+		}
+		next := 0
+		for si := 0; si < nS; si++ {
+			if !prescored[si] {
+				for j := 0; j < nJ; j++ {
+					scoreAt[si*nJ+j] = math.NaN()
+				}
+				continue
+			}
+			copy(scoreAt[si*nJ:(si+1)*nJ], pre[next:next+nJ])
+			if dual {
+				copy(rankAt[si*nJ:(si+1)*nJ], preRank[next:next+nJ])
+			}
+			next += nJ
+		}
 	}
 
 	cands := sc.cands[:0]
@@ -311,9 +318,114 @@ func (r *Replica) placeChunk(jobs []Job, out []Assignment) {
 	}
 }
 
+// prescoreChunkCached is placeChunk's memoized pre-score, mirroring
+// Scheduler.prescoreCachedLocked over the shard's view snapshots: the
+// chunk's jobs dedup to distinct workloads once, then each prescored
+// platform's column is served through the shared cross-wave cache keyed on
+// the view's SlotStore version — the same versions the optimistic commit
+// protocol already validates at reserve time, so a cached column is
+// provably the one this view would have scored.
+func (r *Replica) prescoreChunkCached(jobs []Job, shard []int, prescored []bool, scoreAt, rankAt []float64, dual bool) {
+	set := r.set
+	nJ := len(jobs)
+	sc := &r.scratch
+	sc.reserveCache(len(shard), nJ)
+	distinct, nD := dedupJobs(jobs, 0, sc.distinct, sc.dIdx)
+	sc.distinct = distinct
+	epoch := set.epoch()
+	cached := 0
+	qs := sc.colQ[:0]
+	missAt := sc.missW[:0] // flat column-grid index (si*nD+d) per miss
+	for si, p := range shard {
+		if !prescored[si] {
+			for j := 0; j < nJ; j++ {
+				scoreAt[si*nJ+j] = math.NaN()
+			}
+			continue
+		}
+		v := &r.views[p]
+		base := si * nD
+		feas := sc.colFeas[base : base+nD]
+		rank := sc.colRank[base : base+nD]
+		hit := sc.colHit[base : base+nD]
+		var lookStart time.Time
+		if set.met != nil {
+			lookStart = time.Now()
+		}
+		nHit := set.cache.lookup(p, v.ver, epoch, distinct, feas, rank, hit)
+		if set.met != nil {
+			set.met.CacheLookup.ObserveSince(lookStart)
+		}
+		cached += nHit
+		if nHit == nD {
+			continue
+		}
+		for d, w := range distinct {
+			if !hit[d] {
+				qs = append(qs, Query{Workload: w, Platform: p, Interferers: v.ks})
+				missAt = append(missAt, base+d)
+			}
+		}
+	}
+	if len(qs) > 0 {
+		missFeas := sc.missFeas[:len(qs)]
+		missRank := sc.missRank[:len(qs)]
+		var scoreStart time.Time
+		if set.met != nil {
+			scoreStart = time.Now()
+		}
+		if dual {
+			set.dpolicy.ScoreDualBatch(set.bpred, qs, missFeas, missRank)
+		} else {
+			set.bpolicy.ScoreBatch(set.bpred, qs, missFeas)
+			copy(missRank, missFeas)
+		}
+		if set.met != nil {
+			set.met.ScoreBatch.ObserveSince(scoreStart)
+		}
+		for i, at := range missAt {
+			sc.colFeas[at], sc.colRank[at] = missFeas[i], missRank[i]
+		}
+		// One whole-column store per refreshed column; already-cached
+		// entries are skipped by the insert guard.
+		prev := -1
+		for i, at := range missAt {
+			si := at / nD
+			if si == prev {
+				continue
+			}
+			prev = si
+			base := si * nD
+			s := set.cache
+			s.store(qs[i].Platform, r.views[qs[i].Platform].ver, epoch, distinct,
+				sc.colFeas[base:base+nD], sc.colRank[base:base+nD])
+		}
+	}
+	for si := range shard {
+		if !prescored[si] {
+			continue
+		}
+		base := si * nD
+		for j := 0; j < nJ; j++ {
+			d := sc.dIdx[j]
+			scoreAt[si*nJ+j] = sc.colFeas[base+d]
+			if dual {
+				rankAt[si*nJ+j] = sc.colRank[base+d]
+			}
+		}
+	}
+	if set.rec != nil {
+		set.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
+			Cached: int32(cached), Version: set.snapVersion()})
+	}
+}
+
 // rescoreColumn re-scores platform p for jobs[from:] against the view's
 // refreshed residents in one batched span, updating the chunk's score
-// table — the scheduler's dirty-platform re-score.
+// table — the scheduler's dirty-platform re-score. On the memoized path
+// the column goes through the cache under the view's refreshed version:
+// after a conflict refresh the column another replica just scored (and
+// cached) for the same state is served without touching the predictor.
 func (r *Replica) rescoreColumn(p int, jobs []Job, from int, scoreAt, rankAt []float64) {
 	set := r.set
 	dual := set.dpolicy != nil
@@ -321,6 +433,22 @@ func (r *Replica) rescoreColumn(p int, jobs []Job, from int, scoreAt, rankAt []f
 	si := r.slotOf[p]
 	ks := r.views[p].ks
 	sc := &r.scratch
+	if set.cache != nil {
+		distinct, nD := dedupJobs(jobs, from, sc.distinct, sc.dIdx)
+		sc.distinct = distinct
+		feas := sc.colFeas[:nD]
+		rank := sc.colRank[:nD]
+		scoreColumnCached(set.cache, set.met, set.bpred, set.bpolicy, set.dpolicy,
+			sc, p, r.views[p].ver, set.epoch(), distinct, ks, feas, rank)
+		for i, j := 0, from; j < nJ; i, j = i+1, j+1 {
+			d := sc.dIdx[i]
+			scoreAt[si*nJ+j] = feas[d]
+			if dual {
+				rankAt[si*nJ+j] = rank[d]
+			}
+		}
+		return
+	}
 	rescoreQ := sc.rescoreQ[:0]
 	for j := from; j < nJ; j++ {
 		rescoreQ = append(rescoreQ, Query{Workload: jobs[j].Workload, Platform: p, Interferers: ks})

@@ -113,6 +113,31 @@ type ReplicaSet struct {
 	met *obs.SchedMetrics
 	rec *obs.Recorder
 	ver func() uint64
+
+	// cache is the cross-wave score cache shared by every replica
+	// (Config.ScoreCache); nil when disabled. Columns key on SlotStore
+	// versions, so one replica's fresh scoring serves another replica's
+	// identical view. epochFn reads the predictor's scoring epoch.
+	cache   *ScoreCache
+	epochFn func() uint64
+}
+
+// epoch returns the predictor's current scoring epoch, or 0 for
+// epoch-less predictors.
+func (rs *ReplicaSet) epoch() uint64 {
+	if rs.epochFn == nil {
+		return 0
+	}
+	return rs.epochFn()
+}
+
+// ScoreCacheStats returns the shared score cache's counters and whether
+// the cache is enabled on this set.
+func (rs *ReplicaSet) ScoreCacheStats() (ScoreCacheStats, bool) {
+	if rs.cache == nil {
+		return ScoreCacheStats{}, false
+	}
+	return rs.cache.Stats(), true
 }
 
 // snapVersion returns the predictor's current snapshot version, or 0 when
@@ -195,6 +220,13 @@ func NewReplicaSet(cfg Config, rc ReplicaConfig, policy Policy, pred Predictor) 
 		if okP && okPol {
 			rs.bpred, rs.bpolicy = bp, bpol
 		}
+	}
+	if cfg.ScoreCacheCap < 0 {
+		return nil, fmt.Errorf("sched: negative ScoreCacheCap")
+	}
+	if cfg.ScoreCache && rs.bpred != nil {
+		rs.cache = newScoreCache(cfg.NumPlatforms, cfg.ScoreCacheCap)
+		rs.epochFn = resolveEpochFn(pred)
 	}
 	nShards := rc.Shards
 	if nShards == 0 {

@@ -206,4 +206,15 @@ type Config struct {
 	// behind /debug/trace. Nil disables with the same zero-cost contract
 	// as Metrics.
 	Recorder *obs.Recorder
+	// ScoreCache enables the memoized wave-scoring path: intra-wave
+	// workload dedup plus a bounded cross-wave score cache keyed on
+	// per-platform slot versions and the predictor's scoring epoch (see
+	// ScoreCache in scorecache.go). Decision-bitwise-identical to the
+	// uncached path; off by default. Ignored on the scalar (DisableBatch
+	// or non-batch predictor) arm, which has no wave scoring to memoize.
+	ScoreCache bool
+	// ScoreCacheCap bounds total cached entries across all platforms
+	// (split evenly per platform, FIFO eviction). 0 means the default
+	// (4096 entries ≈ well under a megabyte).
+	ScoreCacheCap int
 }

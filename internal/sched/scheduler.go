@@ -74,6 +74,17 @@ type Scheduler struct {
 	met *obs.SchedMetrics
 	rec *obs.Recorder
 	ver func() uint64
+
+	// cache is the cross-wave score cache (Config.ScoreCache); nil when
+	// disabled. slotVers mirrors SlotStore's per-platform versions for the
+	// locked scheduler: a per-platform counter bumped (under mu) by every
+	// resident-set or health mutation, so a cached column keyed to it is
+	// provably computed against the current interference state. epochFn
+	// reads the predictor's scoring epoch (snapshot version + fast-scoring
+	// mode); a change invalidates every column at once.
+	cache    *ScoreCache
+	slotVers []uint64
+	epochFn  func() uint64
 }
 
 // snapshotVersioner is the optional predictor facet exposing a snapshot
@@ -116,6 +127,20 @@ type waveScratch struct {
 	rescoreQ    []Query
 	rescore     []float64
 	rescoreRank []float64
+
+	// Memoized-path buffers (reserveCache; sized to the chunk's job count,
+	// allocated only when the score cache is enabled): the wave's distinct
+	// workloads and each job's index into them, the per-column
+	// feasibility/rank/hit triple, and the cache-miss working set.
+	distinct []int
+	dIdx     []int
+	colFeas  []float64
+	colRank  []float64
+	colHit   []bool
+	missW    []int
+	missFeas []float64
+	missRank []float64
+	colQ     []Query
 }
 
 // reserve grows the scratch buffers to a wave of nJ jobs over nP
@@ -139,6 +164,25 @@ func (sc *waveScratch) reserve(nP, nJ int) {
 		sc.rescore = make([]float64, nJ)
 		sc.rescoreRank = make([]float64, nJ)
 	}
+}
+
+// reserveCache grows the memoized-path buffers to a chunk of nJ jobs over
+// nP platforms: the column value/hit grids span every prescored column so
+// the chunk's cache misses can be scored in one batched call. Called only
+// on the cached path, so cache-off schedulers never pay the allocation.
+func (sc *waveScratch) reserveCache(nP, nJ int) {
+	if cap(sc.dIdx) >= nJ && cap(sc.colFeas) >= nP*nJ {
+		return
+	}
+	sc.distinct = make([]int, 0, nJ)
+	sc.dIdx = make([]int, nJ)
+	sc.colFeas = make([]float64, nP*nJ)
+	sc.colRank = make([]float64, nP*nJ)
+	sc.colHit = make([]bool, nP*nJ)
+	sc.missW = make([]int, 0, nP*nJ)
+	sc.missFeas = make([]float64, nP*nJ)
+	sc.missRank = make([]float64, nP*nJ)
+	sc.colQ = make([]Query, 0, nP*nJ)
 }
 
 // New creates a scheduler. The batch scoring path engages automatically
@@ -197,7 +241,45 @@ func New(cfg Config, policy Policy, pred Predictor) (*Scheduler, error) {
 			s.bpred, s.bpolicy = bp, bpol
 		}
 	}
+	if cfg.ScoreCacheCap < 0 {
+		return nil, fmt.Errorf("sched: negative ScoreCacheCap")
+	}
+	// The score cache memoizes the batched wave path; the scalar arm has
+	// no wave scoring to reuse, so ScoreCache is a no-op there.
+	if cfg.ScoreCache && s.bpred != nil {
+		s.cache = newScoreCache(cfg.NumPlatforms, cfg.ScoreCacheCap)
+		s.slotVers = make([]uint64, cfg.NumPlatforms)
+		s.epochFn = resolveEpochFn(pred)
+	}
 	return s, nil
+}
+
+// epoch returns the predictor's current scoring epoch, or 0 for
+// epoch-less predictors (immutable for the scheduler's lifetime).
+func (s *Scheduler) epoch() uint64 {
+	if s.epochFn == nil {
+		return 0
+	}
+	return s.epochFn()
+}
+
+// ScoreCacheStats returns the score cache's counters and whether the
+// cache is enabled on this scheduler.
+func (s *Scheduler) ScoreCacheStats() (ScoreCacheStats, bool) {
+	if s.cache == nil {
+		return ScoreCacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// bumpSlotLocked advances platform p's mutation counter; every
+// resident-set or effective-capacity change must pass through here so
+// cached score columns keyed to the old version can never be served
+// against the new state.
+func (s *Scheduler) bumpSlotLocked(p int) {
+	if s.slotVers != nil {
+		s.slotVers[p]++
+	}
 }
 
 // Batched reports whether placements score candidates through the batched
@@ -393,6 +475,7 @@ func (s *Scheduler) commitBest(job Job, cands []Candidate, snaps [][]int, placea
 	id := s.nextID
 	s.residents[best.Platform] = append(s.residents[best.Platform], placedJob{id: id, job: job})
 	s.platformOf[id] = best.Platform
+	s.bumpSlotLocked(best.Platform)
 	if s.rec != nil {
 		s.rec.Record(obs.Event{Kind: obs.EvPlace, Job: uint64(id), ID: uint64(id),
 			Platform: int32(best.Platform), Version: s.snapVersion()})
@@ -436,6 +519,7 @@ func (s *Scheduler) completeLocked(id JobID) (int, error) {
 	for i := range rs {
 		if rs[i].id == id {
 			s.residents[p] = append(rs[:i], rs[i+1:]...)
+			s.bumpSlotLocked(p)
 			if s.rec != nil {
 				s.rec.Record(obs.Event{Kind: obs.EvComplete, Job: uint64(id), ID: uint64(id),
 					Platform: int32(p)})
@@ -522,7 +606,9 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 	// Queries are built platform-major, so pre[] maps back to (p, j) by
 	// walking the platforms in the same order — no index bookkeeping.
 	// Health is fixed for the chunk: Fail/Degrade/Recover take the same
-	// mutex, so they land between chunks, never mid-chunk.
+	// mutex, so they land between chunks, never mid-chunk. On the memoized
+	// path the query build is skipped: columns go through the dedup + cache
+	// machinery in prescoreCachedLocked instead.
 	qs := sc.qs[:0]
 	snap := sc.snap[:nP]
 	prescored := sc.prescored[:nP]
@@ -537,43 +623,50 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 			continue // full at chunk start; can only stay full mid-chunk
 		}
 		snap[p], prescored[p] = s.residentWorkloadsLocked(p), true
+		if s.cache != nil {
+			continue
+		}
 		for j := range jobs {
 			qs = append(qs, Query{Workload: jobs[j].Workload, Platform: p, Interferers: snap[p]})
 		}
 	}
-	pre := sc.pre[:len(qs)]
-	preRank := sc.preRank[:len(qs)]
-	var scoreStart time.Time
-	if s.met != nil {
-		scoreStart = time.Now()
-	}
-	if dual {
-		s.dpolicy.ScoreDualBatch(s.bpred, qs, pre, preRank)
-	} else {
-		s.bpolicy.ScoreBatch(s.bpred, qs, pre)
-	}
-	if s.met != nil {
-		s.met.ScoreBatch.ObserveSince(scoreStart)
-	}
-	if s.rec != nil {
-		s.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
-			Version: s.snapVersion()})
-	}
 	scoreAt := sc.scoreAt[:nP*nJ]
 	rankAt := sc.rankAt[:nP*nJ]
-	next := 0
-	for p := 0; p < nP; p++ {
-		if !prescored[p] {
-			for j := 0; j < nJ; j++ {
-				scoreAt[p*nJ+j] = math.NaN()
-			}
-			continue
+	if s.cache != nil {
+		s.prescoreCachedLocked(jobs, snap, prescored, scoreAt, rankAt, dual)
+	} else {
+		pre := sc.pre[:len(qs)]
+		preRank := sc.preRank[:len(qs)]
+		var scoreStart time.Time
+		if s.met != nil {
+			scoreStart = time.Now()
 		}
-		copy(scoreAt[p*nJ:(p+1)*nJ], pre[next:next+nJ])
 		if dual {
-			copy(rankAt[p*nJ:(p+1)*nJ], preRank[next:next+nJ])
+			s.dpolicy.ScoreDualBatch(s.bpred, qs, pre, preRank)
+		} else {
+			s.bpolicy.ScoreBatch(s.bpred, qs, pre)
 		}
-		next += nJ
+		if s.met != nil {
+			s.met.ScoreBatch.ObserveSince(scoreStart)
+		}
+		if s.rec != nil {
+			s.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
+				Version: s.snapVersion()})
+		}
+		next := 0
+		for p := 0; p < nP; p++ {
+			if !prescored[p] {
+				for j := 0; j < nJ; j++ {
+					scoreAt[p*nJ+j] = math.NaN()
+				}
+				continue
+			}
+			copy(scoreAt[p*nJ:(p+1)*nJ], pre[next:next+nJ])
+			if dual {
+				copy(rankAt[p*nJ:(p+1)*nJ], preRank[next:next+nJ])
+			}
+			next += nJ
+		}
 	}
 
 	cands := sc.cands[:0]
@@ -622,6 +715,12 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 		if len(s.residents[p]) >= s.colocCapLocked(p) {
 			continue // full now; remaining jobs exclude it by the cap check
 		}
+		if s.cache != nil {
+			// Memoized path: the commit above bumped p's slot version, so
+			// this scores (and caches) the column under its new residents.
+			s.rescoreCachedLocked(p, jobs, j+1, ks, scoreAt, rankAt, dual)
+			continue
+		}
 		rescoreQ = rescoreQ[:0]
 		for r := j + 1; r < nJ; r++ {
 			rescoreQ = append(rescoreQ, Query{Workload: jobs[r].Workload, Platform: p, Interferers: ks})
@@ -638,6 +737,141 @@ func (s *Scheduler) placeWaveLocked(jobs []Job, out []Assignment) {
 			if dual {
 				rankAt[p*nJ+r] = rescoreRank[i]
 			}
+		}
+	}
+}
+
+// prescoreCachedLocked is placeWaveLocked's memoized pre-score: the
+// chunk's jobs are deduped to distinct workloads once (level 1), then each
+// prescored platform's distinct column is served through the cross-wave
+// cache (level 2). Misses from every column are scored in ONE batched
+// policy call — matching the uncached path's single-batch efficiency —
+// then scattered back and stored per column. The scoring epoch is captured
+// once for the chunk, so a concurrent Observe publish mid-chunk narrows —
+// never widens — the window of mixed-snapshot scores the uncached path
+// already tolerates.
+func (s *Scheduler) prescoreCachedLocked(jobs []Job, snap [][]int, prescored []bool, scoreAt, rankAt []float64, dual bool) {
+	nP, nJ := s.cfg.NumPlatforms, len(jobs)
+	sc := &s.scratch
+	sc.reserveCache(nP, nJ)
+	distinct, nD := dedupJobs(jobs, 0, sc.distinct, sc.dIdx)
+	sc.distinct = distinct
+	epoch := s.epoch()
+	cached := 0
+	qs := sc.colQ[:0]
+	missAt := sc.missW[:0] // flat column-grid index (p*nD+d) per miss
+	for p := 0; p < nP; p++ {
+		if !prescored[p] {
+			for j := 0; j < nJ; j++ {
+				scoreAt[p*nJ+j] = math.NaN()
+			}
+			continue
+		}
+		base := p * nD
+		feas := sc.colFeas[base : base+nD]
+		rank := sc.colRank[base : base+nD]
+		hit := sc.colHit[base : base+nD]
+		var lookStart time.Time
+		if s.met != nil {
+			lookStart = time.Now()
+		}
+		nHit := s.cache.lookup(p, s.slotVers[p], epoch, distinct, feas, rank, hit)
+		if s.met != nil {
+			s.met.CacheLookup.ObserveSince(lookStart)
+		}
+		cached += nHit
+		if nHit == nD {
+			continue
+		}
+		for d, w := range distinct {
+			if !hit[d] {
+				qs = append(qs, Query{Workload: w, Platform: p, Interferers: snap[p]})
+				missAt = append(missAt, base+d)
+			}
+		}
+	}
+	if len(qs) > 0 {
+		missFeas := sc.missFeas[:len(qs)]
+		missRank := sc.missRank[:len(qs)]
+		var scoreStart time.Time
+		if s.met != nil {
+			scoreStart = time.Now()
+		}
+		if dual {
+			s.dpolicy.ScoreDualBatch(s.bpred, qs, missFeas, missRank)
+		} else {
+			s.bpolicy.ScoreBatch(s.bpred, qs, missFeas)
+			copy(missRank, missFeas)
+		}
+		if s.met != nil {
+			s.met.ScoreBatch.ObserveSince(scoreStart)
+		}
+		for i, at := range missAt {
+			sc.colFeas[at], sc.colRank[at] = missFeas[i], missRank[i]
+		}
+		// Store each refreshed column back whole; entries that were hits
+		// already exist under the same key and are skipped by the insert
+		// guard, so this is one pass per column, not per miss.
+		prev := -1
+		for _, at := range missAt {
+			p := at / nD
+			if p == prev {
+				continue
+			}
+			prev = p
+			base := p * nD
+			s.cache.store(p, s.slotVers[p], epoch, distinct,
+				sc.colFeas[base:base+nD], sc.colRank[base:base+nD])
+		}
+	}
+	for p := 0; p < nP; p++ {
+		if !prescored[p] {
+			continue
+		}
+		base := p * nD
+		for j := 0; j < nJ; j++ {
+			d := sc.dIdx[j]
+			scoreAt[p*nJ+j] = sc.colFeas[base+d]
+			if dual {
+				rankAt[p*nJ+j] = sc.colRank[base+d]
+			}
+		}
+	}
+	if s.rec != nil {
+		s.rec.Record(obs.Event{Kind: obs.EvScore, Platform: -1, N: int32(nJ),
+			Cached: int32(cached), Version: s.snapVersion()})
+	}
+}
+
+// rescoreCachedLocked is the memoized twin of the dirty-platform rescore
+// span: jobs[from:] are deduped (level 1) and platform p's distinct column
+// is scored in one small batch. The cross-wave cache is deliberately NOT
+// consulted or fed here: the commit this rescore follows just bumped p's
+// slot version, so a lookup can never hit, and a stored column would
+// survive only until the placed job's completion bumps the version again —
+// the next wave's prescore re-scores (and caches) the column alongside its
+// other misses for the same batched cost.
+func (s *Scheduler) rescoreCachedLocked(p int, jobs []Job, from int, ks []int, scoreAt, rankAt []float64, dual bool) {
+	nJ := len(jobs)
+	sc := &s.scratch
+	distinct, nD := dedupJobs(jobs, from, sc.distinct, sc.dIdx)
+	sc.distinct = distinct
+	feas := sc.colFeas[:nD]
+	rank := sc.colRank[:nD]
+	qs := sc.colQ[:0]
+	for _, w := range distinct {
+		qs = append(qs, Query{Workload: w, Platform: p, Interferers: ks})
+	}
+	if dual {
+		s.dpolicy.ScoreDualBatch(s.bpred, qs, feas, rank)
+	} else {
+		s.bpolicy.ScoreBatch(s.bpred, qs, feas)
+	}
+	for i, r := 0, from; r < nJ; i, r = i+1, r+1 {
+		d := sc.dIdx[i]
+		scoreAt[p*nJ+r] = feas[d]
+		if dual {
+			rankAt[p*nJ+r] = rank[d]
 		}
 	}
 }

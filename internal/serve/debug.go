@@ -24,6 +24,7 @@ type TraceEventJSON struct {
 	ID       uint64  `json:"id,omitempty"`
 	Platform int     `json:"platform"`
 	N        int     `json:"n,omitempty"`
+	Cached   int     `json:"cached,omitempty"`
 	Version  uint64  `json:"snapshot_version,omitempty"`
 	Reason   string  `json:"reason,omitempty"`
 }
@@ -37,6 +38,7 @@ func toTraceEventJSON(e obs.Event) TraceEventJSON {
 		ID:       e.ID,
 		Platform: int(e.Platform),
 		N:        int(e.N),
+		Cached:   int(e.Cached),
 		Version:  e.Version,
 		Reason:   e.Reason.String(),
 	}

@@ -243,6 +243,19 @@ type Metrics struct {
 	PlaceConflictShed uint64 `json:"place_conflict_shed,omitempty"`
 	PlaceRebalances   uint64 `json:"place_rebalances,omitempty"`
 
+	// Score-cache counters (PlacementConfig.ScoreCache): distinct-workload
+	// column lookups served from the cross-wave cache vs scored through
+	// the predictor, FIFO capacity evictions, whole-column invalidations
+	// (slot-version or snapshot-epoch change), and current resident
+	// entries. ScoreCacheEnabled distinguishes a cold enabled cache from a
+	// disabled one.
+	ScoreCacheEnabled       bool   `json:"score_cache_enabled,omitempty"`
+	ScoreCacheHits          uint64 `json:"score_cache_hits,omitempty"`
+	ScoreCacheMisses        uint64 `json:"score_cache_misses,omitempty"`
+	ScoreCacheEvictions     uint64 `json:"score_cache_evictions,omitempty"`
+	ScoreCacheInvalidations uint64 `json:"score_cache_invalidations,omitempty"`
+	ScoreCacheEntries       int64  `json:"score_cache_entries,omitempty"`
+
 	// PerSnapshot is ordered by snapshot version; only the newest
 	// maxSnapshotRetention versions are retained.
 	PerSnapshot []SnapshotMetrics `json:"per_snapshot,omitempty"`
@@ -297,6 +310,16 @@ func (s *Server) Metrics() Metrics {
 			out.ReserveConflicts = cs.Conflicts
 			out.PlaceConflictShed = cs.Shed
 			out.PlaceRebalances = cs.Rebalances
+		}
+		if sr, ok := s.placer.(scoreCacheReporter); ok {
+			if cs, enabled := sr.ScoreCacheStats(); enabled {
+				out.ScoreCacheEnabled = true
+				out.ScoreCacheHits = cs.Hits
+				out.ScoreCacheMisses = cs.Misses
+				out.ScoreCacheEvictions = cs.Evictions
+				out.ScoreCacheInvalidations = cs.Invalidations
+				out.ScoreCacheEntries = cs.Entries
+			}
 		}
 	}
 	m.perSnap.Range(func(k, v any) bool {

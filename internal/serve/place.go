@@ -67,6 +67,14 @@ type PlacementConfig struct {
 	// The pitot_place_* latency histograms are always attached — they are
 	// lock-free atomics with no retention to size.
 	TraceDepth int
+	// ScoreCache enables the memoized wave-scoring path (intra-wave
+	// workload dedup plus the version-keyed cross-wave score cache; see
+	// sched.Config.ScoreCache). Decisions are bitwise identical to the
+	// uncached path; off by default.
+	ScoreCache bool
+	// ScoreCacheCap bounds total cached score entries across all
+	// platforms; 0 = sched's default (4096).
+	ScoreCacheCap int
 }
 
 // Placer is the placement engine behind /place — either a
@@ -94,6 +102,13 @@ type Placer interface {
 type conflictReporter interface {
 	ConflictStats() sched.ConflictStats
 	NumReplicas() int
+}
+
+// scoreCacheReporter is the optional score-cache stats surface of a
+// Placer; both *sched.Scheduler and *sched.ReplicaSet implement it (the
+// second return reports whether the cache is enabled).
+type scoreCacheReporter interface {
+	ScoreCacheStats() (sched.ScoreCacheStats, bool)
 }
 
 // placeReq is one queued single-job placement awaiting wave fusion.
@@ -126,6 +141,20 @@ type ScorerBackend interface {
 // stamps it onto flight-recorder events so a trace can be correlated with
 // the model snapshot that scored each decision.
 func (b backendPredictor) Version() uint64 { return b.be.Info().Version }
+
+// ScoreEpoch is the score-cache invalidation key: the snapshot version
+// folded with the fast-scoring mode bit, mirroring pitot's own ScoreEpoch
+// (SetFastScoring republishes under the same version but a different
+// kernel, so version alone is not a safe score key). Both facets come from
+// one Info() snapshot read, so the pair is consistent.
+func (b backendPredictor) ScoreEpoch() uint64 {
+	info := b.be.Info()
+	e := info.Version << 1
+	if info.FastScoring {
+		e |= 1
+	}
+	return e
+}
 
 func (b backendPredictor) EstimateSeconds(w, pl int, interferers []int) float64 {
 	return b.be.Estimate(w, pl, interferers)
@@ -210,6 +239,8 @@ func (s *Server) EnablePlacement(pc PlacementConfig) error {
 		Breaker:         pc.Breaker,
 		Metrics:         s.schedMetrics,
 		Recorder:        s.recorder,
+		ScoreCache:      pc.ScoreCache,
+		ScoreCacheCap:   pc.ScoreCacheCap,
 	}
 	if pc.Replicas > 1 {
 		shards := pc.Shards

@@ -418,6 +418,21 @@ func (p *Predictor) Info() Info {
 // Version returns the published snapshot version (see Info.Version).
 func (p *Predictor) Version() uint64 { return p.snap.Load().version }
 
+// ScoreEpoch returns an opaque value that changes whenever the predictor
+// would score the same query differently. It folds the snapshot version
+// together with the fast-scoring mode bit: SetFastScoring republishes the
+// snapshot under the same Version but swaps the scoring kernel, so version
+// alone is not a safe cache key for scores. Lock-free; both facets are
+// read from one atomic snapshot load, so the pair is always consistent.
+func (p *Predictor) ScoreEpoch() uint64 {
+	s := p.snap.Load()
+	e := s.version << 1
+	if s.fast {
+		e |= 1
+	}
+	return e
+}
+
 // WorkloadEmbeddings returns the learned per-workload embedding vectors
 // (rows aligned with Dataset.WorkloadNames), usable for clustering or
 // anomaly detection (paper §5.4).
